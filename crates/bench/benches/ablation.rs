@@ -1,0 +1,94 @@
+//! Ablation benches for the design choices DESIGN.md calls out.
+//!
+//! These are *quality* ablations measured as timed runs whose reported
+//! value also gets printed once per bench: Phase I criterion (the paper's
+//! weight-first versus min-cut-first), Phase III refinement on/off, and
+//! metric choice. The printed recovery numbers show why the paper's
+//! choices win; Criterion reports the runtime cost of each.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gtl_synth::planted::{self, PlantedConfig};
+use gtl_tangled::{match_gtls, FinderConfig, GrowthCriterion, MetricKind, TangledLogicFinder};
+
+fn testbed() -> gtl_synth::GeneratedCircuit {
+    planted::generate(&PlantedConfig {
+        num_cells: 10_000,
+        blocks: vec![800],
+        seed: 21,
+        ..PlantedConfig::default()
+    })
+}
+
+fn base_config() -> FinderConfig {
+    FinderConfig {
+        num_seeds: 32,
+        max_order_len: 2_500,
+        min_size: 100,
+        threads: 1,
+        rng_seed: 9,
+        ..FinderConfig::default()
+    }
+}
+
+fn quality(g: &gtl_synth::GeneratedCircuit, config: FinderConfig) -> (usize, f64, f64) {
+    let result = TangledLogicFinder::new(&g.netlist, config).run();
+    let found: Vec<Vec<_>> = result.gtls.iter().map(|x| x.cells.clone()).collect();
+    let report = match_gtls(&g.truth, &found, g.netlist.num_cells());
+    (report.matches.len(), report.max_miss_pct(), report.max_over_pct())
+}
+
+/// Paper's weight-first growth versus min-cut-first growth.
+fn growth_criterion(c: &mut Criterion) {
+    let g = testbed();
+    let mut group = c.benchmark_group("ablation_growth_criterion");
+    group.sample_size(10);
+    for (label, criterion) in
+        [("weight_first", GrowthCriterion::WeightFirst), ("cut_first", GrowthCriterion::CutFirst)]
+    {
+        let config = FinderConfig { criterion, ..base_config() };
+        let (found, miss, over) = quality(&g, config);
+        eprintln!("[{label}] recovered {found}/1 planted, miss {miss:.2}%, over {over:.2}%");
+        group.bench_function(label, |b| {
+            let finder = TangledLogicFinder::new(&g.netlist, config);
+            b.iter(|| std::hint::black_box(finder.run().gtls.len()));
+        });
+    }
+    group.finish();
+}
+
+/// Phase III refinement on/off: runtime cost versus cleanup benefit.
+fn refinement(c: &mut Criterion) {
+    let g = testbed();
+    let mut group = c.benchmark_group("ablation_refinement");
+    group.sample_size(10);
+    for (label, refine) in [("with_refine", true), ("no_refine", false)] {
+        let config = FinderConfig { refine, ..base_config() };
+        let (found, miss, over) = quality(&g, config);
+        eprintln!("[{label}] recovered {found}/1 planted, miss {miss:.2}%, over {over:.2}%");
+        group.bench_function(label, |b| {
+            let finder = TangledLogicFinder::new(&g.netlist, config);
+            b.iter(|| std::hint::black_box(finder.run().gtls.len()));
+        });
+    }
+    group.finish();
+}
+
+/// nGTL-S versus the density-aware GTL-SD as the optimized metric.
+fn metric_choice(c: &mut Criterion) {
+    let g = testbed();
+    let mut group = c.benchmark_group("ablation_metric");
+    group.sample_size(10);
+    for (label, metric) in [("ngtl_s", MetricKind::NGtlScore), ("gtl_sd", MetricKind::GtlSd)] {
+        let config = FinderConfig { metric, ..base_config() };
+        let (found, miss, over) = quality(&g, config);
+        eprintln!("[{label}] recovered {found}/1 planted, miss {miss:.2}%, over {over:.2}%");
+        group.bench_function(label, |b| {
+            let finder = TangledLogicFinder::new(&g.netlist, config);
+            b.iter(|| std::hint::black_box(finder.run().gtls.len()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, growth_criterion, refinement, metric_choice);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion benches for the full three-phase finder.
+//!
+//! Times the end-to-end `TangledLogicFinder` against seed count `m` (the
+//! parallel part scales with `m`; the serial pruning is `O(m²)`, paper
+//! §4.1.2) and against thread count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gtl_synth::planted::{self, PlantedConfig};
+use gtl_tangled::{FinderConfig, TangledLogicFinder};
+
+fn testbed() -> gtl_synth::GeneratedCircuit {
+    planted::generate(&PlantedConfig {
+        num_cells: 20_000,
+        blocks: vec![1_000, 2_000],
+        seed: 3,
+        ..PlantedConfig::default()
+    })
+}
+
+fn config(seeds: usize, threads: usize) -> FinderConfig {
+    FinderConfig {
+        num_seeds: seeds,
+        max_order_len: 5_000,
+        min_size: 100,
+        threads,
+        rng_seed: 5,
+        ..FinderConfig::default()
+    }
+}
+
+/// Wall time versus number of seed searches `m`.
+fn finder_seed_count(c: &mut Criterion) {
+    let g = testbed();
+    let mut group = c.benchmark_group("finder_seed_count");
+    group.sample_size(10);
+    for &m in &[8usize, 32, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            let finder = TangledLogicFinder::new(&g.netlist, config(m, 1));
+            b.iter(|| std::hint::black_box(finder.run().gtls.len()));
+        });
+    }
+    group.finish();
+}
+
+/// Wall time versus worker threads (fixed m = 64).
+fn finder_threads(c: &mut Criterion) {
+    let g = testbed();
+    let mut group = c.benchmark_group("finder_threads");
+    group.sample_size(10);
+    for &t in &[1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
+            let finder = TangledLogicFinder::new(&g.netlist, config(64, t));
+            b.iter(|| std::hint::black_box(finder.run().gtls.len()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, finder_seed_count, finder_threads);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Criterion benches for Phase I (linear-ordering generation).
+//!
+//! Validates the paper's complexity claim — Phase I is `O(|E| ln |V|)` —
+//! by timing orderings across graph sizes, and quantifies the cost of the
+//! λ-threshold knob (paper §4.1.2 skips weight updates on nets with ≥ 20
+//! external pins).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gtl_netlist::CellId;
+use gtl_synth::planted::{self, PlantedConfig};
+use gtl_tangled::{GrowthConfig, OrderingGrower};
+
+fn graph(cells: usize, block: usize, seed: u64) -> gtl_synth::GeneratedCircuit {
+    planted::generate(&PlantedConfig {
+        num_cells: cells,
+        blocks: vec![block],
+        seed,
+        ..PlantedConfig::default()
+    })
+}
+
+/// Ordering time versus graph size (fixed Z): near-linearithmic growth.
+fn ordering_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ordering_scaling");
+    group.sample_size(10);
+    for &cells in &[4_000usize, 16_000, 64_000] {
+        let g = graph(cells, cells / 10, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(cells), &g, |b, g| {
+            let mut grower = OrderingGrower::new(
+                &g.netlist,
+                GrowthConfig { max_len: cells / 4, ..GrowthConfig::default() },
+            );
+            b.iter(|| std::hint::black_box(grower.grow(CellId::new(0)).len()));
+        });
+    }
+    group.finish();
+}
+
+/// Cost of exact weight maintenance versus the paper's λ ≥ 20 skip.
+fn lambda_threshold(c: &mut Criterion) {
+    let g = graph(20_000, 2_000, 11);
+    let mut group = c.benchmark_group("lambda_threshold");
+    group.sample_size(10);
+    for (label, threshold) in [("exact", usize::MAX), ("paper_20", 20), ("aggressive_5", 5)] {
+        group.bench_function(label, |b| {
+            let mut grower = OrderingGrower::new(
+                &g.netlist,
+                GrowthConfig {
+                    max_len: 5_000,
+                    lambda_threshold: threshold,
+                    ..GrowthConfig::default()
+                },
+            );
+            b.iter(|| std::hint::black_box(grower.grow(CellId::new(100)).len()));
+        });
+    }
+    group.finish();
+}
+
+/// Ordering length Z versus time (the while-loop of algorithm I.5).
+fn ordering_length(c: &mut Criterion) {
+    let g = graph(40_000, 4_000, 13);
+    let mut group = c.benchmark_group("ordering_length");
+    group.sample_size(10);
+    for &z in &[1_000usize, 4_000, 16_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(z), &z, |b, &z| {
+            let mut grower = OrderingGrower::new(
+                &g.netlist,
+                GrowthConfig { max_len: z, ..GrowthConfig::default() },
+            );
+            b.iter(|| std::hint::black_box(grower.grow(CellId::new(0)).len()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ordering_scaling, lambda_threshold, ordering_length);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Criterion benches for the physical-design substrate: CG solver,
+//! spreading, legalization and congestion estimation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gtl_place::congestion::{estimate, DemandModel, RoutingConfig};
+use gtl_place::legal::legalize;
+use gtl_place::quadratic::Laplacian;
+use gtl_place::spread::{spread, SpreadConfig};
+use gtl_place::{place, Die, PlacerConfig};
+use gtl_synth::ispd_like::{generate, IspdBenchmark, IspdLikeConfig};
+
+fn circuit(scale: f64) -> gtl_synth::GeneratedCircuit {
+    generate(&IspdLikeConfig::new(IspdBenchmark::Adaptec1, scale))
+}
+
+/// One CG solve on the netlist Laplacian, across sizes.
+fn cg_solve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cg_solve");
+    group.sample_size(10);
+    for &scale in &[0.01f64, 0.04] {
+        let g = circuit(scale);
+        let n = g.netlist.num_cells();
+        let lap = Laplacian::build(&g.netlist);
+        let anchor = vec![0.1; n];
+        let targets: Vec<f64> = (0..n).map(|i| i as f64 % 97.0).collect();
+        let rhs: Vec<f64> = targets.iter().map(|t| 0.1 * t).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let (x, _) = lap.solve_anchored(&anchor, &rhs, &vec![0.0; n], 1e-6, 300);
+                std::hint::black_box(x[0])
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Full global placement.
+fn global_place(c: &mut Criterion) {
+    let g = circuit(0.01);
+    let die = Die::for_netlist(&g.netlist, 0.6);
+    let mut group = c.benchmark_group("global_place");
+    group.sample_size(10);
+    group.bench_function("adaptec1_x0.01", |b| {
+        b.iter(|| std::hint::black_box(place(&g.netlist, &die, &PlacerConfig::default()).len()));
+    });
+    group.finish();
+}
+
+/// Bisection spreading and Tetris legalization of a clumped placement.
+fn spread_and_legalize(c: &mut Criterion) {
+    let g = circuit(0.02);
+    let die = Die::for_netlist(&g.netlist, 0.6);
+    let n = g.netlist.num_cells();
+    let clumped = gtl_place::Placement::from_coords(
+        vec![die.width / 2.0; n],
+        vec![die.height / 2.0; n],
+    );
+    let mut group = c.benchmark_group("spread_legalize");
+    group.sample_size(10);
+    group.bench_function("spread", |b| {
+        b.iter(|| std::hint::black_box(spread(&g.netlist, &clumped, &die, &SpreadConfig::default()).len()));
+    });
+    let spread_p = spread(&g.netlist, &clumped, &die, &SpreadConfig::default());
+    group.bench_function("legalize", |b| {
+        b.iter(|| std::hint::black_box(legalize(&g.netlist, &spread_p, &die).overflowed));
+    });
+    group.finish();
+}
+
+/// RUDY versus L-shape congestion estimation.
+fn congestion_models(c: &mut Criterion) {
+    let g = circuit(0.02);
+    let die = Die::for_netlist(&g.netlist, 0.6);
+    let p = place(&g.netlist, &die, &PlacerConfig::default());
+    let mut group = c.benchmark_group("congestion_models");
+    group.sample_size(10);
+    for (label, model) in [("rudy", DemandModel::Rudy), ("lshape", DemandModel::LShape)] {
+        let cfg = RoutingConfig { tiles: 32, model, ..RoutingConfig::default() };
+        group.bench_function(label, |b| {
+            b.iter(|| std::hint::black_box(estimate(&g.netlist, &p, &die, &cfg).max_utilization()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, cg_solve, global_place, spread_and_legalize, congestion_models);
+criterion_main!(benches);

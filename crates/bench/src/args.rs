@@ -1,0 +1,143 @@
+//! Minimal command-line parsing shared by the reproduction binaries.
+//!
+//! All binaries accept:
+//!
+//! * `--full` — run at the paper's instance sizes (hours of CPU);
+//! * `--scale <f>` — explicit cell-count scale in `(0, 1]`;
+//! * `--seeds <n>` — number of finder seeds (paper: 100);
+//! * `--threads <n>` — worker threads (0 = all cores);
+//! * `--rng <n>` — master RNG seed;
+//! * `--out <dir>` — artifact directory (default `results/`).
+//!
+//! `table2` additionally accepts `--bookshelf <dir>` to run on real ISPD
+//! `.aux` designs instead of the synthetic ISPD-like circuits.
+
+use std::path::PathBuf;
+
+/// Parsed common options.
+#[derive(Debug, Clone)]
+pub struct CommonArgs {
+    /// Instance scale in `(0, 1]`.
+    pub scale: f64,
+    /// Finder seed count.
+    pub seeds: usize,
+    /// Worker threads (0 = all cores).
+    pub threads: usize,
+    /// Master RNG seed.
+    pub rng: u64,
+    /// Artifact directory.
+    pub out: PathBuf,
+    /// Directory of Bookshelf `.aux` files, if supplied.
+    pub bookshelf: Option<PathBuf>,
+}
+
+impl CommonArgs {
+    /// Parses `std::env::args`, using `default_scale` when neither
+    /// `--full` nor `--scale` is given.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with a usage message) on malformed arguments, which is the
+    /// desired CLI behavior for these research binaries.
+    pub fn parse(default_scale: f64) -> Self {
+        Self::parse_from(std::env::args().skip(1), default_scale)
+    }
+
+    /// Parses from an explicit iterator (testable form of [`Self::parse`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed arguments.
+    pub fn parse_from(args: impl IntoIterator<Item = String>, default_scale: f64) -> Self {
+        let mut out = Self {
+            scale: default_scale,
+            seeds: 100,
+            threads: 0,
+            rng: 0xDAC,
+            out: crate::results_dir(),
+            bookshelf: None,
+        };
+        let mut it = args.into_iter();
+        while let Some(flag) = it.next() {
+            let mut grab = || {
+                it.next().unwrap_or_else(|| panic!("flag {flag} expects a value"))
+            };
+            match flag.as_str() {
+                "--full" => out.scale = 1.0,
+                "--scale" => {
+                    out.scale = grab().parse().expect("--scale expects a float");
+                    assert!(
+                        out.scale > 0.0 && out.scale <= 1.0,
+                        "--scale must be in (0, 1]"
+                    );
+                }
+                "--seeds" => out.seeds = grab().parse().expect("--seeds expects an integer"),
+                "--threads" => {
+                    out.threads = grab().parse().expect("--threads expects an integer")
+                }
+                "--rng" => out.rng = grab().parse().expect("--rng expects an integer"),
+                "--out" => out.out = PathBuf::from(grab()),
+                "--bookshelf" => out.bookshelf = Some(PathBuf::from(grab())),
+                "--help" | "-h" => {
+                    eprintln!(
+                        "options: --full | --scale <f> | --seeds <n> | --threads <n> \
+                         | --rng <n> | --out <dir> | --bookshelf <dir>"
+                    );
+                    std::process::exit(0);
+                }
+                other => panic!("unknown flag `{other}` (try --help)"),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(v: &[&str]) -> CommonArgs {
+        CommonArgs::parse_from(v.iter().map(|s| s.to_string()), 0.05)
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]);
+        assert_eq!(a.scale, 0.05);
+        assert_eq!(a.seeds, 100);
+        assert_eq!(a.threads, 0);
+        assert!(a.bookshelf.is_none());
+    }
+
+    #[test]
+    fn full_flag() {
+        assert_eq!(parse(&["--full"]).scale, 1.0);
+    }
+
+    #[test]
+    fn explicit_values() {
+        let a = parse(&["--scale", "0.2", "--seeds", "40", "--threads", "2", "--rng", "7"]);
+        assert_eq!(a.scale, 0.2);
+        assert_eq!(a.seeds, 40);
+        assert_eq!(a.threads, 2);
+        assert_eq!(a.rng, 7);
+    }
+
+    #[test]
+    fn bookshelf_dir() {
+        let a = parse(&["--bookshelf", "/tmp/ispd"]);
+        assert_eq!(a.bookshelf.unwrap(), PathBuf::from("/tmp/ispd"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn unknown_flag_panics() {
+        parse(&["--bogus"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "--scale must be in")]
+    fn bad_scale_panics() {
+        parse(&["--scale", "2.0"]);
+    }
+}

@@ -1,0 +1,143 @@
+//! Reproduces **Figures 1, 6 and 7** plus the §5.1.3 statistics: the
+//! industrial circuit's congestion map, the GTL overlay, and the
+//! congestion after 4× cell inflation.
+//!
+//! Flow: generate the industrial-like circuit → find GTLs → place the
+//! baseline and estimate congestion (Figure 1) → overlay GTL positions
+//! (Figure 6) → inflate all GTL cells 4×, re-place, re-estimate
+//! (Figure 7) → report the reductions (paper: nets through 100% tiles
+//! 179K → 36K ≈ 5×, through 90% tiles 217K → 113K ≈ 2×, average
+//! congestion 136% → 91%).
+//!
+//! Emits `fig1_congestion_before.pgm`, `fig6_gtl_overlay.pgm`,
+//! `fig7_congestion_after.pgm` and prints ASCII heatmaps.
+
+use gtl_bench::args::CommonArgs;
+use gtl_bench::report::{ascii_heatmap, write_pgm};
+use gtl_netlist::CellId;
+use gtl_synth::industrial::{self, IndustrialConfig};
+use gtl_tangled::{FinderConfig, TangledLogicFinder};
+use gtl_place::congestion::RoutingConfig;
+use gtl_place::inflate::run_inflation_flow;
+use gtl_place::PlacerConfig;
+
+fn main() {
+    let args = CommonArgs::parse(0.01);
+    println!(
+        "== Figures 1/6/7 + §5.1.3: industrial congestion and cell inflation (scale {}) ==\n",
+        args.scale
+    );
+
+    let config = IndustrialConfig {
+        scale: args.scale,
+        seed: 0x65AA ^ args.rng,
+        ..IndustrialConfig::default()
+    };
+    let circuit = industrial::generate(&config);
+    let netlist = &circuit.netlist;
+    println!("{}: |V| = {}", circuit.name, netlist.num_cells());
+
+    // --- Find the GTLs (the blobs) --------------------------------------
+    let largest = circuit.truth.iter().map(Vec::len).max().unwrap_or(1);
+    let smallest = circuit.truth.iter().map(Vec::len).min().unwrap_or(1);
+    // Random seeds only find a blob when one lands inside it (§3.2.2: "if
+    // the number of searches is large enough, most of the GTLs can be
+    // captured"); guarantee ≈3 expected hits even in the smallest blob.
+    let num_seeds = args.seeds.max(3 * circuit.netlist.num_cells() / smallest.max(1));
+    let finder_config = FinderConfig {
+        num_seeds,
+        max_order_len: (largest * 5 / 2).max(512),
+        min_size: (largest / 20).clamp(16, 1000),
+        // The paper's rule of thumb: strong GTLs score well below 0.1;
+        // marginal background regions (≈0.6) are not dissolved ROMs.
+        accept_threshold: 0.3,
+        threads: args.threads,
+        rng_seed: args.rng,
+        ..FinderConfig::default()
+    };
+    let result = TangledLogicFinder::new(netlist, finder_config).run();
+    let gtl_cells: Vec<CellId> =
+        result.gtls.iter().flat_map(|g| g.cells.iter().copied()).collect();
+    println!(
+        "found {} GTLs covering {} cells ({:.1}% of design)\n",
+        result.gtls.len(),
+        gtl_cells.len(),
+        100.0 * gtl_cells.len() as f64 / netlist.num_cells() as f64
+    );
+
+    // --- Inflation flow (places baseline + inflated) ---------------------
+    let routing = RoutingConfig { tiles: 24, target_mean: 0.5, ..RoutingConfig::default() };
+    // Generous baseline whitespace, as in the paper's floorplan: inflation
+    // must be absorbable without densifying the whole die.
+    let outcome = run_inflation_flow(
+        netlist,
+        &gtl_cells,
+        4.0,
+        0.35,
+        &PlacerConfig::default(),
+        &routing,
+    );
+
+    // --- Figure 1: baseline congestion ----------------------------------
+    let t = outcome.baseline_map.tiles();
+    let before_grid = outcome.baseline_map.to_grid();
+    write_pgm(args.out.join("fig1_congestion_before.pgm"), &before_grid, t, t)
+        .expect("write fig1 heatmap");
+    println!("Figure 1 — routing congestion, baseline placement:");
+    println!("{}", ascii_heatmap(&before_grid, t, t));
+
+    // --- Figure 6: GTL overlay on the baseline placement -----------------
+    let die = outcome.die;
+    let mut overlay = vec![0.0f64; t * t];
+    for gtl in &result.gtls {
+        for &c in &gtl.cells {
+            let (x, y) = outcome.baseline_placement.position(c);
+            let gx = ((x / die.width * t as f64) as usize).min(t - 1);
+            let gy = ((y / die.height * t as f64) as usize).min(t - 1);
+            overlay[gy * t + gx] += 1.0;
+        }
+    }
+    write_pgm(args.out.join("fig6_gtl_overlay.pgm"), &overlay, t, t)
+        .expect("write fig6 heatmap");
+    println!("Figure 6 — GTL cells in the baseline placement:");
+    println!("{}", ascii_heatmap(&overlay, t, t));
+
+    // Numeric form of "GTLs match the hotspots": fraction of the hottest
+    // tiles that contain GTL cells.
+    let mut ranked: Vec<usize> = (0..t * t).collect();
+    ranked.sort_by(|&a, &b| before_grid[b].total_cmp(&before_grid[a]));
+    let hot = &ranked[..(t * t / 20).max(1)];
+    let covered = hot.iter().filter(|&&i| overlay[i] > 0.0).count();
+    println!(
+        "{covered}/{} of the hottest 5% tiles contain GTL cells \
+         (paper: GTLs \"match almost exactly\" the hotspots)\n",
+        hot.len()
+    );
+
+    // --- Figure 7: after inflation ---------------------------------------
+    let after_grid = outcome.inflated_map.to_grid();
+    write_pgm(args.out.join("fig7_congestion_after.pgm"), &after_grid, t, t)
+        .expect("write fig7 heatmap");
+    println!("Figure 7 — routing congestion after 4× inflation of GTL cells:");
+    println!("{}", ascii_heatmap(&after_grid, t, t));
+
+    // --- §5.1.3 statistics -----------------------------------------------
+    println!("before: {}", outcome.before);
+    println!("after:  {}", outcome.after);
+    println!(
+        "nets through ≥100% tiles: {} → {} ({:.1}× reduction; paper 179K → 36K ≈ 5×)",
+        outcome.before.nets_through_100pct,
+        outcome.after.nets_through_100pct,
+        outcome.reduction_100pct()
+    );
+    println!(
+        "nets through ≥90% tiles:  {} → {} ({:.1}× reduction; paper 217K → 113K ≈ 2×)",
+        outcome.before.nets_through_90pct,
+        outcome.after.nets_through_90pct,
+        outcome.reduction_90pct()
+    );
+    println!(
+        "average congestion metric: {:.0}% → {:.0}% (paper 136% → 91%)",
+        outcome.before.average_congestion_pct, outcome.after.average_congestion_pct
+    );
+}

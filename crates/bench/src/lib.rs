@@ -1,0 +1,29 @@
+//! Shared infrastructure for the table/figure reproduction binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the DAC
+//! 2010 paper (see `DESIGN.md` §3 for the experiment index and
+//! `EXPERIMENTS.md` for paper-versus-measured results). This library holds
+//! the pieces they share: ASCII table rendering, CSV series output, PGM
+//! heatmaps, and a tiny argument parser.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod report;
+
+use std::path::PathBuf;
+
+/// Directory where the binaries drop CSV/PGM artifacts (`results/` under
+/// the workspace root, or the current directory as fallback).
+pub fn results_dir() -> PathBuf {
+    let candidates = [PathBuf::from("results"), PathBuf::from("../results")];
+    for c in &candidates {
+        if c.parent().map(|p| p.as_os_str().is_empty() || p.exists()).unwrap_or(true)
+            && std::fs::create_dir_all(c).is_ok()
+        {
+            return c.clone();
+        }
+    }
+    PathBuf::from(".")
+}

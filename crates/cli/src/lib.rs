@@ -1,0 +1,501 @@
+//! Implementation of the `gtl` command-line tool.
+//!
+//! Subcommands (see `gtl --help`):
+//!
+//! * `gtl stats <file>` — netlist statistics (`|V|`, `|E|`, pins, `A(G)`,
+//!   degree profile);
+//! * `gtl find <file> [options]` — run the three-phase finder and print a
+//!   GTL table;
+//! * `gtl score <file> --cells <ids>` — score one cell group under every
+//!   metric;
+//! * `gtl curve <file> --seed <id>` — CSV score curve of one linear
+//!   ordering (the paper's Figures 2/3/5 raw data).
+//!
+//! Input formats are detected by extension: `.hgr` (hMETIS), `.aux`
+//! (Bookshelf), `.v` (structural Verilog). The logic lives in this library
+//! so it can be unit-tested; `main.rs` is a thin shim.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use gtl_netlist::{bookshelf, hgr, verilog, CellId, CellSet, Netlist, NetlistStats, SubsetStats};
+use gtl_tangled::candidate::{score_curve, CandidateConfig};
+use gtl_tangled::metrics::{self, baseline, DesignContext};
+use gtl_tangled::{FinderConfig, GrowthConfig, MetricKind, OrderingGrower, TangledLogicFinder};
+
+/// Usage text printed by `--help` and on argument errors.
+pub const USAGE: &str = "\
+gtl — tangled-logic finder (DAC 2010 reproduction)
+
+USAGE:
+  gtl stats <file>
+  gtl find  <file> [--seeds N] [--min-size N] [--max-order N]
+                   [--threshold F] [--metric ngtl|sd] [--rng N] [--threads N]
+  gtl score <file> --cells id,id,... [--rent F]
+  gtl curve <file> --seed id [--max-order N]
+  gtl blocks <file> [find options] [--whitespace F]
+  gtl resynth <file> [find options] [--max-fanout N] [--out <file.v>]
+
+FILES: .hgr (hMETIS), .aux (Bookshelf/ISPD), .v (structural Verilog)
+";
+
+/// Errors surfaced to the user (message + suggested exit code).
+#[derive(Debug)]
+pub struct CliError {
+    /// Human-readable message.
+    pub message: String,
+    /// Process exit code.
+    pub code: i32,
+}
+
+impl CliError {
+    fn new(message: impl Into<String>) -> Self {
+        Self { message: message.into(), code: 2 }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<gtl_netlist::NetlistError> for CliError {
+    fn from(e: gtl_netlist::NetlistError) -> Self {
+        Self { message: e.to_string(), code: 1 }
+    }
+}
+
+/// Loads a netlist, selecting the parser from the file extension.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] for unknown extensions or parse failures.
+pub fn load_netlist(path: &str) -> Result<Netlist, CliError> {
+    match Path::new(path).extension().and_then(|e| e.to_str()) {
+        Some("hgr") => Ok(hgr::read(path)?),
+        Some("aux") => Ok(bookshelf::read_aux(path)?.netlist),
+        Some("v") => Ok(verilog::read(path)?.netlist),
+        other => Err(CliError::new(format!(
+            "unsupported input extension {other:?} (expected .hgr, .aux or .v)"
+        ))),
+    }
+}
+
+/// Runs the tool on pre-split arguments, returning the stdout text.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] on bad arguments or parse failures.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let Some(command) = args.first() else {
+        return Err(CliError::new(USAGE));
+    };
+    match command.as_str() {
+        "stats" => cmd_stats(&args[1..]),
+        "find" => cmd_find(&args[1..]),
+        "score" => cmd_score(&args[1..]),
+        "curve" => cmd_curve(&args[1..]),
+        "blocks" => cmd_blocks(&args[1..]),
+        "resynth" => cmd_resynth(&args[1..]),
+        "--help" | "-h" | "help" => Ok(USAGE.to_string()),
+        other => Err(CliError::new(format!("unknown command `{other}`\n\n{USAGE}"))),
+    }
+}
+
+fn want_file(args: &[String]) -> Result<&str, CliError> {
+    args.first()
+        .map(String::as_str)
+        .ok_or_else(|| CliError::new(format!("missing input file\n\n{USAGE}")))
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+fn parse_flag<T: std::str::FromStr>(
+    args: &[String],
+    flag: &str,
+    default: T,
+) -> Result<T, CliError> {
+    match flag_value(args, flag) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| CliError::new(format!("{flag} expects a valid value, got `{v}`"))),
+    }
+}
+
+fn cmd_stats(args: &[String]) -> Result<String, CliError> {
+    let netlist = load_netlist(want_file(args)?)?;
+    let stats = NetlistStats::compute(&netlist);
+    let mut out = String::new();
+    let _ = writeln!(out, "{stats}");
+    let _ = writeln!(out, "net degree histogram (top 10):");
+    for (degree, count) in stats.net_degrees.iter().take(10) {
+        let _ = writeln!(out, "  {degree:>3} pins: {count}");
+    }
+    Ok(out)
+}
+
+fn cmd_find(args: &[String]) -> Result<String, CliError> {
+    let netlist = load_netlist(want_file(args)?)?;
+    let metric = match flag_value(args, "--metric") {
+        None | Some("sd") => MetricKind::GtlSd,
+        Some("ngtl") => MetricKind::NGtlScore,
+        Some(other) => {
+            return Err(CliError::new(format!("--metric expects ngtl|sd, got `{other}`")))
+        }
+    };
+    let config = FinderConfig {
+        num_seeds: parse_flag(args, "--seeds", 100usize)?,
+        min_size: parse_flag(args, "--min-size", 30usize)?,
+        max_order_len: parse_flag(
+            args,
+            "--max-order",
+            (netlist.num_cells() / 4).clamp(64, 100_000),
+        )?,
+        accept_threshold: parse_flag(args, "--threshold", 0.9f64)?,
+        rng_seed: parse_flag(args, "--rng", 0xDACu64)?,
+        threads: parse_flag(args, "--threads", 0usize)?,
+        metric,
+        ..FinderConfig::default()
+    };
+    let result = TangledLogicFinder::new(&netlist, config).run();
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "|V|={} |E|={} A(G)={:.2}  p≈{:.2}  {} candidates from {} seeds",
+        netlist.num_cells(),
+        netlist.num_nets(),
+        result.avg_pins_per_cell,
+        result.avg_rent_exponent,
+        result.num_candidates,
+        config.num_seeds,
+    );
+    let _ = writeln!(out, "{:<5} {:>8} {:>8} {:>9} {:>9}", "gtl", "cells", "cut", "nGTL-S", "GTL-SD");
+    for (i, gtl) in result.gtls.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "{:<5} {:>8} {:>8} {:>9.4} {:>9.4}",
+            i, gtl.stats.size, gtl.stats.cut, gtl.ngtl_score, gtl.gtl_sd
+        );
+    }
+    if result.gtls.is_empty() {
+        let _ = writeln!(out, "(no tangled structures below the threshold)");
+    }
+    Ok(out)
+}
+
+fn cmd_score(args: &[String]) -> Result<String, CliError> {
+    let netlist = load_netlist(want_file(args)?)?;
+    let cells_arg = flag_value(args, "--cells")
+        .ok_or_else(|| CliError::new("score requires --cells id,id,..."))?;
+    let mut cells = Vec::new();
+    for token in cells_arg.split(',') {
+        let id: usize = token
+            .trim()
+            .parse()
+            .map_err(|_| CliError::new(format!("invalid cell id `{token}`")))?;
+        if id >= netlist.num_cells() {
+            return Err(CliError::new(format!(
+                "cell {id} out of range (netlist has {} cells)",
+                netlist.num_cells()
+            )));
+        }
+        cells.push(CellId::new(id));
+    }
+    let rent: f64 = parse_flag(args, "--rent", 0.6f64)?;
+    let set = CellSet::from_cells(netlist.num_cells(), cells.iter().copied());
+    let stats = SubsetStats::compute(&netlist, &set);
+    let ctx = DesignContext::new(&netlist, rent);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "|C|={} T(C)={} pins={} A_C={:.2} (A_G={:.2}, p={rent})",
+        stats.size,
+        stats.cut,
+        stats.pins,
+        stats.avg_pins_per_cell(),
+        ctx.avg_pins_per_cell
+    );
+    let _ = writeln!(out, "GTL-S     = {:.4}", metrics::gtl_score(stats.cut, stats.size, rent));
+    let _ = writeln!(out, "nGTL-S    = {:.4}", metrics::ngtl_score(stats.cut, stats.size, &ctx));
+    let _ = writeln!(
+        out,
+        "GTL-SD    = {:.4}",
+        metrics::gtl_sd_score(stats.cut, stats.size, stats.avg_pins_per_cell(), &ctx)
+    );
+    let _ = writeln!(out, "ratio cut = {:.4}", baseline::ratio_cut(&stats));
+    Ok(out)
+}
+
+fn cmd_curve(args: &[String]) -> Result<String, CliError> {
+    let netlist = load_netlist(want_file(args)?)?;
+    let seed: usize = parse_flag(args, "--seed", 0usize)?;
+    if seed >= netlist.num_cells() {
+        return Err(CliError::new(format!("--seed {seed} out of range")));
+    }
+    let max_order = parse_flag(
+        args,
+        "--max-order",
+        (netlist.num_cells() / 4).clamp(64, 100_000),
+    )?;
+    let growth = GrowthConfig { max_len: max_order, ..GrowthConfig::default() };
+    let ordering = OrderingGrower::new(&netlist, growth).grow(CellId::new(seed));
+    let config = CandidateConfig::default();
+    let ngtl = score_curve(
+        &ordering,
+        netlist.avg_pins_per_cell(),
+        &CandidateConfig { metric: MetricKind::NGtlScore, ..config },
+    );
+    let sd = score_curve(
+        &ordering,
+        netlist.avg_pins_per_cell(),
+        &CandidateConfig { metric: MetricKind::GtlSd, ..config },
+    );
+    let mut out = String::from("size,cut,ngtl_s,gtl_sd\n");
+    for k in 0..ordering.len() {
+        let _ = writeln!(
+            out,
+            "{},{},{},{}",
+            k + 1,
+            ordering.cut_at(k),
+            ngtl.scores[k],
+            sd.scores[k]
+        );
+    }
+    Ok(out)
+}
+
+/// Shared finder setup for `find`, `blocks` and `resynth`.
+fn finder_from_args(netlist: &Netlist, args: &[String]) -> Result<FinderConfig, CliError> {
+    let metric = match flag_value(args, "--metric") {
+        None | Some("sd") => MetricKind::GtlSd,
+        Some("ngtl") => MetricKind::NGtlScore,
+        Some(other) => {
+            return Err(CliError::new(format!("--metric expects ngtl|sd, got `{other}`")))
+        }
+    };
+    Ok(FinderConfig {
+        num_seeds: parse_flag(args, "--seeds", 100usize)?,
+        min_size: parse_flag(args, "--min-size", 30usize)?,
+        max_order_len: parse_flag(
+            args,
+            "--max-order",
+            (netlist.num_cells() / 4).clamp(64, 100_000),
+        )?,
+        accept_threshold: parse_flag(args, "--threshold", 0.9f64)?,
+        rng_seed: parse_flag(args, "--rng", 0xDACu64)?,
+        threads: parse_flag(args, "--threads", 0usize)?,
+        metric,
+        ..FinderConfig::default()
+    })
+}
+
+fn cmd_blocks(args: &[String]) -> Result<String, CliError> {
+    let netlist = load_netlist(want_file(args)?)?;
+    let config = finder_from_args(&netlist, args)?;
+    let whitespace: f64 = parse_flag(args, "--whitespace", 0.3f64)?;
+    let result = TangledLogicFinder::new(&netlist, config).run();
+    if result.gtls.is_empty() {
+        return Ok("(no tangled structures found — nothing to floorplan)\n".into());
+    }
+    let die = gtl_place::Die::for_netlist(&netlist, 0.7);
+    let placement = gtl_place::place(&netlist, &die, &gtl_place::PlacerConfig::default());
+    let gtls: Vec<Vec<CellId>> = result.gtls.iter().map(|g| g.cells.clone()).collect();
+    let blocks = gtl_place::softblock::plan_soft_blocks(
+        &netlist,
+        &placement,
+        &gtls,
+        &die,
+        &gtl_place::softblock::SoftBlockConfig {
+            whitespace,
+            ..gtl_place::softblock::SoftBlockConfig::default()
+        },
+    );
+    let mut out = String::new();
+    let _ = writeln!(out, "die {:.1} × {:.1}; {} soft blocks:", die.width, die.height, gtls.len());
+    let _ = writeln!(out, "{:<6} {:>7} {:>9} {:>24}", "block", "cells", "score", "region (x0,y0)-(x1,y1)");
+    for (i, (gtl, block)) in result.gtls.iter().zip(&blocks).enumerate() {
+        match block {
+            Some(b) => {
+                let _ = writeln!(
+                    out,
+                    "B{:<5} {:>7} {:>9.4} ({:>6.1},{:>6.1})-({:>6.1},{:>6.1})",
+                    i, gtl.stats.size, gtl.score, b.x0, b.y0, b.x1, b.y1
+                );
+            }
+            None => {
+                let _ = writeln!(out, "B{:<5} {:>7} {:>9.4} (does not fit)", i, gtl.stats.size, gtl.score);
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_resynth(args: &[String]) -> Result<String, CliError> {
+    let netlist = load_netlist(want_file(args)?)?;
+    let config = finder_from_args(&netlist, args)?;
+    let max_fanout: usize = parse_flag(args, "--max-fanout", 3usize)?;
+    let result = TangledLogicFinder::new(&netlist, config).run();
+    if result.gtls.is_empty() {
+        return Ok("(no tangled structures found — nothing to resynthesize)\n".into());
+    }
+    let all_cells: Vec<CellId> =
+        result.gtls.iter().flat_map(|g| g.cells.iter().copied()).collect();
+    let (resynth, report) = gtl_synth::resynth::resynthesize(
+        &netlist,
+        &all_cells,
+        &gtl_synth::resynth::ResynthConfig { max_fanout },
+    );
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} GTLs ({} cells); decomposed {} nets, added {} buffers; pins {} → {}",
+        result.gtls.len(),
+        all_cells.len(),
+        report.nets_decomposed,
+        report.buffers_added,
+        report.pins_before,
+        report.pins_after
+    );
+    if let Some(path) = flag_value(args, "--out") {
+        let text = verilog::to_module_string(&resynth, "resynthesized", None);
+        std::fs::write(path, text).map_err(|e| CliError::new(format!("write {path}: {e}")))?;
+        let _ = writeln!(out, "wrote {path}");
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture_path() -> String {
+        // Two 5-cliques joined by one edge, as an .hgr in a temp file.
+        let mut text = String::from("21 10\n");
+        for base in [0, 5] {
+            for i in 0..5 {
+                for j in (i + 1)..5 {
+                    text.push_str(&format!("{} {}\n", base + i + 1, base + j + 1));
+                }
+            }
+        }
+        text.push_str("1 6\n");
+        let dir = std::env::temp_dir().join("gtl_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("two_cliques.hgr");
+        std::fs::write(&path, text).unwrap();
+        path.display().to_string()
+    }
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn stats_command() {
+        let out = run(&argv(&["stats", &fixture_path()])).unwrap();
+        assert!(out.contains("|V|=10"), "{out}");
+        assert!(out.contains("net degree histogram"));
+    }
+
+    #[test]
+    fn find_command_locates_cliques() {
+        let out = run(&argv(&[
+            "find",
+            &fixture_path(),
+            "--seeds",
+            "10",
+            "--min-size",
+            "3",
+            "--max-order",
+            "10",
+        ]))
+        .unwrap();
+        assert!(out.contains("gtl"), "{out}");
+        // At least one 5-cell group reported.
+        assert!(out.lines().any(|l| l.split_whitespace().nth(1) == Some("5")), "{out}");
+    }
+
+    #[test]
+    fn score_command() {
+        let out = run(&argv(&["score", &fixture_path(), "--cells", "0,1,2,3,4"])).unwrap();
+        assert!(out.contains("T(C)=1"), "{out}");
+        assert!(out.contains("nGTL-S"));
+    }
+
+    #[test]
+    fn curve_command_is_csv() {
+        let out = run(&argv(&["curve", &fixture_path(), "--seed", "0"])).unwrap();
+        let mut lines = out.lines();
+        assert_eq!(lines.next(), Some("size,cut,ngtl_s,gtl_sd"));
+        assert!(lines.next().unwrap().starts_with("1,"));
+    }
+
+    #[test]
+    fn help_and_errors() {
+        assert!(run(&argv(&["--help"])).unwrap().contains("USAGE"));
+        assert!(run(&argv(&["bogus"])).is_err());
+        assert!(run(&argv(&[])).is_err());
+        let err = run(&argv(&["score", &fixture_path()])).unwrap_err();
+        assert!(err.message.contains("--cells"));
+        let err = run(&argv(&["score", &fixture_path(), "--cells", "99"])).unwrap_err();
+        assert!(err.message.contains("out of range"));
+    }
+
+    #[test]
+    fn blocks_command_plans_regions() {
+        let out = run(&argv(&[
+            "blocks",
+            &fixture_path(),
+            "--seeds",
+            "10",
+            "--min-size",
+            "3",
+            "--max-order",
+            "10",
+        ]))
+        .unwrap();
+        assert!(out.contains("soft blocks"), "{out}");
+        assert!(out.contains("B0"), "{out}");
+    }
+
+    #[test]
+    fn resynth_command_reports_and_writes() {
+        let dir = std::env::temp_dir().join("gtl_cli_test");
+        let out_v = dir.join("resynth.v");
+        let out = run(&argv(&[
+            "resynth",
+            &fixture_path(),
+            "--seeds",
+            "10",
+            "--min-size",
+            "3",
+            "--max-order",
+            "10",
+            "--max-fanout",
+            "2",
+            "--out",
+            &out_v.display().to_string(),
+        ]))
+        .unwrap();
+        assert!(out.contains("GTLs"), "{out}");
+        let text = std::fs::read_to_string(&out_v).unwrap();
+        assert!(text.starts_with("module resynthesized"));
+    }
+
+    #[test]
+    fn unknown_extension_rejected() {
+        let err = load_netlist("/tmp/whatever.xyz").unwrap_err();
+        assert!(err.message.contains("unsupported"));
+    }
+}

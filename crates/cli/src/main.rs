@@ -1,0 +1,13 @@
+//! `gtl` — command-line tangled-logic finder. See [`gtl_cli`] for the
+//! implementation and `gtl --help` for usage.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match gtl_cli::run(&args) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("gtl: {e}");
+            std::process::exit(e.code);
+        }
+    }
+}

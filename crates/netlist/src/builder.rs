@@ -1,0 +1,245 @@
+//! Incremental construction of [`Netlist`]s.
+
+use crate::{CellId, NetId, Netlist};
+
+/// Builder that accumulates cells and nets and produces a CSR [`Netlist`].
+///
+/// Pins are deduplicated per net: if the same cell is listed twice on one
+/// net (common in raw synthesized netlists where a gate has two input pins
+/// tied to the same signal), it is recorded once. Duplicate *names* are
+/// permitted — netlist formats that require unique names enforce that in
+/// their parsers.
+///
+/// # Example
+///
+/// ```
+/// use gtl_netlist::NetlistBuilder;
+///
+/// let mut b = NetlistBuilder::with_capacity(2, 1);
+/// let x = b.add_cell("x", 1.0);
+/// let y = b.add_cell("y", 1.0);
+/// b.add_net("clk", [x, y, x]); // duplicate pin on x is deduped
+/// let nl = b.finish();
+/// assert_eq!(nl.num_pins(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct NetlistBuilder {
+    cell_names: Vec<String>,
+    cell_areas: Vec<f64>,
+    net_names: Vec<String>,
+    net_offsets: Vec<u32>,
+    net_pins: Vec<CellId>,
+}
+
+impl NetlistBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self { net_offsets: vec![0], ..Self::default() }
+    }
+
+    /// Creates a builder with capacity reserved for `cells` cells and
+    /// `nets` nets.
+    pub fn with_capacity(cells: usize, nets: usize) -> Self {
+        Self {
+            cell_names: Vec::with_capacity(cells),
+            cell_areas: Vec::with_capacity(cells),
+            net_names: Vec::with_capacity(nets),
+            net_offsets: {
+                let mut v = Vec::with_capacity(nets + 1);
+                v.push(0);
+                v
+            },
+            net_pins: Vec::new(),
+        }
+    }
+
+    /// Number of cells added so far.
+    pub fn num_cells(&self) -> usize {
+        self.cell_areas.len()
+    }
+
+    /// Number of nets added so far.
+    pub fn num_nets(&self) -> usize {
+        self.net_offsets.len() - 1
+    }
+
+    /// Adds a named cell with the given area and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `area` is not finite and positive.
+    pub fn add_cell(&mut self, name: impl Into<String>, area: f64) -> CellId {
+        assert!(area.is_finite() && area > 0.0, "cell area must be finite and positive");
+        let id = CellId::new(self.cell_areas.len());
+        self.cell_names.push(name.into());
+        self.cell_areas.push(area);
+        id
+    }
+
+    /// Adds one anonymous cell with the given area.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `area` is not finite and positive.
+    pub fn add_anonymous_cell(&mut self, area: f64) -> CellId {
+        self.add_cell(String::new(), area)
+    }
+
+    /// Adds `count` anonymous unit-area cells and returns the id of the
+    /// first; ids are contiguous.
+    ///
+    /// This is the fast path used by the synthetic-workload generators,
+    /// which create hundreds of thousands of cells.
+    pub fn add_anonymous_cells(&mut self, count: usize) -> CellId {
+        let first = CellId::new(self.cell_areas.len());
+        self.cell_names.resize(self.cell_names.len() + count, String::new());
+        self.cell_areas.resize(self.cell_areas.len() + count, 1.0);
+        first
+    }
+
+    /// Adds a named net connecting `pins` and returns its id.
+    ///
+    /// Duplicate pins are removed; order of first occurrence is kept.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pin references a cell that has not been added.
+    pub fn add_net(
+        &mut self,
+        name: impl Into<String>,
+        pins: impl IntoIterator<Item = CellId>,
+    ) -> NetId {
+        let id = NetId::new(self.net_offsets.len() - 1);
+        let start = self.net_pins.len();
+        for pin in pins {
+            assert!(
+                pin.index() < self.cell_areas.len(),
+                "net pin references cell {pin} but only {} cells exist",
+                self.cell_areas.len()
+            );
+            // Nets are short in practice (and huge nets are rarely duplicated),
+            // so a linear dedup scan beats hashing for the common case.
+            if !self.net_pins[start..].contains(&pin) {
+                self.net_pins.push(pin);
+            }
+        }
+        self.net_offsets.push(self.net_pins.len() as u32);
+        self.net_names.push(name.into());
+        id
+    }
+
+    /// Adds an anonymous net connecting `pins`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pin references a cell that has not been added.
+    pub fn add_anonymous_net(&mut self, pins: impl IntoIterator<Item = CellId>) -> NetId {
+        self.add_net(String::new(), pins)
+    }
+
+    /// Finalizes the builder into an immutable [`Netlist`].
+    ///
+    /// Builds the reverse (cell → nets) CSR direction in `O(pins)`.
+    pub fn finish(self) -> Netlist {
+        let num_cells = self.cell_areas.len();
+        let num_nets = self.net_offsets.len() - 1;
+
+        // Counting sort of pins by cell id to build the reverse CSR.
+        let mut degree = vec![0u32; num_cells];
+        for pin in &self.net_pins {
+            degree[pin.index()] += 1;
+        }
+        let mut cell_offsets = Vec::with_capacity(num_cells + 1);
+        let mut acc = 0u32;
+        cell_offsets.push(0);
+        for d in &degree {
+            acc += d;
+            cell_offsets.push(acc);
+        }
+        let mut cursor: Vec<u32> = cell_offsets[..num_cells].to_vec();
+        let mut cell_pins = vec![NetId::default(); self.net_pins.len()];
+        for net in 0..num_nets {
+            let lo = self.net_offsets[net] as usize;
+            let hi = self.net_offsets[net + 1] as usize;
+            for pin in &self.net_pins[lo..hi] {
+                let slot = cursor[pin.index()];
+                cell_pins[slot as usize] = NetId::new(net);
+                cursor[pin.index()] = slot + 1;
+            }
+        }
+
+        Netlist {
+            cell_names: self.cell_names,
+            net_names: self.net_names,
+            cell_areas: self.cell_areas,
+            net_offsets: self.net_offsets,
+            net_pins: self.net_pins,
+            cell_offsets,
+            cell_pins,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedups_pins() {
+        let mut b = NetlistBuilder::new();
+        let x = b.add_cell("x", 1.0);
+        let y = b.add_cell("y", 1.0);
+        let n = b.add_net("n", [x, y, x, y, x]);
+        let nl = b.finish();
+        assert_eq!(nl.net_cells(n), [x, y]);
+    }
+
+    #[test]
+    fn anonymous_cells_are_contiguous() {
+        let mut b = NetlistBuilder::new();
+        let first = b.add_anonymous_cells(10);
+        assert_eq!(first.index(), 0);
+        assert_eq!(b.num_cells(), 10);
+        let next = b.add_cell("named", 2.0);
+        assert_eq!(next.index(), 10);
+    }
+
+    #[test]
+    fn reverse_csr_is_sorted_by_net() {
+        let mut b = NetlistBuilder::new();
+        let c0 = b.add_anonymous_cells(3);
+        let c1 = CellId::new(1);
+        let c2 = CellId::new(2);
+        b.add_anonymous_net([c0, c1]);
+        b.add_anonymous_net([c1, c2]);
+        b.add_anonymous_net([c0, c2]);
+        let nl = b.finish();
+        assert_eq!(nl.cell_nets(c0), [NetId::new(0), NetId::new(2)]);
+        assert_eq!(nl.cell_nets(c1), [NetId::new(0), NetId::new(1)]);
+        nl.validate().unwrap();
+    }
+
+    #[test]
+    fn empty_net_allowed() {
+        let mut b = NetlistBuilder::new();
+        b.add_anonymous_cells(1);
+        let n = b.add_anonymous_net([]);
+        let nl = b.finish();
+        assert_eq!(nl.net_degree(n), 0);
+        nl.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "references cell")]
+    fn dangling_pin_panics() {
+        let mut b = NetlistBuilder::new();
+        b.add_net("bad", [CellId::new(0)]);
+    }
+
+    #[test]
+    fn capacity_constructor() {
+        let b = NetlistBuilder::with_capacity(100, 50);
+        assert_eq!(b.num_cells(), 0);
+        assert_eq!(b.num_nets(), 0);
+    }
+}

@@ -1,0 +1,157 @@
+//! Error types shared by the netlist parsers and builders.
+
+use std::error::Error;
+use std::fmt;
+
+/// Location information attached to parse errors.
+///
+/// # Example
+///
+/// ```
+/// use gtl_netlist::ParseContext;
+///
+/// let ctx = ParseContext::new("design.nets", 12);
+/// assert_eq!(ctx.to_string(), "design.nets:12");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseContext {
+    file: String,
+    line: usize,
+}
+
+impl ParseContext {
+    /// Creates a context for `file` at 1-based `line`.
+    pub fn new(file: impl Into<String>, line: usize) -> Self {
+        Self { file: file.into(), line }
+    }
+
+    /// File (or stream label) the error occurred in.
+    pub fn file(&self) -> &str {
+        &self.file
+    }
+
+    /// 1-based line number of the error.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for ParseContext {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.file, self.line)
+    }
+}
+
+/// Error type for netlist construction and parsing.
+///
+/// All fallible public functions in this crate return
+/// `Result<_, NetlistError>`.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// An I/O error while reading or writing a netlist file.
+    Io(std::io::Error),
+    /// A syntax error at a known location.
+    Syntax {
+        /// Where the error occurred.
+        context: ParseContext,
+        /// What went wrong.
+        message: String,
+    },
+    /// A reference to a cell name that was never declared.
+    UnknownCell {
+        /// The undeclared name.
+        name: String,
+        /// Where the reference occurred, if known.
+        context: Option<ParseContext>,
+    },
+    /// A cell or net name declared more than once.
+    DuplicateName {
+        /// The duplicated name.
+        name: String,
+    },
+    /// An id out of range for the netlist being built or queried.
+    IndexOutOfBounds {
+        /// Description of the offending index (e.g. `"cell 10 of 5"`).
+        what: String,
+    },
+    /// The input declared one count but supplied another.
+    CountMismatch {
+        /// What was being counted (e.g. `"nets"`).
+        what: String,
+        /// The declared count.
+        declared: usize,
+        /// The count actually found.
+        found: usize,
+    },
+}
+
+impl NetlistError {
+    pub(crate) fn syntax(context: ParseContext, message: impl Into<String>) -> Self {
+        Self::Syntax { context, message: message.into() }
+    }
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "i/o error: {e}"),
+            Self::Syntax { context, message } => write!(f, "{context}: {message}"),
+            Self::UnknownCell { name, context: Some(ctx) } => {
+                write!(f, "{ctx}: unknown cell `{name}`")
+            }
+            Self::UnknownCell { name, context: None } => write!(f, "unknown cell `{name}`"),
+            Self::DuplicateName { name } => write!(f, "duplicate name `{name}`"),
+            Self::IndexOutOfBounds { what } => write!(f, "index out of bounds: {what}"),
+            Self::CountMismatch { what, declared, found } => {
+                write!(f, "{what}: declared {declared} but found {found}")
+            }
+        }
+    }
+}
+
+impl Error for NetlistError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for NetlistError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let ctx = ParseContext::new("a.nets", 3);
+        let err = NetlistError::syntax(ctx, "bad token");
+        assert_eq!(err.to_string(), "a.nets:3: bad token");
+
+        let err = NetlistError::UnknownCell { name: "u42".into(), context: None };
+        assert_eq!(err.to_string(), "unknown cell `u42`");
+
+        let err = NetlistError::CountMismatch { what: "nets".into(), declared: 2, found: 3 };
+        assert_eq!(err.to_string(), "nets: declared 2 but found 3");
+    }
+
+    #[test]
+    fn io_error_preserves_source() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let err = NetlistError::from(io);
+        assert!(err.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetlistError>();
+    }
+}

@@ -1,0 +1,254 @@
+//! hMETIS-style plain hypergraph format (`.hgr`).
+//!
+//! The format is a de-facto interchange standard in partitioning research
+//! and is handy for fixtures: the first non-comment line holds
+//! `<num_nets> <num_cells>`, and each following line lists the 1-based cell
+//! indices of one net. Lines starting with `%` are comments.
+//!
+//! # Example
+//!
+//! ```
+//! use gtl_netlist::hgr;
+//!
+//! let text = "% tiny\n2 3\n1 2\n2 3\n";
+//! let nl = hgr::parse_str(text)?;
+//! assert_eq!(nl.num_cells(), 3);
+//! assert_eq!(nl.num_nets(), 2);
+//! let out = hgr::to_string(&nl);
+//! let again = hgr::parse_str(&out)?;
+//! assert_eq!(again.num_pins(), nl.num_pins());
+//! # Ok::<(), gtl_netlist::NetlistError>(())
+//! ```
+
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+use crate::{CellId, NetlistBuilder, Netlist, NetlistError, ParseContext};
+
+/// Parses a `.hgr` hypergraph from a reader.
+///
+/// A mut reference to a reader can be passed (`&mut reader`) thanks to the
+/// blanket `Read for &mut R` impl.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Syntax`] on malformed numbers or out-of-range
+/// pins, and [`NetlistError::CountMismatch`] if the header count disagrees
+/// with the body.
+pub fn parse<R: Read>(reader: R, label: &str) -> Result<Netlist, NetlistError> {
+    let buf = BufReader::new(reader);
+    let mut lines = buf.lines().enumerate();
+
+    let (header_line_no, header) = loop {
+        match lines.next() {
+            Some((i, line)) => {
+                let line = line?;
+                let trimmed = line.trim();
+                if trimmed.is_empty() || trimmed.starts_with('%') {
+                    continue;
+                }
+                break (i + 1, trimmed.to_string());
+            }
+            None => {
+                return Err(NetlistError::syntax(ParseContext::new(label, 1), "empty hgr file"))
+            }
+        }
+    };
+
+    let mut parts = header.split_whitespace();
+    let num_nets: usize = parse_num(parts.next(), label, header_line_no, "net count")?;
+    let num_cells: usize = parse_num(parts.next(), label, header_line_no, "cell count")?;
+    if let Some(fmt) = parts.next() {
+        if fmt != "0" {
+            return Err(NetlistError::syntax(
+                ParseContext::new(label, header_line_no),
+                format!("weighted hgr format `{fmt}` is not supported"),
+            ));
+        }
+    }
+
+    let mut builder = NetlistBuilder::with_capacity(num_cells, num_nets);
+    builder.add_anonymous_cells(num_cells);
+
+    let mut nets_read = 0usize;
+    for (i, line) in lines {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        if nets_read == num_nets {
+            return Err(NetlistError::CountMismatch {
+                what: "nets".into(),
+                declared: num_nets,
+                found: nets_read + 1,
+            });
+        }
+        let mut pins = Vec::new();
+        for tok in trimmed.split_whitespace() {
+            let idx: usize = parse_num(Some(tok), label, i + 1, "pin")?;
+            if idx == 0 || idx > num_cells {
+                return Err(NetlistError::syntax(
+                    ParseContext::new(label, i + 1),
+                    format!("pin index {idx} out of range 1..={num_cells}"),
+                ));
+            }
+            pins.push(CellId::new(idx - 1));
+        }
+        builder.add_anonymous_net(pins);
+        nets_read += 1;
+    }
+    if nets_read != num_nets {
+        return Err(NetlistError::CountMismatch {
+            what: "nets".into(),
+            declared: num_nets,
+            found: nets_read,
+        });
+    }
+    Ok(builder.finish())
+}
+
+/// Parses a `.hgr` hypergraph from a string.
+///
+/// # Errors
+///
+/// Same as [`parse`].
+pub fn parse_str(text: &str) -> Result<Netlist, NetlistError> {
+    parse(text.as_bytes(), "<string>")
+}
+
+/// Reads a `.hgr` file from disk.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Io`] on I/O failure plus everything [`parse`]
+/// can return.
+pub fn read(path: impl AsRef<Path>) -> Result<Netlist, NetlistError> {
+    let path = path.as_ref();
+    let file = std::fs::File::open(path)?;
+    parse(file, &path.display().to_string())
+}
+
+/// Serializes a netlist to `.hgr` text.
+///
+/// Cell names and areas are not representable in this format and are
+/// dropped; a round-trip preserves only connectivity.
+pub fn to_string(netlist: &Netlist) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{} {}", netlist.num_nets(), netlist.num_cells());
+    for net in netlist.nets() {
+        let mut first = true;
+        for &cell in netlist.net_cells(net) {
+            if !first {
+                out.push(' ');
+            }
+            let _ = write!(out, "{}", cell.index() + 1);
+            first = false;
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes a netlist as `.hgr` to disk.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Io`] on I/O failure.
+pub fn write(netlist: &Netlist, path: impl AsRef<Path>) -> Result<(), NetlistError> {
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(to_string(netlist).as_bytes())?;
+    Ok(())
+}
+
+fn parse_num(
+    tok: Option<&str>,
+    label: &str,
+    line: usize,
+    what: &str,
+) -> Result<usize, NetlistError> {
+    let tok = tok.ok_or_else(|| {
+        NetlistError::syntax(ParseContext::new(label, line), format!("missing {what}"))
+    })?;
+    tok.parse().map_err(|_| {
+        NetlistError::syntax(ParseContext::new(label, line), format!("invalid {what} `{tok}`"))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple() {
+        let nl = parse_str("3 4\n1 2\n2 3 4\n1 4\n").unwrap();
+        assert_eq!(nl.num_cells(), 4);
+        assert_eq!(nl.num_nets(), 3);
+        assert_eq!(nl.num_pins(), 7);
+        nl.validate().unwrap();
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let nl = parse_str("% header\n\n2 2\n% net one\n1 2\n\n1 2\n").unwrap();
+        assert_eq!(nl.num_nets(), 2);
+    }
+
+    #[test]
+    fn count_mismatch_too_few() {
+        let err = parse_str("2 2\n1 2\n").unwrap_err();
+        assert!(matches!(err, NetlistError::CountMismatch { declared: 2, found: 1, .. }));
+    }
+
+    #[test]
+    fn count_mismatch_too_many() {
+        let err = parse_str("1 2\n1 2\n1 2\n").unwrap_err();
+        assert!(matches!(err, NetlistError::CountMismatch { .. }));
+    }
+
+    #[test]
+    fn out_of_range_pin() {
+        let err = parse_str("1 2\n1 3\n").unwrap_err();
+        assert!(err.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn zero_pin_rejected() {
+        let err = parse_str("1 2\n0 1\n").unwrap_err();
+        assert!(err.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn empty_file_rejected() {
+        assert!(parse_str("").is_err());
+        assert!(parse_str("% only comments\n").is_err());
+    }
+
+    #[test]
+    fn weighted_format_rejected() {
+        let err = parse_str("1 2 11\n1 2\n").unwrap_err();
+        assert!(err.to_string().contains("not supported"));
+    }
+
+    #[test]
+    fn roundtrip() {
+        let nl = parse_str("2 3\n1 2 3\n2 3\n").unwrap();
+        let text = to_string(&nl);
+        let again = parse_str(&text).unwrap();
+        assert_eq!(again.num_cells(), nl.num_cells());
+        assert_eq!(again.num_nets(), nl.num_nets());
+        assert_eq!(again.num_pins(), nl.num_pins());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("gtl_hgr_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.hgr");
+        let nl = parse_str("1 2\n1 2\n").unwrap();
+        write(&nl, &path).unwrap();
+        let again = read(&path).unwrap();
+        assert_eq!(again.num_nets(), 1);
+    }
+}

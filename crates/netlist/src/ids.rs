@@ -1,0 +1,136 @@
+//! Strongly typed indices for cells and nets.
+
+use std::fmt;
+
+/// Index of a cell (logic gate, macro, or pad) in a [`Netlist`].
+///
+/// `CellId` is a dense index: a netlist with `n` cells uses ids `0..n`.
+/// The newtype prevents accidentally mixing cell and net indices.
+///
+/// [`Netlist`]: crate::Netlist
+///
+/// # Example
+///
+/// ```
+/// use gtl_netlist::CellId;
+///
+/// let id = CellId::new(7);
+/// assert_eq!(id.index(), 7);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CellId(u32);
+
+/// Index of a net (hyperedge) in a [`Netlist`].
+///
+/// Like [`CellId`], this is a dense index in `0..num_nets`.
+///
+/// [`Netlist`]: crate::Netlist
+///
+/// # Example
+///
+/// ```
+/// use gtl_netlist::NetId;
+///
+/// let id = NetId::new(3);
+/// assert_eq!(id.index(), 3);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct NetId(u32);
+
+macro_rules! impl_id {
+    ($ty:ident, $tag:literal) => {
+        impl $ty {
+            /// Creates an id from a raw index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index` does not fit in `u32`.
+            #[inline]
+            pub fn new(index: usize) -> Self {
+                Self(u32::try_from(index).expect(concat!($tag, " index overflows u32")))
+            }
+
+            /// Returns the raw index as `usize`.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Returns the raw index as `u32`.
+            #[inline]
+            pub fn raw(self) -> u32 {
+                self.0
+            }
+        }
+
+        impl From<u32> for $ty {
+            #[inline]
+            fn from(raw: u32) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl From<$ty> for u32 {
+            #[inline]
+            fn from(id: $ty) -> u32 {
+                id.0
+            }
+        }
+
+        impl fmt::Debug for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+    };
+}
+
+impl_id!(CellId, "c");
+impl_id!(NetId, "n");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_id_roundtrip() {
+        let id = CellId::new(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id.raw(), 42);
+        assert_eq!(CellId::from(42u32), id);
+        assert_eq!(u32::from(id), 42);
+    }
+
+    #[test]
+    fn net_id_roundtrip() {
+        let id = NetId::new(9);
+        assert_eq!(id.index(), 9);
+        assert_eq!(NetId::from(9u32), id);
+    }
+
+    #[test]
+    fn ids_format_with_tag() {
+        assert_eq!(format!("{}", CellId::new(3)), "c3");
+        assert_eq!(format!("{:?}", NetId::new(5)), "n5");
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(CellId::new(1) < CellId::new(2));
+        assert!(NetId::new(0) < NetId::new(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    fn cell_id_overflow_panics() {
+        let _ = CellId::new(usize::MAX);
+    }
+}

@@ -1,0 +1,193 @@
+//! Whole-design statistics.
+
+use crate::Netlist;
+
+/// Histogram of degrees (cell pin counts or net cardinalities).
+///
+/// # Example
+///
+/// ```
+/// use gtl_netlist::DegreeHistogram;
+///
+/// let h = DegreeHistogram::from_degrees([2, 2, 3, 5]);
+/// assert_eq!(h.count(2), 2);
+/// assert_eq!(h.max_degree(), 5);
+/// assert!((h.mean() - 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DegreeHistogram {
+    counts: Vec<usize>,
+    total: usize,
+    sum: usize,
+}
+
+impl DegreeHistogram {
+    /// Builds a histogram from an iterator of degrees.
+    pub fn from_degrees(degrees: impl IntoIterator<Item = usize>) -> Self {
+        let mut h = Self::default();
+        for d in degrees {
+            if d >= h.counts.len() {
+                h.counts.resize(d + 1, 0);
+            }
+            h.counts[d] += 1;
+            h.total += 1;
+            h.sum += d;
+        }
+        h
+    }
+
+    /// Number of items with exactly `degree`.
+    pub fn count(&self, degree: usize) -> usize {
+        self.counts.get(degree).copied().unwrap_or(0)
+    }
+
+    /// Largest degree observed (0 when empty).
+    pub fn max_degree(&self) -> usize {
+        self.counts.iter().rposition(|&c| c > 0).unwrap_or(0)
+    }
+
+    /// Number of items recorded.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Mean degree (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Iterator over `(degree, count)` pairs with non-zero count.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.counts.iter().enumerate().filter(|(_, &c)| c > 0).map(|(d, &c)| (d, c))
+    }
+}
+
+/// Summary statistics of a whole design.
+///
+/// Gathers the global quantities the GTL metrics depend on — most
+/// importantly the average pin count `A(G)` that normalizes the
+/// `nGTL-Score` — plus degree distributions used by the synthetic workload
+/// generators to match published benchmark shapes.
+///
+/// # Example
+///
+/// ```
+/// use gtl_netlist::{NetlistBuilder, NetlistStats};
+///
+/// let mut b = NetlistBuilder::new();
+/// let x = b.add_cell("x", 1.0);
+/// let y = b.add_cell("y", 1.0);
+/// b.add_net("n", [x, y]);
+/// let nl = b.finish();
+/// let stats = NetlistStats::compute(&nl);
+/// assert_eq!(stats.num_cells, 2);
+/// assert!((stats.avg_pins_per_cell - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct NetlistStats {
+    /// Number of cells, `|V|`.
+    pub num_cells: usize,
+    /// Number of nets, `|E|`.
+    pub num_nets: usize,
+    /// Total pins.
+    pub num_pins: usize,
+    /// Average pins per cell, `A(G)`.
+    pub avg_pins_per_cell: f64,
+    /// Average net cardinality.
+    pub avg_net_degree: f64,
+    /// Distribution of cell degrees.
+    pub cell_degrees: DegreeHistogram,
+    /// Distribution of net cardinalities.
+    pub net_degrees: DegreeHistogram,
+    /// Total cell area.
+    pub total_area: f64,
+}
+
+impl NetlistStats {
+    /// Computes the statistics of `netlist` in `O(cells + nets)`.
+    pub fn compute(netlist: &Netlist) -> Self {
+        let cell_degrees =
+            DegreeHistogram::from_degrees(netlist.cells().map(|c| netlist.cell_degree(c)));
+        let net_degrees =
+            DegreeHistogram::from_degrees(netlist.nets().map(|n| netlist.net_degree(n)));
+        Self {
+            num_cells: netlist.num_cells(),
+            num_nets: netlist.num_nets(),
+            num_pins: netlist.num_pins(),
+            avg_pins_per_cell: netlist.avg_pins_per_cell(),
+            avg_net_degree: net_degrees.mean(),
+            cell_degrees,
+            net_degrees,
+            total_area: netlist.total_cell_area(),
+        }
+    }
+}
+
+impl std::fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "|V|={} |E|={} pins={} A(G)={:.3} avg|e|={:.3} area={:.1}",
+            self.num_cells,
+            self.num_nets,
+            self.num_pins,
+            self.avg_pins_per_cell,
+            self.avg_net_degree,
+            self.total_area
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetlistBuilder;
+
+    #[test]
+    fn histogram_basics() {
+        let h = DegreeHistogram::from_degrees([1, 1, 1, 4]);
+        assert_eq!(h.count(1), 3);
+        assert_eq!(h.count(4), 1);
+        assert_eq!(h.count(2), 0);
+        assert_eq!(h.count(99), 0);
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.max_degree(), 4);
+        assert!((h.mean() - 1.75).abs() < 1e-12);
+        let pairs: Vec<_> = h.iter().collect();
+        assert_eq!(pairs, [(1, 3), (4, 1)]);
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = DegreeHistogram::from_degrees([]);
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.max_degree(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn stats_of_small_design() {
+        let mut b = NetlistBuilder::new();
+        let c = b.add_anonymous_cells(3);
+        b.add_anonymous_net([c, crate::CellId::new(1)]);
+        b.add_anonymous_net([c, crate::CellId::new(1), crate::CellId::new(2)]);
+        let nl = b.finish();
+        let s = NetlistStats::compute(&nl);
+        assert_eq!(s.num_cells, 3);
+        assert_eq!(s.num_nets, 2);
+        assert_eq!(s.num_pins, 5);
+        assert!((s.avg_pins_per_cell - 5.0 / 3.0).abs() < 1e-12);
+        assert!((s.avg_net_degree - 2.5).abs() < 1e-12);
+        assert_eq!(s.net_degrees.count(2), 1);
+        assert_eq!(s.net_degrees.count(3), 1);
+        assert!((s.total_area - 3.0).abs() < 1e-12);
+        let text = s.to_string();
+        assert!(text.contains("|V|=3"));
+    }
+}

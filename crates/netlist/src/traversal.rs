@@ -1,0 +1,255 @@
+//! Hypergraph traversal utilities: BFS distances, connected components,
+//! and neighborhood expansion.
+//!
+//! Cells are adjacent when they share a net. These helpers back the
+//! degree/separation baseline metric, the (K,L)-connectivity checks, and
+//! several generators/tests that need to reason about reachability.
+
+use std::collections::VecDeque;
+
+use crate::{CellId, CellSet, Netlist};
+
+/// Connected components of the cell-adjacency graph.
+///
+/// # Example
+///
+/// ```
+/// use gtl_netlist::{traversal, NetlistBuilder};
+///
+/// let mut b = NetlistBuilder::new();
+/// let a = b.add_cell("a", 1.0);
+/// let c = b.add_cell("b", 1.0);
+/// b.add_cell("loner", 1.0);
+/// b.add_net("n", [a, c]);
+/// let nl = b.finish();
+/// let comps = traversal::connected_components(&nl);
+/// assert_eq!(comps.num_components(), 2);
+/// assert_eq!(comps.component_of(a), comps.component_of(c));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Components {
+    labels: Vec<u32>,
+    sizes: Vec<usize>,
+}
+
+impl Components {
+    /// Number of connected components.
+    pub fn num_components(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Component index of `cell` (dense ids `0..num_components`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is out of bounds.
+    pub fn component_of(&self, cell: CellId) -> usize {
+        self.labels[cell.index()] as usize
+    }
+
+    /// Number of cells in component `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn component_size(&self, index: usize) -> usize {
+        self.sizes[index]
+    }
+
+    /// Size of the largest component (0 for an empty netlist).
+    pub fn largest(&self) -> usize {
+        self.sizes.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Labels every cell with its connected component in `O(pins)`.
+pub fn connected_components(netlist: &Netlist) -> Components {
+    let n = netlist.num_cells();
+    let mut labels = vec![u32::MAX; n];
+    let mut sizes = Vec::new();
+    let mut queue = VecDeque::new();
+    for start in netlist.cells() {
+        if labels[start.index()] != u32::MAX {
+            continue;
+        }
+        let comp = sizes.len() as u32;
+        let mut size = 0usize;
+        labels[start.index()] = comp;
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            size += 1;
+            for &net in netlist.cell_nets(u) {
+                for &v in netlist.net_cells(net) {
+                    if labels[v.index()] == u32::MAX {
+                        labels[v.index()] = comp;
+                        queue.push_back(v);
+                    }
+                }
+            }
+        }
+        sizes.push(size);
+    }
+    Components { labels, sizes }
+}
+
+/// BFS hop distances from `source` to every cell (`u32::MAX` =
+/// unreachable). One hop = one shared net.
+///
+/// # Panics
+///
+/// Panics if `source` is out of bounds.
+pub fn bfs_distances(netlist: &Netlist, source: CellId) -> Vec<u32> {
+    let mut dist = vec![u32::MAX; netlist.num_cells()];
+    dist[source.index()] = 0;
+    let mut queue = VecDeque::new();
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let d = dist[u.index()];
+        for &net in netlist.cell_nets(u) {
+            for &v in netlist.net_cells(net) {
+                if dist[v.index()] == u32::MAX {
+                    dist[v.index()] = d + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    dist
+}
+
+/// All cells within `radius` hops of `source` (including the source),
+/// as a [`CellSet`] — the "logical neighborhood" used when expanding
+/// candidate regions.
+///
+/// # Panics
+///
+/// Panics if `source` is out of bounds.
+pub fn neighborhood(netlist: &Netlist, source: CellId, radius: u32) -> CellSet {
+    let mut set = CellSet::new(netlist.num_cells());
+    let mut dist = vec![u32::MAX; netlist.num_cells()];
+    dist[source.index()] = 0;
+    set.insert(source);
+    let mut queue = VecDeque::new();
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let d = dist[u.index()];
+        if d == radius {
+            continue;
+        }
+        for &net in netlist.cell_nets(u) {
+            for &v in netlist.net_cells(net) {
+                if dist[v.index()] == u32::MAX {
+                    dist[v.index()] = d + 1;
+                    set.insert(v);
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    set
+}
+
+/// Whether the subgraph induced by `cells` is connected (cells connected
+/// through nets whose pins may include outside cells still count as
+/// adjacent only if both endpoints are in `cells`).
+///
+/// Returns `true` for empty or singleton sets.
+pub fn is_subset_connected(netlist: &Netlist, cells: &CellSet) -> bool {
+    let Some(start) = cells.iter().next() else { return true };
+    let mut seen = CellSet::new(netlist.num_cells());
+    seen.insert(start);
+    let mut queue = VecDeque::new();
+    queue.push_back(start);
+    let mut count = 1usize;
+    while let Some(u) = queue.pop_front() {
+        for &net in netlist.cell_nets(u) {
+            for &v in netlist.net_cells(net) {
+                if cells.contains(v) && seen.insert(v) {
+                    count += 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    count == cells.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetlistBuilder;
+
+    /// Two triangles and an isolated cell.
+    fn fixture() -> (Netlist, Vec<CellId>) {
+        let mut b = NetlistBuilder::new();
+        let cells: Vec<_> = (0..7).map(|i| b.add_cell(format!("c{i}"), 1.0)).collect();
+        for base in [0, 3] {
+            b.add_anonymous_net([cells[base], cells[base + 1]]);
+            b.add_anonymous_net([cells[base + 1], cells[base + 2]]);
+            b.add_anonymous_net([cells[base], cells[base + 2]]);
+        }
+        (b.finish(), cells)
+    }
+
+    #[test]
+    fn components_found() {
+        let (nl, cells) = fixture();
+        let comps = connected_components(&nl);
+        assert_eq!(comps.num_components(), 3);
+        assert_eq!(comps.component_of(cells[0]), comps.component_of(cells[2]));
+        assert_ne!(comps.component_of(cells[0]), comps.component_of(cells[3]));
+        assert_eq!(comps.largest(), 3);
+        assert_eq!(comps.component_size(comps.component_of(cells[6])), 1);
+    }
+
+    #[test]
+    fn bfs_distances_on_chain() {
+        let mut b = NetlistBuilder::new();
+        let cells: Vec<_> = (0..5).map(|i| b.add_cell(format!("c{i}"), 1.0)).collect();
+        for w in cells.windows(2) {
+            b.add_anonymous_net([w[0], w[1]]);
+        }
+        let nl = b.finish();
+        let d = bfs_distances(&nl, cells[0]);
+        assert_eq!(d, [0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn bfs_unreachable() {
+        let (nl, cells) = fixture();
+        let d = bfs_distances(&nl, cells[0]);
+        assert_eq!(d[cells[6].index()], u32::MAX);
+        assert_eq!(d[cells[1].index()], 1);
+    }
+
+    #[test]
+    fn neighborhood_radius() {
+        let mut b = NetlistBuilder::new();
+        let cells: Vec<_> = (0..6).map(|i| b.add_cell(format!("c{i}"), 1.0)).collect();
+        for w in cells.windows(2) {
+            b.add_anonymous_net([w[0], w[1]]);
+        }
+        let nl = b.finish();
+        let hood = neighborhood(&nl, cells[0], 2);
+        assert_eq!(hood.len(), 3); // c0, c1, c2
+        assert!(hood.contains(cells[2]));
+        assert!(!hood.contains(cells[3]));
+        let zero = neighborhood(&nl, cells[0], 0);
+        assert_eq!(zero.len(), 1);
+    }
+
+    #[test]
+    fn subset_connectivity() {
+        let (nl, cells) = fixture();
+        let connected = CellSet::from_cells(nl.num_cells(), cells[0..3].iter().copied());
+        assert!(is_subset_connected(&nl, &connected));
+        // First triangle + isolated cell: disconnected as a subset.
+        let mut broken = connected.clone();
+        broken.insert(cells[6]);
+        assert!(!is_subset_connected(&nl, &broken));
+        // Two cells from different triangles.
+        let split = CellSet::from_cells(nl.num_cells(), [cells[0], cells[4]]);
+        assert!(!is_subset_connected(&nl, &split));
+        assert!(is_subset_connected(&nl, &CellSet::new(nl.num_cells())));
+    }
+}

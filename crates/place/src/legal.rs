@@ -1,0 +1,218 @@
+//! Tetris row legalization.
+//!
+//! Snaps a global placement onto standard-cell rows with no overlaps:
+//! cells are processed left-to-right and each is dropped into the row
+//! (near its global y) that minimizes displacement, at the first free x
+//! after that row's current cursor — the classic "Tetris" greedy of
+//! Hill's patent, as used by countless academic placers.
+
+use gtl_netlist::{CellId, Netlist};
+
+use crate::{Die, Placement};
+
+/// Result of legalization.
+#[derive(Debug, Clone)]
+pub struct LegalizedPlacement {
+    /// The legal positions (x = cell left edge, y = row bottom).
+    pub placement: Placement,
+    /// Row index assigned to each cell.
+    pub row_of: Vec<u32>,
+    /// Total displacement from the global placement.
+    pub total_displacement: f64,
+    /// Cells that did not fit in any row and were clamped to the die edge.
+    pub overflowed: usize,
+}
+
+/// Legalizes `global` onto the rows of `die`.
+///
+/// Cell widths are taken as `area / row_height` (one-row-tall standard
+/// cells — macros are not handled separately).
+///
+/// # Panics
+///
+/// Panics if the placement does not cover the netlist or the die has no
+/// rows.
+///
+/// # Example
+///
+/// ```
+/// use gtl_netlist::NetlistBuilder;
+/// use gtl_place::{legal, Die, Placement};
+///
+/// let mut b = NetlistBuilder::new();
+/// b.add_cell("a", 1.0);
+/// b.add_cell("b", 1.0);
+/// let nl = b.finish();
+/// let die = Die { width: 4.0, height: 2.0, rows: 2 };
+/// // Both cells stacked at the same point: legalization separates them.
+/// let global = Placement::from_coords(vec![1.0, 1.0], vec![1.0, 1.0]);
+/// let legal = legal::legalize(&nl, &global, &die);
+/// let (x0, y0) = legal.placement.position(gtl_netlist::CellId::new(0));
+/// let (x1, y1) = legal.placement.position(gtl_netlist::CellId::new(1));
+/// assert!((x0, y0) != (x1, y1));
+/// assert_eq!(legal.overflowed, 0);
+/// ```
+pub fn legalize(netlist: &Netlist, global: &Placement, die: &Die) -> LegalizedPlacement {
+    assert!(global.len() >= netlist.num_cells(), "placement smaller than netlist");
+    assert!(die.rows > 0, "die needs at least one row");
+    let row_h = die.row_height();
+    let n = netlist.num_cells();
+
+    // Sort cells by global x (stable on id for determinism).
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_by(|&a, &b| {
+        global.xs()[a as usize]
+            .total_cmp(&global.xs()[b as usize])
+            .then(a.cmp(&b))
+    });
+
+    let mut cursor = vec![0.0f64; die.rows]; // next free x per row
+    let mut xs = vec![0.0f64; n];
+    let mut ys = vec![0.0f64; n];
+    let mut row_of = vec![0u32; n];
+    let mut total_disp = 0.0;
+    let mut overflowed = 0usize;
+
+    for raw in order {
+        let cell = CellId::from(raw);
+        let (gx, gy) = global.position(cell);
+        let width = (netlist.cell_area(cell) / row_h).max(f64::MIN_POSITIVE);
+        let ideal_row = ((gy / row_h) as usize).min(die.rows - 1);
+
+        // Scan rows outward from the ideal one; take the cheapest fit.
+        let mut best: Option<(f64, usize, f64)> = None; // (cost, row, x)
+        for delta in 0..die.rows {
+            let mut candidates = [ideal_row as isize - delta as isize, ideal_row as isize + delta as isize];
+            if delta == 0 {
+                candidates[1] = isize::MIN; // dedupe
+            }
+            for r in candidates {
+                if r < 0 || r as usize >= die.rows || r == isize::MIN {
+                    continue;
+                }
+                let r = r as usize;
+                let x = cursor[r].max(gx.min(die.width - width));
+                if x + width > die.width + 1e-9 {
+                    continue; // row full at/after this x
+                }
+                let cost = (x - gx).abs() + (r as f64 * row_h - gy).abs();
+                if best.is_none_or(|(c, _, _)| cost < c) {
+                    best = Some((cost, r, x));
+                }
+            }
+            // Row distance alone already exceeds the best cost — stop early.
+            if let Some((c, _, _)) = best {
+                if delta as f64 * row_h > c {
+                    break;
+                }
+            }
+        }
+
+        let (cost, row, x) = match best {
+            Some(b) => b,
+            None => {
+                // Nothing fits; clamp into the least-loaded row.
+                overflowed += 1;
+                let r = (0..die.rows).min_by(|&a, &b| cursor[a].total_cmp(&cursor[b])).unwrap();
+                let x = cursor[r].min(die.width - width);
+                ((x - gx).abs(), r, x)
+            }
+        };
+        xs[cell.index()] = x;
+        ys[cell.index()] = row as f64 * row_h;
+        row_of[cell.index()] = row as u32;
+        cursor[row] = x + width;
+        total_disp += cost;
+    }
+
+    LegalizedPlacement {
+        placement: Placement::from_coords(xs, ys),
+        row_of,
+        total_displacement: total_disp,
+        overflowed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtl_netlist::NetlistBuilder;
+
+    fn unit_cells(n: usize) -> Netlist {
+        let mut b = NetlistBuilder::new();
+        b.add_anonymous_cells(n);
+        b.finish()
+    }
+
+    #[test]
+    fn no_overlaps_within_rows() {
+        let n = 60;
+        let nl = unit_cells(n);
+        let die = Die { width: 20.0, height: 10.0, rows: 10 };
+        // Random-ish pile-up.
+        let xs: Vec<f64> = (0..n).map(|i| (i % 5) as f64).collect();
+        let ys: Vec<f64> = (0..n).map(|i| ((i * 7) % 10) as f64).collect();
+        let legal = legalize(&nl, &Placement::from_coords(xs, ys), &die);
+        assert_eq!(legal.overflowed, 0);
+        // Group by row and check pairwise intervals.
+        let row_h = die.row_height();
+        let mut per_row: Vec<Vec<(f64, f64)>> = vec![Vec::new(); die.rows];
+        for c in nl.cells() {
+            let (x, _) = legal.placement.position(c);
+            let w = nl.cell_area(c) / row_h;
+            per_row[legal.row_of[c.index()] as usize].push((x, x + w));
+        }
+        for intervals in &mut per_row {
+            intervals.sort_by(|a, b| a.0.total_cmp(&b.0));
+            for pair in intervals.windows(2) {
+                assert!(pair[0].1 <= pair[1].0 + 1e-9, "overlap {pair:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn cells_stay_in_die() {
+        let n = 40;
+        let nl = unit_cells(n);
+        let die = Die { width: 10.0, height: 8.0, rows: 8 };
+        let xs = vec![9.9; n];
+        let ys = vec![7.9; n];
+        let legal = legalize(&nl, &Placement::from_coords(xs, ys), &die);
+        for c in nl.cells() {
+            let (x, y) = legal.placement.position(c);
+            assert!(x >= -1e-9 && x <= die.width && y >= 0.0 && y < die.height);
+        }
+    }
+
+    #[test]
+    fn displacement_small_for_already_legal_input() {
+        let nl = unit_cells(4);
+        let die = Die { width: 10.0, height: 4.0, rows: 4 };
+        let xs = vec![0.0, 2.0, 4.0, 6.0];
+        let ys = vec![0.0, 1.0, 2.0, 3.0];
+        let legal = legalize(&nl, &Placement::from_coords(xs, ys), &die);
+        assert!(legal.total_displacement < 1e-9, "disp {}", legal.total_displacement);
+    }
+
+    #[test]
+    fn overflow_counted_when_die_too_small() {
+        let nl = unit_cells(100);
+        // Total area 100 in a die of 16 area units: must overflow.
+        let die = Die { width: 4.0, height: 4.0, rows: 4 };
+        let legal = legalize(&nl, &Placement::from_coords(vec![0.0; 100], vec![0.0; 100]), &die);
+        assert!(legal.overflowed > 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let nl = unit_cells(30);
+        let die = Die { width: 10.0, height: 6.0, rows: 6 };
+        let p = Placement::from_coords(
+            (0..30).map(|i| (i % 7) as f64).collect(),
+            (0..30).map(|i| (i % 5) as f64).collect(),
+        );
+        let a = legalize(&nl, &p, &die);
+        let b = legalize(&nl, &p, &die);
+        assert_eq!(a.placement, b.placement);
+    }
+}

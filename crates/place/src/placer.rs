@@ -1,0 +1,272 @@
+//! The top-level anchored quadratic placer.
+
+use gtl_netlist::{CellId, Netlist};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::quadratic::Laplacian;
+use crate::spread::{spread, SpreadConfig};
+use crate::Die;
+
+/// Cell positions, indexed by [`CellId`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Placement {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+}
+
+impl Placement {
+    /// Builds a placement from coordinate vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors' lengths differ.
+    pub fn from_coords(xs: Vec<f64>, ys: Vec<f64>) -> Self {
+        assert_eq!(xs.len(), ys.len(), "coordinate vectors must match");
+        Self { xs, ys }
+    }
+
+    /// Number of placed cells.
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Whether the placement is empty.
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// Position of `cell`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is out of bounds.
+    #[inline]
+    pub fn position(&self, cell: CellId) -> (f64, f64) {
+        (self.xs[cell.index()], self.ys[cell.index()])
+    }
+
+    /// Overwrites the position of `cell`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is out of bounds.
+    #[inline]
+    pub fn set_position(&mut self, cell: CellId, x: f64, y: f64) {
+        self.xs[cell.index()] = x;
+        self.ys[cell.index()] = y;
+    }
+
+    /// All x coordinates.
+    pub fn xs(&self) -> &[f64] {
+        &self.xs
+    }
+
+    /// All y coordinates.
+    pub fn ys(&self) -> &[f64] {
+        &self.ys
+    }
+}
+
+/// Configuration of the global placer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlacerConfig {
+    /// Solve/spread iterations.
+    pub iterations: usize,
+    /// Initial anchor weight α (grows geometrically each iteration).
+    pub anchor_start: f64,
+    /// Multiplier applied to α per iteration.
+    pub anchor_growth: f64,
+    /// CG tolerance.
+    pub tolerance: f64,
+    /// CG iteration cap per solve.
+    pub max_cg_iterations: usize,
+    /// Anchor boost applied in the epilogue solve (the final spread is
+    /// re-solved with `α × anchor_final_boost` so density wins at the end
+    /// while connected groups stay locally tight).
+    pub anchor_final_boost: f64,
+    /// Spreading parameters.
+    pub spread: SpreadConfig,
+    /// Seed for the initial random placement.
+    pub seed: u64,
+}
+
+impl Default for PlacerConfig {
+    fn default() -> Self {
+        Self {
+            iterations: 10,
+            anchor_start: 0.02,
+            anchor_growth: 1.6,
+            tolerance: 1e-6,
+            max_cg_iterations: 300,
+            anchor_final_boost: 30.0,
+            spread: SpreadConfig::default(),
+            seed: 0x91ace,
+        }
+    }
+}
+
+/// Places `netlist` on `die` with anchored quadratic iterations
+/// (SimPL-style): solve `(L + αI)x = α·x_spread`, spread the result, grow
+/// α, repeat. Highly connected groups stay clustered (which is exactly how
+/// GTLs turn into hotspots); spreading keeps densities bounded.
+///
+/// The result is a *global* placement; run
+/// [`legal::legalize`](crate::legal::legalize) for row-snapped positions.
+///
+/// # Panics
+///
+/// Panics if the netlist has no cells.
+pub fn place(netlist: &Netlist, die: &Die, config: &PlacerConfig) -> Placement {
+    assert!(netlist.num_cells() > 0, "cannot place an empty netlist");
+    let n = netlist.num_cells();
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+
+    // Initial positions: uniform random.
+    let mut xs: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..die.width)).collect();
+    let mut ys: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..die.height)).collect();
+
+    let lap = Laplacian::build(netlist);
+    let mut alpha = config.anchor_start;
+
+    for _ in 0..config.iterations {
+        // Spread current positions to produce anchor targets.
+        let spread_p = spread(
+            netlist,
+            &Placement::from_coords(xs.clone(), ys.clone()),
+            die,
+            &config.spread,
+        );
+
+        let anchor = vec![alpha; n];
+        let rhs_x: Vec<f64> = spread_p.xs().iter().map(|&t| alpha * t).collect();
+        let rhs_y: Vec<f64> = spread_p.ys().iter().map(|&t| alpha * t).collect();
+        let (nx, _) =
+            lap.solve_anchored(&anchor, &rhs_x, &xs, config.tolerance, config.max_cg_iterations);
+        let (ny, _) =
+            lap.solve_anchored(&anchor, &rhs_y, &ys, config.tolerance, config.max_cg_iterations);
+        xs = nx;
+        ys = ny;
+        for i in 0..n {
+            let (cx, cy) = die.clamp(xs[i], ys[i]);
+            xs[i] = cx;
+            ys[i] = cy;
+        }
+        alpha *= config.anchor_growth;
+    }
+
+    // Epilogue: spread once more, then re-solve with a strongly boosted
+    // anchor. Density wins globally (dense groups stay where spreading put
+    // them instead of re-collapsing onto the die center), while connected
+    // groups remain locally tight — the clustering-versus-congestion
+    // trade-off the tangled-logic experiments study.
+    let spread_p =
+        spread(netlist, &Placement::from_coords(xs.clone(), ys.clone()), die, &config.spread);
+    let alpha_final = alpha * config.anchor_final_boost;
+    let anchor = vec![alpha_final; n];
+    let rhs_x: Vec<f64> = spread_p.xs().iter().map(|&t| alpha_final * t).collect();
+    let rhs_y: Vec<f64> = spread_p.ys().iter().map(|&t| alpha_final * t).collect();
+    let (mut fx, _) =
+        lap.solve_anchored(&anchor, &rhs_x, &xs, config.tolerance, config.max_cg_iterations);
+    let (mut fy, _) =
+        lap.solve_anchored(&anchor, &rhs_y, &ys, config.tolerance, config.max_cg_iterations);
+    for i in 0..n {
+        let (cx, cy) = die.clamp(fx[i], fy[i]);
+        fx[i] = cx;
+        fy[i] = cy;
+    }
+    Placement::from_coords(fx, fy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hpwl;
+    use gtl_netlist::NetlistBuilder;
+
+    /// Two 12-cell cliques plus sparse filler.
+    fn clustered_netlist() -> Netlist {
+        let mut b = NetlistBuilder::new();
+        let cells: Vec<_> = (0..200).map(|i| b.add_cell(format!("c{i}"), 1.0)).collect();
+        for base in [0usize, 12] {
+            for i in 0..12 {
+                for j in (i + 1)..12 {
+                    b.add_anonymous_net([cells[base + i], cells[base + j]]);
+                }
+            }
+        }
+        for i in 24..199 {
+            b.add_anonymous_net([cells[i], cells[i + 1]]);
+        }
+        b.add_anonymous_net([cells[0], cells[100]]);
+        b.add_anonymous_net([cells[12], cells[150]]);
+        b.finish()
+    }
+
+    #[test]
+    fn placer_beats_random_hpwl() {
+        let nl = clustered_netlist();
+        let die = Die::for_netlist(&nl, 0.5);
+        let placed = place(&nl, &die, &PlacerConfig::default());
+        // Random baseline with the same seed scheme.
+        let mut rng = SmallRng::seed_from_u64(1);
+        let rx: Vec<f64> = (0..nl.num_cells()).map(|_| rng.gen_range(0.0..die.width)).collect();
+        let ry: Vec<f64> = (0..nl.num_cells()).map(|_| rng.gen_range(0.0..die.height)).collect();
+        let random = Placement::from_coords(rx, ry);
+        let hp = hpwl(&nl, &placed);
+        let hr = hpwl(&nl, &random);
+        assert!(hp < 0.6 * hr, "placed {hp} vs random {hr}");
+    }
+
+    #[test]
+    fn connected_cluster_stays_together() {
+        let nl = clustered_netlist();
+        let die = Die::for_netlist(&nl, 0.5);
+        let placed = place(&nl, &die, &PlacerConfig::default());
+        // The 12-clique's spatial spread must be far below the die size.
+        let xs: Vec<f64> = (0..12).map(|i| placed.position(gtl_netlist::CellId::new(i)).0).collect();
+        let ys: Vec<f64> = (0..12).map(|i| placed.position(gtl_netlist::CellId::new(i)).1).collect();
+        let w = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let h = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - ys.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(w < die.width / 2.0 && h < die.height / 2.0, "clique spread {w}×{h}");
+    }
+
+    #[test]
+    fn all_cells_inside_die() {
+        let nl = clustered_netlist();
+        let die = Die::for_netlist(&nl, 0.7);
+        let placed = place(&nl, &die, &PlacerConfig::default());
+        for c in nl.cells() {
+            let (x, y) = placed.position(c);
+            assert!(x >= 0.0 && x <= die.width && y >= 0.0 && y <= die.height);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let nl = clustered_netlist();
+        let die = Die::for_netlist(&nl, 0.5);
+        let a = place(&nl, &die, &PlacerConfig::default());
+        let b = place(&nl, &die, &PlacerConfig::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty netlist")]
+    fn empty_netlist_panics() {
+        let nl = NetlistBuilder::new().finish();
+        let die = Die { width: 1.0, height: 1.0, rows: 1 };
+        let _ = place(&nl, &die, &PlacerConfig::default());
+    }
+
+    #[test]
+    fn placement_accessors() {
+        let p = Placement::from_coords(vec![1.0, 2.0], vec![3.0, 4.0]);
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+        assert_eq!(p.position(CellId::new(1)), (2.0, 4.0));
+        assert_eq!(p.xs(), &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,327 @@
+//! Quadratic wirelength model: sparse Laplacian + conjugate gradients.
+//!
+//! Nets are modeled as springs: small nets as cliques (every pin pair gets
+//! weight `2/d`), large nets as stars (every pin tied to the first pin as
+//! hub) to keep the matrix sparse while still pulling high-fanout nets —
+//! decoder rails, select lines — toward a common point. Minimizing the quadratic wirelength
+//! `xᵀLx − 2bᵀx` per axis reduces to the SPD system `(L + αI)x = αt + b`
+//! where `αI` anchors cells to targets `t` (SimPL-style pseudo-pins) and
+//! `b` carries fixed-cell terms. The system is solved with a hand-written
+//! Jacobi-preconditioned conjugate-gradient.
+
+use gtl_netlist::Netlist;
+
+/// Threshold above which a net is modeled as a star instead of a clique.
+const CLIQUE_LIMIT: usize = 8;
+
+/// A symmetric sparse matrix in CSR form, representing the connectivity
+/// Laplacian of a netlist.
+///
+/// # Example
+///
+/// ```
+/// use gtl_netlist::NetlistBuilder;
+/// use gtl_place::quadratic::Laplacian;
+///
+/// let mut b = NetlistBuilder::new();
+/// let x = b.add_cell("x", 1.0);
+/// let y = b.add_cell("y", 1.0);
+/// b.add_anonymous_net([x, y]);
+/// let nl = b.finish();
+/// let lap = Laplacian::build(&nl);
+/// assert_eq!(lap.dim(), 2);
+/// // Lx for x = [1, -1] equals [2w, -2w]: both entries nonzero.
+/// let out = lap.multiply(&[1.0, -1.0]);
+/// assert!(out[0] > 0.0 && out[1] < 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Laplacian {
+    offsets: Vec<usize>,
+    columns: Vec<u32>,
+    values: Vec<f64>,
+    diagonal: Vec<f64>,
+}
+
+impl Laplacian {
+    /// Builds the Laplacian of `netlist` with the clique/path hybrid model.
+    pub fn build(netlist: &Netlist) -> Self {
+        let n = netlist.num_cells();
+        // Accumulate off-diagonal entries per row in a triplet pass.
+        let mut triplets: Vec<(u32, u32, f64)> = Vec::new();
+        for net in netlist.nets() {
+            let cells = netlist.net_cells(net);
+            let d = cells.len();
+            if d < 2 {
+                continue;
+            }
+            if d <= CLIQUE_LIMIT {
+                let w = 2.0 / d as f64;
+                for i in 0..d {
+                    for j in (i + 1)..d {
+                        triplets.push((cells[i].raw(), cells[j].raw(), w));
+                    }
+                }
+            } else {
+                // Star model: hub = first pin, preserving O(d) sparsity.
+                // Total edge weight (d−1)·w matches the clique's d−1.
+                let w = 1.0;
+                let hub = cells[0].raw();
+                for &pin in &cells[1..] {
+                    triplets.push((hub, pin.raw(), w));
+                }
+            }
+        }
+
+        // Count row populations (both directions), prefix-sum, fill.
+        let mut counts = vec![0usize; n];
+        for &(i, j, _) in &triplets {
+            counts[i as usize] += 1;
+            counts[j as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        for c in &counts {
+            offsets.push(offsets.last().unwrap() + c);
+        }
+        let nnz = *offsets.last().unwrap();
+        let mut columns = vec![0u32; nnz];
+        let mut values = vec![0.0f64; nnz];
+        let mut cursor = offsets[..n].to_vec();
+        let mut diagonal = vec![0.0f64; n];
+        for &(i, j, w) in &triplets {
+            columns[cursor[i as usize]] = j;
+            values[cursor[i as usize]] = w;
+            cursor[i as usize] += 1;
+            columns[cursor[j as usize]] = i;
+            values[cursor[j as usize]] = w;
+            cursor[j as usize] += 1;
+            diagonal[i as usize] += w;
+            diagonal[j as usize] += w;
+        }
+        Self { offsets, columns, values, diagonal }
+    }
+
+    /// Matrix dimension (number of cells).
+    pub fn dim(&self) -> usize {
+        self.diagonal.len()
+    }
+
+    /// Computes `y = Lx` (diagonal minus off-diagonals).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != dim()`.
+    pub fn multiply(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.dim(), "dimension mismatch");
+        let mut y = vec![0.0; x.len()];
+        self.multiply_into(x, &mut y);
+        y
+    }
+
+    fn multiply_into(&self, x: &[f64], y: &mut [f64]) {
+        for i in 0..self.dim() {
+            let mut acc = self.diagonal[i] * x[i];
+            for k in self.offsets[i]..self.offsets[i + 1] {
+                acc -= self.values[k] * x[self.columns[k] as usize];
+            }
+            y[i] = acc;
+        }
+    }
+
+    /// Solves `(L + diag(anchor)) x = rhs` by Jacobi-preconditioned CG.
+    ///
+    /// `anchor` is the per-cell pseudo-pin weight (`αᵢ ≥ 0`); at least one
+    /// entry must be positive or the system is singular. `x0` provides the
+    /// starting guess. Returns the solution and the iterations used.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch or if every anchor weight is zero.
+    pub fn solve_anchored(
+        &self,
+        anchor: &[f64],
+        rhs: &[f64],
+        x0: &[f64],
+        tolerance: f64,
+        max_iterations: usize,
+    ) -> (Vec<f64>, usize) {
+        let n = self.dim();
+        assert_eq!(anchor.len(), n, "anchor dimension mismatch");
+        assert_eq!(rhs.len(), n, "rhs dimension mismatch");
+        assert_eq!(x0.len(), n, "x0 dimension mismatch");
+        assert!(anchor.iter().any(|&a| a > 0.0), "all-zero anchors make the system singular");
+
+        let apply = |x: &[f64], out: &mut Vec<f64>| {
+            self.multiply_into(x, out);
+            for i in 0..n {
+                out[i] += anchor[i] * x[i];
+            }
+        };
+        let precond: Vec<f64> =
+            (0..n).map(|i| 1.0 / (self.diagonal[i] + anchor[i]).max(1e-12)).collect();
+
+        let mut x = x0.to_vec();
+        let mut ax = vec![0.0; n];
+        apply(&x, &mut ax);
+        let mut r: Vec<f64> = (0..n).map(|i| rhs[i] - ax[i]).collect();
+        let mut z: Vec<f64> = (0..n).map(|i| precond[i] * r[i]).collect();
+        let mut p = z.clone();
+        let mut rz: f64 = r.iter().zip(&z).map(|(a, b)| a * b).sum();
+        let target = tolerance * tolerance * rhs.iter().map(|v| v * v).sum::<f64>().max(1e-30);
+
+        let mut ap = vec![0.0; n];
+        for iter in 0..max_iterations {
+            let rr: f64 = r.iter().map(|v| v * v).sum();
+            if rr <= target {
+                return (x, iter);
+            }
+            apply(&p, &mut ap);
+            let pap: f64 = p.iter().zip(&ap).map(|(a, b)| a * b).sum();
+            if pap <= 0.0 {
+                break; // numerical breakdown; current x is best effort
+            }
+            let alpha = rz / pap;
+            for i in 0..n {
+                x[i] += alpha * p[i];
+                r[i] -= alpha * ap[i];
+            }
+            for i in 0..n {
+                z[i] = precond[i] * r[i];
+            }
+            let rz_new: f64 = r.iter().zip(&z).map(|(a, b)| a * b).sum();
+            let beta = rz_new / rz.max(1e-30);
+            rz = rz_new;
+            for i in 0..n {
+                p[i] = z[i] + beta * p[i];
+            }
+        }
+        (x, max_iterations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtl_netlist::NetlistBuilder;
+
+    fn chain(n: usize) -> Netlist {
+        let mut b = NetlistBuilder::new();
+        let first = b.add_anonymous_cells(n);
+        for i in 0..n - 1 {
+            b.add_anonymous_net([
+                gtl_netlist::CellId::new(i),
+                gtl_netlist::CellId::new(i + 1),
+            ]);
+        }
+        let _ = first;
+        b.finish()
+    }
+
+    #[test]
+    fn laplacian_rows_sum_to_zero() {
+        let nl = chain(10);
+        let lap = Laplacian::build(&nl);
+        let ones = vec![1.0; 10];
+        let out = lap.multiply(&ones);
+        for v in out {
+            assert!(v.abs() < 1e-12, "L·1 must be 0, got {v}");
+        }
+    }
+
+    #[test]
+    fn clique_weights_match_model() {
+        // 3-pin net: clique weight 2/3 per pair; diagonal = 2 pairs × 2/3.
+        let mut b = NetlistBuilder::new();
+        let c = b.add_anonymous_cells(3);
+        b.add_anonymous_net([c, gtl_netlist::CellId::new(1), gtl_netlist::CellId::new(2)]);
+        let nl = b.finish();
+        let lap = Laplacian::build(&nl);
+        let e0 = lap.multiply(&[1.0, 0.0, 0.0]);
+        assert!((e0[0] - 4.0 / 3.0).abs() < 1e-12);
+        assert!((e0[1] + 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn large_net_uses_star_model() {
+        // A 20-pin net must produce O(d) nonzeros, not O(d²).
+        let mut b = NetlistBuilder::new();
+        b.add_anonymous_cells(20);
+        b.add_anonymous_net((0..20).map(gtl_netlist::CellId::new));
+        let nl = b.finish();
+        let lap = Laplacian::build(&nl);
+        let e0 = lap.multiply(&[1.0; 20]);
+        assert!(e0.iter().all(|v| v.abs() < 1e-12));
+        // A leaf pin touches only itself and the hub.
+        let mut unit = vec![0.0; 20];
+        unit[10] = 1.0;
+        let row = lap.multiply(&unit);
+        let nonzero = row.iter().filter(|v| v.abs() > 1e-12).count();
+        assert_eq!(nonzero, 2, "star leaf row should touch exactly 2 cells");
+        // The hub touches everyone.
+        let mut hub = vec![0.0; 20];
+        hub[0] = 1.0;
+        let hub_row = lap.multiply(&hub);
+        assert_eq!(hub_row.iter().filter(|v| v.abs() > 1e-12).count(), 20);
+    }
+
+    #[test]
+    fn anchored_solve_reaches_targets_when_disconnected() {
+        // No nets: solution = targets exactly.
+        let mut b = NetlistBuilder::new();
+        b.add_anonymous_cells(4);
+        let nl = b.finish();
+        let lap = Laplacian::build(&nl);
+        let anchor = vec![1.0; 4];
+        let targets = [3.0, -1.0, 0.5, 7.0];
+        let rhs: Vec<f64> = targets.iter().map(|t| t * 1.0).collect();
+        let (x, _) = lap.solve_anchored(&anchor, &rhs, &[0.0; 4], 1e-10, 100);
+        for (xi, ti) in x.iter().zip(&targets) {
+            assert!((xi - ti).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn anchored_solve_balances_spring_and_anchor() {
+        // Two cells joined by a net (w=1), anchored at 0 and 10 with α=1:
+        // minimize (x0-x1)² + ... → symmetric pull towards each other.
+        let mut b = NetlistBuilder::new();
+        let c0 = b.add_cell("a", 1.0);
+        let c1 = b.add_cell("b", 1.0);
+        b.add_anonymous_net([c0, c1]);
+        let nl = b.finish();
+        let lap = Laplacian::build(&nl);
+        let anchor = vec![1.0, 1.0];
+        let rhs = vec![0.0, 10.0];
+        let (x, _) = lap.solve_anchored(&anchor, &rhs, &[0.0, 0.0], 1e-12, 200);
+        // Symmetry: x0 + x1 = 10; attraction: x1 - x0 < 10.
+        assert!((x[0] + x[1] - 10.0).abs() < 1e-8, "{x:?}");
+        assert!(x[1] - x[0] < 10.0 - 1e-6, "{x:?}");
+        assert!(x[1] - x[0] > 0.0, "{x:?}");
+    }
+
+    #[test]
+    fn cg_converges_on_chain() {
+        let nl = chain(100);
+        let lap = Laplacian::build(&nl);
+        let anchor = vec![0.1; 100];
+        let targets: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let rhs: Vec<f64> = targets.iter().map(|t| 0.1 * t).collect();
+        let (x, iters) = lap.solve_anchored(&anchor, &rhs, &vec![0.0; 100], 1e-8, 1000);
+        assert!(iters < 1000, "CG did not converge");
+        // Residual check.
+        let mut ax = lap.multiply(&x);
+        for i in 0..100 {
+            ax[i] += 0.1 * x[i];
+        }
+        let res: f64 = ax.iter().zip(&rhs).map(|(a, b)| (a - b) * (a - b)).sum();
+        assert!(res < 1e-10, "residual {res}");
+    }
+
+    #[test]
+    #[should_panic(expected = "singular")]
+    fn zero_anchor_panics() {
+        let nl = chain(4);
+        let lap = Laplacian::build(&nl);
+        let _ = lap.solve_anchored(&[0.0; 4], &[0.0; 4], &[0.0; 4], 1e-8, 10);
+    }
+}

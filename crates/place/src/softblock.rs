@@ -1,0 +1,277 @@
+//! Soft-block floorplanning from GTLs (paper intro, bullet 2).
+//!
+//! > *"Since a GTL will stay together during placement, the designer may
+//! > wish to form a soft block for the gates in the GTL. Then during
+//! > placement, the soft block can be translated into placement
+//! > constraints (like attractions, forces, or move bounds)."*
+//!
+//! Given discovered GTLs and a seed placement, this module plans one
+//! rectangular soft block per GTL: sized for the group's area plus
+//! whitespace, centered at the group's placement centroid, then shifted
+//! minimally so blocks neither overlap each other nor leave the die. The
+//! resulting [`SoftBlock`]s carry move bounds a placer can enforce.
+
+use gtl_netlist::{CellId, Netlist};
+
+use crate::{Die, Placement};
+
+/// A planned soft block: a region one GTL should stay inside.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoftBlock {
+    /// The member cells (the GTL).
+    pub cells: Vec<CellId>,
+    /// Left edge.
+    pub x0: f64,
+    /// Bottom edge.
+    pub y0: f64,
+    /// Right edge.
+    pub x1: f64,
+    /// Top edge.
+    pub y1: f64,
+}
+
+impl SoftBlock {
+    /// Block width.
+    pub fn width(&self) -> f64 {
+        self.x1 - self.x0
+    }
+
+    /// Block height.
+    pub fn height(&self) -> f64 {
+        self.y1 - self.y0
+    }
+
+    /// Block area.
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Whether `other` overlaps this block (touching edges do not count).
+    pub fn overlaps(&self, other: &SoftBlock) -> bool {
+        self.x0 < other.x1 && other.x0 < self.x1 && self.y0 < other.y1 && other.y0 < self.y1
+    }
+
+    /// Whether the block lies inside `die`.
+    pub fn inside(&self, die: &Die) -> bool {
+        self.x0 >= -1e-9
+            && self.y0 >= -1e-9
+            && self.x1 <= die.width + 1e-9
+            && self.y1 <= die.height + 1e-9
+    }
+
+    /// Clamps a cell position into the block (the "move bound" a placer
+    /// would enforce).
+    pub fn clamp(&self, x: f64, y: f64) -> (f64, f64) {
+        (x.clamp(self.x0, self.x1), y.clamp(self.y0, self.y1))
+    }
+}
+
+/// Planning parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SoftBlockConfig {
+    /// Whitespace fraction inside each block (0.3 = 30% slack).
+    pub whitespace: f64,
+    /// Shift step used when resolving overlaps, as a fraction of the die.
+    pub step_fraction: f64,
+    /// Maximum resolution sweeps before giving up on an overlap.
+    pub max_sweeps: usize,
+}
+
+impl Default for SoftBlockConfig {
+    fn default() -> Self {
+        Self { whitespace: 0.3, step_fraction: 0.02, max_sweeps: 400 }
+    }
+}
+
+/// Plans one soft block per GTL.
+///
+/// Blocks are processed largest-first; each is centered on its GTL's
+/// placement centroid and nudged away from already-placed blocks and die
+/// edges until it fits. Returns `None` for a GTL whose block cannot be
+/// placed without overlap within `max_sweeps` (pathologically full dies).
+///
+/// # Panics
+///
+/// Panics if the placement does not cover the netlist, or a GTL is empty.
+pub fn plan_soft_blocks(
+    netlist: &Netlist,
+    placement: &Placement,
+    gtls: &[Vec<CellId>],
+    die: &Die,
+    config: &SoftBlockConfig,
+) -> Vec<Option<SoftBlock>> {
+    assert!(placement.len() >= netlist.num_cells(), "placement smaller than netlist");
+    // Largest area first so big blocks grab space before small ones.
+    let mut order: Vec<usize> = (0..gtls.len()).collect();
+    let block_area = |i: usize| -> f64 {
+        gtls[i].iter().map(|&c| netlist.cell_area(c)).sum::<f64>()
+            / (1.0 - config.whitespace).max(0.1)
+    };
+    order.sort_by(|&a, &b| block_area(b).total_cmp(&block_area(a)).then(a.cmp(&b)));
+
+    let mut planned: Vec<Option<SoftBlock>> = vec![None; gtls.len()];
+    let mut placed: Vec<SoftBlock> = Vec::new();
+    for &i in &order {
+        let members = &gtls[i];
+        assert!(!members.is_empty(), "GTL {i} is empty");
+        let side = block_area(i).sqrt().min(die.width.min(die.height));
+        let n = members.len() as f64;
+        let (mut cx, mut cy) = (0.0, 0.0);
+        for &c in members {
+            let (x, y) = placement.position(c);
+            cx += x;
+            cy += y;
+        }
+        cx /= n;
+        cy /= n;
+
+        if let Some(block) = settle(members, cx, cy, side, die, &placed, config) {
+            placed.push(block.clone());
+            planned[i] = Some(block);
+        }
+    }
+    planned
+}
+
+/// Tries positions spiraling outward from the centroid until the block
+/// fits in the die without overlapping `placed`.
+fn settle(
+    members: &[CellId],
+    cx: f64,
+    cy: f64,
+    side: f64,
+    die: &Die,
+    placed: &[SoftBlock],
+    config: &SoftBlockConfig,
+) -> Option<SoftBlock> {
+    let step = (die.width.max(die.height) * config.step_fraction).max(1e-6);
+    let half = side / 2.0;
+    let make = |x: f64, y: f64| {
+        let x0 = (x - half).clamp(0.0, (die.width - side).max(0.0));
+        let y0 = (y - half).clamp(0.0, (die.height - side).max(0.0));
+        SoftBlock { cells: members.to_vec(), x0, y0, x1: x0 + side, y1: y0 + side }
+    };
+    // Spiral: ring r = 0, 1, 2, …, 8 directions per ring.
+    for ring in 0..config.max_sweeps {
+        let candidates: Vec<(f64, f64)> = if ring == 0 {
+            vec![(cx, cy)]
+        } else {
+            let r = ring as f64 * step;
+            (0..8)
+                .map(|k| {
+                    let angle = k as f64 * std::f64::consts::FRAC_PI_4;
+                    (cx + r * angle.cos(), cy + r * angle.sin())
+                })
+                .collect()
+        };
+        for (x, y) in candidates {
+            let block = make(x, y);
+            if block.inside(die) && placed.iter().all(|p| !block.overlaps(p)) {
+                return Some(block);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtl_netlist::NetlistBuilder;
+
+    fn unit_cells(n: usize) -> Netlist {
+        let mut b = NetlistBuilder::new();
+        b.add_anonymous_cells(n);
+        b.finish()
+    }
+
+    fn ids(range: std::ops::Range<usize>) -> Vec<CellId> {
+        range.map(CellId::new).collect()
+    }
+
+    #[test]
+    fn block_geometry() {
+        let b = SoftBlock { cells: vec![], x0: 1.0, y0: 2.0, x1: 4.0, y1: 6.0 };
+        assert_eq!(b.width(), 3.0);
+        assert_eq!(b.height(), 4.0);
+        assert_eq!(b.area(), 12.0);
+        assert_eq!(b.clamp(0.0, 10.0), (1.0, 6.0));
+        let other = SoftBlock { cells: vec![], x0: 3.0, y0: 5.0, x1: 5.0, y1: 7.0 };
+        assert!(b.overlaps(&other));
+        let apart = SoftBlock { cells: vec![], x0: 4.0, y0: 2.0, x1: 5.0, y1: 3.0 };
+        assert!(!b.overlaps(&apart), "touching edges are not overlap");
+    }
+
+    #[test]
+    fn blocks_cover_area_and_stay_inside() {
+        let nl = unit_cells(200);
+        let die = Die { width: 40.0, height: 40.0, rows: 40 };
+        // Two GTLs placed at opposite corners.
+        let mut xs = vec![20.0; 200];
+        let mut ys = vec![20.0; 200];
+        for i in 0..50 {
+            xs[i] = 5.0;
+            ys[i] = 5.0;
+        }
+        for i in 50..130 {
+            xs[i] = 35.0;
+            ys[i] = 35.0;
+        }
+        let p = Placement::from_coords(xs, ys);
+        let gtls = vec![ids(0..50), ids(50..130)];
+        let blocks = plan_soft_blocks(&nl, &p, &gtls, &die, &SoftBlockConfig::default());
+        for (i, block) in blocks.iter().enumerate() {
+            let block = block.as_ref().expect("block planned");
+            assert!(block.inside(&die));
+            let area: f64 = gtls[i].iter().map(|&c| nl.cell_area(c)).sum();
+            assert!(block.area() >= area, "block too small for its GTL");
+        }
+        // Disjoint.
+        let (a, b) = (blocks[0].as_ref().unwrap(), blocks[1].as_ref().unwrap());
+        assert!(!a.overlaps(b));
+    }
+
+    #[test]
+    fn colocated_gtls_get_separated() {
+        let nl = unit_cells(120);
+        let die = Die { width: 30.0, height: 30.0, rows: 30 };
+        // Both GTLs centered at the same point.
+        let p = Placement::from_coords(vec![15.0; 120], vec![15.0; 120]);
+        let gtls = vec![ids(0..60), ids(60..120)];
+        let blocks = plan_soft_blocks(&nl, &p, &gtls, &die, &SoftBlockConfig::default());
+        let (a, b) = (blocks[0].as_ref().unwrap(), blocks[1].as_ref().unwrap());
+        assert!(!a.overlaps(b), "co-located blocks must be nudged apart");
+    }
+
+    #[test]
+    fn impossible_fit_returns_none() {
+        let nl = unit_cells(100);
+        // Die area 25 with whitespace-adjusted demand ≈ 143: cannot fit.
+        let die = Die { width: 5.0, height: 5.0, rows: 5 };
+        let p = Placement::from_coords(vec![2.0; 100], vec![2.0; 100]);
+        let gtls = vec![ids(0..50), ids(50..100)];
+        let blocks = plan_soft_blocks(&nl, &p, &gtls, &die, &SoftBlockConfig::default());
+        // The first (largest) block fills the die; the second cannot fit.
+        assert!(blocks.iter().filter(|b| b.is_none()).count() >= 1);
+    }
+
+    #[test]
+    fn block_ids_align_with_input_order() {
+        let nl = unit_cells(30);
+        let die = Die { width: 30.0, height: 30.0, rows: 30 };
+        let p = Placement::from_coords(vec![10.0; 30], vec![10.0; 30]);
+        let gtls = vec![ids(0..10), ids(10..30)];
+        let blocks = plan_soft_blocks(&nl, &p, &gtls, &die, &SoftBlockConfig::default());
+        assert_eq!(blocks[0].as_ref().unwrap().cells, gtls[0]);
+        assert_eq!(blocks[1].as_ref().unwrap().cells, gtls[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_gtl_panics() {
+        let nl = unit_cells(4);
+        let die = Die { width: 4.0, height: 4.0, rows: 4 };
+        let p = Placement::from_coords(vec![1.0; 4], vec![1.0; 4]);
+        let _ = plan_soft_blocks(&nl, &p, &[vec![]], &die, &SoftBlockConfig::default());
+    }
+}

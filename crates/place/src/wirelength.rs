@@ -1,0 +1,224 @@
+//! Per-net wirelength models: HPWL, star, and rectilinear MST.
+//!
+//! Congestion and placement quality are both wirelength stories, and the
+//! model choice matters: HPWL underestimates multi-pin nets, a star
+//! overestimates them, and the rectilinear minimum spanning tree (Prim on
+//! Manhattan distances) is the standard ~fair estimate (within 1.5× of the
+//! optimal Steiner tree). The module also produces per-net reports used
+//! to attribute wirelength to GTLs versus background logic.
+
+use gtl_netlist::{NetId, Netlist};
+
+use crate::Placement;
+
+/// Wirelength model selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum WirelengthModel {
+    /// Half-perimeter of the pin bounding box.
+    #[default]
+    Hpwl,
+    /// Sum of Manhattan distances from every pin to the pin centroid.
+    Star,
+    /// Rectilinear minimum spanning tree over the pins (Prim).
+    Mst,
+}
+
+/// Wirelength of one net under `model`.
+///
+/// Returns `0.0` for nets with fewer than 2 pins.
+///
+/// # Panics
+///
+/// Panics if the placement does not cover the net's pins.
+///
+/// # Example
+///
+/// ```
+/// use gtl_netlist::NetlistBuilder;
+/// use gtl_place::wirelength::{net_wirelength, WirelengthModel};
+/// use gtl_place::Placement;
+///
+/// let mut b = NetlistBuilder::new();
+/// let x = b.add_cell("x", 1.0);
+/// let y = b.add_cell("y", 1.0);
+/// let z = b.add_cell("z", 1.0);
+/// let n = b.add_net("n", [x, y, z]);
+/// let nl = b.finish();
+/// // L-shaped pin arrangement.
+/// let p = Placement::from_coords(vec![0.0, 4.0, 0.0], vec![0.0, 0.0, 3.0]);
+/// assert_eq!(net_wirelength(&nl, &p, n, WirelengthModel::Hpwl), 7.0);
+/// assert_eq!(net_wirelength(&nl, &p, n, WirelengthModel::Mst), 7.0);
+/// ```
+pub fn net_wirelength(
+    netlist: &Netlist,
+    placement: &Placement,
+    net: NetId,
+    model: WirelengthModel,
+) -> f64 {
+    let cells = netlist.net_cells(net);
+    if cells.len() < 2 {
+        return 0.0;
+    }
+    match model {
+        WirelengthModel::Hpwl => {
+            let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+            let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
+            for &c in cells {
+                let (x, y) = placement.position(c);
+                x0 = x0.min(x);
+                x1 = x1.max(x);
+                y0 = y0.min(y);
+                y1 = y1.max(y);
+            }
+            (x1 - x0) + (y1 - y0)
+        }
+        WirelengthModel::Star => {
+            let n = cells.len() as f64;
+            let (mut cx, mut cy) = (0.0, 0.0);
+            for &c in cells {
+                let (x, y) = placement.position(c);
+                cx += x;
+                cy += y;
+            }
+            cx /= n;
+            cy /= n;
+            cells
+                .iter()
+                .map(|&c| {
+                    let (x, y) = placement.position(c);
+                    (x - cx).abs() + (y - cy).abs()
+                })
+                .sum()
+        }
+        WirelengthModel::Mst => {
+            // Prim over Manhattan distances, O(pins²) — nets are small.
+            let pts: Vec<(f64, f64)> = cells.iter().map(|&c| placement.position(c)).collect();
+            let mut in_tree = vec![false; pts.len()];
+            let mut best = vec![f64::INFINITY; pts.len()];
+            in_tree[0] = true;
+            for (i, p) in pts.iter().enumerate().skip(1) {
+                best[i] = (p.0 - pts[0].0).abs() + (p.1 - pts[0].1).abs();
+            }
+            let mut total = 0.0;
+            for _ in 1..pts.len() {
+                let mut pick = usize::MAX;
+                let mut d = f64::INFINITY;
+                for i in 0..pts.len() {
+                    if !in_tree[i] && best[i] < d {
+                        d = best[i];
+                        pick = i;
+                    }
+                }
+                total += d;
+                in_tree[pick] = true;
+                for i in 0..pts.len() {
+                    if !in_tree[i] {
+                        let nd = (pts[i].0 - pts[pick].0).abs() + (pts[i].1 - pts[pick].1).abs();
+                        best[i] = best[i].min(nd);
+                    }
+                }
+            }
+            total
+        }
+    }
+}
+
+/// Total wirelength of the design under `model`.
+///
+/// # Panics
+///
+/// Panics if the placement does not cover the netlist.
+pub fn total_wirelength(
+    netlist: &Netlist,
+    placement: &Placement,
+    model: WirelengthModel,
+) -> f64 {
+    netlist.nets().map(|n| net_wirelength(netlist, placement, n, model)).sum()
+}
+
+/// Per-net wirelength report, sorted longest first — the "which nets hurt"
+/// view used when attributing congestion to structures.
+pub fn longest_nets(
+    netlist: &Netlist,
+    placement: &Placement,
+    model: WirelengthModel,
+    top: usize,
+) -> Vec<(NetId, f64)> {
+    let mut all: Vec<(NetId, f64)> = netlist
+        .nets()
+        .map(|n| (n, net_wirelength(netlist, placement, n, model)))
+        .collect();
+    all.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    all.truncate(top);
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtl_netlist::NetlistBuilder;
+
+    fn net_of(points: &[(f64, f64)]) -> (Netlist, Placement, NetId) {
+        let mut b = NetlistBuilder::new();
+        let cells: Vec<_> =
+            (0..points.len()).map(|i| b.add_cell(format!("c{i}"), 1.0)).collect();
+        let n = b.add_anonymous_net(cells.iter().copied());
+        let nl = b.finish();
+        let p = Placement::from_coords(
+            points.iter().map(|p| p.0).collect(),
+            points.iter().map(|p| p.1).collect(),
+        );
+        (nl, p, n)
+    }
+
+    #[test]
+    fn two_pin_all_models_agree() {
+        let (nl, p, n) = net_of(&[(0.0, 0.0), (3.0, 4.0)]);
+        for model in [WirelengthModel::Hpwl, WirelengthModel::Star, WirelengthModel::Mst] {
+            assert!((net_wirelength(&nl, &p, n, model) - 7.0).abs() < 1e-12, "{model:?}");
+        }
+    }
+
+    #[test]
+    fn model_ordering_hpwl_le_mst_le_star_plus() {
+        // Classic inequality: HPWL ≤ MST for any net; star ≥ MST for
+        // spread pins (centroid detour).
+        let (nl, p, n) = net_of(&[(0.0, 0.0), (10.0, 0.0), (5.0, 8.0), (2.0, 3.0)]);
+        let hpwl = net_wirelength(&nl, &p, n, WirelengthModel::Hpwl);
+        let mst = net_wirelength(&nl, &p, n, WirelengthModel::Mst);
+        let star = net_wirelength(&nl, &p, n, WirelengthModel::Star);
+        assert!(hpwl <= mst + 1e-9, "hpwl {hpwl} mst {mst}");
+        assert!(mst <= star + 1e-9, "mst {mst} star {star}");
+    }
+
+    #[test]
+    fn mst_on_collinear_points() {
+        let (nl, p, n) = net_of(&[(0.0, 0.0), (5.0, 0.0), (9.0, 0.0)]);
+        assert!((net_wirelength(&nl, &p, n, WirelengthModel::Mst) - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_nets_are_zero() {
+        let mut b = NetlistBuilder::new();
+        let c = b.add_cell("c", 1.0);
+        let n1 = b.add_anonymous_net([c]);
+        let nl = b.finish();
+        let p = Placement::from_coords(vec![1.0], vec![1.0]);
+        assert_eq!(net_wirelength(&nl, &p, n1, WirelengthModel::Mst), 0.0);
+    }
+
+    #[test]
+    fn totals_and_ranking() {
+        let mut b = NetlistBuilder::new();
+        let cells: Vec<_> = (0..4).map(|i| b.add_cell(format!("c{i}"), 1.0)).collect();
+        let short = b.add_anonymous_net([cells[0], cells[1]]);
+        let long = b.add_anonymous_net([cells[2], cells[3]]);
+        let nl = b.finish();
+        let p = Placement::from_coords(vec![0.0, 1.0, 0.0, 50.0], vec![0.0; 4]);
+        let total = total_wirelength(&nl, &p, WirelengthModel::Hpwl);
+        assert!((total - 51.0).abs() < 1e-12);
+        let top = longest_nets(&nl, &p, WirelengthModel::Hpwl, 1);
+        assert_eq!(top, vec![(long, 50.0)]);
+        let _ = short;
+    }
+}

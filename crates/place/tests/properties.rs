@@ -1,0 +1,114 @@
+//! Property-based tests for the physical-design invariants.
+
+use proptest::prelude::*;
+use gtl_netlist::{CellId, Netlist, NetlistBuilder};
+use gtl_place::legal::legalize;
+use gtl_place::spread::{spread, SpreadConfig};
+use gtl_place::wirelength::{net_wirelength, WirelengthModel};
+use gtl_place::{Die, Placement};
+
+fn arb_design(max_cells: usize) -> impl Strategy<Value = (Netlist, Placement, Die)> {
+    (4..max_cells).prop_flat_map(|n| {
+        let coords = proptest::collection::vec((0.0f64..30.0, 0.0f64..30.0), n);
+        let nets = proptest::collection::vec(
+            proptest::collection::vec(0..n, 2..4usize),
+            1..(2 * n),
+        );
+        (coords, nets).prop_map(move |(coords, nets)| {
+            let mut b = NetlistBuilder::new();
+            b.add_anonymous_cells(n);
+            for pins in nets {
+                b.add_anonymous_net(pins.into_iter().map(CellId::new));
+            }
+            let nl = b.finish();
+            let xs = coords.iter().map(|c| c.0).collect();
+            let ys = coords.iter().map(|c| c.1).collect();
+            let die = Die { width: 30.0, height: 30.0, rows: 30 };
+            (nl, Placement::from_coords(xs, ys), die)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Spreading keeps every cell inside the die and never loses a cell.
+    #[test]
+    fn spread_stays_in_die((nl, p, die) in arb_design(60)) {
+        let s = spread(&nl, &p, &die, &SpreadConfig::default());
+        prop_assert_eq!(s.len(), nl.num_cells());
+        for c in nl.cells() {
+            let (x, y) = s.position(c);
+            prop_assert!(x >= -1e-9 && x <= die.width + 1e-9);
+            prop_assert!(y >= -1e-9 && y <= die.height + 1e-9);
+        }
+    }
+
+    /// Legalization produces row-aligned, pairwise non-overlapping cells
+    /// (when nothing overflowed).
+    #[test]
+    fn legalize_is_overlap_free((nl, p, die) in arb_design(60)) {
+        let legal = legalize(&nl, &p, &die);
+        prop_assume!(legal.overflowed == 0);
+        let row_h = die.row_height();
+        let mut per_row: Vec<Vec<(f64, f64)>> = vec![Vec::new(); die.rows];
+        for c in nl.cells() {
+            let (x, y) = legal.placement.position(c);
+            let row = legal.row_of[c.index()] as usize;
+            prop_assert!((y - row as f64 * row_h).abs() < 1e-9);
+            per_row[row].push((x, x + nl.cell_area(c) / row_h));
+        }
+        for intervals in &mut per_row {
+            intervals.sort_by(|a, b| a.0.total_cmp(&b.0));
+            for w in intervals.windows(2) {
+                prop_assert!(w[0].1 <= w[1].0 + 1e-9, "overlap {:?}", w);
+            }
+        }
+    }
+
+    /// HPWL ≤ MST ≤ star ≤ clique-ish bound, for every net.
+    #[test]
+    fn wirelength_model_inequalities((nl, p, _) in arb_design(40)) {
+        for net in nl.nets() {
+            let hp = net_wirelength(&nl, &p, net, WirelengthModel::Hpwl);
+            let mst = net_wirelength(&nl, &p, net, WirelengthModel::Mst);
+            let star = net_wirelength(&nl, &p, net, WirelengthModel::Star);
+            prop_assert!(hp <= mst + 1e-9, "hpwl {} > mst {}", hp, mst);
+            // Star can beat MST only on 2-pin nets (where both equal HPWL).
+            if nl.net_degree(net) > 2 {
+                prop_assert!(mst <= 2.0 * star + 1e-9);
+            }
+        }
+    }
+
+    /// The congestion map's demand is translation-consistent: moving every
+    /// cell by the same offset (within the die) preserves totals.
+    #[test]
+    fn congestion_translation_invariant(
+        (nl, p, die) in arb_design(40),
+        dx in 0.0f64..5.0,
+        dy in 0.0f64..5.0,
+    ) {
+        use gtl_place::congestion::{estimate, RoutingConfig};
+        let cfg = RoutingConfig {
+            tiles: 6,
+            h_capacity: Some(1.0),
+            v_capacity: Some(1.0),
+            ..RoutingConfig::default()
+        };
+        // Shrink the placement into [0, 25] so the offset stays inside.
+        let xs: Vec<f64> = p.xs().iter().map(|x| x * 25.0 / 30.0).collect();
+        let ys: Vec<f64> = p.ys().iter().map(|y| y * 25.0 / 30.0).collect();
+        let base = Placement::from_coords(xs.clone(), ys.clone());
+        let moved = Placement::from_coords(
+            xs.iter().map(|x| x + dx).collect(),
+            ys.iter().map(|y| y + dy).collect(),
+        );
+        let a = estimate(&nl, &base, &die, &cfg);
+        let b = estimate(&nl, &moved, &die, &cfg);
+        let sum = |g: Vec<f64>| g.iter().sum::<f64>();
+        let (ta, tb) = (sum(a.to_grid()), sum(b.to_grid()));
+        // Totals match within tile-quantization slack.
+        prop_assert!((ta - tb).abs() <= 0.35 * ta.max(tb).max(1.0), "{} vs {}", ta, tb);
+    }
+}

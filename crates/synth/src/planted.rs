@@ -1,0 +1,373 @@
+//! Random graphs with planted GTLs, after Garbers–Prömel–Steger.
+//!
+//! The paper validates its metrics and finder on random graphs whose
+//! tangled structures are known a priori (Table 1): a sparse background of
+//! ordinary cells, plus planted blocks that are "more highly connected
+//! internally and less connected externally than the rest of the graph".
+//!
+//! Block members get several short internal nets each (high pin density —
+//! which is also what makes the density-aware `GTL-SD` score shine), and
+//! each block talks to the background through only a handful of boundary
+//! nets, matching the tiny cuts the paper reports (cut 28–36 for blocks of
+//! 11K–32K cells on the industrial design).
+
+use gtl_netlist::{CellId, NetlistBuilder};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::GeneratedCircuit;
+
+/// Parameters of the planted-GTL random graph generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlantedConfig {
+    /// Total number of cells, `|V|` (background + planted).
+    pub num_cells: usize,
+    /// Sizes of the planted blocks; they occupy disjoint id ranges at the
+    /// front of the cell space.
+    pub blocks: Vec<usize>,
+    /// Background nets created per background cell (average).
+    pub background_nets_per_cell: f64,
+    /// Internal nets created per planted cell (average); higher than the
+    /// background so blocks are tangled.
+    pub internal_nets_per_cell: f64,
+    /// Boundary nets per block connecting it to the background.
+    pub external_links_per_block: usize,
+    /// Largest net degree the generator will produce.
+    pub max_net_degree: usize,
+    /// RNG seed; same seed ⇒ identical graph.
+    pub seed: u64,
+}
+
+impl Default for PlantedConfig {
+    fn default() -> Self {
+        Self {
+            num_cells: 10_000,
+            blocks: vec![500],
+            background_nets_per_cell: 1.6,
+            internal_nets_per_cell: 2.5,
+            external_links_per_block: 8,
+            max_net_degree: 12,
+            seed: 0xDAC_2010,
+        }
+    }
+}
+
+/// Generates a random graph with planted GTLs.
+///
+/// Planted blocks occupy cell ids `[0, b0)`, `[b0, b0+b1)`, …; the rest is
+/// background. Every planted block is internally connected (a spanning
+/// chain is always added), as is typical of synthesized logic structures.
+///
+/// # Panics
+///
+/// Panics if the blocks together exceed `num_cells`, or any block is
+/// smaller than 2 cells.
+///
+/// # Example
+///
+/// ```
+/// use gtl_synth::planted::{generate, PlantedConfig};
+///
+/// let g = generate(&PlantedConfig {
+///     num_cells: 1_000,
+///     blocks: vec![100, 50],
+///     seed: 3,
+///     ..PlantedConfig::default()
+/// });
+/// assert_eq!(g.truth.len(), 2);
+/// assert_eq!(g.truth[1].len(), 50);
+/// g.netlist.validate().unwrap();
+/// ```
+pub fn generate(config: &PlantedConfig) -> GeneratedCircuit {
+    let planted_total: usize = config.blocks.iter().sum();
+    assert!(
+        planted_total <= config.num_cells,
+        "blocks ({planted_total}) exceed num_cells ({})",
+        config.num_cells
+    );
+    assert!(config.blocks.iter().all(|&b| b >= 2), "blocks must have at least 2 cells");
+
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut b = NetlistBuilder::with_capacity(config.num_cells, config.num_cells * 2);
+    b.add_anonymous_cells(config.num_cells);
+
+    let n = config.num_cells;
+    let bg_lo = planted_total; // background occupies [planted_total, n)
+    let num_bg = n - bg_lo;
+
+    // --- Background ---------------------------------------------------
+    if num_bg >= 2 {
+        let bg_nets = (num_bg as f64 * config.background_nets_per_cell) as usize;
+        for _ in 0..bg_nets {
+            let deg = crate::sample_net_degree(&mut rng, config.max_net_degree).min(num_bg);
+            let mut pins = Vec::with_capacity(deg);
+            for _ in 0..deg {
+                pins.push(CellId::new(bg_lo + rng.gen_range(0..num_bg)));
+            }
+            b.add_anonymous_net(pins);
+        }
+        // Spanning chain so the background is one connected component.
+        for i in bg_lo..n - 1 {
+            if rng.gen_bool(0.35) {
+                b.add_anonymous_net([CellId::new(i), CellId::new(i + 1)]);
+            }
+        }
+    }
+
+    // --- Planted blocks -------------------------------------------------
+    let mut truth = Vec::with_capacity(config.blocks.len());
+    let mut offset = 0usize;
+    for &size in &config.blocks {
+        let members: Vec<CellId> = (offset..offset + size).map(CellId::new).collect();
+
+        // Dense short internal nets (2–4 pins: tangled structures are made
+        // of tightly wired small nets, not big fanout nets).
+        let internal = (size as f64 * config.internal_nets_per_cell) as usize;
+        for _ in 0..internal {
+            let deg = (2 + rng.gen_range(0..3)).min(size);
+            let mut pins = Vec::with_capacity(deg);
+            for _ in 0..deg {
+                pins.push(members[rng.gen_range(0..size)]);
+            }
+            b.add_anonymous_net(pins);
+        }
+        // Spanning chain: the structure is one connected piece of logic.
+        for w in members.windows(2) {
+            b.add_anonymous_net([w[0], w[1]]);
+        }
+        // A handful of boundary nets to the background.
+        if num_bg > 0 {
+            for _ in 0..config.external_links_per_block {
+                let inside = members[rng.gen_range(0..size)];
+                let outside = CellId::new(bg_lo + rng.gen_range(0..num_bg));
+                b.add_anonymous_net([inside, outside]);
+            }
+        }
+
+        truth.push(members);
+        offset += size;
+    }
+
+    GeneratedCircuit {
+        name: format!(
+            "planted-{}c-{}",
+            config.num_cells,
+            config
+                .blocks
+                .iter()
+                .map(|b| b.to_string())
+                .collect::<Vec<_>>()
+                .join("+")
+        ),
+        netlist: b.finish(),
+        truth,
+    }
+}
+
+/// The four random-graph cases of the paper's Table 1, scaled by `scale`
+/// (1.0 = paper sizes: 10K/100K/100K/800K cells).
+///
+/// | case | `\|V\|`  | planted GTLs    |
+/// |------|------|-----------------|
+/// | 1    | 10K  | 500 × 1         |
+/// | 2    | 100K | 2K × 1 + 15K × 1|
+/// | 3    | 100K | 5K × 1          |
+/// | 4    | 800K | 40K × 6         |
+///
+/// # Panics
+///
+/// Panics unless `0 < scale <= 1`.
+pub fn table1_cases(scale: f64) -> Vec<PlantedConfig> {
+    assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+    let s = |v: usize| ((v as f64 * scale) as usize).max(16);
+    vec![
+        PlantedConfig {
+            num_cells: s(10_000),
+            blocks: vec![s(500)],
+            seed: 1,
+            ..PlantedConfig::default()
+        },
+        PlantedConfig {
+            num_cells: s(100_000),
+            blocks: vec![s(2_000), s(15_000)],
+            seed: 2,
+            ..PlantedConfig::default()
+        },
+        PlantedConfig {
+            num_cells: s(100_000),
+            blocks: vec![s(5_000)],
+            seed: 3,
+            ..PlantedConfig::default()
+        },
+        PlantedConfig {
+            num_cells: s(800_000),
+            blocks: vec![s(40_000); 6],
+            seed: 4,
+            ..PlantedConfig::default()
+        },
+    ]
+}
+
+/// The 250K-cell / one 40K-GTL instance used for the paper's Figures 2–3,
+/// scaled by `scale`.
+///
+/// # Panics
+///
+/// Panics unless `0 < scale <= 1`.
+pub fn figure2_case(scale: f64) -> PlantedConfig {
+    assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+    let s = |v: usize| ((v as f64 * scale) as usize).max(16);
+    PlantedConfig {
+        num_cells: s(250_000),
+        blocks: vec![s(40_000)],
+        seed: 23,
+        ..PlantedConfig::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtl_netlist::{CellSet, SubsetStats};
+
+    #[test]
+    fn counts_and_validity() {
+        let g = generate(&PlantedConfig {
+            num_cells: 3_000,
+            blocks: vec![200, 100],
+            seed: 5,
+            ..PlantedConfig::default()
+        });
+        assert_eq!(g.netlist.num_cells(), 3_000);
+        assert_eq!(g.planted_cells(), 300);
+        g.netlist.validate().unwrap();
+    }
+
+    #[test]
+    fn blocks_are_disjoint_ranges() {
+        let g = generate(&PlantedConfig {
+            num_cells: 1_000,
+            blocks: vec![60, 40],
+            seed: 6,
+            ..PlantedConfig::default()
+        });
+        let a: CellSet = g.truth[0].iter().copied().collect();
+        assert!(g.truth[1].iter().all(|c| c.index() >= 60));
+        assert_eq!(a.len(), 60);
+    }
+
+    #[test]
+    fn planted_block_has_low_cut_and_high_density() {
+        let g = generate(&PlantedConfig {
+            num_cells: 5_000,
+            blocks: vec![400],
+            seed: 7,
+            ..PlantedConfig::default()
+        });
+        let set = CellSet::from_cells(g.netlist.num_cells(), g.truth[0].iter().copied());
+        let stats = SubsetStats::compute(&g.netlist, &set);
+        // Cut is just the external links; internal pin density beats A(G).
+        assert!(stats.cut <= 2 * 8, "cut {}", stats.cut);
+        assert!(stats.avg_pins_per_cell() > g.netlist.avg_pins_per_cell());
+    }
+
+    #[test]
+    fn block_is_connected() {
+        let g = generate(&PlantedConfig {
+            num_cells: 500,
+            blocks: vec![50],
+            seed: 8,
+            ..PlantedConfig::default()
+        });
+        // BFS within the block only.
+        let set = CellSet::from_cells(g.netlist.num_cells(), g.truth[0].iter().copied());
+        let mut seen = CellSet::new(g.netlist.num_cells());
+        let mut stack = vec![g.truth[0][0]];
+        seen.insert(g.truth[0][0]);
+        while let Some(u) = stack.pop() {
+            for &net in g.netlist.cell_nets(u) {
+                for &v in g.netlist.net_cells(net) {
+                    if set.contains(v) && seen.insert(v) {
+                        stack.push(v);
+                    }
+                }
+            }
+        }
+        assert_eq!(seen.intersection_len(&set), 50);
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = PlantedConfig { num_cells: 800, blocks: vec![80], seed: 9, ..Default::default() };
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.netlist.num_nets(), b.netlist.num_nets());
+        assert_eq!(a.netlist.num_pins(), b.netlist.num_pins());
+    }
+
+    #[test]
+    fn table1_cases_match_paper_shape() {
+        let cases = table1_cases(1.0);
+        assert_eq!(cases.len(), 4);
+        assert_eq!(cases[0].num_cells, 10_000);
+        assert_eq!(cases[0].blocks, vec![500]);
+        assert_eq!(cases[1].blocks, vec![2_000, 15_000]);
+        assert_eq!(cases[3].num_cells, 800_000);
+        assert_eq!(cases[3].blocks.len(), 6);
+        let scaled = table1_cases(0.01);
+        assert_eq!(scaled[0].num_cells, 100);
+    }
+
+    #[test]
+    fn figure2_case_shape() {
+        let c = figure2_case(1.0);
+        assert_eq!(c.num_cells, 250_000);
+        assert_eq!(c.blocks, vec![40_000]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed num_cells")]
+    fn oversized_blocks_panic() {
+        generate(&PlantedConfig {
+            num_cells: 100,
+            blocks: vec![80, 40],
+            ..PlantedConfig::default()
+        });
+    }
+
+    #[test]
+    fn no_background_all_planted() {
+        let g = generate(&PlantedConfig {
+            num_cells: 100,
+            blocks: vec![100],
+            seed: 10,
+            ..PlantedConfig::default()
+        });
+        g.netlist.validate().unwrap();
+        assert_eq!(g.planted_cells(), 100);
+    }
+
+    #[test]
+    fn finder_recovers_planted_block() {
+        // End-to-end sanity: the tangled finder recovers the planted GTL.
+        let g = generate(&PlantedConfig {
+            num_cells: 2_000,
+            blocks: vec![150],
+            seed: 11,
+            ..PlantedConfig::default()
+        });
+        let config = gtl_tangled::FinderConfig {
+            num_seeds: 20,
+            min_size: 20,
+            max_order_len: 600,
+            rng_seed: 1,
+            ..gtl_tangled::FinderConfig::default()
+        };
+        let result = gtl_tangled::TangledLogicFinder::new(&g.netlist, config).run();
+        let found: Vec<Vec<_>> = result.gtls.iter().map(|g| g.cells.clone()).collect();
+        let report = gtl_tangled::match_gtls(&g.truth, &found, g.netlist.num_cells());
+        assert!(report.all_found(), "missed: {:?}", report.missed_truths);
+        assert!(report.max_miss_pct() < 5.0, "miss {}", report.max_miss_pct());
+        assert!(report.max_over_pct() < 10.0, "over {}", report.max_over_pct());
+    }
+}

@@ -1,0 +1,253 @@
+//! Conventional bottom-up clustering, for contrast with GTL detection.
+//!
+//! The paper's Chapter II distinguishes GTL detection from classical
+//! clustering on two axes: conventional clusters are *small* (2–10 cells,
+//! a problem-size reduction device) and *exhaustive* (every cell belongs
+//! to a cluster). This module implements a FirstChoice-style edge-
+//! coarsening clusterer with exactly those properties, so examples and
+//! benches can show side by side why it cannot answer the paper's
+//! question: it happily chops a 32K-cell dissolved ROM into thousands of
+//! 4-cell clusters, none of which reveals the structure.
+
+use gtl_netlist::{CellId, Netlist};
+
+/// Parameters of the FirstChoice clusterer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterConfig {
+    /// Maximum cells per cluster (conventional clustering: 2–10).
+    pub max_cluster_size: usize,
+    /// Nets larger than this are ignored when scoring affinity (standard
+    /// coarsening practice; fanout nets carry no locality signal).
+    pub max_net_degree: usize,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self { max_cluster_size: 4, max_net_degree: 16 }
+    }
+}
+
+/// An exhaustive clustering: every cell belongs to exactly one cluster.
+#[derive(Debug, Clone)]
+pub struct Clustering {
+    /// Cluster index of each cell.
+    labels: Vec<u32>,
+    /// Member lists, indexed by cluster.
+    clusters: Vec<Vec<CellId>>,
+}
+
+impl Clustering {
+    /// Number of clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Cluster index of `cell`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is out of bounds.
+    pub fn cluster_of(&self, cell: CellId) -> usize {
+        self.labels[cell.index()] as usize
+    }
+
+    /// Members of cluster `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn members(&self, index: usize) -> &[CellId] {
+        &self.clusters[index]
+    }
+
+    /// Iterator over all clusters.
+    pub fn iter(&self) -> impl Iterator<Item = &[CellId]> {
+        self.clusters.iter().map(Vec::as_slice)
+    }
+
+    /// Average cluster size.
+    pub fn mean_size(&self) -> f64 {
+        if self.clusters.is_empty() {
+            0.0
+        } else {
+            self.labels.len() as f64 / self.clusters.len() as f64
+        }
+    }
+}
+
+/// Clusters `netlist` bottom-up: cells are visited in id order; an
+/// unmatched cell joins the neighboring cluster with the highest total
+/// edge affinity (`1/(|e|−1)` per shared net) that still has room.
+///
+/// Every cell is assigned (conventional clustering covers the netlist);
+/// cells with no eligible neighbor become singletons.
+///
+/// # Example
+///
+/// ```
+/// use gtl_netlist::NetlistBuilder;
+/// use gtl_tangled::baseline_cluster::{cluster, ClusterConfig};
+///
+/// let mut b = NetlistBuilder::new();
+/// let cells: Vec<_> = (0..8).map(|i| b.add_cell(format!("c{i}"), 1.0)).collect();
+/// for w in cells.windows(2) {
+///     b.add_anonymous_net([w[0], w[1]]);
+/// }
+/// let nl = b.finish();
+/// let clustering = cluster(&nl, &ClusterConfig::default());
+/// assert_eq!(clustering.num_clusters(), 2); // 8 cells into 4-cell clusters
+/// ```
+pub fn cluster(netlist: &Netlist, config: &ClusterConfig) -> Clustering {
+    let n = netlist.num_cells();
+    const UNASSIGNED: u32 = u32::MAX;
+    let mut labels = vec![UNASSIGNED; n];
+    let mut cluster_size: Vec<usize> = Vec::new();
+    // Scratch affinity accumulator keyed by cluster id.
+    let mut affinity: Vec<f64> = Vec::new();
+    let mut touched: Vec<u32> = Vec::new();
+
+    for cell in netlist.cells() {
+        if labels[cell.index()] != UNASSIGNED {
+            continue;
+        }
+        // Score neighboring clusters.
+        for &net in netlist.cell_nets(cell) {
+            let deg = netlist.net_degree(net);
+            if deg < 2 || deg > config.max_net_degree {
+                continue;
+            }
+            let w = 1.0 / (deg - 1) as f64;
+            for &u in netlist.net_cells(net) {
+                let lu = labels[u.index()];
+                if u == cell || lu == UNASSIGNED {
+                    continue;
+                }
+                if cluster_size[lu as usize] >= config.max_cluster_size {
+                    continue;
+                }
+                if affinity.len() <= lu as usize {
+                    affinity.resize(lu as usize + 1, 0.0);
+                }
+                if affinity[lu as usize] == 0.0 {
+                    touched.push(lu);
+                }
+                affinity[lu as usize] += w;
+            }
+        }
+        // Pick the best cluster (ties: lower cluster id for determinism).
+        let mut best: Option<(f64, u32)> = None;
+        for &c in &touched {
+            let a = affinity[c as usize];
+            let better = match best {
+                None => true,
+                Some((ba, bc)) => a > ba || (a == ba && c < bc),
+            };
+            if better {
+                best = Some((a, c));
+            }
+        }
+        for c in touched.drain(..) {
+            affinity[c as usize] = 0.0;
+        }
+        match best {
+            Some((_, c)) => {
+                labels[cell.index()] = c;
+                cluster_size[c as usize] += 1;
+            }
+            None => {
+                labels[cell.index()] = cluster_size.len() as u32;
+                cluster_size.push(1);
+            }
+        }
+    }
+
+    let mut clusters: Vec<Vec<CellId>> = vec![Vec::new(); cluster_size.len()];
+    for cell in netlist.cells() {
+        clusters[labels[cell.index()] as usize].push(cell);
+    }
+    Clustering { labels, clusters }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtl_netlist::NetlistBuilder;
+
+    #[test]
+    fn covers_every_cell_exactly_once() {
+        let (nl, _) = crate::testutil::cliques_in_background(300, &[(50, 20)], 3);
+        let clustering = cluster(&nl, &ClusterConfig::default());
+        let mut seen = vec![false; nl.num_cells()];
+        for members in clustering.iter() {
+            for &c in members {
+                assert!(!seen[c.index()], "cell {c} in two clusters");
+                seen[c.index()] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "uncovered cells");
+    }
+
+    #[test]
+    fn respects_max_cluster_size() {
+        let (nl, _) = crate::testutil::cliques_in_background(300, &[(50, 20)], 3);
+        let config = ClusterConfig { max_cluster_size: 3, ..ClusterConfig::default() };
+        let clustering = cluster(&nl, &config);
+        for members in clustering.iter() {
+            assert!(members.len() <= 3);
+        }
+        assert!(clustering.mean_size() <= 3.0);
+    }
+
+    #[test]
+    fn chain_pairs_up() {
+        let mut b = NetlistBuilder::new();
+        let cells: Vec<_> = (0..6).map(|i| b.add_cell(format!("c{i}"), 1.0)).collect();
+        for w in cells.windows(2) {
+            b.add_anonymous_net([w[0], w[1]]);
+        }
+        let nl = b.finish();
+        let clustering = cluster(&nl, &ClusterConfig { max_cluster_size: 2, max_net_degree: 16 });
+        assert_eq!(clustering.num_clusters(), 3);
+        assert_eq!(clustering.cluster_of(cells[0]), clustering.cluster_of(cells[1]));
+    }
+
+    #[test]
+    fn isolated_cells_become_singletons() {
+        let mut b = NetlistBuilder::new();
+        b.add_anonymous_cells(4);
+        let nl = b.finish();
+        let clustering = cluster(&nl, &ClusterConfig::default());
+        assert_eq!(clustering.num_clusters(), 4);
+    }
+
+    #[test]
+    fn big_fanout_nets_ignored() {
+        // A 20-pin net (above max_net_degree 16) must not merge anything.
+        let mut b = NetlistBuilder::new();
+        let first = b.add_anonymous_cells(20);
+        b.add_anonymous_net((0..20).map(gtl_netlist::CellId::new));
+        let nl = b.finish();
+        let clustering = cluster(&nl, &ClusterConfig::default());
+        assert_eq!(clustering.num_clusters(), 20);
+        let _ = first;
+    }
+
+    #[test]
+    fn clustering_cannot_reveal_a_gtl() {
+        // The Chapter II point: conventional clustering chops a planted
+        // structure into many tiny clusters — no single cluster comes
+        // close to covering it.
+        let (nl, truth) = crate::testutil::cliques_in_background(400, &[(100, 40)], 5);
+        let clustering = cluster(&nl, &ClusterConfig::default());
+        let gtl: std::collections::HashSet<_> = truth[0].iter().copied().collect();
+        let best_coverage = clustering
+            .iter()
+            .map(|members| members.iter().filter(|c| gtl.contains(c)).count())
+            .max()
+            .unwrap();
+        assert!(
+            best_coverage <= ClusterConfig::default().max_cluster_size,
+            "a tiny cluster covered {best_coverage} GTL cells"
+        );
+    }
+}

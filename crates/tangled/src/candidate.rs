@@ -1,0 +1,354 @@
+//! Phase II: extracting a candidate GTL from a linear ordering.
+//!
+//! Every prefix of a Phase I ordering is a candidate group; plotting the
+//! chosen metric against prefix size gives curves like the paper's
+//! Figures 2 and 3. A *clear minimum* of that curve — a score well below
+//! the average-group value of 1.0 that rises again afterwards — marks the
+//! boundary of a tangled structure, and the minimizing prefix becomes the
+//! candidate GTL.
+//!
+//! The Rent exponent `p` needed by the metrics is estimated from the
+//! ordering itself by averaging the per-prefix estimates
+//! `(ln T − ln A_C)/ln |C|` (paper §3.2.2).
+//!
+//! # Example
+//!
+//! ```
+//! use gtl_netlist::NetlistBuilder;
+//! use gtl_tangled::{CandidateConfig, GrowthConfig, OrderingGrower};
+//! use gtl_tangled::candidate::extract_candidate;
+//!
+//! // A 6-clique embedded in a scrambled sparse background.
+//! let mut b = NetlistBuilder::new();
+//! let cells: Vec<_> = (0..60).map(|i| b.add_cell(format!("c{i}"), 1.0)).collect();
+//! for i in 0..6 {
+//!     for j in (i + 1)..6 {
+//!         b.add_anonymous_net([cells[i], cells[j]]);
+//!     }
+//! }
+//! // Scrambled background wiring between the non-clique cells, plus one
+//! // link tying the clique to the rest.
+//! for i in 8..60 {
+//!     b.add_anonymous_net([cells[i], cells[8 + (i * 7 + 11) % (60 - 8)]]);
+//!     b.add_anonymous_net([cells[i], cells[8 + (i * 13 + 29) % (60 - 8)]]);
+//! }
+//! b.add_anonymous_net([cells[5], cells[30]]);
+//! let nl = b.finish();
+//!
+//! let mut grower = OrderingGrower::new(&nl, GrowthConfig::default());
+//! let ordering = grower.grow(cells[0]);
+//! let config = CandidateConfig { min_size: 3, max_size: 30, ..CandidateConfig::default() };
+//! let cand = extract_candidate(&ordering, nl.avg_pins_per_cell(), &config);
+//! assert!(cand.is_some());
+//! assert_eq!(cand.unwrap().cells.len(), 6); // the clique
+//! ```
+
+use gtl_netlist::{CellId, SubsetStats};
+
+use crate::metrics::{self, DesignContext, MetricKind};
+use crate::ordering::LinearOrdering;
+
+/// Fallback Rent exponent when an ordering yields no valid estimate
+/// (typical standard-cell designs sit near this value).
+pub const DEFAULT_RENT_EXPONENT: f64 = 0.6;
+
+/// Parameters for candidate extraction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CandidateConfig {
+    /// Metric whose minimum is sought.
+    pub metric: MetricKind,
+    /// Smallest group size considered (the paper ignores "tiny clusters
+    /// with a handful of cells").
+    pub min_size: usize,
+    /// The minimum must score below this to count as a GTL (average groups
+    /// score ≈ 1.0; strong GTLs ≪ 1).
+    pub accept_threshold: f64,
+    /// The curve must rise to at least `prominence × minimum` after the
+    /// minimum — otherwise the curve is still falling and there is no
+    /// *clear* minimum.
+    pub prominence: f64,
+    /// Largest group size considered; the paper seeks structures, not
+    /// "partitions that consume a huge chunk of the circuit". The finder
+    /// sets this to half the netlist by default.
+    pub max_size: usize,
+    /// Fixed Rent exponent; when `None` it is estimated from the ordering.
+    pub rent_exponent: Option<f64>,
+}
+
+impl Default for CandidateConfig {
+    fn default() -> Self {
+        Self {
+            metric: MetricKind::default(),
+            min_size: 30,
+            accept_threshold: 0.9,
+            prominence: 1.2,
+            max_size: usize::MAX,
+            rent_exponent: None,
+        }
+    }
+}
+
+/// A candidate GTL: the score-minimizing prefix of one linear ordering.
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Candidate {
+    /// The member cells (prefix of the ordering, in agglomeration order).
+    pub cells: Vec<CellId>,
+    /// Connectivity statistics of the group.
+    pub stats: SubsetStats,
+    /// Score under the configured metric.
+    pub score: f64,
+    /// Rent exponent used for scoring.
+    pub rent_exponent: f64,
+    /// Index `k` of the minimum within the ordering (group = first `k+1`).
+    pub minimum_index: usize,
+}
+
+/// A sampled metric-versus-size curve, as plotted in Figures 2, 3 and 5.
+#[derive(Debug, Clone, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ScoreCurve {
+    /// Group sizes `|C|` (x axis).
+    pub sizes: Vec<usize>,
+    /// Metric values (y axis), parallel to `sizes`.
+    pub scores: Vec<f64>,
+    /// The Rent exponent the scores were computed with.
+    pub rent_exponent: f64,
+}
+
+impl ScoreCurve {
+    /// Index of the smallest score, or `None` if the curve is empty.
+    pub fn argmin(&self) -> Option<usize> {
+        self.scores
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+    }
+}
+
+/// Estimates the Rent exponent of an ordering by averaging the per-prefix
+/// estimates (paper §3.2.2), clamped to `(0, 1]`.
+///
+/// Returns [`DEFAULT_RENT_EXPONENT`] when no prefix yields a valid
+/// estimate.
+pub fn estimate_ordering_rent_exponent(ordering: &LinearOrdering) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for k in 0..ordering.len() {
+        if let Some(p) = metrics::estimate_rent_exponent(&ordering.stats_at(k)) {
+            if p.is_finite() && p > 0.0 {
+                sum += p.min(1.0);
+                n += 1;
+            }
+        }
+    }
+    if n == 0 {
+        DEFAULT_RENT_EXPONENT
+    } else {
+        sum / n as f64
+    }
+}
+
+/// Computes the full metric curve over all prefixes of `ordering`.
+///
+/// `avg_pins_per_cell` is the design's `A(G)`. The Rent exponent comes from
+/// `config.rent_exponent` or is estimated from the ordering.
+pub fn score_curve(
+    ordering: &LinearOrdering,
+    avg_pins_per_cell: f64,
+    config: &CandidateConfig,
+) -> ScoreCurve {
+    let p = config
+        .rent_exponent
+        .unwrap_or_else(|| estimate_ordering_rent_exponent(ordering));
+    let ctx = DesignContext { avg_pins_per_cell, rent_exponent: p };
+    let mut curve = ScoreCurve {
+        sizes: Vec::with_capacity(ordering.len()),
+        scores: Vec::with_capacity(ordering.len()),
+        rent_exponent: p,
+    };
+    for k in 0..ordering.len() {
+        let stats = ordering.stats_at(k);
+        curve.sizes.push(stats.size);
+        curve.scores.push(config.metric.score(&stats, &ctx));
+    }
+    curve
+}
+
+/// Extracts the candidate GTL from an ordering, if its score curve has a
+/// clear minimum (paper §3.2.2).
+///
+/// Returns `None` when
+/// * the ordering is shorter than `config.min_size`,
+/// * the best score is not below `config.accept_threshold`, or
+/// * the curve never rises to `prominence × minimum` after the minimum
+///   (the flat/decreasing curves of a seed outside any GTL).
+pub fn extract_candidate(
+    ordering: &LinearOrdering,
+    avg_pins_per_cell: f64,
+    config: &CandidateConfig,
+) -> Option<Candidate> {
+    if ordering.len() < config.min_size.max(2) {
+        return None;
+    }
+    let curve = score_curve(ordering, avg_pins_per_cell, config);
+    let lo = config.min_size.saturating_sub(1);
+    let hi = config.max_size.min(curve.scores.len());
+    if lo >= hi {
+        return None;
+    }
+
+    // Global minimum over eligible prefixes. A prefix with cut 0 is a whole
+    // connected component, not a structure boundary — skip it.
+    let (k_min, s_min) = curve.scores[lo..hi]
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| ordering.cut_at(i + lo) > 0)
+        .min_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, &s)| (i + lo, s))?;
+
+    if !s_min.is_finite() || s_min >= config.accept_threshold {
+        return None;
+    }
+    // The minimum is "clear" only if the curve rises afterwards: a seed
+    // outside any GTL produces a flat or still-decreasing curve.
+    let rises = curve.scores[k_min + 1..]
+        .iter()
+        .any(|&s| s >= config.prominence * s_min);
+    if !rises {
+        return None;
+    }
+
+    Some(Candidate {
+        cells: ordering.prefix(k_min),
+        stats: ordering.stats_at(k_min),
+        score: s_min,
+        rent_exponent: curve.rent_exponent,
+        minimum_index: k_min,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ordering::{GrowthConfig, OrderingGrower};
+    use crate::testutil::cliques_in_background;
+    use gtl_netlist::{Netlist, NetlistBuilder};
+
+    fn grow(nl: &Netlist, seed: CellId) -> LinearOrdering {
+        OrderingGrower::new(nl, GrowthConfig::default()).grow(seed)
+    }
+
+    #[test]
+    fn finds_clique_as_minimum() {
+        let (nl, truth) = cliques_in_background(200, &[(10, 12)], 1);
+        let ord = grow(&nl, truth[0][0]);
+        let config = CandidateConfig { min_size: 4, ..CandidateConfig::default() };
+        let cand = extract_candidate(&ord, nl.avg_pins_per_cell(), &config).expect("candidate");
+        assert_eq!(cand.cells.len(), 12, "score {}", cand.score);
+        assert!(cand.score < 0.5);
+    }
+
+    #[test]
+    fn no_candidate_without_structure() {
+        // A bare random background has no tangled structure.
+        let (nl, _) = cliques_in_background(200, &[], 2);
+        let ord = grow(&nl, CellId::new(100));
+        let config = CandidateConfig { min_size: 4, ..CandidateConfig::default() };
+        let cand = extract_candidate(&ord, nl.avg_pins_per_cell(), &config);
+        // Either nothing, or nothing *strong*: a random graph must never
+        // look like a GTL (score ≪ 1).
+        assert!(cand.map_or(true, |c| c.score > 0.3), "random graph scored as strong GTL");
+    }
+
+    #[test]
+    fn short_ordering_rejected() {
+        let (nl, truth) = cliques_in_background(50, &[(0, 4)], 3);
+        let ord = grow(&nl, truth[0][0]);
+        let config = CandidateConfig { min_size: 60, ..CandidateConfig::default() };
+        assert!(extract_candidate(&ord, nl.avg_pins_per_cell(), &config).is_none());
+    }
+
+    #[test]
+    fn max_size_cap_respected() {
+        let (nl, truth) = cliques_in_background(200, &[(10, 12)], 1);
+        let ord = grow(&nl, truth[0][0]);
+        let config =
+            CandidateConfig { min_size: 4, max_size: 8, ..CandidateConfig::default() };
+        if let Some(c) = extract_candidate(&ord, nl.avg_pins_per_cell(), &config) {
+            assert!(c.cells.len() <= 8);
+        }
+    }
+
+    #[test]
+    fn threshold_rejects_weak_minimum() {
+        let (nl, truth) = cliques_in_background(200, &[(10, 12)], 1);
+        let ord = grow(&nl, truth[0][0]);
+        let config = CandidateConfig {
+            min_size: 4,
+            accept_threshold: 1e-9, // nothing is this tangled
+            ..CandidateConfig::default()
+        };
+        assert!(extract_candidate(&ord, nl.avg_pins_per_cell(), &config).is_none());
+    }
+
+    #[test]
+    fn fixed_rent_exponent_used() {
+        let (nl, truth) = cliques_in_background(200, &[(10, 12)], 1);
+        let ord = grow(&nl, truth[0][0]);
+        let config = CandidateConfig {
+            min_size: 4,
+            rent_exponent: Some(0.77),
+            ..CandidateConfig::default()
+        };
+        let cand = extract_candidate(&ord, nl.avg_pins_per_cell(), &config).unwrap();
+        assert_eq!(cand.rent_exponent, 0.77);
+        let curve = score_curve(&ord, nl.avg_pins_per_cell(), &config);
+        assert_eq!(curve.rent_exponent, 0.77);
+    }
+
+    #[test]
+    fn curve_shape_matches_paper_figure2() {
+        // Inside a planted structure the curve dips at the structure size
+        // and rises afterwards (paper Figure 2's "inside" curve).
+        let (nl, truth) = cliques_in_background(300, &[(50, 14)], 4);
+        let ord = OrderingGrower::new(
+            &nl,
+            GrowthConfig { max_len: 100, ..GrowthConfig::default() },
+        )
+        .grow(truth[0][3]);
+        let config = CandidateConfig { min_size: 3, ..CandidateConfig::default() };
+        let curve = score_curve(&ord, nl.avg_pins_per_cell(), &config);
+        let k = curve.argmin().unwrap();
+        assert!((12..=16).contains(&curve.sizes[k]), "min at size {}", curve.sizes[k]);
+        assert!(curve.scores[k] < *curve.scores.last().unwrap());
+    }
+
+    #[test]
+    fn rent_estimate_reasonable() {
+        let (nl, truth) = cliques_in_background(200, &[(10, 12)], 1);
+        let ord = grow(&nl, truth[0][0]);
+        let p = estimate_ordering_rent_exponent(&ord);
+        assert!(p > 0.0 && p <= 1.0, "p = {p}");
+    }
+
+    #[test]
+    fn rent_estimate_fallback_when_undefined() {
+        // Two isolated cells joined by one net: every prefix has cut 0 or
+        // size 1, so no valid estimate exists.
+        let mut b = NetlistBuilder::new();
+        let x = b.add_cell("x", 1.0);
+        let y = b.add_cell("y", 1.0);
+        b.add_anonymous_net([x, y]);
+        let nl = b.finish();
+        let ord = grow(&nl, x);
+        assert_eq!(estimate_ordering_rent_exponent(&ord), DEFAULT_RENT_EXPONENT);
+    }
+
+    #[test]
+    fn empty_curve_argmin() {
+        assert!(ScoreCurve::default().argmin().is_none());
+    }
+}

@@ -1,0 +1,200 @@
+//! Evaluation against known ground truth (paper Table 1, columns 9–10).
+//!
+//! On synthetic graphs the planted GTLs are known, so each discovered
+//! group can be matched to the truth it overlaps most and scored by
+//!
+//! * **Miss%** — planted cells the finder failed to include, and
+//! * **Over%** — extra cells the finder wrongly included,
+//!
+//! both relative to the planted group's size.
+
+use gtl_netlist::{CellId, CellSet};
+
+/// One matched (planted, found) pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct GtlMatch {
+    /// Index into the ground-truth list.
+    pub truth_index: usize,
+    /// Index into the found list.
+    pub found_index: usize,
+    /// Size of the planted group.
+    pub truth_size: usize,
+    /// Size of the found group.
+    pub found_size: usize,
+    /// Percentage of planted cells missing from the found group.
+    pub miss_pct: f64,
+    /// Percentage of found cells that are not planted, relative to the
+    /// planted size (the paper's "Over" column).
+    pub over_pct: f64,
+}
+
+/// Result of matching found GTLs against ground truth.
+#[derive(Debug, Clone, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct MatchReport {
+    /// Matched pairs, one per truth group that was recovered.
+    pub matches: Vec<GtlMatch>,
+    /// Indices of planted groups no found group overlaps.
+    pub missed_truths: Vec<usize>,
+    /// Indices of found groups that overlap no planted group.
+    pub spurious_found: Vec<usize>,
+}
+
+impl MatchReport {
+    /// Largest miss percentage over all matches (0.0 when empty).
+    pub fn max_miss_pct(&self) -> f64 {
+        self.matches.iter().map(|m| m.miss_pct).fold(0.0, f64::max)
+    }
+
+    /// Largest over percentage over all matches (0.0 when empty).
+    pub fn max_over_pct(&self) -> f64 {
+        self.matches.iter().map(|m| m.over_pct).fold(0.0, f64::max)
+    }
+
+    /// Whether every planted group was recovered.
+    pub fn all_found(&self) -> bool {
+        self.missed_truths.is_empty()
+    }
+}
+
+/// Greedily matches found groups to planted groups by descending overlap.
+///
+/// Each truth and each found group participates in at most one match; a
+/// pair must share at least one cell to match. `universe` is the netlist
+/// cell count.
+///
+/// # Example
+///
+/// ```
+/// use gtl_netlist::CellId;
+/// use gtl_tangled::match_gtls;
+///
+/// let truth = vec![(0..10).map(CellId::new).collect::<Vec<_>>()];
+/// let found = vec![(1..12).map(CellId::new).collect::<Vec<_>>()];
+/// let report = match_gtls(&truth, &found, 20);
+/// let m = report.matches[0];
+/// assert!((m.miss_pct - 10.0).abs() < 1e-9);  // cell 0 missed
+/// assert!((m.over_pct - 20.0).abs() < 1e-9);  // cells 10, 11 extra
+/// ```
+pub fn match_gtls(
+    truths: &[Vec<CellId>],
+    found: &[Vec<CellId>],
+    universe: usize,
+) -> MatchReport {
+    let truth_sets: Vec<CellSet> =
+        truths.iter().map(|t| CellSet::from_cells(universe, t.iter().copied())).collect();
+    let found_sets: Vec<CellSet> =
+        found.iter().map(|f| CellSet::from_cells(universe, f.iter().copied())).collect();
+
+    // All overlapping pairs, best overlap first (ties: lower indices).
+    let mut pairs: Vec<(usize, usize, usize)> = Vec::new();
+    for (ti, t) in truth_sets.iter().enumerate() {
+        for (fi, f) in found_sets.iter().enumerate() {
+            let overlap = t.intersection_len(f);
+            if overlap > 0 {
+                pairs.push((overlap, ti, fi));
+            }
+        }
+    }
+    pairs.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+
+    let mut truth_used = vec![false; truths.len()];
+    let mut found_used = vec![false; found.len()];
+    let mut matches = Vec::new();
+    for (overlap, ti, fi) in pairs {
+        if truth_used[ti] || found_used[fi] {
+            continue;
+        }
+        truth_used[ti] = true;
+        found_used[fi] = true;
+        let tsize = truth_sets[ti].len();
+        let fsize = found_sets[fi].len();
+        matches.push(GtlMatch {
+            truth_index: ti,
+            found_index: fi,
+            truth_size: tsize,
+            found_size: fsize,
+            miss_pct: 100.0 * (tsize - overlap) as f64 / tsize as f64,
+            over_pct: 100.0 * (fsize - overlap) as f64 / tsize as f64,
+        });
+    }
+    matches.sort_by_key(|m| m.truth_index);
+
+    MatchReport {
+        matches,
+        missed_truths: (0..truths.len()).filter(|&i| !truth_used[i]).collect(),
+        spurious_found: (0..found.len()).filter(|&i| !found_used[i]).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(range: std::ops::Range<usize>) -> Vec<CellId> {
+        range.map(CellId::new).collect()
+    }
+
+    #[test]
+    fn perfect_recovery() {
+        let truth = vec![ids(0..100), ids(200..300)];
+        let found = vec![ids(200..300), ids(0..100)];
+        let r = match_gtls(&truth, &found, 400);
+        assert!(r.all_found());
+        assert!(r.spurious_found.is_empty());
+        assert_eq!(r.max_miss_pct(), 0.0);
+        assert_eq!(r.max_over_pct(), 0.0);
+        assert_eq!(r.matches[0].found_index, 1);
+    }
+
+    #[test]
+    fn partial_overlap_percentages() {
+        let truth = vec![ids(0..50)];
+        let found = vec![ids(10..70)]; // 40 shared, 10 missed, 20 extra
+        let r = match_gtls(&truth, &found, 100);
+        let m = r.matches[0];
+        assert!((m.miss_pct - 20.0).abs() < 1e-9);
+        assert!((m.over_pct - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missed_and_spurious_reported() {
+        let truth = vec![ids(0..10), ids(50..60)];
+        let found = vec![ids(0..10), ids(80..90)];
+        let r = match_gtls(&truth, &found, 100);
+        assert_eq!(r.matches.len(), 1);
+        assert_eq!(r.missed_truths, [1]);
+        assert_eq!(r.spurious_found, [1]);
+        assert!(!r.all_found());
+    }
+
+    #[test]
+    fn best_overlap_wins() {
+        // Found group overlaps both truths; it must pair with the larger
+        // overlap (truth 1).
+        let truth = vec![ids(0..5), ids(5..30)];
+        let found = vec![ids(3..30)];
+        let r = match_gtls(&truth, &found, 50);
+        assert_eq!(r.matches.len(), 1);
+        assert_eq!(r.matches[0].truth_index, 1);
+    }
+
+    #[test]
+    fn one_found_matches_one_truth_only() {
+        // Two found groups overlap the same truth: only the better one
+        // matches, the other is spurious.
+        let truth = vec![ids(0..20)];
+        let found = vec![ids(0..19), ids(18..25)];
+        let r = match_gtls(&truth, &found, 50);
+        assert_eq!(r.matches.len(), 1);
+        assert_eq!(r.matches[0].found_index, 0);
+        assert_eq!(r.spurious_found, [1]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let r = match_gtls(&[], &[], 10);
+        assert!(r.matches.is_empty() && r.missed_truths.is_empty() && r.spurious_found.is_empty());
+    }
+}

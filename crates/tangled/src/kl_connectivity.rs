@@ -1,0 +1,302 @@
+//! (K,L)-connectivity — the Garbers–Prömel–Steger cluster notion the
+//! paper's Chapter II reviews (related work #6).
+//!
+//! Two cells are **(K,L)-connected** when K edge-disjoint paths of length
+//! at most L connect them; a cluster is (K,L)-connected when every member
+//! pair is. The paper rejects this as a GTL criterion for two reasons
+//! this module lets you verify directly: such clusters can still have a
+//! large cut, and the property is expensive to evaluate (each pair costs
+//! a bounded max-flow).
+//!
+//! The implementation converts the hypergraph to its cell-adjacency graph
+//! (each net contributing edges between its pins) and runs a depth-bounded
+//! Ford–Fulkerson: repeatedly find an augmenting simple path of length
+//! ≤ L by depth-limited search over non-saturated edges.
+
+use std::collections::HashMap;
+
+use gtl_netlist::{CellId, CellSet, Netlist};
+
+/// Adjacency view used by the connectivity checks (deduplicated edges,
+/// each net of degree ≤ `max_net_degree` contributing pin-pair edges).
+#[derive(Debug, Clone)]
+pub struct AdjacencyGraph {
+    offsets: Vec<usize>,
+    targets: Vec<u32>,
+}
+
+impl AdjacencyGraph {
+    /// Builds the adjacency graph of `netlist`, skipping nets with more
+    /// than `max_net_degree` pins (fanout nets make everything trivially
+    /// "connected" and are skipped by the original heuristic too).
+    pub fn build(netlist: &Netlist, max_net_degree: usize) -> Self {
+        let n = netlist.num_cells();
+        let mut edges: HashMap<(u32, u32), ()> = HashMap::new();
+        for net in netlist.nets() {
+            let cells = netlist.net_cells(net);
+            if cells.len() < 2 || cells.len() > max_net_degree {
+                continue;
+            }
+            for i in 0..cells.len() {
+                for j in (i + 1)..cells.len() {
+                    let (a, b) = (cells[i].raw(), cells[j].raw());
+                    edges.insert((a.min(b), a.max(b)), ());
+                }
+            }
+        }
+        let mut counts = vec![0usize; n];
+        for &(a, b) in edges.keys() {
+            counts[a as usize] += 1;
+            counts[b as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0);
+        for c in &counts {
+            offsets.push(offsets.last().unwrap() + c);
+        }
+        let mut targets = vec![0u32; *offsets.last().unwrap()];
+        let mut cursor = offsets[..n].to_vec();
+        for &(a, b) in edges.keys() {
+            targets[cursor[a as usize]] = b;
+            cursor[a as usize] += 1;
+            targets[cursor[b as usize]] = a;
+            cursor[b as usize] += 1;
+        }
+        // Sort each adjacency list: the greedy path packing below is
+        // order-sensitive, and sorted neighbors make it deterministic.
+        let mut sorted = Self { offsets, targets };
+        for v in 0..n {
+            let (lo, hi) = (sorted.offsets[v], sorted.offsets[v + 1]);
+            sorted.targets[lo..hi].sort_unstable();
+        }
+        sorted
+    }
+
+    /// Neighbors of `cell`.
+    pub fn neighbors(&self, cell: CellId) -> &[u32] {
+        &self.targets[self.offsets[cell.index()]..self.offsets[cell.index() + 1]]
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+}
+
+/// Counts edge-disjoint paths of length ≤ `max_len` between `a` and `b`,
+/// stopping once `target_paths` are found.
+///
+/// This is a deterministic greedy packing (depth-limited search, then
+/// saturate the found path's edges) — a *lower bound* on the true number
+/// of length-bounded edge-disjoint paths. Finding the exact number is
+/// NP-hard for general length bounds, which is part of why the paper
+/// calls (K,L)-connectivity "very difficult to estimate"; Garbers et al.
+/// likewise used a heuristic.
+///
+/// # Panics
+///
+/// Panics if `a` or `b` are out of bounds for the graph.
+pub fn edge_disjoint_paths(
+    graph: &AdjacencyGraph,
+    a: CellId,
+    b: CellId,
+    max_len: usize,
+    target_paths: usize,
+) -> usize {
+    assert!(a.index() < graph.num_vertices() && b.index() < graph.num_vertices());
+    if a == b {
+        return target_paths; // trivially "connected" to itself
+    }
+    // Saturated edges as a hash set of ordered pairs.
+    let mut used: std::collections::HashSet<(u32, u32)> = std::collections::HashSet::new();
+    let mut found = 0usize;
+    let mut path: Vec<u32> = Vec::with_capacity(max_len + 1);
+    while found < target_paths {
+        path.clear();
+        path.push(a.raw());
+        let mut on_path = vec![false; graph.num_vertices()];
+        on_path[a.index()] = true;
+        if !dfs(graph, a.raw(), b.raw(), max_len, &mut used, &mut path, &mut on_path) {
+            break;
+        }
+        // Saturate the found path's edges (both directions).
+        for w in path.windows(2) {
+            used.insert((w[0], w[1]));
+            used.insert((w[1], w[0]));
+        }
+        found += 1;
+    }
+    found
+}
+
+fn dfs(
+    graph: &AdjacencyGraph,
+    u: u32,
+    goal: u32,
+    max_len: usize,
+    used: &mut std::collections::HashSet<(u32, u32)>,
+    path: &mut Vec<u32>,
+    on_path: &mut [bool],
+) -> bool {
+    if u == goal {
+        return true;
+    }
+    if path.len() > max_len {
+        return false;
+    }
+    for &v in graph.neighbors(CellId::from(u)) {
+        if on_path[v as usize] || used.contains(&(u, v)) {
+            continue;
+        }
+        path.push(v);
+        on_path[v as usize] = true;
+        if dfs(graph, v, goal, max_len, used, path, on_path) {
+            return true;
+        }
+        path.pop();
+        on_path[v as usize] = false;
+    }
+    false
+}
+
+/// Whether `a` and `b` are (K,L)-connected.
+///
+/// # Example
+///
+/// ```
+/// use gtl_netlist::NetlistBuilder;
+/// use gtl_tangled::kl_connectivity::{are_kl_connected, AdjacencyGraph};
+///
+/// // A 4-clique: any pair has 3 edge-disjoint paths of length ≤ 2.
+/// let mut b = NetlistBuilder::new();
+/// let cells: Vec<_> = (0..4).map(|i| b.add_cell(format!("c{i}"), 1.0)).collect();
+/// for i in 0..4 {
+///     for j in (i + 1)..4 {
+///         b.add_anonymous_net([cells[i], cells[j]]);
+///     }
+/// }
+/// let nl = b.finish();
+/// let graph = AdjacencyGraph::build(&nl, 16);
+/// assert!(are_kl_connected(&graph, cells[0], cells[3], 3, 2));
+/// assert!(!are_kl_connected(&graph, cells[0], cells[3], 4, 2));
+/// ```
+pub fn are_kl_connected(
+    graph: &AdjacencyGraph,
+    a: CellId,
+    b: CellId,
+    k: usize,
+    l: usize,
+) -> bool {
+    edge_disjoint_paths(graph, a, b, l, k) >= k
+}
+
+/// Whether every pair in `cluster` is (K,L)-connected — the Garbers
+/// cluster predicate. Cost is `O(|cluster|² × flow)`; the paper's point
+/// that this "tends to be very slow" is directly observable.
+pub fn is_cluster_kl_connected(
+    graph: &AdjacencyGraph,
+    cluster: &CellSet,
+    k: usize,
+    l: usize,
+) -> bool {
+    let members: Vec<CellId> = cluster.iter().collect();
+    for i in 0..members.len() {
+        for j in (i + 1)..members.len() {
+            if !are_kl_connected(graph, members[i], members[j], k, l) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtl_netlist::NetlistBuilder;
+
+    fn clique(n: usize) -> (Netlist, Vec<CellId>) {
+        let mut b = NetlistBuilder::new();
+        let cells: Vec<_> = (0..n).map(|i| b.add_cell(format!("c{i}"), 1.0)).collect();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                b.add_anonymous_net([cells[i], cells[j]]);
+            }
+        }
+        (b.finish(), cells)
+    }
+
+    #[test]
+    fn clique_pair_connectivity() {
+        let (nl, cells) = clique(5);
+        let g = AdjacencyGraph::build(&nl, 16);
+        // Direct edge + 3 length-2 detours = 4 edge-disjoint paths.
+        assert_eq!(edge_disjoint_paths(&g, cells[0], cells[1], 2, 10), 4);
+        assert!(are_kl_connected(&g, cells[0], cells[1], 4, 2));
+        assert!(!are_kl_connected(&g, cells[0], cells[1], 5, 2));
+    }
+
+    #[test]
+    fn chain_has_single_path() {
+        let mut b = NetlistBuilder::new();
+        let cells: Vec<_> = (0..5).map(|i| b.add_cell(format!("c{i}"), 1.0)).collect();
+        for w in cells.windows(2) {
+            b.add_anonymous_net([w[0], w[1]]);
+        }
+        let nl = b.finish();
+        let g = AdjacencyGraph::build(&nl, 16);
+        assert_eq!(edge_disjoint_paths(&g, cells[0], cells[4], 10, 5), 1);
+        assert_eq!(edge_disjoint_paths(&g, cells[0], cells[4], 3, 5), 0, "too short");
+    }
+
+    #[test]
+    fn whole_clique_is_kl_connected() {
+        let (nl, cells) = clique(5);
+        let g = AdjacencyGraph::build(&nl, 16);
+        let cluster = CellSet::from_cells(nl.num_cells(), cells.iter().copied());
+        assert!(is_cluster_kl_connected(&g, &cluster, 3, 2));
+        assert!(!is_cluster_kl_connected(&g, &cluster, 5, 2));
+    }
+
+    #[test]
+    fn kl_cluster_can_have_large_cut() {
+        // The paper's first objection: a (K,2)-connected cluster may have
+        // a huge cut. Build a clique whose every member also drives many
+        // external 2-pin nets.
+        let mut b = NetlistBuilder::new();
+        let members: Vec<_> = (0..5).map(|i| b.add_cell(format!("m{i}"), 1.0)).collect();
+        for i in 0..5 {
+            for j in (i + 1)..5 {
+                b.add_anonymous_net([members[i], members[j]]);
+            }
+        }
+        let outside_first = b.num_cells();
+        b.add_anonymous_cells(50);
+        for i in 0..50 {
+            b.add_anonymous_net([members[i % 5], CellId::new(outside_first + i)]);
+        }
+        let nl = b.finish();
+        let g = AdjacencyGraph::build(&nl, 16);
+        let cluster = CellSet::from_cells(nl.num_cells(), members.iter().copied());
+        assert!(is_cluster_kl_connected(&g, &cluster, 3, 2));
+        let stats = gtl_netlist::SubsetStats::compute(&nl, &cluster);
+        assert_eq!(stats.cut, 50, "(K,L)-connected but cut is huge");
+    }
+
+    #[test]
+    fn fanout_nets_skipped_in_adjacency() {
+        let mut b = NetlistBuilder::new();
+        b.add_anonymous_cells(30);
+        b.add_anonymous_net((0..30).map(CellId::new));
+        let nl = b.finish();
+        let g = AdjacencyGraph::build(&nl, 16);
+        assert!(g.neighbors(CellId::new(0)).is_empty());
+    }
+
+    #[test]
+    fn self_connectivity_trivial() {
+        let (nl, cells) = clique(3);
+        let g = AdjacencyGraph::build(&nl, 16);
+        assert!(are_kl_connected(&g, cells[0], cells[0], 100, 1));
+    }
+}

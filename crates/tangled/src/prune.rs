@@ -1,0 +1,121 @@
+//! Phase III (second half): pruning overlapping candidates.
+//!
+//! After refinement, the `m` parallel searches may have discovered the same
+//! structure several times. The paper keeps a disjoint set of winners:
+//! candidates are ranked by score and an inferior candidate overlapping an
+//! already-kept one is discarded (§3.2.3).
+//!
+//! Note on the paper's pseudocode: algorithm lines III.16–III.21 sort by
+//! non-increasing Φ and keep `P_i` only when nothing *after* it overlaps,
+//! which as written would discard a best-scoring candidate because a worse
+//! overlapping one exists. The stated intent ("if one has overlap with
+//! another and inferior GTL-Score, it is pruned out") is the standard
+//! best-first greedy, which is what this module implements.
+
+use gtl_netlist::CellSet;
+
+use crate::candidate::Candidate;
+
+/// Selects a best-first disjoint subset of candidates.
+///
+/// Candidates are sorted by ascending score (lower = more tangled =
+/// better); each is kept iff it shares no cell with a previously kept one.
+/// `universe` is the netlist cell count.
+///
+/// # Example
+///
+/// ```
+/// use gtl_netlist::{CellId, SubsetStats};
+/// use gtl_tangled::candidate::Candidate;
+/// use gtl_tangled::prune::prune_overlapping;
+///
+/// let mk = |cells: Vec<usize>, score: f64| Candidate {
+///     cells: cells.into_iter().map(CellId::new).collect(),
+///     stats: SubsetStats::default(),
+///     score,
+///     rent_exponent: 0.6,
+///     minimum_index: 0,
+/// };
+/// let kept = prune_overlapping(
+///     vec![mk(vec![0, 1, 2], 0.3), mk(vec![2, 3], 0.1), mk(vec![7, 8], 0.5)],
+///     10,
+/// );
+/// // The 0.1 candidate wins its overlap with the 0.3 one.
+/// let scores: Vec<f64> = kept.iter().map(|c| c.score).collect();
+/// assert_eq!(scores, [0.1, 0.5]);
+/// ```
+pub fn prune_overlapping(mut candidates: Vec<Candidate>, universe: usize) -> Vec<Candidate> {
+    candidates.sort_by(|a, b| a.score.total_cmp(&b.score).then(a.cells.cmp(&b.cells)));
+    let mut kept: Vec<Candidate> = Vec::new();
+    let mut covered = CellSet::new(universe);
+    'outer: for cand in candidates {
+        for &cell in &cand.cells {
+            if covered.contains(cell) {
+                continue 'outer;
+            }
+        }
+        for &cell in &cand.cells {
+            covered.insert(cell);
+        }
+        kept.push(cand);
+    }
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtl_netlist::{CellId, SubsetStats};
+
+    fn cand(cells: &[usize], score: f64) -> Candidate {
+        Candidate {
+            cells: cells.iter().map(|&i| CellId::new(i)).collect(),
+            stats: SubsetStats { size: cells.len(), ..SubsetStats::default() },
+            score,
+            rent_exponent: 0.6,
+            minimum_index: 0,
+        }
+    }
+
+    #[test]
+    fn disjoint_candidates_all_kept() {
+        let kept =
+            prune_overlapping(vec![cand(&[0, 1], 0.5), cand(&[2, 3], 0.2), cand(&[4], 0.9)], 10);
+        assert_eq!(kept.len(), 3);
+        // Sorted best-first.
+        assert!(kept[0].score <= kept[1].score && kept[1].score <= kept[2].score);
+    }
+
+    #[test]
+    fn overlap_keeps_better_score() {
+        let kept = prune_overlapping(vec![cand(&[0, 1, 2], 0.5), cand(&[2, 3, 4], 0.1)], 10);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].score, 0.1);
+    }
+
+    #[test]
+    fn chain_of_overlaps() {
+        // a(0.1) overlaps b(0.2); b overlaps c(0.3); a and c are disjoint.
+        // Best-first: keep a, drop b, keep c.
+        let kept = prune_overlapping(
+            vec![cand(&[0, 1], 0.1), cand(&[1, 2], 0.2), cand(&[2, 3], 0.3)],
+            10,
+        );
+        assert_eq!(kept.len(), 2);
+        assert_eq!(kept[0].score, 0.1);
+        assert_eq!(kept[1].score, 0.3);
+    }
+
+    #[test]
+    fn identical_scores_deterministic() {
+        let a = prune_overlapping(vec![cand(&[0, 1], 0.5), cand(&[1, 2], 0.5)], 10);
+        let b = prune_overlapping(vec![cand(&[1, 2], 0.5), cand(&[0, 1], 0.5)], 10);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].cells, b[0].cells, "tie-break must not depend on input order");
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(prune_overlapping(Vec::new(), 5).is_empty());
+    }
+}

@@ -1,0 +1,249 @@
+//! Phase III (first half): genetic-style candidate refinement.
+//!
+//! A candidate grown from a random seed can be slightly off — a seed near
+//! the boundary of a real GTL drags in outside cells. The paper's fix
+//! (§3.2.3, algorithm III.1–III.13): re-run Phases I–II from a few seeds
+//! *inside* the candidate, then close the family of groups under pairwise
+//! union, intersection and difference, and keep the best-scoring member.
+//!
+//! # Example
+//!
+//! ```
+//! use gtl_netlist::NetlistBuilder;
+//! use gtl_tangled::{CandidateConfig, GrowthConfig, OrderingGrower};
+//! use gtl_tangled::candidate::extract_candidate;
+//! use gtl_tangled::refine::{refine_candidate, RefineConfig};
+//! use rand::SeedableRng;
+//!
+//! // 8-clique in a scrambled sparse background; refinement keeps (or
+//! // improves) the clique candidate.
+//! let mut b = NetlistBuilder::new();
+//! let cells: Vec<_> = (0..80).map(|i| b.add_cell(format!("c{i}"), 1.0)).collect();
+//! for i in 0..8 {
+//!     for j in (i + 1)..8 {
+//!         b.add_anonymous_net([cells[i], cells[j]]);
+//!     }
+//! }
+//! // Scrambled background wiring between the non-clique cells, plus one
+//! // link tying the clique to the rest.
+//! for i in 8..80 {
+//!     b.add_anonymous_net([cells[i], cells[8 + (i * 7 + 11) % (80 - 8)]]);
+//!     b.add_anonymous_net([cells[i], cells[8 + (i * 13 + 29) % (80 - 8)]]);
+//! }
+//! b.add_anonymous_net([cells[5], cells[30]]);
+//! let nl = b.finish();
+//!
+//! let cand_cfg = CandidateConfig { min_size: 4, max_size: 40, ..CandidateConfig::default() };
+//! let mut grower = OrderingGrower::new(&nl, GrowthConfig::default());
+//! let ordering = grower.grow(cells[0]);
+//! let cand = extract_candidate(&ordering, nl.avg_pins_per_cell(), &cand_cfg).unwrap();
+//!
+//! let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+//! let refined = refine_candidate(
+//!     &nl, &mut grower, cand, &cand_cfg, &RefineConfig::default(), &mut rng,
+//! );
+//! assert!(refined.score <= 0.5);
+//! ```
+
+use gtl_netlist::{CellSet, Netlist, SubsetStats};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::candidate::{extract_candidate, Candidate, CandidateConfig};
+use crate::metrics::DesignContext;
+use crate::ordering::OrderingGrower;
+
+/// Parameters for Phase III refinement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct RefineConfig {
+    /// How many extra seeds inside the candidate to grow from (paper: 3).
+    pub extra_seeds: usize,
+}
+
+impl Default for RefineConfig {
+    fn default() -> Self {
+        Self { extra_seeds: 3 }
+    }
+}
+
+/// Refines `candidate` per the paper's Phase III and returns the best
+/// family member (possibly the original candidate itself).
+///
+/// Every family member is re-scored exactly (its cut is recomputed from
+/// the netlist, not from an ordering profile) using the candidate's Rent
+/// exponent, so members produced by set operations compete fairly.
+pub fn refine_candidate<R: Rng>(
+    netlist: &Netlist,
+    grower: &mut OrderingGrower<'_>,
+    candidate: Candidate,
+    candidate_config: &CandidateConfig,
+    config: &RefineConfig,
+    rng: &mut R,
+) -> Candidate {
+    let universe = netlist.num_cells();
+    let base = CellSet::from_cells(universe, candidate.cells.iter().copied());
+
+    // Grow siblings from random interior seeds (algorithm III.2–III.3).
+    let mut family: Vec<CellSet> = vec![base];
+    let interior: Vec<_> = candidate.cells.clone();
+    let mut picks = interior.clone();
+    picks.shuffle(rng);
+    for seed in picks.into_iter().take(config.extra_seeds) {
+        let ordering = grower.grow(seed);
+        if let Some(sibling) =
+            extract_candidate(&ordering, netlist.avg_pins_per_cell(), candidate_config)
+        {
+            family.push(CellSet::from_cells(universe, sibling.cells.iter().copied()));
+        }
+    }
+
+    // Close the family under pairwise ∩, ∪ and both differences
+    // (algorithm III.6–III.12 walks each unordered pair once).
+    let initial = family.len();
+    for i in 0..initial {
+        for j in (i + 1)..initial {
+            let inter = family[i].intersection(&family[j]);
+            let union = family[i].union(&family[j]);
+            let a_only = family[i].difference(&inter);
+            let b_only = family[j].difference(&inter);
+            family.extend([union, a_only, b_only, inter]);
+        }
+    }
+
+    // Exact re-scoring; keep the best member large enough to matter.
+    let ctx = DesignContext::new(netlist, candidate.rent_exponent);
+    let mut best: Option<(f64, CellSet, SubsetStats)> = None;
+    for set in family {
+        if set.len() < candidate_config.min_size {
+            continue;
+        }
+        let stats = SubsetStats::compute(netlist, &set);
+        let score = candidate_config.metric.score(&stats, &ctx);
+        if best.as_ref().is_none_or(|(s, _, _)| score < *s) {
+            best = Some((score, set, stats));
+        }
+    }
+
+    match best {
+        Some((score, set, stats)) => Candidate {
+            cells: set.to_vec(),
+            stats,
+            score,
+            rent_exponent: candidate.rent_exponent,
+            minimum_index: candidate.minimum_index,
+        },
+        // The whole family fell below min_size (can only happen with
+        // degenerate configs); keep the original.
+        None => candidate,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ordering::GrowthConfig;
+    use gtl_netlist::CellId;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Clique of `k` cells planted in a random background; returns the
+    /// netlist, the planted members, and a candidate config.
+    fn setup(k: usize) -> (Netlist, Vec<CellId>, CandidateConfig) {
+        let (nl, truth) = crate::testutil::cliques_in_background(200, &[(20, k)], 11);
+        (nl, truth.into_iter().next().unwrap(), CandidateConfig {
+            min_size: 4,
+            max_size: 60,
+            ..CandidateConfig::default()
+        })
+    }
+
+    use gtl_netlist::Netlist;
+
+    #[test]
+    fn refinement_never_worsens_score() {
+        let (nl, cells, cfg) = setup(8);
+        let mut grower = OrderingGrower::new(&nl, GrowthConfig::default());
+        let ord = grower.grow(cells[3]);
+        let cand = extract_candidate(&ord, nl.avg_pins_per_cell(), &cfg).unwrap();
+        let before = cand.score;
+        let mut rng = SmallRng::seed_from_u64(1);
+        let refined =
+            refine_candidate(&nl, &mut grower, cand, &cfg, &RefineConfig::default(), &mut rng);
+        assert!(refined.score <= before + 1e-12, "{} > {}", refined.score, before);
+    }
+
+    #[test]
+    fn refinement_trims_polluted_candidate() {
+        let (nl, cells, cfg) = setup(10);
+        let mut grower = OrderingGrower::new(&nl, GrowthConfig::default());
+        // Hand-build a polluted candidate: the clique plus 4 background
+        // cells (the plant sits at offset 20, so ids 0..4 are background).
+        let mut polluted: Vec<CellId> = cells.clone();
+        polluted.extend((0..4).map(CellId::new));
+        polluted.sort_unstable();
+        let set = CellSet::from_cells(nl.num_cells(), polluted.iter().copied());
+        let stats = SubsetStats::compute(&nl, &set);
+        let ctx = DesignContext::new(&nl, 0.6);
+        let cand = Candidate {
+            cells: polluted,
+            stats,
+            score: cfg.metric.score(&stats, &ctx),
+            rent_exponent: 0.6,
+            minimum_index: 13,
+        };
+        let mut rng = SmallRng::seed_from_u64(2);
+        let refined =
+            refine_candidate(&nl, &mut grower, cand, &cfg, &RefineConfig::default(), &mut rng);
+        // The refined candidate should be the bare clique (10 cells).
+        assert_eq!(refined.cells.len(), 10, "refined to {:?}", refined.cells.len());
+        for i in 0..10 {
+            assert!(refined.cells.contains(&cells[i]));
+        }
+    }
+
+    #[test]
+    fn zero_extra_seeds_still_works() {
+        let (nl, cells, cfg) = setup(8);
+        let mut grower = OrderingGrower::new(&nl, GrowthConfig::default());
+        let ord = grower.grow(cells[0]);
+        let cand = extract_candidate(&ord, nl.avg_pins_per_cell(), &cfg).unwrap();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let refined = refine_candidate(
+            &nl,
+            &mut grower,
+            cand.clone(),
+            &cfg,
+            &RefineConfig { extra_seeds: 0 },
+            &mut rng,
+        );
+        // Family = {base} only; result equals the base candidate's set.
+        assert_eq!(refined.cells.len(), cand.cells.len());
+    }
+
+    #[test]
+    fn refinement_is_deterministic_given_rng() {
+        let (nl, cells, cfg) = setup(8);
+        let mut grower = OrderingGrower::new(&nl, GrowthConfig::default());
+        let ord = grower.grow(cells[2]);
+        let cand = extract_candidate(&ord, nl.avg_pins_per_cell(), &cfg).unwrap();
+        let r1 = refine_candidate(
+            &nl,
+            &mut grower,
+            cand.clone(),
+            &cfg,
+            &RefineConfig::default(),
+            &mut SmallRng::seed_from_u64(9),
+        );
+        let r2 = refine_candidate(
+            &nl,
+            &mut grower,
+            cand,
+            &cfg,
+            &RefineConfig::default(),
+            &mut SmallRng::seed_from_u64(9),
+        );
+        assert_eq!(r1.cells, r2.cells);
+        assert_eq!(r1.score, r2.score);
+    }
+}

@@ -1,0 +1,64 @@
+//! Quickstart: build a tiny netlist, score groups, and find its GTL.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use tangled_logic::netlist::{CellSet, NetlistBuilder, SubsetStats};
+use tangled_logic::tangled::metrics::{self, DesignContext};
+use tangled_logic::tangled::{FinderConfig, TangledLogicFinder};
+
+fn main() {
+    // --- 1. Build a netlist: an 8-cell tangle inside sparse glue logic ---
+    let mut b = NetlistBuilder::new();
+    let cells: Vec<_> = (0..64).map(|i| b.add_cell(format!("u{i}"), 1.0)).collect();
+
+    // The tangle: cells 0..8 wired all-to-all (think: a dissolved MUX plane).
+    for i in 0..8 {
+        for j in (i + 1)..8 {
+            b.add_net(format!("t{i}_{j}"), [cells[i], cells[j]]);
+        }
+    }
+    // Sparse background: a scrambled ring of 2-pin nets.
+    for i in 8..64 {
+        b.add_net(format!("g{i}a"), [cells[i], cells[8 + (i * 7 + 3) % 56]]);
+        b.add_net(format!("g{i}b"), [cells[i], cells[8 + (i * 13 + 5) % 56]]);
+    }
+    // One wire ties the tangle to the rest.
+    b.add_net("bridge", [cells[3], cells[40]]);
+    let netlist = b.finish();
+    println!("netlist: {} cells, {} nets, A(G) = {:.2}", netlist.num_cells(), netlist.num_nets(), netlist.avg_pins_per_cell());
+
+    // --- 2. Score the known groups by hand --------------------------------
+    let ctx = DesignContext::new(&netlist, 0.6);
+    for (label, range) in [("tangle (0..8)", 0..8usize), ("random glue (20..28)", 20..28)] {
+        let set = CellSet::from_cells(netlist.num_cells(), range.map(|i| cells[i]));
+        let stats = SubsetStats::compute(&netlist, &set);
+        println!(
+            "{label}: |C| = {}, T(C) = {}, nGTL-S = {:.3}, GTL-SD = {:.3}",
+            stats.size,
+            stats.cut,
+            metrics::ngtl_score(stats.cut, stats.size, &ctx),
+            metrics::gtl_sd_score(stats.cut, stats.size, stats.avg_pins_per_cell(), &ctx),
+        );
+    }
+
+    // --- 3. Let the finder discover the tangle on its own -----------------
+    let config = FinderConfig {
+        num_seeds: 16,
+        max_order_len: 32,
+        min_size: 4,
+        rng_seed: 1,
+        ..FinderConfig::default()
+    };
+    let result = TangledLogicFinder::new(&netlist, config).run();
+    println!("\nfinder: {} GTL(s)", result.gtls.len());
+    for gtl in &result.gtls {
+        let names: Vec<&str> = gtl.cells.iter().map(|&c| netlist.cell_name(c)).collect();
+        println!(
+            "  {} cells (cut {}, score {:.3}): {}",
+            gtl.len(),
+            gtl.stats.cut,
+            gtl.score,
+            names.join(" ")
+        );
+    }
+}

@@ -1,0 +1,21 @@
+//! Umbrella crate for the tangled-logic workspace: a Rust reproduction of
+//! *"Detecting Tangled Logic Structures in VLSI Netlists"* (Jindal,
+//! Alpert, Hu, Li, Nam, Winn — DAC 2010).
+//!
+//! Re-exports the four library crates:
+//!
+//! * [`netlist`] — hypergraph netlists, Bookshelf/Verilog/hgr parsers;
+//! * [`synth`] — synthetic workload generators with planted ground truth;
+//! * [`tangled`] — the GTL metrics and the three-phase finder (the
+//!   paper's contribution);
+//! * [`place`] — quadratic placement, legalization, congestion estimation
+//!   and the cell-inflation flow.
+//!
+//! See `README.md` for a tour and `examples/` for runnable walkthroughs.
+
+#![forbid(unsafe_code)]
+
+pub use gtl_netlist as netlist;
+pub use gtl_place as place;
+pub use gtl_synth as synth;
+pub use gtl_tangled as tangled;

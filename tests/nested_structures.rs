@@ -1,0 +1,123 @@
+//! The paper's "structures within structures" claim (Chapter I):
+//!
+//! > *"Our metrics and algorithm are able to decide whether we should
+//! > choose several smaller GTLs or a much larger GTL which encompasses
+//! > all the smaller ones."*
+//!
+//! Two scenarios with identical nested shape but different boundaries:
+//! when the enclosing region itself has a tiny cut, the one big GTL wins
+//! (it scores lower — same cut, bigger size); when the enclosing region is
+//! leaky, the finder must return the two dense sub-blocks instead.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use tangled_logic::netlist::{CellId, Netlist, NetlistBuilder};
+use tangled_logic::tangled::{FinderConfig, TangledLogicFinder};
+
+/// Builds: background (1000 cells) + region R of 200 cells containing two
+/// 40-cell dense sub-blocks. `region_boundary_nets` controls how leaky R
+/// is toward the background.
+fn nested(region_boundary_nets: usize, seed: u64) -> (Netlist, Vec<CellId>) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = NetlistBuilder::new();
+    let total = 1_200usize;
+    b.add_anonymous_cells(total);
+    let id = CellId::new;
+    // Region R = cells 0..200; sub-blocks A = 0..40, B = 40..80.
+    for (lo, hi, nets_per_cell) in [(0usize, 40usize, 4usize), (40, 80, 4)] {
+        for _ in 0..(hi - lo) * nets_per_cell {
+            let i = lo + rng.gen_range(0..hi - lo);
+            let j = lo + rng.gen_range(0..hi - lo);
+            if i != j {
+                b.add_anonymous_net([id(i), id(j)]);
+            }
+        }
+        for k in lo..hi - 1 {
+            b.add_anonymous_net([id(k), id(k + 1)]);
+        }
+    }
+    // Rest of R: light internal wiring + links to the sub-blocks.
+    for k in 80..199 {
+        b.add_anonymous_net([id(k), id(k + 1)]);
+    }
+    for _ in 0..60 {
+        let inside = rng.gen_range(0..80);
+        let outside = 80 + rng.gen_range(0..120);
+        b.add_anonymous_net([id(inside), id(outside)]);
+    }
+    // R boundary to the background.
+    for _ in 0..region_boundary_nets {
+        let inside = 80 + rng.gen_range(0..120);
+        let outside = 200 + rng.gen_range(0..1000);
+        b.add_anonymous_net([id(inside), id(outside)]);
+    }
+    // Background wiring.
+    for k in 200..total {
+        for _ in 0..2 {
+            let j = 200 + rng.gen_range(0..1000);
+            if j != k {
+                b.add_anonymous_net([id(k), id(j)]);
+            }
+        }
+    }
+    (b.finish(), (0..total).map(id).collect())
+}
+
+fn run_finder(nl: &Netlist) -> tangled_logic::tangled::FinderResult {
+    let config = FinderConfig {
+        num_seeds: 80,
+        max_order_len: 500,
+        min_size: 20,
+        rng_seed: 9,
+        ..FinderConfig::default()
+    };
+    TangledLogicFinder::new(nl, config).run()
+}
+
+#[test]
+fn tight_region_wins_as_one_big_gtl() {
+    // R has only 4 boundary nets: the 200-cell region scores better than
+    // either 40-cell sub-block (same-order cut, 5× the size).
+    let (nl, _) = nested(4, 1);
+    let result = run_finder(&nl);
+    assert!(!result.gtls.is_empty());
+    let best = &result.gtls[0];
+    assert!(
+        best.len() >= 150,
+        "expected the encompassing region (~200 cells), got {} cells",
+        best.len()
+    );
+    // It must cover both sub-blocks.
+    let members: std::collections::HashSet<_> = best.cells.iter().collect();
+    let a_covered = (0..40).filter(|&i| members.contains(&CellId::new(i))).count();
+    let b_covered = (40..80).filter(|&i| members.contains(&CellId::new(i))).count();
+    assert!(a_covered >= 36 && b_covered >= 36, "sub-blocks not encompassed");
+}
+
+#[test]
+fn leaky_region_yields_the_sub_blocks() {
+    // R leaks through 400 boundary nets: the region is no GTL at all, and
+    // the two dense sub-blocks must be reported individually.
+    let (nl, _) = nested(400, 2);
+    let result = run_finder(&nl);
+    // Collect GTLs that are mostly inside A and mostly inside B.
+    let mut found_a = false;
+    let mut found_b = false;
+    for gtl in &result.gtls {
+        let in_a = gtl.cells.iter().filter(|c| c.index() < 40).count();
+        let in_b = gtl.cells.iter().filter(|c| (40..80).contains(&c.index())).count();
+        if in_a * 10 >= gtl.len() * 9 && in_a >= 30 {
+            found_a = true;
+        }
+        if in_b * 10 >= gtl.len() * 9 && in_b >= 30 {
+            found_b = true;
+        }
+        assert!(
+            gtl.len() < 150,
+            "a leaky 200-cell region was reported as one GTL ({} cells, score {})",
+            gtl.len(),
+            gtl.score
+        );
+    }
+    assert!(found_a && found_b, "sub-blocks not individually recovered (A {found_a}, B {found_b})");
+}

@@ -1,0 +1,121 @@
+//! Integration tests for the physical-design pipeline: synth → place →
+//! legalize → congestion → inflate.
+
+use tangled_logic::place::congestion::{estimate, DemandModel, RoutingConfig};
+use tangled_logic::place::inflate::run_inflation_flow;
+use tangled_logic::place::legal::legalize;
+use tangled_logic::place::spread::DensityMap;
+use tangled_logic::place::{hpwl, place, Die, PlacerConfig};
+use tangled_logic::synth::industrial::{self, IndustrialConfig};
+use tangled_logic::synth::ispd_like::{generate, IspdBenchmark, IspdLikeConfig};
+
+fn circuit() -> tangled_logic::synth::GeneratedCircuit {
+    generate(&IspdLikeConfig::new(IspdBenchmark::Adaptec1, 0.005))
+}
+
+#[test]
+fn placement_pipeline_produces_legal_low_hpwl_result() {
+    let g = circuit();
+    let die = Die::for_netlist(&g.netlist, 0.6);
+    let global = place(&g.netlist, &die, &PlacerConfig::default());
+
+    // HPWL sanity: far better than a uniform random placement.
+    let n = g.netlist.num_cells();
+    let random = tangled_logic::place::Placement::from_coords(
+        (0..n).map(|i| (i as f64 * 0.61803) % die.width).collect(),
+        (0..n).map(|i| (i as f64 * 0.31831) % die.height).collect(),
+    );
+    assert!(hpwl(&g.netlist, &global) < 0.7 * hpwl(&g.netlist, &random));
+
+    // Legalization: everything in rows, low overflow.
+    let legal = legalize(&g.netlist, &global, &die);
+    assert!(
+        legal.overflowed < n / 100,
+        "{} of {} cells overflowed",
+        legal.overflowed,
+        n
+    );
+    let row_h = die.row_height();
+    for c in g.netlist.cells() {
+        let (x, y) = legal.placement.position(c);
+        assert!(x >= -1e-9 && x <= die.width + 1e-9);
+        let row = (y / row_h).round();
+        assert!((y - row * row_h).abs() < 1e-9, "cell {c} not on a row");
+    }
+
+    // Density stays bounded after legalization.
+    let density = DensityMap::compute(&g.netlist, &legal.placement, &die, 8);
+    assert!(density.max_utilization() < 2.0, "peak density {}", density.max_utilization());
+}
+
+#[test]
+fn congestion_models_agree_on_hotspot_location() {
+    let g = circuit();
+    let die = Die::for_netlist(&g.netlist, 0.6);
+    let p = place(&g.netlist, &die, &PlacerConfig::default());
+    let rudy = estimate(
+        &g.netlist,
+        &p,
+        &die,
+        &RoutingConfig { tiles: 12, model: DemandModel::Rudy, ..RoutingConfig::default() },
+    );
+    let lshape = estimate(
+        &g.netlist,
+        &p,
+        &die,
+        &RoutingConfig { tiles: 12, model: DemandModel::LShape, ..RoutingConfig::default() },
+    );
+    // The two models must correlate: compare tile rankings coarsely.
+    let a = rudy.to_grid();
+    let b = lshape.to_grid();
+    let rank = |g: &[f64]| {
+        let mut idx: Vec<usize> = (0..g.len()).collect();
+        idx.sort_by(|&x, &y| g[y].total_cmp(&g[x]));
+        idx.truncate(g.len() / 4);
+        idx
+    };
+    let top_a = rank(&a);
+    let top_b = rank(&b);
+    let overlap = top_a.iter().filter(|i| top_b.contains(i)).count();
+    assert!(
+        overlap * 2 >= top_a.len(),
+        "models disagree: only {overlap}/{} shared hot tiles",
+        top_a.len()
+    );
+}
+
+#[test]
+fn inflation_flow_invariants() {
+    let circuit = industrial::generate(&IndustrialConfig {
+        scale: 0.005,
+        ..IndustrialConfig::default()
+    });
+    let blob_cells: Vec<_> = circuit.truth.iter().flat_map(|b| b.iter().copied()).collect();
+    let routing = RoutingConfig { tiles: 16, target_mean: 0.5, ..RoutingConfig::default() };
+    let outcome = run_inflation_flow(
+        &circuit.netlist,
+        &blob_cells,
+        4.0,
+        0.35,
+        &PlacerConfig::default(),
+        &routing,
+    );
+    // Shared die and frozen capacities.
+    assert_eq!(outcome.baseline_map.tiles(), outcome.inflated_map.tiles());
+    assert_eq!(outcome.baseline_map.h_capacity(), outcome.inflated_map.h_capacity());
+    // The original netlist is untouched (the flow clones internally).
+    let area: f64 = blob_cells.iter().map(|&c| circuit.netlist.cell_area(c)).sum();
+    assert!((area - blob_cells.len() as f64).abs() < 1e-9, "areas mutated");
+    // Relief direction.
+    assert!(outcome.after.max_utilization <= outcome.before.max_utilization);
+    assert!(outcome.reduction_100pct() >= 1.0);
+}
+
+#[test]
+fn placer_is_deterministic_across_runs() {
+    let g = circuit();
+    let die = Die::for_netlist(&g.netlist, 0.6);
+    let a = place(&g.netlist, &die, &PlacerConfig::default());
+    let b = place(&g.netlist, &die, &PlacerConfig::default());
+    assert_eq!(a, b);
+}
