@@ -1,0 +1,100 @@
+//! Criterion bench for the shared execution layer: 1-thread versus
+//! N-thread wall time of the full three-phase finder on a synthetic
+//! 50k-cell netlist.
+//!
+//! Besides the criterion timings, the bench writes a machine-readable
+//! `finder_parallel.json` summary (threads, wall seconds, speedup) into
+//! `results/` via the `gtl_bench::report` machinery, and asserts that the
+//! parallel run reproduces the serial result exactly — the execution
+//! layer's determinism contract, measured where it matters.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gtl_bench::report::{write_json, Json};
+use gtl_synth::planted::{self, PlantedConfig};
+use gtl_tangled::{FinderConfig, TangledLogicFinder};
+
+fn testbed() -> gtl_synth::GeneratedCircuit {
+    planted::generate(&PlantedConfig {
+        num_cells: 50_000,
+        blocks: vec![1_500, 2_500, 4_000],
+        seed: 11,
+        ..PlantedConfig::default()
+    })
+}
+
+fn config(threads: usize) -> FinderConfig {
+    FinderConfig {
+        num_seeds: 64,
+        max_order_len: 4_000,
+        min_size: 200,
+        threads,
+        rng_seed: 17,
+        ..FinderConfig::default()
+    }
+}
+
+/// Thread counts to measure: 1, 2, and all cores (deduplicated).
+fn thread_counts() -> Vec<usize> {
+    let all = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut counts = vec![1, 2, all];
+    counts.sort_unstable();
+    counts.dedup();
+    counts
+}
+
+fn finder_parallel(c: &mut Criterion) {
+    let g = testbed();
+    let mut group = c.benchmark_group("finder_parallel_50k");
+    group.sample_size(10);
+
+    // One timed pass per thread count for the JSON summary (criterion's
+    // own samples follow below); also checks determinism across counts.
+    let mut rows = Vec::new();
+    let mut serial_wall = 0.0f64;
+    let mut baseline: Option<String> = None;
+    for &threads in &thread_counts() {
+        let finder = TangledLogicFinder::new(&g.netlist, config(threads));
+        let start = Instant::now();
+        let result = finder.run();
+        let wall = start.elapsed().as_secs_f64();
+        let fingerprint = format!("{:?}", result.gtls);
+        match &baseline {
+            None => {
+                serial_wall = wall;
+                baseline = Some(fingerprint);
+            }
+            Some(expected) => assert_eq!(
+                expected, &fingerprint,
+                "finder output changed between 1 and {threads} threads"
+            ),
+        }
+        rows.push(Json::obj([
+            ("threads", Json::num(threads as f64)),
+            ("wall_seconds", Json::num(wall)),
+            ("speedup", Json::num(serial_wall / wall)),
+            ("gtls", Json::num(result.gtls.len() as f64)),
+        ]));
+    }
+    let doc = Json::obj([
+        ("bench", Json::str("finder_parallel")),
+        ("num_cells", Json::num(g.netlist.num_cells() as f64)),
+        ("num_seeds", Json::num(config(1).num_seeds as f64)),
+        ("runs", Json::arr(rows)),
+    ]);
+    let path = gtl_bench::results_dir().join("finder_parallel.json");
+    write_json(&path, &doc).expect("write finder_parallel.json");
+    println!("wrote {}", path.display());
+
+    for &threads in &thread_counts() {
+        let finder = TangledLogicFinder::new(&g.netlist, config(threads));
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
+            b.iter(|| std::hint::black_box(finder.run().gtls.len()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, finder_parallel);
+criterion_main!(benches);

@@ -51,14 +51,14 @@ fn spread_and_legalize(c: &mut Criterion) {
     let g = circuit(0.02);
     let die = Die::for_netlist(&g.netlist, 0.6);
     let n = g.netlist.num_cells();
-    let clumped = gtl_place::Placement::from_coords(
-        vec![die.width / 2.0; n],
-        vec![die.height / 2.0; n],
-    );
+    let clumped =
+        gtl_place::Placement::from_coords(vec![die.width / 2.0; n], vec![die.height / 2.0; n]);
     let mut group = c.benchmark_group("spread_legalize");
     group.sample_size(10);
     group.bench_function("spread", |b| {
-        b.iter(|| std::hint::black_box(spread(&g.netlist, &clumped, &die, &SpreadConfig::default()).len()));
+        b.iter(|| {
+            std::hint::black_box(spread(&g.netlist, &clumped, &die, &SpreadConfig::default()).len())
+        });
     });
     let spread_p = spread(&g.netlist, &clumped, &die, &SpreadConfig::default());
     group.bench_function("legalize", |b| {

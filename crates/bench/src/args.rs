@@ -59,22 +59,15 @@ impl CommonArgs {
         };
         let mut it = args.into_iter();
         while let Some(flag) = it.next() {
-            let mut grab = || {
-                it.next().unwrap_or_else(|| panic!("flag {flag} expects a value"))
-            };
+            let mut grab = || it.next().unwrap_or_else(|| panic!("flag {flag} expects a value"));
             match flag.as_str() {
                 "--full" => out.scale = 1.0,
                 "--scale" => {
                     out.scale = grab().parse().expect("--scale expects a float");
-                    assert!(
-                        out.scale > 0.0 && out.scale <= 1.0,
-                        "--scale must be in (0, 1]"
-                    );
+                    assert!(out.scale > 0.0 && out.scale <= 1.0, "--scale must be in (0, 1]");
                 }
                 "--seeds" => out.seeds = grab().parse().expect("--seeds expects an integer"),
-                "--threads" => {
-                    out.threads = grab().parse().expect("--threads expects an integer")
-                }
+                "--threads" => out.threads = grab().parse().expect("--threads expects an integer"),
                 "--rng" => out.rng = grab().parse().expect("--rng expects an integer"),
                 "--out" => out.out = PathBuf::from(grab()),
                 "--bookshelf" => out.bookshelf = Some(PathBuf::from(grab())),

@@ -36,28 +36,37 @@ fn main() {
         ..FinderConfig::default()
     };
 
-    let mut table = Table::new(&[
-        "criterion", "refine", "metric", "#found", "matched", "max Miss", "max Over",
-    ]);
+    let mut table =
+        Table::new(&["criterion", "refine", "metric", "#found", "matched", "max Miss", "max Over"]);
+    // The eight ablation configs are independent: fan them out through the
+    // shared execution layer (row order is preserved) and keep each finder
+    // single-threaded so the outer parallelism isn't oversubscribed.
+    let mut variants = Vec::new();
     for criterion in [GrowthCriterion::WeightFirst, GrowthCriterion::CutFirst] {
         for refine in [true, false] {
             for metric in [MetricKind::GtlSd, MetricKind::NGtlScore] {
-                let config = FinderConfig { criterion, refine, metric, ..base };
-                let result = TangledLogicFinder::new(&graph.netlist, config).run();
-                let found: Vec<Vec<_>> =
-                    result.gtls.iter().map(|g| g.cells.clone()).collect();
-                let report = match_gtls(&graph.truth, &found, graph.netlist.num_cells());
-                table.row(&[
-                    format!("{criterion:?}"),
-                    if refine { "on" } else { "off" }.to_string(),
-                    metric.to_string(),
-                    format!("{}", result.gtls.len()),
-                    format!("{}/{}", report.matches.len(), graph.truth.len()),
-                    format!("{:.2}%", report.max_miss_pct()),
-                    format!("{:.2}%", report.max_over_pct()),
-                ]);
+                variants.push((criterion, refine, metric));
             }
         }
+    }
+    let rows = gtl_core::parallel_map(args.threads, variants.len(), |i| {
+        let (criterion, refine, metric) = variants[i];
+        let config = FinderConfig { criterion, refine, metric, threads: 1, ..base };
+        let result = TangledLogicFinder::new(&graph.netlist, config).run();
+        let found: Vec<Vec<_>> = result.gtls.iter().map(|g| g.cells.clone()).collect();
+        let report = match_gtls(&graph.truth, &found, graph.netlist.num_cells());
+        [
+            format!("{criterion:?}"),
+            if refine { "on" } else { "off" }.to_string(),
+            metric.to_string(),
+            format!("{}", result.gtls.len()),
+            format!("{}/{}", report.matches.len(), graph.truth.len()),
+            format!("{:.2}%", report.max_miss_pct()),
+            format!("{:.2}%", report.max_over_pct()),
+        ]
+    });
+    for row in &rows {
+        table.row(row);
     }
     println!("{}", table.render());
     println!(

@@ -35,9 +35,17 @@ fn main() {
         max_len: (block * 2).min(graph.netlist.num_cells()),
         ..GrowthConfig::default()
     };
-    let mut grower = OrderingGrower::new(&graph.netlist, growth);
-    let inside = grower.grow(inside_seed);
-    let outside = grower.grow(outside_seed);
+    // Both agglomerations are independent; run them through the shared
+    // execution layer (per-worker grower scratch, seed-ordered results).
+    let seeds = [inside_seed, outside_seed];
+    let mut orderings = gtl_core::parallel_map_with(
+        args.threads,
+        seeds.len(),
+        |_| OrderingGrower::new(&graph.netlist, growth),
+        |grower, i| grower.grow(seeds[i]),
+    );
+    let outside = orderings.pop().expect("outside ordering");
+    let inside = orderings.pop().expect("inside ordering");
 
     let a_g = graph.netlist.avg_pins_per_cell();
     for (figure, metric, file) in [
@@ -69,9 +77,7 @@ fn main() {
             .min_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, &s)| (i + skip, s))
             .unwrap();
-        let out_tail: f64 = curve_out.scores[curve_out.scores.len() / 2..]
-            .iter()
-            .sum::<f64>()
+        let out_tail: f64 = curve_out.scores[curve_out.scores.len() / 2..].iter().sum::<f64>()
             / (curve_out.scores.len() - curve_out.scores.len() / 2) as f64;
         println!(
             "{figure} ({metric}): inside-seed minimum {:.3} at size {} (planted {}); \

@@ -12,9 +12,9 @@
 
 use gtl_bench::args::CommonArgs;
 use gtl_bench::report::{write_csv, write_pgm};
+use gtl_place::{place, Die, PlacerConfig};
 use gtl_synth::ispd_like::{self, IspdBenchmark, IspdLikeConfig};
 use gtl_tangled::{FinderConfig, TangledLogicFinder};
-use gtl_place::{place, Die, PlacerConfig};
 
 fn main() {
     let args = CommonArgs::parse(0.02);

@@ -17,7 +17,10 @@ use gtl_tangled::{GrowthConfig, MetricKind, OrderingGrower};
 
 fn main() {
     let args = CommonArgs::parse(0.02);
-    println!("== Figure 5: metric curves on a Bigblue1 linear ordering (scale {}) ==\n", args.scale);
+    println!(
+        "== Figure 5: metric curves on a Bigblue1 linear ordering (scale {}) ==\n",
+        args.scale
+    );
 
     let mut cfg = IspdLikeConfig::new(IspdBenchmark::Bigblue1, args.scale);
     cfg.seed ^= args.rng;

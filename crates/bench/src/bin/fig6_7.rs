@@ -15,11 +15,11 @@
 use gtl_bench::args::CommonArgs;
 use gtl_bench::report::{ascii_heatmap, write_pgm};
 use gtl_netlist::CellId;
-use gtl_synth::industrial::{self, IndustrialConfig};
-use gtl_tangled::{FinderConfig, TangledLogicFinder};
 use gtl_place::congestion::RoutingConfig;
 use gtl_place::inflate::run_inflation_flow;
 use gtl_place::PlacerConfig;
+use gtl_synth::industrial::{self, IndustrialConfig};
+use gtl_tangled::{FinderConfig, TangledLogicFinder};
 
 fn main() {
     let args = CommonArgs::parse(0.01);
@@ -56,8 +56,7 @@ fn main() {
         ..FinderConfig::default()
     };
     let result = TangledLogicFinder::new(netlist, finder_config).run();
-    let gtl_cells: Vec<CellId> =
-        result.gtls.iter().flat_map(|g| g.cells.iter().copied()).collect();
+    let gtl_cells: Vec<CellId> = result.gtls.iter().flat_map(|g| g.cells.iter().copied()).collect();
     println!(
         "found {} GTLs covering {} cells ({:.1}% of design)\n",
         result.gtls.len(),
@@ -69,14 +68,8 @@ fn main() {
     let routing = RoutingConfig { tiles: 24, target_mean: 0.5, ..RoutingConfig::default() };
     // Generous baseline whitespace, as in the paper's floorplan: inflation
     // must be absorbable without densifying the whole die.
-    let outcome = run_inflation_flow(
-        netlist,
-        &gtl_cells,
-        4.0,
-        0.35,
-        &PlacerConfig::default(),
-        &routing,
-    );
+    let outcome =
+        run_inflation_flow(netlist, &gtl_cells, 4.0, 0.35, &PlacerConfig::default(), &routing);
 
     // --- Figure 1: baseline congestion ----------------------------------
     let t = outcome.baseline_map.tiles();
@@ -97,8 +90,7 @@ fn main() {
             overlay[gy * t + gx] += 1.0;
         }
     }
-    write_pgm(args.out.join("fig6_gtl_overlay.pgm"), &overlay, t, t)
-        .expect("write fig6 heatmap");
+    write_pgm(args.out.join("fig6_gtl_overlay.pgm"), &overlay, t, t).expect("write fig6 heatmap");
     println!("Figure 6 — GTL cells in the baseline placement:");
     println!("{}", ascii_heatmap(&overlay, t, t));
 

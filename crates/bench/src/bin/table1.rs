@@ -17,8 +17,16 @@ fn main() {
     println!("== Table 1: experimental results on random graphs (scale {}) ==\n", args.scale);
 
     let mut table = Table::new(&[
-        "Case", "|V|", "Planted GTLs", "#seeds", "#found", "GTL size", "nGTL-S", "GTL-SD",
-        "Miss", "Over",
+        "Case",
+        "|V|",
+        "Planted GTLs",
+        "#seeds",
+        "#found",
+        "GTL size",
+        "nGTL-S",
+        "GTL-SD",
+        "Miss",
+        "Over",
     ]);
 
     for (case_idx, mut config) in planted::table1_cases(args.scale).into_iter().enumerate() {
@@ -108,9 +116,5 @@ fn describe_blocks(blocks: &[usize]) -> String {
             _ => parts.push((b, 1)),
         }
     }
-    parts
-        .into_iter()
-        .map(|(size, count)| format!("{size}×{count}"))
-        .collect::<Vec<_>>()
-        .join(" + ")
+    parts.into_iter().map(|(size, count)| format!("{size}×{count}")).collect::<Vec<_>>().join(" + ")
 }

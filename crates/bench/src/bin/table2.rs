@@ -15,13 +15,18 @@ use gtl_tangled::{FinderConfig, TangledLogicFinder};
 
 fn main() {
     let args = CommonArgs::parse(0.02);
-    println!(
-        "== Table 2: results on ISPD 05/06 placement benchmarks (scale {}) ==\n",
-        args.scale
-    );
+    println!("== Table 2: results on ISPD 05/06 placement benchmarks (scale {}) ==\n", args.scale);
 
     let mut table = Table::new(&[
-        "Case", "|V|", "#seeds", "#GTL", "Top 3", "GTL size", "Cut", "GTL-S", "GTL-SD",
+        "Case",
+        "|V|",
+        "#seeds",
+        "#GTL",
+        "Top 3",
+        "GTL size",
+        "Cut",
+        "GTL-S",
+        "GTL-SD",
         "Runtime(m)",
     ]);
 

@@ -48,8 +48,7 @@ fn main() {
     let found: Vec<Vec<_>> = result.gtls.iter().map(|g| g.cells.clone()).collect();
     let report = match_gtls(&circuit.truth, &found, circuit.netlist.num_cells());
 
-    let mut table =
-        Table::new(&["Size of GTL in design", "Size of GTL found", "Cut", "GTL-Score"]);
+    let mut table = Table::new(&["Size of GTL in design", "Size of GTL found", "Cut", "GTL-Score"]);
     for m in &report.matches {
         let gtl = &result.gtls[m.found_index];
         table.row(&[
@@ -60,7 +59,12 @@ fn main() {
         ]);
     }
     for &missed in &report.missed_truths {
-        table.row(&[format!("{}", circuit.truth[missed].len()), "MISSED".into(), "-".into(), "-".into()]);
+        table.row(&[
+            format!("{}", circuit.truth[missed].len()),
+            "MISSED".into(),
+            "-".into(),
+            "-".into(),
+        ]);
     }
     println!("{}", table.render());
     println!(

@@ -1,7 +1,135 @@
-//! Rendering helpers: ASCII tables, CSV series, and PGM heatmaps.
+//! Rendering helpers: ASCII tables, CSV series, JSON reports, and PGM
+//! heatmaps.
 
 use std::fmt::Write as _;
 use std::path::Path;
+
+/// A JSON value, for machine-readable bench reports.
+///
+/// Kept deliberately tiny (the workspace has no serde-based serializer —
+/// see `vendor/serde`): numbers, strings, booleans, arrays and objects,
+/// rendered with stable key order.
+///
+/// # Example
+///
+/// ```
+/// use gtl_bench::report::Json;
+///
+/// let doc = Json::obj([
+///     ("bench", Json::str("finder_parallel")),
+///     ("threads", Json::arr([Json::num(1.0), Json::num(8.0)])),
+/// ]);
+/// assert_eq!(
+///     doc.render(),
+///     r#"{"bench":"finder_parallel","threads":[1,8]}"#
+/// );
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// A finite number (rendered without trailing `.0` when integral).
+    Num(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// A boolean.
+    Bool(bool),
+    /// An ordered array.
+    Arr(Vec<Json>),
+    /// An object with keys in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Shorthand for [`Json::Num`].
+    pub fn num(v: f64) -> Self {
+        Json::Num(v)
+    }
+
+    /// Shorthand for [`Json::Str`].
+    pub fn str(v: impl Into<String>) -> Self {
+        Json::Str(v.into())
+    }
+
+    /// Shorthand for [`Json::Arr`].
+    pub fn arr(items: impl IntoIterator<Item = Json>) -> Self {
+        Json::Arr(items.into_iter().collect())
+    }
+
+    /// Shorthand for [`Json::Obj`].
+    pub fn obj<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Json)>) -> Self {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Renders the value as compact JSON text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Json::Num(v) => {
+                if !v.is_finite() {
+                    // JSON has no NaN/inf literals; null keeps the
+                    // document parseable.
+                    out.push_str("null");
+                } else if v.fract() == 0.0 && v.abs() < 1e15 {
+                    let _ = write!(out, "{}", *v as i64);
+                } else {
+                    let _ = write!(out, "{v}");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Json::Str(key.clone()).render_into(out);
+                    out.push(':');
+                    value.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Writes a [`Json`] document (with a trailing newline).
+///
+/// # Errors
+///
+/// Returns any I/O error from writing the file.
+pub fn write_json(path: impl AsRef<Path>, value: &Json) -> std::io::Result<()> {
+    std::fs::write(path, value.render() + "\n")
+}
 
 /// A simple left-aligned ASCII table, printed like the paper's tables.
 ///
@@ -35,13 +163,7 @@ impl Table {
 
     /// Renders the table with column-aligned padding.
     pub fn render(&self) -> String {
-        let columns = self
-            .rows
-            .iter()
-            .map(Vec::len)
-            .chain([self.header.len()])
-            .max()
-            .unwrap_or(0);
+        let columns = self.rows.iter().map(Vec::len).chain([self.header.len()]).max().unwrap_or(0);
         let mut widths = vec![0usize; columns];
         for row in std::iter::once(&self.header).chain(&self.rows) {
             for (i, cell) in row.iter().enumerate() {
@@ -83,18 +205,11 @@ impl Table {
 /// # Errors
 ///
 /// Returns any I/O error from writing the file.
-pub fn write_csv(
-    path: impl AsRef<Path>,
-    columns: &[(&str, &[f64])],
-) -> std::io::Result<()> {
+pub fn write_csv(path: impl AsRef<Path>, columns: &[(&str, &[f64])]) -> std::io::Result<()> {
     let len = columns.first().map(|(_, c)| c.len()).unwrap_or(0);
     assert!(columns.iter().all(|(_, c)| c.len() == len), "column length mismatch");
     let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "{}",
-        columns.iter().map(|(n, _)| *n).collect::<Vec<_>>().join(",")
-    );
+    let _ = writeln!(out, "{}", columns.iter().map(|(n, _)| *n).collect::<Vec<_>>().join(","));
     for i in 0..len {
         let line: Vec<String> = columns.iter().map(|(_, c)| format!("{}", c[i])).collect();
         let _ = writeln!(out, "{}", line.join(","));
@@ -152,6 +267,12 @@ pub fn ascii_heatmap(grid: &[f64], width: usize, height: usize) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn json_non_finite_renders_null() {
+        let doc = Json::arr([Json::num(f64::NAN), Json::num(f64::INFINITY), Json::num(1.5)]);
+        assert_eq!(doc.render(), "[null,null,1.5]");
+    }
 
     #[test]
     fn table_alignment() {

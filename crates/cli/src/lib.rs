@@ -125,9 +125,9 @@ fn parse_flag<T: std::str::FromStr>(
 ) -> Result<T, CliError> {
     match flag_value(args, flag) {
         None => Ok(default),
-        Some(v) => v
-            .parse()
-            .map_err(|_| CliError::new(format!("{flag} expects a valid value, got `{v}`"))),
+        Some(v) => {
+            v.parse().map_err(|_| CliError::new(format!("{flag} expects a valid value, got `{v}`")))
+        }
     }
 }
 
@@ -179,7 +179,8 @@ fn cmd_find(args: &[String]) -> Result<String, CliError> {
         result.num_candidates,
         config.num_seeds,
     );
-    let _ = writeln!(out, "{:<5} {:>8} {:>8} {:>9} {:>9}", "gtl", "cells", "cut", "nGTL-S", "GTL-SD");
+    let _ =
+        writeln!(out, "{:<5} {:>8} {:>8} {:>9} {:>9}", "gtl", "cells", "cut", "nGTL-S", "GTL-SD");
     for (i, gtl) in result.gtls.iter().enumerate() {
         let _ = writeln!(
             out,
@@ -243,11 +244,7 @@ fn cmd_curve(args: &[String]) -> Result<String, CliError> {
     if seed >= netlist.num_cells() {
         return Err(CliError::new(format!("--seed {seed} out of range")));
     }
-    let max_order = parse_flag(
-        args,
-        "--max-order",
-        (netlist.num_cells() / 4).clamp(64, 100_000),
-    )?;
+    let max_order = parse_flag(args, "--max-order", (netlist.num_cells() / 4).clamp(64, 100_000))?;
     let growth = GrowthConfig { max_len: max_order, ..GrowthConfig::default() };
     let ordering = OrderingGrower::new(&netlist, growth).grow(CellId::new(seed));
     let config = CandidateConfig::default();
@@ -263,14 +260,8 @@ fn cmd_curve(args: &[String]) -> Result<String, CliError> {
     );
     let mut out = String::from("size,cut,ngtl_s,gtl_sd\n");
     for k in 0..ordering.len() {
-        let _ = writeln!(
-            out,
-            "{},{},{},{}",
-            k + 1,
-            ordering.cut_at(k),
-            ngtl.scores[k],
-            sd.scores[k]
-        );
+        let _ =
+            writeln!(out, "{},{},{},{}", k + 1, ordering.cut_at(k), ngtl.scores[k], sd.scores[k]);
     }
     Ok(out)
 }
@@ -323,7 +314,11 @@ fn cmd_blocks(args: &[String]) -> Result<String, CliError> {
     );
     let mut out = String::new();
     let _ = writeln!(out, "die {:.1} × {:.1}; {} soft blocks:", die.width, die.height, gtls.len());
-    let _ = writeln!(out, "{:<6} {:>7} {:>9} {:>24}", "block", "cells", "score", "region (x0,y0)-(x1,y1)");
+    let _ = writeln!(
+        out,
+        "{:<6} {:>7} {:>9} {:>24}",
+        "block", "cells", "score", "region (x0,y0)-(x1,y1)"
+    );
     for (i, (gtl, block)) in result.gtls.iter().zip(&blocks).enumerate() {
         match block {
             Some(b) => {
@@ -334,7 +329,11 @@ fn cmd_blocks(args: &[String]) -> Result<String, CliError> {
                 );
             }
             None => {
-                let _ = writeln!(out, "B{:<5} {:>7} {:>9.4} (does not fit)", i, gtl.stats.size, gtl.score);
+                let _ = writeln!(
+                    out,
+                    "B{:<5} {:>7} {:>9.4} (does not fit)",
+                    i, gtl.stats.size, gtl.score
+                );
             }
         }
     }
@@ -349,8 +348,7 @@ fn cmd_resynth(args: &[String]) -> Result<String, CliError> {
     if result.gtls.is_empty() {
         return Ok("(no tangled structures found — nothing to resynthesize)\n".into());
     }
-    let all_cells: Vec<CellId> =
-        result.gtls.iter().flat_map(|g| g.cells.iter().copied()).collect();
+    let all_cells: Vec<CellId> = result.gtls.iter().flat_map(|g| g.cells.iter().copied()).collect();
     let (resynth, report) = gtl_synth::resynth::resynthesize(
         &netlist,
         &all_cells,

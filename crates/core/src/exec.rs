@@ -1,0 +1,207 @@
+//! Deterministic parallel map over an index space.
+//!
+//! See the [crate-level docs](crate) for the determinism contract. The
+//! scheduler is a self-balancing atomic work queue: workers claim indices
+//! with a `fetch_add` and write `(index, value)` pairs into worker-local
+//! buffers that are merged by index after the join, so load imbalance
+//! between items (orderings from different seeds can differ in cost by
+//! orders of magnitude) never idles a thread, and scheduling never leaks
+//! into the results.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Resolves a requested worker count against the machine and item count.
+///
+/// `0` means "all available cores"; the result is clamped to `[1, len]`
+/// (never more workers than items, never zero).
+pub fn effective_threads(requested: usize, len: usize) -> usize {
+    let hw = if requested == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        requested
+    };
+    hw.min(len).max(1)
+}
+
+/// SplitMix64 stream derivation: maps `(master_seed, index)` to an
+/// independent, well-mixed 64-bit seed.
+///
+/// All randomized item functions running under [`parallel_map_with`] must
+/// derive their per-item RNG through this function so that the stream an
+/// index sees is a pure function of the master seed and the index — the
+/// third leg of the determinism contract.
+pub fn derive_stream(master_seed: u64, index: u64) -> u64 {
+    let mut z = master_seed ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Deterministic parallel map with per-worker reusable scratch state.
+///
+/// Computes `f(&mut scratch, index)` for every `index in 0..len` across
+/// `threads` workers (`0` = all cores) and returns the results in index
+/// order. `init(worker)` builds each worker's scratch exactly once; the
+/// worker id is provided for diagnostics only and must not influence
+/// results.
+///
+/// # Determinism
+///
+/// The output is identical for every thread count provided `f` is a pure
+/// function of `(index, scratch-after-reset)` — see the
+/// [crate-level contract](crate).
+///
+/// # Panics
+///
+/// Propagates panics from `f` (the first panicking worker aborts the map).
+pub fn parallel_map_with<S, T, I, F>(threads: usize, len: usize, init: I, f: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn(usize) -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    if len == 0 {
+        return Vec::new();
+    }
+    let threads = effective_threads(threads, len);
+    if threads == 1 {
+        let mut scratch = init(0);
+        return (0..len).map(|i| f(&mut scratch, i)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut parts: Vec<Vec<(usize, T)>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|worker| {
+                let next = &next;
+                let init = &init;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut scratch = init(worker);
+                    let mut out = Vec::new();
+                    loop {
+                        let index = next.fetch_add(1, Ordering::Relaxed);
+                        if index >= len {
+                            break;
+                        }
+                        out.push((index, f(&mut scratch, index)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        for handle in handles {
+            parts.push(handle.join().expect("parallel_map worker panicked"));
+        }
+    });
+
+    // Merge worker-local buffers back into input order.
+    let mut slots: Vec<Option<T>> = (0..len).map(|_| None).collect();
+    for part in parts {
+        for (index, value) in part {
+            debug_assert!(slots[index].is_none(), "index {index} computed twice");
+            slots[index] = Some(value);
+        }
+    }
+    slots.into_iter().map(|slot| slot.expect("every index is claimed exactly once")).collect()
+}
+
+/// Deterministic parallel map without scratch state.
+///
+/// Shorthand for [`parallel_map_with`] with unit scratch; same determinism
+/// contract and panic behavior.
+pub fn parallel_map<T, F>(threads: usize, len: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    parallel_map_with(threads, len, |_| (), |(), i| f(i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<u32> = parallel_map(4, 0, |_| unreachable!());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn results_are_in_index_order() {
+        for threads in [1, 2, 3, 8] {
+            let out = parallel_map(threads, 100, |i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_output() {
+        // Uneven per-item cost to force different schedules.
+        let work = |i: usize| {
+            let mut acc = derive_stream(42, i as u64);
+            for _ in 0..(i % 7) * 1000 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            acc
+        };
+        let baseline = parallel_map(1, 200, work);
+        for threads in [2, 4, 8] {
+            assert_eq!(parallel_map(threads, 200, work), baseline, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn scratch_is_built_once_per_worker() {
+        let builds = AtomicUsize::new(0);
+        let out = parallel_map_with(
+            3,
+            50,
+            |_worker| {
+                builds.fetch_add(1, Ordering::Relaxed);
+                0u64
+            },
+            |scratch, i| {
+                *scratch += 1; // scratch persists across items…
+                i as u64 // …but must not influence results.
+            },
+        );
+        assert_eq!(out, (0..50).map(|i| i as u64).collect::<Vec<_>>());
+        assert!(builds.load(Ordering::Relaxed) <= 3);
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let out = parallel_map(64, 3, |i| i + 1);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn effective_threads_clamps() {
+        assert_eq!(effective_threads(4, 2), 2);
+        assert_eq!(effective_threads(4, 100), 4);
+        assert_eq!(effective_threads(1, 0), 1);
+        assert!(effective_threads(0, 1_000_000) >= 1);
+    }
+
+    #[test]
+    fn derive_stream_separates_indices_and_seeds() {
+        assert_ne!(derive_stream(1, 0), derive_stream(1, 1));
+        assert_ne!(derive_stream(1, 0), derive_stream(2, 0));
+        assert_eq!(derive_stream(7, 9), derive_stream(7, 9));
+    }
+
+    #[test]
+    #[should_panic(expected = "worker panicked")]
+    fn worker_panic_propagates() {
+        let _ = parallel_map(2, 10, |i| {
+            if i == 5 {
+                panic!("boom");
+            }
+            i
+        });
+    }
+}

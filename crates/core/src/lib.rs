@@ -1,0 +1,39 @@
+//! Shared deterministic parallel execution layer for the GTL workspace.
+//!
+//! Every fan-out in the workspace — the three-phase finder's per-seed
+//! searches, the figure/table bench binaries, future placer sharding —
+//! goes through [`exec`] instead of hand-rolling `std::thread` chunking at
+//! each call site.
+//!
+//! # Determinism contract
+//!
+//! The execution layer guarantees, for [`exec::parallel_map`] and
+//! [`exec::parallel_map_with`]:
+//!
+//! 1. **Ordered results.** The output `Vec` has one slot per input index,
+//!    in input order, regardless of which worker computed which index and
+//!    in what interleaving.
+//! 2. **Thread-count independence.** If the item function is a pure
+//!    function of `(index, scratch-after-reset)`, the output is byte-for-
+//!    byte identical for any worker count (1, 2, 8, …). Workers race only
+//!    for *which* index they claim, never for what a given index produces.
+//! 3. **Seed-stable RNG streams.** Randomized item functions must derive
+//!    their RNG from [`exec::derive_stream`]`(master_seed, index)` — never
+//!    from a worker-local or shared stream — so the stream attached to an
+//!    index does not depend on scheduling.
+//!
+//! # Scratch-buffer reuse
+//!
+//! [`exec::parallel_map_with`] gives each worker one scratch value for its
+//! whole lifetime (e.g. an `OrderingGrower` holding `O(|V| + |E|)`
+//! buffers), so per-item allocation cost is paid once per worker instead
+//! of once per item. The contract above requires item functions to fully
+//! re-initialize whatever scratch state they read — reuse must be
+//! invisible in the output.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exec;
+
+pub use exec::{derive_stream, effective_threads, parallel_map, parallel_map_with};

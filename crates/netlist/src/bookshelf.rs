@@ -30,7 +30,7 @@ use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
-use crate::{CellId, NetlistBuilder, Netlist, NetlistError, ParseContext};
+use crate::{CellId, Netlist, NetlistBuilder, NetlistError, ParseContext};
 
 /// One standard-cell row from a `.scl` file.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -260,8 +260,8 @@ fn parse_nets(
     let mut nets_read = 0usize;
 
     let flush = |current: &mut Option<(String, usize, Vec<CellId>)>,
-                     builder: &mut NetlistBuilder,
-                     line: usize|
+                 builder: &mut NetlistBuilder,
+                 line: usize|
      -> Result<(), NetlistError> {
         if let Some((name, degree, pins)) = current.take() {
             if pins.len() != degree {
@@ -290,7 +290,10 @@ fn parse_nets(
         if let Some(rest) = line.strip_prefix("NetDegree") {
             flush(&mut current, builder, i + 1)?;
             let rest = rest.trim_start().strip_prefix(':').ok_or_else(|| {
-                NetlistError::syntax(ParseContext::new(label, i + 1), "expected `:` after NetDegree")
+                NetlistError::syntax(
+                    ParseContext::new(label, i + 1),
+                    "expected `:` after NetDegree",
+                )
             })?;
             let mut toks = rest.split_whitespace();
             let degree: usize = parse_num(toks.next(), label, i + 1, "net degree")?;
@@ -411,7 +414,12 @@ fn parse_scl(text: &str) -> Result<Vec<Row>, NetlistError> {
     Ok(rows)
 }
 
-fn parse_num(tok: Option<&str>, label: &str, line: usize, what: &str) -> Result<usize, NetlistError> {
+fn parse_num(
+    tok: Option<&str>,
+    label: &str,
+    line: usize,
+    what: &str,
+) -> Result<usize, NetlistError> {
     let tok = tok.ok_or_else(|| {
         NetlistError::syntax(ParseContext::new(label, line), format!("missing {what}"))
     })?;

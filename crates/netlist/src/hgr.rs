@@ -24,7 +24,7 @@ use std::fmt::Write as _;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::path::Path;
 
-use crate::{CellId, NetlistBuilder, Netlist, NetlistError, ParseContext};
+use crate::{CellId, Netlist, NetlistBuilder, NetlistError, ParseContext};
 
 /// Parses a `.hgr` hypergraph from a reader.
 ///

@@ -41,7 +41,7 @@
 use std::collections::HashMap;
 use std::path::Path;
 
-use crate::{CellId, NetlistBuilder, Netlist, NetlistError, ParseContext};
+use crate::{CellId, Netlist, NetlistBuilder, NetlistError, ParseContext};
 
 /// Cell-type → (area, expected pin count) table used when translating
 /// instances to cells.
@@ -212,8 +212,8 @@ fn tokenize(source: &str, label: &str) -> Result<Vec<Token>, NetlistError> {
                     ));
                 }
             }
-            '(' | ')' | ',' | ';' | '.' | '[' | ']' | ':' | '=' | '+' | '-' | '*' | '&'
-            | '|' | '^' | '~' | '!' | '?' | '<' | '>' | '{' | '}' | '\'' | '#' => {
+            '(' | ')' | ',' | ';' | '.' | '[' | ']' | ':' | '=' | '+' | '-' | '*' | '&' | '|'
+            | '^' | '~' | '!' | '?' | '<' | '>' | '{' | '}' | '\'' | '#' => {
                 tokens.push(Token { text: c.to_string(), line });
             }
             c if c.is_alphanumeric() || c == '_' || c == '\\' || c == '$' => {
@@ -287,9 +287,11 @@ impl Parser<'_> {
     fn expect_ident(&mut self) -> Result<Token, NetlistError> {
         let line = self.peek().map(|t| t.line).unwrap_or(0);
         match self.next() {
-            Some(t) if t.text.chars().next().is_some_and(|c| {
-                c.is_alphabetic() || c == '_' || c == '\\'
-            }) =>
+            Some(t)
+                if t.text
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_alphabetic() || c == '_' || c == '\\') =>
             {
                 Ok(t)
             }
@@ -314,9 +316,7 @@ impl Parser<'_> {
         if self.peek().map(|t| t.text.as_str()) == Some("(") {
             let mut depth = 0usize;
             loop {
-                let t = self
-                    .next()
-                    .ok_or_else(|| self.err(0, "unterminated module port list"))?;
+                let t = self.next().ok_or_else(|| self.err(0, "unterminated module port list"))?;
                 match t.text.as_str() {
                     "(" => depth += 1,
                     ")" => {
@@ -338,9 +338,10 @@ impl Parser<'_> {
         let mut net_order: Vec<String> = Vec::new();
         let mut cell_types: Vec<String> = Vec::new();
 
-        let declare = |name: String, nets: &mut HashMap<String, crate::NetId>,
-                           net_pins: &mut Vec<Vec<CellId>>,
-                           net_order: &mut Vec<String>| {
+        let declare = |name: String,
+                       nets: &mut HashMap<String, crate::NetId>,
+                       net_pins: &mut Vec<Vec<CellId>>,
+                       net_order: &mut Vec<String>| {
             let next = crate::NetId::new(net_pins.len());
             nets.entry(name.clone()).or_insert_with(|| {
                 net_pins.push(Vec::new());
@@ -421,7 +422,11 @@ impl Parser<'_> {
             match self.next() {
                 Some(t2) if t2.text == "," => continue,
                 Some(t2) if t2.text == ";" => break,
-                Some(t2) => return Err(self.err(t2.line, format!("expected `,` or `;`, found `{}`", t2.text))),
+                Some(t2) => {
+                    return Err(
+                        self.err(t2.line, format!("expected `,` or `;`, found `{}`", t2.text))
+                    )
+                }
                 None => return Err(self.err(line, "unterminated signal declaration")),
             }
         }
@@ -430,9 +435,7 @@ impl Parser<'_> {
 
     fn parse_int(&mut self) -> Result<i64, NetlistError> {
         let t = self.next().ok_or_else(|| self.err(0, "expected number"))?;
-        t.text
-            .parse()
-            .map_err(|_| self.err(t.line, format!("expected number, found `{}`", t.text)))
+        t.text.parse().map_err(|_| self.err(t.line, format!("expected number, found `{}`", t.text)))
     }
 
     /// Parses `( .A(n1), .B(n2) )` or `( n1, n2 )` followed by `;`,
@@ -478,7 +481,9 @@ impl Parser<'_> {
                 Some(t2) if t2.text == "," => continue,
                 Some(t2) if t2.text == ")" => break,
                 Some(t2) => {
-                    return Err(self.err(t2.line, format!("expected `,` or `)`, found `{}`", t2.text)))
+                    return Err(
+                        self.err(t2.line, format!("expected `,` or `)`, found `{}`", t2.text))
+                    )
                 }
                 None => return Err(self.err(line, "unterminated connection list")),
             }

@@ -102,9 +102,7 @@ impl CongestionMap {
     /// Largest tile utilization.
     pub fn max_utilization(&self) -> f64 {
         (0..self.tiles * self.tiles)
-            .map(|i| {
-                (self.h_demand[i] / self.h_capacity).max(self.v_demand[i] / self.v_capacity)
-            })
+            .map(|i| (self.h_demand[i] / self.h_capacity).max(self.v_demand[i] / self.v_capacity))
             .fold(0.0, f64::max)
     }
 
@@ -112,9 +110,7 @@ impl CongestionMap {
     pub fn mean_utilization(&self) -> f64 {
         let n = (self.tiles * self.tiles) as f64;
         (0..self.tiles * self.tiles)
-            .map(|i| {
-                (self.h_demand[i] / self.h_capacity).max(self.v_demand[i] / self.v_capacity)
-            })
+            .map(|i| (self.h_demand[i] / self.h_capacity).max(self.v_demand[i] / self.v_capacity))
             .sum::<f64>()
             / n
     }
@@ -139,9 +135,7 @@ impl CongestionMap {
         self.net_boxes
             .iter()
             .filter(|&&(x0, y0, x1, y1)| {
-                (y0..=y1).any(|ty| {
-                    (x0..=x1).any(|tx| hot[ty as usize * self.tiles + tx as usize])
-                })
+                (y0..=y1).any(|ty| (x0..=x1).any(|tx| hot[ty as usize * self.tiles + tx as usize]))
             })
             .count()
     }
@@ -197,9 +191,7 @@ impl CongestionMap {
     /// Row-major utilization values, for heatmap rendering.
     pub fn to_grid(&self) -> Vec<f64> {
         (0..self.tiles * self.tiles)
-            .map(|i| {
-                (self.h_demand[i] / self.h_capacity).max(self.v_demand[i] / self.v_capacity)
-            })
+            .map(|i| (self.h_demand[i] / self.h_capacity).max(self.v_demand[i] / self.v_capacity))
             .collect()
     }
 }
@@ -298,11 +290,16 @@ pub fn estimate(
             }
             DemandModel::LShape => {
                 // Star topology: route every pin to the first pin with two
-                // half-probability L routes.
+                // half-probability L routes. Raw star wire grows linearly
+                // with fanout while a router builds a Steiner tree, so the
+                // per-route deposits are scaled by `q(k) / (k - 1)` (RISA
+                // fanout correction) — without it one 100-pin hub tile
+                // dwarfs the whole map.
+                let weight = risa_weight(cells.len()) / (cells.len() - 1) as f64;
                 let (sx, sy) = placement.position(cells[0]);
                 for &c in &cells[1..] {
                     let (px, py) = placement.position(c);
-                    deposit_l(&mut h_demand, &mut v_demand, t, tw, th, sx, sy, px, py);
+                    deposit_l(&mut h_demand, &mut v_demand, t, tw, th, sx, sy, px, py, weight);
                 }
             }
         }
@@ -311,17 +308,48 @@ pub fn estimate(
     // Capacity: explicit, or calibrated to the target mean utilization.
     let mean_h = h_demand.iter().sum::<f64>() / (t * t) as f64;
     let mean_v = v_demand.iter().sum::<f64>() / (t * t) as f64;
-    let h_capacity =
-        config.h_capacity.unwrap_or_else(|| (mean_h / config.target_mean).max(1e-9));
-    let v_capacity =
-        config.v_capacity.unwrap_or_else(|| (mean_v / config.target_mean).max(1e-9));
+    let h_capacity = config.h_capacity.unwrap_or_else(|| (mean_h / config.target_mean).max(1e-9));
+    let v_capacity = config.v_capacity.unwrap_or_else(|| (mean_v / config.target_mean).max(1e-9));
 
     CongestionMap { tiles: t, h_demand, v_demand, h_capacity, v_capacity, net_boxes }
 }
 
-/// Deposits the two one-bend routes between `(ax, ay)` and `(bx, by)` with
-/// weight ½ each: horizontal span on both end rows, vertical span on both
-/// end columns.
+/// RISA net-weighting (Cheng, ICCAD'94): expected Steiner wirelength of a
+/// `k`-pin net as a multiple of its bounding-box half-perimeter. Table for
+/// the published pin counts, linear interpolation in between, `√k` growth
+/// beyond the table.
+fn risa_weight(k: usize) -> f64 {
+    const TABLE: [(usize, f64); 12] = [
+        (2, 1.0),
+        (3, 1.0),
+        (4, 1.0828),
+        (5, 1.1536),
+        (6, 1.2206),
+        (7, 1.2823),
+        (8, 1.3385),
+        (9, 1.3991),
+        (10, 1.4493),
+        (15, 1.6899),
+        (20, 1.8924),
+        (50, 2.7933),
+    ];
+    if k <= 2 {
+        return 1.0;
+    }
+    for pair in TABLE.windows(2) {
+        let ((k0, q0), (k1, q1)) = (pair[0], pair[1]);
+        if k <= k1 {
+            let frac = (k - k0) as f64 / (k1 - k0) as f64;
+            return q0 + frac * (q1 - q0);
+        }
+    }
+    2.7933 * (k as f64 / 50.0).sqrt()
+}
+
+/// Deposits the two one-bend routes between `(ax, ay)` and `(bx, by)`,
+/// each with probability ½ and scaled by `weight`: horizontal span on both
+/// end rows, vertical span on both end columns, each tile receiving the
+/// actual segment length crossing it.
 #[allow(clippy::too_many_arguments)]
 fn deposit_l(
     h_demand: &mut [f64],
@@ -333,30 +361,33 @@ fn deposit_l(
     ay: f64,
     bx: f64,
     by: f64,
+    weight: f64,
 ) {
-    let (tx0, tx1) = {
-        let a = ((ax / tw) as usize).min(t - 1);
-        let b = ((bx / tw) as usize).min(t - 1);
-        (a.min(b), a.max(b))
-    };
-    let (ty0, ty1) = {
-        let a = ((ay / th) as usize).min(t - 1);
-        let b = ((by / th) as usize).min(t - 1);
-        (a.min(b), a.max(b))
-    };
+    let (x0, x1) = (ax.min(bx), ax.max(bx));
+    let (y0, y1) = (ay.min(by), ay.max(by));
+    let (tx0, tx1) = (((x0 / tw) as usize).min(t - 1), ((x1 / tw) as usize).min(t - 1));
+    let (ty0, ty1) = (((y0 / th) as usize).min(t - 1), ((y1 / th) as usize).min(t - 1));
     let ta = ((ay / th) as usize).min(t - 1);
     let tb = ((by / th) as usize).min(t - 1);
     // Horizontal segments on row of a (route 1) and row of b (route 2).
+    // Each tile receives the actual length of the segment crossing it (in
+    // the same wirelength units RUDY deposits), not a full tile width —
+    // otherwise sub-tile nets in tangled clusters are overweighted by
+    // `tw / |dx|` and one cluster tile dwarfs the rest of the map.
     for tx in tx0..=tx1 {
-        h_demand[ta * t + tx] += 0.5 * tw;
-        h_demand[tb * t + tx] += 0.5 * tw;
+        let lo = tx as f64 * tw;
+        let overlap = (x1.min(lo + tw) - x0.max(lo)).max(0.0);
+        h_demand[ta * t + tx] += 0.5 * weight * overlap;
+        h_demand[tb * t + tx] += 0.5 * weight * overlap;
     }
     let ca = ((ax / tw) as usize).min(t - 1);
     let cb = ((bx / tw) as usize).min(t - 1);
     // Vertical segments on column of b (route 1) and column of a (route 2).
     for ty in ty0..=ty1 {
-        v_demand[ty * t + cb] += 0.5 * th;
-        v_demand[ty * t + ca] += 0.5 * th;
+        let lo = ty as f64 * th;
+        let overlap = (y1.min(lo + th) - y0.max(lo)).max(0.0);
+        v_demand[ty * t + cb] += 0.5 * weight * overlap;
+        v_demand[ty * t + ca] += 0.5 * weight * overlap;
     }
 }
 
@@ -376,8 +407,11 @@ mod tests {
         Die { width: 32.0, height: 32.0, rows: 32 }
     }
 
+    /// An `((ax, ay), (bx, by))` endpoint pair.
+    type PinPair = ((f64, f64), (f64, f64));
+
     /// Cells at fixed positions with one net each pair.
-    fn pair_netlist(pairs: &[((f64, f64), (f64, f64))]) -> (Netlist, Placement) {
+    fn pair_netlist(pairs: &[PinPair]) -> (Netlist, Placement) {
         let mut b = NetlistBuilder::new();
         let mut xs = Vec::new();
         let mut ys = Vec::new();

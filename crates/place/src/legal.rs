@@ -61,9 +61,7 @@ pub fn legalize(netlist: &Netlist, global: &Placement, die: &Die) -> LegalizedPl
     // Sort cells by global x (stable on id for determinism).
     let mut order: Vec<u32> = (0..n as u32).collect();
     order.sort_by(|&a, &b| {
-        global.xs()[a as usize]
-            .total_cmp(&global.xs()[b as usize])
-            .then(a.cmp(&b))
+        global.xs()[a as usize].total_cmp(&global.xs()[b as usize]).then(a.cmp(&b))
     });
 
     let mut cursor = vec![0.0f64; die.rows]; // next free x per row
@@ -82,7 +80,8 @@ pub fn legalize(netlist: &Netlist, global: &Placement, die: &Die) -> LegalizedPl
         // Scan rows outward from the ideal one; take the cheapest fit.
         let mut best: Option<(f64, usize, f64)> = None; // (cost, row, x)
         for delta in 0..die.rows {
-            let mut candidates = [ideal_row as isize - delta as isize, ideal_row as isize + delta as isize];
+            let mut candidates =
+                [ideal_row as isize - delta as isize, ideal_row as isize + delta as isize];
             if delta == 0 {
                 candidates[1] = isize::MIN; // dedupe
             }

@@ -131,12 +131,8 @@ pub fn place(netlist: &Netlist, die: &Die, config: &PlacerConfig) -> Placement {
 
     for _ in 0..config.iterations {
         // Spread current positions to produce anchor targets.
-        let spread_p = spread(
-            netlist,
-            &Placement::from_coords(xs.clone(), ys.clone()),
-            die,
-            &config.spread,
-        );
+        let spread_p =
+            spread(netlist, &Placement::from_coords(xs.clone(), ys.clone()), die, &config.spread);
 
         let anchor = vec![alpha; n];
         let rhs_x: Vec<f64> = spread_p.xs().iter().map(|&t| alpha * t).collect();
@@ -224,8 +220,10 @@ mod tests {
         let die = Die::for_netlist(&nl, 0.5);
         let placed = place(&nl, &die, &PlacerConfig::default());
         // The 12-clique's spatial spread must be far below the die size.
-        let xs: Vec<f64> = (0..12).map(|i| placed.position(gtl_netlist::CellId::new(i)).0).collect();
-        let ys: Vec<f64> = (0..12).map(|i| placed.position(gtl_netlist::CellId::new(i)).1).collect();
+        let xs: Vec<f64> =
+            (0..12).map(|i| placed.position(gtl_netlist::CellId::new(i)).0).collect();
+        let ys: Vec<f64> =
+            (0..12).map(|i| placed.position(gtl_netlist::CellId::new(i)).1).collect();
         let w = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
             - xs.iter().cloned().fold(f64::INFINITY, f64::min);
         let h = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max)

@@ -208,10 +208,7 @@ mod tests {
         let mut b = NetlistBuilder::new();
         let first = b.add_anonymous_cells(n);
         for i in 0..n - 1 {
-            b.add_anonymous_net([
-                gtl_netlist::CellId::new(i),
-                gtl_netlist::CellId::new(i + 1),
-            ]);
+            b.add_anonymous_net([gtl_netlist::CellId::new(i), gtl_netlist::CellId::new(i + 1)]);
         }
         let _ = first;
         b.finish()

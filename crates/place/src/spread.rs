@@ -153,7 +153,14 @@ struct Ctx<'a> {
     config: &'a SpreadConfig,
 }
 
-fn bisect(ctx: &Ctx<'_>, cells: &mut [u32], rect: Rect, depth: usize, xs: &mut [f64], ys: &mut [f64]) {
+fn bisect(
+    ctx: &Ctx<'_>,
+    cells: &mut [u32],
+    rect: Rect,
+    depth: usize,
+    xs: &mut [f64],
+    ys: &mut [f64],
+) {
     let total_area: f64 =
         cells.iter().map(|&c| ctx.netlist.cell_area(gtl_netlist::CellId::from(c))).sum();
 

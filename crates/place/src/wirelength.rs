@@ -128,11 +128,7 @@ pub fn net_wirelength(
 /// # Panics
 ///
 /// Panics if the placement does not cover the netlist.
-pub fn total_wirelength(
-    netlist: &Netlist,
-    placement: &Placement,
-    model: WirelengthModel,
-) -> f64 {
+pub fn total_wirelength(netlist: &Netlist, placement: &Placement, model: WirelengthModel) -> f64 {
     netlist.nets().map(|n| net_wirelength(netlist, placement, n, model)).sum()
 }
 
@@ -144,10 +140,8 @@ pub fn longest_nets(
     model: WirelengthModel,
     top: usize,
 ) -> Vec<(NetId, f64)> {
-    let mut all: Vec<(NetId, f64)> = netlist
-        .nets()
-        .map(|n| (n, net_wirelength(netlist, placement, n, model)))
-        .collect();
+    let mut all: Vec<(NetId, f64)> =
+        netlist.nets().map(|n| (n, net_wirelength(netlist, placement, n, model))).collect();
     all.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     all.truncate(top);
     all
@@ -160,8 +154,7 @@ mod tests {
 
     fn net_of(points: &[(f64, f64)]) -> (Netlist, Placement, NetId) {
         let mut b = NetlistBuilder::new();
-        let cells: Vec<_> =
-            (0..points.len()).map(|i| b.add_cell(format!("c{i}"), 1.0)).collect();
+        let cells: Vec<_> = (0..points.len()).map(|i| b.add_cell(format!("c{i}"), 1.0)).collect();
         let n = b.add_anonymous_net(cells.iter().copied());
         let nl = b.finish();
         let p = Placement::from_coords(

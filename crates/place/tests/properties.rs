@@ -1,19 +1,17 @@
 //! Property-based tests for the physical-design invariants.
 
-use proptest::prelude::*;
 use gtl_netlist::{CellId, Netlist, NetlistBuilder};
 use gtl_place::legal::legalize;
 use gtl_place::spread::{spread, SpreadConfig};
 use gtl_place::wirelength::{net_wirelength, WirelengthModel};
 use gtl_place::{Die, Placement};
+use proptest::prelude::*;
 
 fn arb_design(max_cells: usize) -> impl Strategy<Value = (Netlist, Placement, Die)> {
     (4..max_cells).prop_flat_map(|n| {
         let coords = proptest::collection::vec((0.0f64..30.0, 0.0f64..30.0), n);
-        let nets = proptest::collection::vec(
-            proptest::collection::vec(0..n, 2..4usize),
-            1..(2 * n),
-        );
+        let nets =
+            proptest::collection::vec(proptest::collection::vec(0..n, 2..4usize), 1..(2 * n));
         (coords, nets).prop_map(move |(coords, nets)| {
             let mut b = NetlistBuilder::new();
             b.add_anonymous_cells(n);

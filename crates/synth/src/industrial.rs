@@ -81,8 +81,7 @@ pub fn generate(config: &IndustrialConfig) -> GeneratedCircuit {
     for (blob_idx, &(size, cut)) in PAPER_BLOBS.iter().enumerate() {
         let size = s(size);
         let first = b.add_anonymous_cells(size);
-        let members: Vec<CellId> =
-            (first.index()..first.index() + size).map(CellId::new).collect();
+        let members: Vec<CellId> = (first.index()..first.index() + size).map(CellId::new).collect();
         rom_fabric(&mut b, &members, blob_idx, &mut rng);
         truth.push((members, cut));
     }
@@ -142,7 +141,7 @@ fn rom_fabric(b: &mut NetlistBuilder, members: &[CellId], blob_idx: usize, rng: 
     // even at uniform cell density (and gives it A_C ≫ A_G).
     let extra = n * 3;
     for _ in 0..extra {
-        let deg = 2 + rng.gen_range(0..3);
+        let deg = 2 + rng.gen_range(0..3usize);
         let mut pins = Vec::with_capacity(deg);
         for _ in 0..deg {
             pins.push(members[rng.gen_range(0..n)]);
@@ -181,8 +180,7 @@ mod tests {
             let stats = SubsetStats::compute(&g.netlist, &set);
             // Rent-scaled from the paper's 36/28; far below the Rent
             // expectation A_G·size^p for a group this large.
-            let rent_expectation =
-                g.netlist.avg_pins_per_cell() * (stats.size as f64).powf(0.65);
+            let rent_expectation = g.netlist.avg_pins_per_cell() * (stats.size as f64).powf(0.65);
             assert!(stats.cut >= 4, "blob {i} disconnected from background");
             assert!(
                 (stats.cut as f64) < 0.1 * rent_expectation,

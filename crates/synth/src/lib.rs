@@ -76,7 +76,7 @@ pub(crate) fn sample_net_degree<R: rand::Rng>(rng: &mut R, max: usize) -> usize 
     } else if x < 0.97 {
         5
     } else {
-        5 + rng.gen_range(1..=6)
+        5 + rng.gen_range(1..=6usize)
     };
     d.min(max.max(2))
 }

@@ -124,7 +124,7 @@ pub fn generate(config: &PlantedConfig) -> GeneratedCircuit {
         // of tightly wired small nets, not big fanout nets).
         let internal = (size as f64 * config.internal_nets_per_cell) as usize;
         for _ in 0..internal {
-            let deg = (2 + rng.gen_range(0..3)).min(size);
+            let deg = (2 + rng.gen_range(0..3usize)).min(size);
             let mut pins = Vec::with_capacity(deg);
             for _ in 0..deg {
                 pins.push(members[rng.gen_range(0..size)]);
@@ -152,12 +152,7 @@ pub fn generate(config: &PlantedConfig) -> GeneratedCircuit {
         name: format!(
             "planted-{}c-{}",
             config.num_cells,
-            config
-                .blocks
-                .iter()
-                .map(|b| b.to_string())
-                .collect::<Vec<_>>()
-                .join("+")
+            config.blocks.iter().map(|b| b.to_string()).collect::<Vec<_>>().join("+")
         ),
         netlist: b.finish(),
         truth,

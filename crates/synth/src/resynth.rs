@@ -174,9 +174,7 @@ mod tests {
         // The boundary net (cells[0], cells[30]) and outside chain survive.
         let boundary_intact = out.nets().any(|n| {
             let pins = out.net_cells(n);
-            pins.len() == 2
-                && pins.contains(&CellId::new(0))
-                && pins.contains(&CellId::new(30))
+            pins.len() == 2 && pins.contains(&CellId::new(0)) && pins.contains(&CellId::new(30))
         });
         assert!(boundary_intact);
     }
@@ -188,12 +186,9 @@ mod tests {
         // The resynthesized GTL = original members + all new buffers.
         let mut members: Vec<CellId> = gtl.clone();
         members.extend((nl.num_cells()..out.num_cells()).map(CellId::new));
-        let before = SubsetStats::compute(
-            &nl,
-            &CellSet::from_cells(nl.num_cells(), gtl.iter().copied()),
-        );
-        let after =
-            SubsetStats::compute(&out, &CellSet::from_cells(out.num_cells(), members));
+        let before =
+            SubsetStats::compute(&nl, &CellSet::from_cells(nl.num_cells(), gtl.iter().copied()));
+        let after = SubsetStats::compute(&out, &CellSet::from_cells(out.num_cells(), members));
         assert_eq!(before.cut, after.cut, "boundary must not change");
         assert!(report.buffers_added > 0);
     }
@@ -204,12 +199,9 @@ mod tests {
         let (out, _) = resynthesize(&nl, &gtl, &ResynthConfig { max_fanout: 3 });
         let mut members: Vec<CellId> = gtl.clone();
         members.extend((nl.num_cells()..out.num_cells()).map(CellId::new));
-        let before = SubsetStats::compute(
-            &nl,
-            &CellSet::from_cells(nl.num_cells(), gtl.iter().copied()),
-        );
-        let after =
-            SubsetStats::compute(&out, &CellSet::from_cells(out.num_cells(), members));
+        let before =
+            SubsetStats::compute(&nl, &CellSet::from_cells(nl.num_cells(), gtl.iter().copied()));
+        let after = SubsetStats::compute(&out, &CellSet::from_cells(out.num_cells(), members));
         assert!(
             after.avg_pins_per_cell() < before.avg_pins_per_cell(),
             "A_C {} → {}",

@@ -65,6 +65,7 @@ pub fn ripple_carry_adder(b: &mut NetlistBuilder, bits: usize) -> StructureCells
         let a1 = b.add_cell(format!("add_a1_{i}"), 1.25); // a & b
         let a2 = b.add_cell(format!("add_a2_{i}"), 1.25); // cin & (a^b)
         let o1 = b.add_cell(format!("add_o1_{i}"), 1.25); // cout
+
         // a^b feeds both the sum XOR and the carry AND.
         b.add_net(format!("add_p_{i}"), [x1, x2, a2]);
         // The generate term and propagate term feed the carry OR.
@@ -262,9 +263,8 @@ pub fn barrel_shifter(b: &mut NetlistBuilder, width: usize) -> StructureCells {
     let mut cells = Vec::with_capacity(width * stages);
     let mut prev: Vec<CellId> = Vec::new();
     for stage in 0..stages {
-        let rank: Vec<CellId> = (0..width)
-            .map(|lane| b.add_cell(format!("bsh_{stage}_{lane}"), 2.25))
-            .collect();
+        let rank: Vec<CellId> =
+            (0..width).map(|lane| b.add_cell(format!("bsh_{stage}_{lane}"), 2.25)).collect();
         let hop = 1usize << stage;
         for lane in 0..width {
             if !prev.is_empty() {

@@ -120,11 +120,7 @@ pub struct ScoreCurve {
 impl ScoreCurve {
     /// Index of the smallest score, or `None` if the curve is empty.
     pub fn argmin(&self) -> Option<usize> {
-        self.scores
-            .iter()
-            .enumerate()
-            .min_by(|a, b| a.1.total_cmp(b.1))
-            .map(|(i, _)| i)
+        self.scores.iter().enumerate().min_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i)
     }
 }
 
@@ -160,9 +156,7 @@ pub fn score_curve(
     avg_pins_per_cell: f64,
     config: &CandidateConfig,
 ) -> ScoreCurve {
-    let p = config
-        .rent_exponent
-        .unwrap_or_else(|| estimate_ordering_rent_exponent(ordering));
+    let p = config.rent_exponent.unwrap_or_else(|| estimate_ordering_rent_exponent(ordering));
     let ctx = DesignContext { avg_pins_per_cell, rent_exponent: p };
     let mut curve = ScoreCurve {
         sizes: Vec::with_capacity(ordering.len()),
@@ -214,9 +208,7 @@ pub fn extract_candidate(
     }
     // The minimum is "clear" only if the curve rises afterwards: a seed
     // outside any GTL produces a flat or still-decreasing curve.
-    let rises = curve.scores[k_min + 1..]
-        .iter()
-        .any(|&s| s >= config.prominence * s_min);
+    let rises = curve.scores[k_min + 1..].iter().any(|&s| s >= config.prominence * s_min);
     if !rises {
         return None;
     }
@@ -260,7 +252,7 @@ mod tests {
         let cand = extract_candidate(&ord, nl.avg_pins_per_cell(), &config);
         // Either nothing, or nothing *strong*: a random graph must never
         // look like a GTL (score ≪ 1).
-        assert!(cand.map_or(true, |c| c.score > 0.3), "random graph scored as strong GTL");
+        assert!(cand.is_none_or(|c| c.score > 0.3), "random graph scored as strong GTL");
     }
 
     #[test]
@@ -275,8 +267,7 @@ mod tests {
     fn max_size_cap_respected() {
         let (nl, truth) = cliques_in_background(200, &[(10, 12)], 1);
         let ord = grow(&nl, truth[0][0]);
-        let config =
-            CandidateConfig { min_size: 4, max_size: 8, ..CandidateConfig::default() };
+        let config = CandidateConfig { min_size: 4, max_size: 8, ..CandidateConfig::default() };
         if let Some(c) = extract_candidate(&ord, nl.avg_pins_per_cell(), &config) {
             assert!(c.cells.len() <= 8);
         }
@@ -314,11 +305,9 @@ mod tests {
         // Inside a planted structure the curve dips at the structure size
         // and rises afterwards (paper Figure 2's "inside" curve).
         let (nl, truth) = cliques_in_background(300, &[(50, 14)], 4);
-        let ord = OrderingGrower::new(
-            &nl,
-            GrowthConfig { max_len: 100, ..GrowthConfig::default() },
-        )
-        .grow(truth[0][3]);
+        let ord =
+            OrderingGrower::new(&nl, GrowthConfig { max_len: 100, ..GrowthConfig::default() })
+                .grow(truth[0][3]);
         let config = CandidateConfig { min_size: 3, ..CandidateConfig::default() };
         let curve = score_curve(&ord, nl.avg_pins_per_cell(), &config);
         let k = curve.argmin().unwrap();

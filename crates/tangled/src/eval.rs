@@ -77,11 +77,7 @@ impl MatchReport {
 /// assert!((m.miss_pct - 10.0).abs() < 1e-9);  // cell 0 missed
 /// assert!((m.over_pct - 20.0).abs() < 1e-9);  // cells 10, 11 extra
 /// ```
-pub fn match_gtls(
-    truths: &[Vec<CellId>],
-    found: &[Vec<CellId>],
-    universe: usize,
-) -> MatchReport {
+pub fn match_gtls(truths: &[Vec<CellId>], found: &[Vec<CellId>], universe: usize) -> MatchReport {
     let truth_sets: Vec<CellSet> =
         truths.iter().map(|t| CellSet::from_cells(universe, t.iter().copied())).collect();
     let found_sets: Vec<CellSet> =

@@ -2,14 +2,18 @@
 //!
 //! Orchestrates `m` independent seed searches — each running Phase I
 //! (ordering), Phase II (candidate extraction) and Phase III refinement —
-//! across a thread pool, followed by the only serial step, the `O(m²)`
+//! through the shared deterministic execution layer
+//! ([`gtl_core::exec`]), followed by the only serial step, the `O(m²)`
 //! overlap pruning. Results are deterministic for a given `rng_seed`
 //! regardless of the thread count, because every search derives its own
-//! RNG stream from the search index.
+//! RNG stream from the search index via [`gtl_core::derive_stream`] and
+//! the execution layer returns results in seed order.
 
 use gtl_netlist::{CellId, Netlist, SubsetStats};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+
+use crate::ordering::LinearOrdering;
 
 use crate::candidate::{extract_candidate, Candidate, CandidateConfig};
 use crate::metrics::{self, DesignContext, MetricKind};
@@ -192,69 +196,47 @@ impl<'a> TangledLogicFinder<'a> {
         for &s in seeds {
             assert!(s.index() < self.netlist.num_cells(), "seed {s} out of bounds");
         }
-        let threads = if self.config.threads == 0 {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-        } else {
-            self.config.threads
-        };
-        let threads = threads.min(seeds.len()).max(1);
 
         let candidate_config = self.config.candidate(self.netlist.num_cells());
         let refine_config = RefineConfig { extra_seeds: self.config.refine_seeds };
 
-        // Each search gets an RNG derived from (master seed, search index)
-        // so the result does not depend on the thread count.
-        let search = |index: usize, grower: &mut OrderingGrower<'_>| -> Option<Candidate> {
-            let mut rng = SmallRng::seed_from_u64(mix(self.config.rng_seed, index as u64));
-            let ordering = grower.grow(seeds[index]);
-            let cand =
-                extract_candidate(&ordering, self.netlist.avg_pins_per_cell(), &candidate_config)?;
-            Some(if self.config.refine {
-                refine_candidate(
-                    self.netlist,
-                    grower,
-                    cand,
+        // All fan-out goes through the shared execution layer: per-worker
+        // scratch (grower + ordering buffer) is reused across the seeds a
+        // worker claims, results come back in seed order, and each search
+        // derives its RNG from (master seed, seed index) — so the output
+        // is identical for any thread count.
+        let results: Vec<Option<Candidate>> = gtl_core::parallel_map_with(
+            self.config.threads,
+            seeds.len(),
+            |_worker| SearchScratch {
+                grower: OrderingGrower::new(self.netlist, self.config.growth()),
+                ordering: LinearOrdering::new(),
+            },
+            |scratch, index| {
+                let mut rng = SmallRng::seed_from_u64(gtl_core::derive_stream(
+                    self.config.rng_seed,
+                    index as u64,
+                ));
+                scratch.grower.grow_into(seeds[index], &mut scratch.ordering);
+                let cand = extract_candidate(
+                    &scratch.ordering,
+                    self.netlist.avg_pins_per_cell(),
                     &candidate_config,
-                    &refine_config,
-                    &mut rng,
-                )
-            } else {
-                cand
-            })
-        };
-
-        let mut results: Vec<Option<Candidate>> = Vec::with_capacity(seeds.len());
-        if threads == 1 {
-            let mut grower = OrderingGrower::new(self.netlist, self.config.growth());
-            for i in 0..seeds.len() {
-                results.push(search(i, &mut grower));
-            }
-        } else {
-            let chunk = seeds.len().div_ceil(threads);
-            let mut slots: Vec<Vec<Option<Candidate>>> = Vec::new();
-            std::thread::scope(|scope| {
-                let mut handles = Vec::new();
-                for t in 0..threads {
-                    let lo = t * chunk;
-                    let hi = ((t + 1) * chunk).min(seeds.len());
-                    if lo >= hi {
-                        break;
-                    }
-                    let search = &search;
-                    handles.push(scope.spawn(move || {
-                        let mut grower =
-                            OrderingGrower::new(self.netlist, self.config.growth());
-                        (lo..hi).map(|i| search(i, &mut grower)).collect::<Vec<_>>()
-                    }));
-                }
-                for h in handles {
-                    slots.push(h.join().expect("finder worker panicked"));
-                }
-            });
-            for s in slots {
-                results.extend(s);
-            }
-        }
+                )?;
+                Some(if self.config.refine {
+                    refine_candidate(
+                        self.netlist,
+                        &mut scratch.grower,
+                        cand,
+                        &candidate_config,
+                        &refine_config,
+                        &mut rng,
+                    )
+                } else {
+                    cand
+                })
+            },
+        );
 
         let num_empty = results.iter().filter(|r| r.is_none()).count();
         let candidates: Vec<Candidate> = results.into_iter().flatten().collect();
@@ -270,10 +252,7 @@ impl<'a> TangledLogicFinder<'a> {
         let gtls = kept
             .into_iter()
             .map(|c| {
-                let ctx = DesignContext {
-                    avg_pins_per_cell: a_g,
-                    rent_exponent: c.rent_exponent,
-                };
+                let ctx = DesignContext { avg_pins_per_cell: a_g, rent_exponent: c.rent_exponent };
                 let mut cells = c.cells;
                 cells.sort_unstable();
                 Gtl {
@@ -302,12 +281,13 @@ impl<'a> TangledLogicFinder<'a> {
     }
 }
 
-/// SplitMix64 step, used to derive independent per-search RNG streams.
-fn mix(seed: u64, index: u64) -> u64 {
-    let mut z = seed ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
+/// Per-worker scratch for the execution layer: the Phase I engine's
+/// `O(|V| + |E|)` buffers plus a reusable ordering, both paid for once per
+/// worker instead of once per seed.
+#[derive(Debug)]
+struct SearchScratch<'a> {
+    grower: OrderingGrower<'a>,
+    ordering: LinearOrdering,
 }
 
 #[cfg(test)]
@@ -436,12 +416,28 @@ mod tests {
         let _ = TangledLogicFinder::new(&nl, cfg);
     }
 
+    /// The execution-layer determinism contract, end-to-end: the full
+    /// `FinderResult` must be byte-identical (same `Debug` rendering,
+    /// which covers every field of every GTL) for 1, 2 and 8 workers on a
+    /// planted-clique fixture.
     #[test]
-    fn mix_produces_distinct_streams() {
-        let a = mix(1, 0);
-        let b = mix(1, 1);
-        let c = mix(2, 0);
-        assert_ne!(a, b);
-        assert_ne!(a, c);
+    fn result_identical_for_1_2_8_workers() {
+        let (nl, _truth) = crate::testutil::cliques_in_background(400, &[(40, 16), (200, 24)], 7);
+        let base = FinderConfig {
+            num_seeds: 32,
+            min_size: 8,
+            max_order_len: 120,
+            rng_seed: 0xD0C,
+            ..FinderConfig::default()
+        };
+        let run = |threads: usize| {
+            let config = FinderConfig { threads, ..base };
+            format!("{:?}", TangledLogicFinder::new(&nl, config).run())
+        };
+        let serial = run(1);
+        assert!(serial.contains("Gtl"), "fixture found no GTLs: {serial}");
+        for threads in [2, 8] {
+            assert_eq!(serial, run(threads), "output changed with {threads} workers");
+        }
     }
 }

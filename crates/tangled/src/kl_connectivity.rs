@@ -180,13 +180,7 @@ fn dfs(
 /// assert!(are_kl_connected(&graph, cells[0], cells[3], 3, 2));
 /// assert!(!are_kl_connected(&graph, cells[0], cells[3], 4, 2));
 /// ```
-pub fn are_kl_connected(
-    graph: &AdjacencyGraph,
-    a: CellId,
-    b: CellId,
-    k: usize,
-    l: usize,
-) -> bool {
+pub fn are_kl_connected(graph: &AdjacencyGraph, a: CellId, b: CellId, k: usize, l: usize) -> bool {
     edge_disjoint_paths(graph, a, b, l, k) >= k
 }
 

@@ -65,6 +65,12 @@ pub mod refine;
 
 mod finder;
 
+pub use candidate::{Candidate, CandidateConfig, ScoreCurve};
+pub use eval::{match_gtls, GtlMatch, MatchReport};
+pub use finder::{FinderConfig, FinderResult, Gtl, TangledLogicFinder};
+pub use metrics::{DesignContext, MetricKind};
+pub use ordering::{GrowthConfig, GrowthCriterion, LinearOrdering, OrderingGrower};
+
 #[cfg(test)]
 pub(crate) mod testutil {
     //! Shared fixtures: cliques planted in a random sparse background, so
@@ -134,9 +140,3 @@ pub(crate) mod testutil {
         (b.finish(), truth)
     }
 }
-
-pub use candidate::{Candidate, CandidateConfig, ScoreCurve};
-pub use eval::{match_gtls, GtlMatch, MatchReport};
-pub use finder::{FinderConfig, FinderResult, Gtl, TangledLogicFinder};
-pub use metrics::{DesignContext, MetricKind};
-pub use ordering::{GrowthConfig, GrowthCriterion, LinearOrdering, OrderingGrower};

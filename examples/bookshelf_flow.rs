@@ -16,10 +16,18 @@ fn main() -> Result<(), Box<dyn Error>> {
     let n = circuit.netlist.num_cells();
     let side = (circuit.netlist.total_cell_area() / 0.7).sqrt().ceil();
     let rows: Vec<Row> = (0..side as usize)
-        .map(|r| Row { y: r as f64, height: 1.0, x: 0.0, num_sites: side as usize, site_width: 1.0 })
+        .map(|r| Row {
+            y: r as f64,
+            height: 1.0,
+            x: 0.0,
+            num_sites: side as usize,
+            site_width: 1.0,
+        })
         .collect();
     let design = BookshelfDesign {
-        widths: (0..n).map(|i| circuit.netlist.cell_area(tangled_logic::netlist::CellId::new(i))).collect(),
+        widths: (0..n)
+            .map(|i| circuit.netlist.cell_area(tangled_logic::netlist::CellId::new(i)))
+            .collect(),
         heights: vec![1.0; n],
         fixed: vec![false; n],
         positions: None,

@@ -25,7 +25,12 @@ fn main() {
     // One wire ties the tangle to the rest.
     b.add_net("bridge", [cells[3], cells[40]]);
     let netlist = b.finish();
-    println!("netlist: {} cells, {} nets, A(G) = {:.2}", netlist.num_cells(), netlist.num_nets(), netlist.avg_pins_per_cell());
+    println!(
+        "netlist: {} cells, {} nets, A(G) = {:.2}",
+        netlist.num_cells(),
+        netlist.num_nets(),
+        netlist.avg_pins_per_cell()
+    );
 
     // --- 2. Score the known groups by hand --------------------------------
     let ctx = DesignContext::new(&netlist, 0.6);

@@ -13,10 +13,8 @@ use tangled_logic::tangled::metrics::{self, DesignContext};
 use tangled_logic::tangled::{FinderConfig, TangledLogicFinder};
 
 fn main() {
-    let circuit = industrial::generate(&IndustrialConfig {
-        scale: 0.005,
-        ..IndustrialConfig::default()
-    });
+    let circuit =
+        industrial::generate(&IndustrialConfig { scale: 0.005, ..IndustrialConfig::default() });
     let netlist = &circuit.netlist;
     println!("{}: {} cells, {} nets", circuit.name, netlist.num_cells(), netlist.num_nets());
 
@@ -53,8 +51,9 @@ fn main() {
     // Score the union of the tangled structures before and after (same
     // Rent exponent); the buffers belong to the resynthesized version.
     let mut new_members = all_cells.clone();
-    new_members
-        .extend((netlist.num_cells()..resynth.num_cells()).map(tangled_logic::netlist::CellId::new));
+    new_members.extend(
+        (netlist.num_cells()..resynth.num_cells()).map(tangled_logic::netlist::CellId::new),
+    );
     let before_stats = SubsetStats::compute(
         netlist,
         &CellSet::from_cells(netlist.num_cells(), all_cells.iter().copied()),

@@ -12,10 +12,8 @@ use tangled_logic::tangled::{FinderConfig, TangledLogicFinder};
 
 fn main() {
     // A small industrial-like design with dissolved-ROM blobs.
-    let circuit = industrial::generate(&IndustrialConfig {
-        scale: 0.015,
-        ..IndustrialConfig::default()
-    });
+    let circuit =
+        industrial::generate(&IndustrialConfig { scale: 0.015, ..IndustrialConfig::default() });
     let netlist = &circuit.netlist;
     println!("{}: {} cells, {} nets", circuit.name, netlist.num_cells(), netlist.num_nets());
 
@@ -46,10 +44,7 @@ fn main() {
 
     println!("\nbaseline : {}", outcome.before);
     println!("inflated : {}", outcome.after);
-    println!(
-        "\nnets through ≥100% tiles: {:.1}× reduction",
-        outcome.reduction_100pct()
-    );
+    println!("\nnets through ≥100% tiles: {:.1}× reduction", outcome.reduction_100pct());
     println!("nets through ≥90% tiles:  {:.1}× reduction", outcome.reduction_90pct());
     println!(
         "peak tile utilization:    {:.2} → {:.2}",

@@ -2,8 +2,11 @@
 //! *"Detecting Tangled Logic Structures in VLSI Netlists"* (Jindal,
 //! Alpert, Hu, Li, Nam, Winn — DAC 2010).
 //!
-//! Re-exports the four library crates:
+//! Re-exports the five library crates:
 //!
+//! * [`core`] — the shared deterministic parallel execution layer every
+//!   fan-out in the workspace runs on (ordered results, thread-count
+//!   independence, seed-stable RNG streams, per-worker scratch reuse);
 //! * [`netlist`] — hypergraph netlists, Bookshelf/Verilog/hgr parsers;
 //! * [`synth`] — synthetic workload generators with planted ground truth;
 //! * [`tangled`] — the GTL metrics and the three-phase finder (the
@@ -11,10 +14,13 @@
 //! * [`place`] — quadratic placement, legalization, congestion estimation
 //!   and the cell-inflation flow.
 //!
-//! See `README.md` for a tour and `examples/` for runnable walkthroughs.
+//! See `README.md` for a tour (including the workspace layout and the
+//! execution-layer determinism contract) and `examples/` for runnable
+//! walkthroughs.
 
 #![forbid(unsafe_code)]
 
+pub use gtl_core as core;
 pub use gtl_netlist as netlist;
 pub use gtl_place as place;
 pub use gtl_synth as synth;

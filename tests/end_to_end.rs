@@ -130,10 +130,7 @@ fn verilog_adder_is_detected_as_tangled() {
     }
     // Sparse filler gates on a scrambled ring.
     for i in 0..200 {
-        src.push_str(&format!(
-            "  BUF f{i} (.A(w{i}), .Y(w{}));\n",
-            (i * 7 + 3) % 200
-        ));
+        src.push_str(&format!("  BUF f{i} (.A(w{i}), .Y(w{}));\n", (i * 7 + 3) % 200));
     }
     src.push_str(&format!("  BUF tie (.A(c{}), .Y(w0));\nendmodule\n", bits - 1));
 
@@ -168,7 +165,8 @@ fn verilog_adder_is_detected_as_tangled() {
 #[test]
 fn structure_macros_are_strong_gtls_by_score() {
     // Every structure macro embedded in a sparse background scores ≪ 1.
-    let builders: Vec<(&str, Box<dyn Fn(&mut NetlistBuilder) -> structures::StructureCells>)> = vec![
+    type Builder = Box<dyn Fn(&mut NetlistBuilder) -> structures::StructureCells>;
+    let builders: Vec<(&str, Builder)> = vec![
         ("adder", Box::new(|b| structures::ripple_carry_adder(b, 32))),
         ("decoder", Box::new(|b| structures::decoder(b, 6))),
         ("mux", Box::new(|b| structures::mux_tree(b, 7))),

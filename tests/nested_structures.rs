@@ -42,19 +42,19 @@ fn nested(region_boundary_nets: usize, seed: u64) -> (Netlist, Vec<CellId>) {
     }
     for _ in 0..60 {
         let inside = rng.gen_range(0..80);
-        let outside = 80 + rng.gen_range(0..120);
+        let outside = 80 + rng.gen_range(0..120usize);
         b.add_anonymous_net([id(inside), id(outside)]);
     }
     // R boundary to the background.
     for _ in 0..region_boundary_nets {
-        let inside = 80 + rng.gen_range(0..120);
-        let outside = 200 + rng.gen_range(0..1000);
+        let inside = 80 + rng.gen_range(0..120usize);
+        let outside = 200 + rng.gen_range(0..1000usize);
         b.add_anonymous_net([id(inside), id(outside)]);
     }
     // Background wiring.
     for k in 200..total {
         for _ in 0..2 {
-            let j = 200 + rng.gen_range(0..1000);
+            let j = 200 + rng.gen_range(0..1000usize);
             if j != k {
                 b.add_anonymous_net([id(k), id(j)]);
             }

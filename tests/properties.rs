@@ -2,7 +2,7 @@
 //! algorithmic invariants that the whole reproduction rests on.
 
 use proptest::prelude::*;
-use tangled_logic::netlist::{hgr, CellId, CellSet, NetlistBuilder, Netlist, SubsetStats};
+use tangled_logic::netlist::{hgr, CellId, CellSet, Netlist, NetlistBuilder, SubsetStats};
 use tangled_logic::tangled::candidate::{extract_candidate, CandidateConfig};
 use tangled_logic::tangled::metrics::{self, DesignContext};
 use tangled_logic::tangled::prune::prune_overlapping;
@@ -12,18 +12,15 @@ use tangled_logic::tangled::{GrowthConfig, OrderingGrower};
 /// 2..=5 pins drawn from them.
 fn arb_netlist(max_cells: usize, max_nets: usize) -> impl Strategy<Value = Netlist> {
     (2..max_cells, 1..max_nets).prop_flat_map(move |(cells, nets)| {
-        proptest::collection::vec(
-            proptest::collection::vec(0..cells, 2..=5usize),
-            nets..=nets,
-        )
-        .prop_map(move |net_pins| {
-            let mut b = NetlistBuilder::new();
-            b.add_anonymous_cells(cells);
-            for pins in net_pins {
-                b.add_anonymous_net(pins.into_iter().map(CellId::new));
-            }
-            b.finish()
-        })
+        proptest::collection::vec(proptest::collection::vec(0..cells, 2..=5usize), nets..=nets)
+            .prop_map(move |net_pins| {
+                let mut b = NetlistBuilder::new();
+                b.add_anonymous_cells(cells);
+                for pins in net_pins {
+                    b.add_anonymous_net(pins.into_iter().map(CellId::new));
+                }
+                b.finish()
+            })
     })
 }
 

@@ -1,0 +1,135 @@
+//! Collection strategies: [`vec`] and [`hash_set`].
+
+use std::collections::HashSet;
+use std::hash::Hash;
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+use rand::Rng;
+
+/// Anything accepted as a size specification: a fixed `usize`, `lo..hi`
+/// or `lo..=hi`.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    /// Inclusive upper bound.
+    hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { lo: n, hi: n }
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        Self { lo: r.start, hi: r.end - 1 }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        Self { lo: *r.start(), hi: *r.end() }
+    }
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        rng.gen_range(self.lo..=self.hi)
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+/// See [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        let n = self.size.sample(rng);
+        (0..n).map(|_| self.element.new_value(rng)).collect()
+    }
+}
+
+/// Strategy for `HashSet<S::Value>` with a target size drawn from `size`.
+///
+/// Like upstream, the produced set may be smaller than the drawn size when
+/// the element domain is too small to supply enough distinct values; the
+/// insertion attempts are bounded so generation always terminates.
+pub fn hash_set<S>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Hash + Eq,
+{
+    HashSetStrategy { element, size: size.into() }
+}
+
+/// See [`hash_set`].
+#[derive(Debug, Clone)]
+pub struct HashSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Hash + Eq,
+{
+    type Value = HashSet<S::Value>;
+
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        let n = self.size.sample(rng);
+        let mut out = HashSet::with_capacity(n);
+        let mut attempts = 0usize;
+        while out.len() < n && attempts < n * 10 + 100 {
+            out.insert(self.element.new_value(rng));
+            attempts += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn vec_respects_size_forms() {
+        let mut rng = TestRng::seed_from_u64(1);
+        assert_eq!(vec(0usize..5, 3).new_value(&mut rng).len(), 3);
+        let v = vec(0usize..5, 1..4).new_value(&mut rng);
+        assert!((1..4).contains(&v.len()));
+        let w = vec(0usize..5, 2..=2usize).new_value(&mut rng);
+        assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    fn hash_set_distinct_and_bounded() {
+        let mut rng = TestRng::seed_from_u64(2);
+        // Domain of 3 values but target up to 10: terminates, ≤ 3 elements.
+        let s = hash_set(0usize..3, 10).new_value(&mut rng);
+        assert!(s.len() <= 3);
+    }
+
+    #[test]
+    fn nested_vec_of_tuples() {
+        let mut rng = TestRng::seed_from_u64(3);
+        let s = vec((0.0f64..1.0, 0.0f64..1.0), 4);
+        let v = s.new_value(&mut rng);
+        assert_eq!(v.len(), 4);
+    }
+}

@@ -1,0 +1,200 @@
+//! Vendored, offline subset of the [`proptest`](https://crates.io/crates/proptest)
+//! API.
+//!
+//! The build environment has no access to crates.io, so this shim
+//! implements the surface the workspace's property tests use: the
+//! [`Strategy`] trait with [`Strategy::prop_map`] /
+//! [`Strategy::prop_flat_map`], range and tuple strategies,
+//! [`collection::vec`] / [`collection::hash_set`], and the [`proptest!`],
+//! [`prop_assert!`], [`prop_assert_eq!`] and [`prop_assume!`] macros.
+//!
+//! Differences from upstream: cases are generated from a fixed
+//! deterministic seed per test (derived from the test name), there is no
+//! shrinking, and `prop_assert*` failures panic immediately like the
+//! standard assert macros. Rejected cases (via [`prop_assume!`]) are
+//! retried up to a bounded multiple of the configured case count.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::SmallRng;
+
+pub mod collection;
+pub mod strategy;
+
+pub use strategy::Strategy;
+
+/// Convenience re-exports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig};
+}
+
+/// The RNG driving value generation.
+pub type TestRng = SmallRng;
+
+/// Per-test configuration (only the case count is honored).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// Marker returned (via `Err`) when [`prop_assume!`] rejects a case.
+#[derive(Debug, Clone, Copy)]
+pub struct TestCaseReject;
+
+/// Builds the RNG for one test case (used by the [`proptest!`] macro so
+/// user crates don't need `rand` in scope).
+pub fn seed_rng(seed: u64) -> TestRng {
+    <TestRng as rand::SeedableRng>::seed_from_u64(seed)
+}
+
+/// FNV-1a hash of a test name, used to give every test its own
+/// deterministic RNG stream.
+pub fn fnv1a(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Defines property tests. Mirrors upstream's macro shape:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///     #[test]
+///     fn my_prop(x in 0usize..10, (a, b) in my_strategy()) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $( $(#[$meta:meta])* fn $name:ident( $($arg:pat_param in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut passed: u32 = 0;
+                let mut attempt: u64 = 0;
+                let max_attempts = u64::from(config.cases) * 16 + 64;
+                while passed < config.cases {
+                    assert!(
+                        attempt < max_attempts,
+                        "proptest: too many rejected cases ({} attempts, {} passed)",
+                        attempt,
+                        passed
+                    );
+                    let mut rng: $crate::TestRng = $crate::seed_rng(
+                        $crate::fnv1a(concat!(module_path!(), "::", stringify!($name)))
+                            .wrapping_add(attempt.wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+                    );
+                    attempt += 1;
+                    let outcome: ::core::result::Result<(), $crate::TestCaseReject> = {
+                        let ( $( $arg, )+ ) =
+                            ( $( $crate::Strategy::new_value(&$strat, &mut rng), )+ );
+                        #[allow(clippy::redundant_closure_call)]
+                        (|| -> ::core::result::Result<(), $crate::TestCaseReject> {
+                            $body
+                            Ok(())
+                        })()
+                    };
+                    if outcome.is_ok() {
+                        passed += 1;
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body (panics on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { ::core::assert!($($tt)*) };
+}
+
+/// Asserts equality inside a [`proptest!`] body (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { ::core::assert_eq!($($tt)*) };
+}
+
+/// Rejects the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseReject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn fixed_pair() -> impl Strategy<Value = (usize, usize)> {
+        (0usize..10, 10usize..20)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..9, f in 0.5f64..1.5) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((0.5..1.5).contains(&f));
+        }
+
+        #[test]
+        fn tuple_patterns_work((a, b) in fixed_pair()) {
+            prop_assert!(a < 10 && (10..20).contains(&b));
+        }
+
+        #[test]
+        fn assume_skips_cases(x in 0usize..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn flat_map_and_map_compose(v in (2usize..6).prop_flat_map(|n| {
+            crate::collection::vec(0usize..100, n..=n).prop_map(move |v| (n, v))
+        })) {
+            let (n, v) = v;
+            prop_assert_eq!(v.len(), n);
+        }
+
+        #[test]
+        fn hash_sets_have_distinct_elements(s in crate::collection::hash_set(0usize..50, 0..20)) {
+            prop_assert!(s.len() <= 20);
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Sequence helpers: the subset of upstream `rand::seq` used by this
+//! workspace ([`SliceRandom::shuffle`] and [`SliceRandom::choose`]).
+
+use crate::Rng;
+
+/// Extension methods on slices.
+pub trait SliceRandom {
+    /// Element type of the slice.
+    type Item;
+
+    /// Shuffles the slice in place (Fisher–Yates).
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+    /// Returns a uniformly random element, or `None` if empty.
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::SmallRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shuffle_deterministic_per_seed() {
+        let mut a: Vec<usize> = (0..20).collect();
+        let mut b: Vec<usize> = (0..20).collect();
+        a.shuffle(&mut SmallRng::seed_from_u64(9));
+        b.shuffle(&mut SmallRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn choose_empty_none() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let v: Vec<u8> = Vec::new();
+        assert!(v.choose(&mut rng).is_none());
+        assert_eq!([7u8].choose(&mut rng), Some(&7));
+    }
+}

@@ -1,0 +1,21 @@
+//! Offline stub of the [`serde`](https://crates.io/crates/serde) facade.
+//!
+//! The workspace gates serde support behind a `serde` cargo feature and
+//! only ever *derives* the traits — nothing in the tree performs actual
+//! serialization (there is no `serde_json`). Because the build environment
+//! has no access to crates.io, this stub provides just enough for those
+//! `cfg_attr` derives to compile: marker traits plus no-op derive macros.
+//!
+//! If real serialization is ever needed, replace this stub with the real
+//! crate (same package name and feature set).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize` (no methods; see crate docs).
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize` (no methods; see crate docs).
+pub trait Deserialize<'de> {}

@@ -1,0 +1,22 @@
+//! No-op `#[derive(Serialize, Deserialize)]` macros for the vendored
+//! [`serde`] stub.
+//!
+//! The workspace only uses serde through
+//! `#[cfg_attr(feature = "serde", derive(serde::Serialize, ...))]`
+//! attributes; no code path actually serializes anything (there is no
+//! `serde_json` in the tree). These derives therefore expand to nothing:
+//! they exist so the `serde` feature still compiles offline.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing (see crate docs).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing (see crate docs).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
