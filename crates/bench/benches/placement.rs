@@ -34,15 +34,19 @@ fn cg_solve(c: &mut Criterion) {
     group.finish();
 }
 
-/// Full global placement.
+/// Full global placement: the single-shard (global) solve versus the 3×3
+/// region-sharded decomposition.
 fn global_place(c: &mut Criterion) {
     let g = circuit(0.01);
     let die = Die::for_netlist(&g.netlist, 0.6);
     let mut group = c.benchmark_group("global_place");
     group.sample_size(10);
-    group.bench_function("adaptec1_x0.01", |b| {
-        b.iter(|| std::hint::black_box(place(&g.netlist, &die, &PlacerConfig::default()).len()));
-    });
+    for (label, grid) in [("adaptec1_x0.01", 1), ("adaptec1_x0.01_sharded3", 3)] {
+        let cfg = PlacerConfig { shard_grid: grid, ..PlacerConfig::default() };
+        group.bench_function(label, |b| {
+            b.iter(|| std::hint::black_box(place(&g.netlist, &die, &cfg).len()));
+        });
+    }
     group.finish();
 }
 
@@ -67,7 +71,8 @@ fn spread_and_legalize(c: &mut Criterion) {
     group.finish();
 }
 
-/// RUDY versus L-shape congestion estimation.
+/// RUDY versus L-shape congestion estimation, stripe-batched versus the
+/// serial per-net reference.
 fn congestion_models(c: &mut Criterion) {
     let g = circuit(0.02);
     let die = Die::for_netlist(&g.netlist, 0.6);
@@ -78,6 +83,14 @@ fn congestion_models(c: &mut Criterion) {
         let cfg = RoutingConfig { tiles: 32, model, ..RoutingConfig::default() };
         group.bench_function(label, |b| {
             b.iter(|| std::hint::black_box(estimate(&g.netlist, &p, &die, &cfg).max_utilization()));
+        });
+        group.bench_function(format!("{label}_reference"), |b| {
+            b.iter(|| {
+                std::hint::black_box(
+                    gtl_place::congestion::estimate_reference(&g.netlist, &p, &die, &cfg)
+                        .max_utilization(),
+                )
+            });
         });
     }
     group.finish();

@@ -1,0 +1,91 @@
+//! Criterion bench for the sharded quadratic placer: 1-thread versus
+//! N-thread wall time of a full `place()` run on an ISPD-like circuit
+//! large enough to decompose into a 3×3 shard grid.
+//!
+//! Besides the criterion timings, the bench writes a machine-readable
+//! `placement_parallel.json` summary (threads, wall seconds, speedup)
+//! into `results/` via the `gtl_bench::report` machinery, and asserts
+//! that every parallel run reproduces the single-worker placement exactly
+//! — the execution layer's byte-identical contract, measured on the
+//! placer. Note the CI box may be single-core; interpret speedups there
+//! accordingly.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gtl_bench::report::{write_json, Json};
+use gtl_place::{hpwl, place, Die, PlacerConfig};
+use gtl_synth::ispd_like::{generate, IspdBenchmark, IspdLikeConfig};
+
+fn testbed() -> gtl_synth::GeneratedCircuit {
+    generate(&IspdLikeConfig::new(IspdBenchmark::Adaptec1, 0.05))
+}
+
+fn config(threads: usize) -> PlacerConfig {
+    PlacerConfig { shard_grid: 3, threads, ..PlacerConfig::default() }
+}
+
+/// Thread counts to measure: 1, 2, and all cores (deduplicated).
+fn thread_counts() -> Vec<usize> {
+    let all = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut counts = vec![1, 2, all];
+    counts.sort_unstable();
+    counts.dedup();
+    counts
+}
+
+fn placement_parallel(c: &mut Criterion) {
+    let g = testbed();
+    let die = Die::for_netlist(&g.netlist, 0.6);
+    let mut group = c.benchmark_group("placement_parallel");
+    group.sample_size(10);
+
+    // One timed pass per thread count for the JSON summary (criterion's
+    // own samples follow below); also checks determinism across counts.
+    let mut rows = Vec::new();
+    let mut serial_wall = 0.0f64;
+    let mut baseline = None;
+    for &threads in &thread_counts() {
+        let start = Instant::now();
+        let placement = place(&g.netlist, &die, &config(threads));
+        let wall = start.elapsed().as_secs_f64();
+        let wirelength = hpwl(&g.netlist, &placement);
+        match &baseline {
+            None => {
+                serial_wall = wall;
+                baseline = Some(placement);
+            }
+            Some(expected) => assert_eq!(
+                expected, &placement,
+                "placement changed between 1 and {threads} threads"
+            ),
+        }
+        rows.push(Json::obj([
+            ("threads", Json::num(threads as f64)),
+            ("wall_seconds", Json::num(wall)),
+            ("speedup", Json::num(serial_wall / wall)),
+            ("hpwl", Json::num(wirelength)),
+        ]));
+    }
+    let doc = Json::obj([
+        ("bench", Json::str("placement_parallel")),
+        ("num_cells", Json::num(g.netlist.num_cells() as f64)),
+        ("shard_grid", Json::num(config(1).shard_grid as f64)),
+        ("runs", Json::arr(rows)),
+    ]);
+    let path = gtl_bench::results_dir().join("placement_parallel.json");
+    write_json(&path, &doc).expect("write placement_parallel.json");
+    println!("wrote {}", path.display());
+
+    for &threads in &thread_counts() {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(place(&g.netlist, &die, &config(threads)).len());
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, placement_parallel);
+criterion_main!(benches);

@@ -41,9 +41,10 @@ fn main() {
     let result = TangledLogicFinder::new(netlist, finder_config).run();
     println!("found {} GTLs", result.gtls.len());
 
-    // Place.
+    // Place (sharded; worker count from --threads, same result for any).
     let die = Die::for_netlist(netlist, 0.7);
-    let placement = place(netlist, &die, &PlacerConfig::default());
+    let placer_config = PlacerConfig { threads: args.threads, ..PlacerConfig::default() };
+    let placement = place(netlist, &die, &placer_config);
 
     // Tag cells with their GTL index.
     let mut tag = vec![0usize; netlist.num_cells()];

@@ -65,11 +65,18 @@ fn main() {
     );
 
     // --- Inflation flow (places baseline + inflated) ---------------------
-    let routing = RoutingConfig { tiles: 24, target_mean: 0.5, ..RoutingConfig::default() };
+    // Worker count from --threads for both the sharded placer and the
+    // striped estimator; the outcome is identical for any value.
+    let routing = RoutingConfig {
+        tiles: 24,
+        target_mean: 0.5,
+        threads: args.threads,
+        ..RoutingConfig::default()
+    };
+    let placer = PlacerConfig { threads: args.threads, ..PlacerConfig::default() };
     // Generous baseline whitespace, as in the paper's floorplan: inflation
     // must be absorbable without densifying the whole die.
-    let outcome =
-        run_inflation_flow(netlist, &gtl_cells, 4.0, 0.35, &PlacerConfig::default(), &routing);
+    let outcome = run_inflation_flow(netlist, &gtl_cells, 4.0, 0.35, &placer, &routing);
 
     // --- Figure 1: baseline congestion ----------------------------------
     let t = outcome.baseline_map.tiles();

@@ -30,6 +30,18 @@ pub fn effective_threads(requested: usize, len: usize) -> usize {
 /// derive their per-item RNG through this function so that the stream an
 /// index sees is a pure function of the master seed and the index — the
 /// third leg of the determinism contract.
+///
+/// # Example
+///
+/// ```
+/// use gtl_core::exec::derive_stream;
+///
+/// // Stable per (seed, index)…
+/// assert_eq!(derive_stream(42, 7), derive_stream(42, 7));
+/// // …and decorrelated across indices and seeds.
+/// assert_ne!(derive_stream(42, 7), derive_stream(42, 8));
+/// assert_ne!(derive_stream(42, 7), derive_stream(43, 7));
+/// ```
 pub fn derive_stream(master_seed: u64, index: u64) -> u64 {
     let mut z = master_seed ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
@@ -54,6 +66,26 @@ pub fn derive_stream(master_seed: u64, index: u64) -> u64 {
 /// # Panics
 ///
 /// Propagates panics from `f` (the first panicking worker aborts the map).
+///
+/// # Example
+///
+/// ```
+/// use gtl_core::exec::parallel_map_with;
+///
+/// // Each worker reuses one scratch buffer across the items it claims;
+/// // the item function re-initializes it, so reuse never leaks out.
+/// let out = parallel_map_with(
+///     4,
+///     6,
+///     |_worker| Vec::new(),
+///     |scratch: &mut Vec<usize>, i| {
+///         scratch.clear();
+///         scratch.extend(0..=i);
+///         scratch.iter().sum::<usize>()
+///     },
+/// );
+/// assert_eq!(out, vec![0, 1, 3, 6, 10, 15]);
+/// ```
 pub fn parallel_map_with<S, T, I, F>(threads: usize, len: usize, init: I, f: F) -> Vec<T>
 where
     T: Send,
@@ -111,6 +143,16 @@ where
 ///
 /// Shorthand for [`parallel_map_with`] with unit scratch; same determinism
 /// contract and panic behavior.
+///
+/// # Example
+///
+/// ```
+/// use gtl_core::exec::parallel_map;
+///
+/// // Results come back in index order for any worker count.
+/// assert_eq!(parallel_map(8, 5, |i| i * i), vec![0, 1, 4, 9, 16]);
+/// assert_eq!(parallel_map(1, 5, |i| i * i), parallel_map(3, 5, |i| i * i));
+/// ```
 pub fn parallel_map<T, F>(threads: usize, len: usize, f: F) -> Vec<T>
 where
     T: Send,

@@ -1,9 +1,11 @@
 //! Shared deterministic parallel execution layer for the GTL workspace.
 //!
 //! Every fan-out in the workspace — the three-phase finder's per-seed
-//! searches, the figure/table bench binaries, future placer sharding —
-//! goes through [`exec`] instead of hand-rolling `std::thread` chunking at
-//! each call site.
+//! searches, the sharded quadratic placer, the stripe-batched congestion
+//! estimator, the figure/table bench binaries — goes through [`exec`]
+//! instead of hand-rolling `std::thread` chunking at each call site.
+//! [`shard`] supplies the matching deterministic *decompositions* (region
+//! shards and tile stripes) for the spatial clients.
 //!
 //! # Determinism contract
 //!
@@ -35,5 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod exec;
+pub mod shard;
 
 pub use exec::{derive_stream, effective_threads, parallel_map, parallel_map_with};
+pub use shard::{auto_grid, stripes, ShardGrid, DEFAULT_STRIPE_ROWS};

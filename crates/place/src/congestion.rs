@@ -16,10 +16,31 @@
 //! ≥ 100% and ≥ 90% utilized tiles, and the *average congestion metric*
 //! ("taking the worst 20% congested nets and averaging the congestion
 //! number of all routing tiles these nets pass through").
+//!
+//! # Stripe-batched estimation
+//!
+//! [`estimate`] does not deposit each net into a shared global grid.
+//! Instead the tile rows are split into horizontal *stripes*
+//! ([`gtl_core::shard::stripes`]), nets are binned to the stripes their
+//! bounding box crosses, and one [`gtl_core::exec::parallel_map`] pass
+//! computes every stripe's demand slab — each stripe owning its own
+//! accumulator, which doubles as the returned slab. Within a stripe, nets
+//! deposit in ascending id order, so every tile receives exactly the
+//! additions of the serial per-net pass in the same order: the map is
+//! bit-identical to [`estimate_reference`] for any worker count.
 
+use std::ops::Range;
+
+use gtl_core::exec::parallel_map;
+use gtl_core::shard::stripes;
 use gtl_netlist::{NetId, Netlist};
 
 use crate::{Die, Placement};
+
+/// Tile rows per stripe in the batched estimator — the workspace-shared
+/// fixed height (never derived from the worker count), so the
+/// decomposition and with it the result stay machine-independent.
+const STRIPE_ROWS: usize = gtl_core::shard::DEFAULT_STRIPE_ROWS;
 
 /// Which probabilistic router model deposits demand.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -45,6 +66,9 @@ pub struct RoutingConfig {
     pub target_mean: f64,
     /// Demand model.
     pub model: DemandModel,
+    /// Worker threads for the striped pass; `0` means all cores. The
+    /// demand map is bit-identical for every value.
+    pub threads: usize,
 }
 
 impl Default for RoutingConfig {
@@ -55,6 +79,7 @@ impl Default for RoutingConfig {
             v_capacity: None,
             target_mean: 0.55,
             model: DemandModel::Rudy,
+            threads: 0,
         }
     }
 }
@@ -225,35 +250,42 @@ impl std::fmt::Display for CongestionReport {
     }
 }
 
-/// Estimates routing congestion for a placed netlist.
-///
-/// # Panics
-///
-/// Panics if the placement does not cover the netlist or `tiles == 0`.
-pub fn estimate(
+/// Per-net geometry computed once in the serial prepass: the float and
+/// tile bounding boxes of every routable (≥ 2-pin) net.
+#[derive(Debug, Clone, Copy)]
+struct NetGeom {
+    x0: f64,
+    y0: f64,
+    x1: f64,
+    y1: f64,
+    tx0: usize,
+    ty0: usize,
+    tx1: usize,
+    ty1: usize,
+}
+
+/// Tile-index bounding boxes `(x0, y0, x1, y1)`, one per net.
+type NetBoxes = Vec<(u16, u16, u16, u16)>;
+
+/// Serial O(pins) prepass: net tile boxes (for every net, including
+/// degenerate ones) and deposit geometry (for routable nets only).
+fn net_geometry(
     netlist: &Netlist,
     placement: &Placement,
-    die: &Die,
-    config: &RoutingConfig,
-) -> CongestionMap {
-    assert!(placement.len() >= netlist.num_cells(), "placement smaller than netlist");
-    assert!(config.tiles > 0, "tiles must be positive");
-    let t = config.tiles;
-    let tw = die.width / t as f64;
-    let th = die.height / t as f64;
-
-    let mut h_demand = vec![0.0f64; t * t];
-    let mut v_demand = vec![0.0f64; t * t];
+    t: usize,
+    tw: f64,
+    th: f64,
+) -> (NetBoxes, Vec<Option<NetGeom>>) {
     let mut net_boxes = Vec::with_capacity(netlist.num_nets());
-
+    let mut geoms = Vec::with_capacity(netlist.num_nets());
     let tile_of = |x: f64, y: f64| -> (usize, usize) {
         (((x / tw) as usize).min(t - 1), ((y / th) as usize).min(t - 1))
     };
-
     for net in netlist.nets() {
         let cells = netlist.net_cells(net);
         if cells.is_empty() {
             net_boxes.push((0, 0, 0, 0));
+            geoms.push(None);
             continue;
         }
         let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
@@ -268,50 +300,213 @@ pub fn estimate(
         let (tx0, ty0) = tile_of(x0, y0);
         let (tx1, ty1) = tile_of(x1, y1);
         net_boxes.push((tx0 as u16, ty0 as u16, tx1 as u16, ty1 as u16));
-        if cells.len() < 2 {
-            continue;
-        }
+        geoms.push((cells.len() >= 2).then_some(NetGeom { x0, y0, x1, y1, tx0, ty0, tx1, ty1 }));
+    }
+    (net_boxes, geoms)
+}
 
-        match config.model {
-            DemandModel::Rudy => {
-                // Wirelength (w + h) smeared over the box area: each tile
-                // in the box receives demand ∝ its overlap share.
-                let w = (x1 - x0).max(tw * 0.25);
-                let h = (y1 - y0).max(th * 0.25);
-                let tiles_covered = ((tx1 - tx0 + 1) * (ty1 - ty0 + 1)) as f64;
-                let hd = w / tiles_covered;
-                let vd = h / tiles_covered;
-                for ty in ty0..=ty1 {
-                    for tx in tx0..=tx1 {
-                        h_demand[ty * t + tx] += hd;
-                        v_demand[ty * t + tx] += vd;
-                    }
+/// Deposits `net`'s routing demand into one stripe's slab (`rows` tile
+/// rows; slab row 0 is tile row `rows.start`). Called with the full row
+/// range by the serial reference and with single stripes by the batched
+/// pass — per tile, both produce the identical addition sequence.
+#[allow(clippy::too_many_arguments)]
+fn deposit_net(
+    netlist: &Netlist,
+    placement: &Placement,
+    model: DemandModel,
+    net: NetId,
+    geom: &NetGeom,
+    h_slab: &mut [f64],
+    v_slab: &mut [f64],
+    t: usize,
+    tw: f64,
+    th: f64,
+    rows: &Range<usize>,
+) {
+    match model {
+        DemandModel::Rudy => {
+            // Wirelength (w + h) smeared over the box area: each tile
+            // in the box receives demand ∝ its overlap share.
+            let w = (geom.x1 - geom.x0).max(tw * 0.25);
+            let h = (geom.y1 - geom.y0).max(th * 0.25);
+            let tiles_covered = ((geom.tx1 - geom.tx0 + 1) * (geom.ty1 - geom.ty0 + 1)) as f64;
+            let hd = w / tiles_covered;
+            let vd = h / tiles_covered;
+            for ty in geom.ty0.max(rows.start)..=geom.ty1.min(rows.end - 1) {
+                let base = (ty - rows.start) * t;
+                for tx in geom.tx0..=geom.tx1 {
+                    h_slab[base + tx] += hd;
+                    v_slab[base + tx] += vd;
                 }
             }
-            DemandModel::LShape => {
-                // Star topology: route every pin to the first pin with two
-                // half-probability L routes. Raw star wire grows linearly
-                // with fanout while a router builds a Steiner tree, so the
-                // per-route deposits are scaled by `q(k) / (k - 1)` (RISA
-                // fanout correction) — without it one 100-pin hub tile
-                // dwarfs the whole map.
-                let weight = risa_weight(cells.len()) / (cells.len() - 1) as f64;
-                let (sx, sy) = placement.position(cells[0]);
-                for &c in &cells[1..] {
-                    let (px, py) = placement.position(c);
-                    deposit_l(&mut h_demand, &mut v_demand, t, tw, th, sx, sy, px, py, weight);
-                }
+        }
+        DemandModel::LShape => {
+            // Star topology: route every pin to the first pin with two
+            // half-probability L routes. Raw star wire grows linearly
+            // with fanout while a router builds a Steiner tree, so the
+            // per-route deposits are scaled by `q(k) / (k - 1)` (RISA
+            // fanout correction) — without it one 100-pin hub tile
+            // dwarfs the whole map.
+            let cells = netlist.net_cells(net);
+            let weight = risa_weight(cells.len()) / (cells.len() - 1) as f64;
+            let (sx, sy) = placement.position(cells[0]);
+            for &c in &cells[1..] {
+                let (px, py) = placement.position(c);
+                deposit_l(h_slab, v_slab, t, tw, th, sx, sy, px, py, weight, rows);
             }
         }
     }
+}
 
-    // Capacity: explicit, or calibrated to the target mean utilization.
+/// Auto-calibrates capacities against the mean demand (or passes explicit
+/// ones through) and assembles the map.
+fn finish_map(
+    config: &RoutingConfig,
+    t: usize,
+    h_demand: Vec<f64>,
+    v_demand: Vec<f64>,
+    net_boxes: Vec<(u16, u16, u16, u16)>,
+) -> CongestionMap {
     let mean_h = h_demand.iter().sum::<f64>() / (t * t) as f64;
     let mean_v = v_demand.iter().sum::<f64>() / (t * t) as f64;
     let h_capacity = config.h_capacity.unwrap_or_else(|| (mean_h / config.target_mean).max(1e-9));
     let v_capacity = config.v_capacity.unwrap_or_else(|| (mean_v / config.target_mean).max(1e-9));
-
     CongestionMap { tiles: t, h_demand, v_demand, h_capacity, v_capacity, net_boxes }
+}
+
+/// Estimates routing congestion for a placed netlist with the
+/// stripe-batched pass (see the [module docs](self)).
+///
+/// # Panics
+///
+/// Panics if the placement does not cover the netlist or `tiles == 0`.
+///
+/// # Example
+///
+/// ```
+/// use gtl_netlist::NetlistBuilder;
+/// use gtl_place::congestion::{estimate, RoutingConfig};
+/// use gtl_place::{Die, Placement};
+///
+/// let mut b = NetlistBuilder::new();
+/// let a = b.add_cell("a", 1.0);
+/// let c = b.add_cell("b", 1.0);
+/// b.add_anonymous_net([a, c]);
+/// let nl = b.finish();
+/// let die = Die { width: 8.0, height: 8.0, rows: 8 };
+/// let p = Placement::from_coords(vec![1.0, 7.0], vec![1.0, 7.0]);
+/// let cfg = RoutingConfig { tiles: 4, ..RoutingConfig::default() };
+/// let map = estimate(&nl, &p, &die, &cfg);
+/// assert!(map.utilization(1, 1) > 0.0); // inside the net's bbox
+/// ```
+pub fn estimate(
+    netlist: &Netlist,
+    placement: &Placement,
+    die: &Die,
+    config: &RoutingConfig,
+) -> CongestionMap {
+    assert!(placement.len() >= netlist.num_cells(), "placement smaller than netlist");
+    assert!(config.tiles > 0, "tiles must be positive");
+    let t = config.tiles;
+    let tw = die.width / t as f64;
+    let th = die.height / t as f64;
+
+    let (net_boxes, geoms) = net_geometry(netlist, placement, t, tw, th);
+
+    // Bin routable nets to the stripes their tile box crosses (counting
+    // order keeps each stripe's list ascending by net id).
+    let row_stripes = stripes(t, STRIPE_ROWS);
+    let mut stripe_nets: Vec<Vec<u32>> = vec![Vec::new(); row_stripes.len()];
+    for (i, geom) in geoms.iter().enumerate() {
+        if let Some(g) = geom {
+            for list in &mut stripe_nets[g.ty0 / STRIPE_ROWS..=g.ty1 / STRIPE_ROWS] {
+                list.push(i as u32);
+            }
+        }
+    }
+
+    // One batched pass: each stripe accumulates its own slab pair (the
+    // slab doubles as the returned result, so it is allocated exactly
+    // once — no shared grid, no per-net allocation, no copy-out).
+    let slabs: Vec<(Vec<f64>, Vec<f64>)> = parallel_map(config.threads, row_stripes.len(), |s| {
+        let rows = &row_stripes[s];
+        let len = rows.len() * t;
+        let mut h_acc = vec![0.0f64; len];
+        let mut v_acc = vec![0.0f64; len];
+        for &net in &stripe_nets[s] {
+            let geom = geoms[net as usize].as_ref().expect("binned nets are routable");
+            deposit_net(
+                netlist,
+                placement,
+                config.model,
+                NetId::new(net as usize),
+                geom,
+                &mut h_acc,
+                &mut v_acc,
+                t,
+                tw,
+                th,
+                rows,
+            );
+        }
+        (h_acc, v_acc)
+    });
+
+    // Stitch stripe slabs into the full grid (each tile row belongs to
+    // exactly one stripe).
+    let mut h_demand = vec![0.0f64; t * t];
+    let mut v_demand = vec![0.0f64; t * t];
+    for (s, (h_slab, v_slab)) in slabs.iter().enumerate() {
+        let rows = &row_stripes[s];
+        h_demand[rows.start * t..rows.end * t].copy_from_slice(h_slab);
+        v_demand[rows.start * t..rows.end * t].copy_from_slice(v_slab);
+    }
+
+    finish_map(config, t, h_demand, v_demand, net_boxes)
+}
+
+/// The serial per-net reference estimator: every net deposits into one
+/// global grid, in net order — the pre-sharding implementation, kept as
+/// the oracle that [`estimate`] must match bit-for-bit (see the property
+/// tests in `crates/place/tests/properties.rs`).
+///
+/// # Panics
+///
+/// Panics if the placement does not cover the netlist or `tiles == 0`.
+pub fn estimate_reference(
+    netlist: &Netlist,
+    placement: &Placement,
+    die: &Die,
+    config: &RoutingConfig,
+) -> CongestionMap {
+    assert!(placement.len() >= netlist.num_cells(), "placement smaller than netlist");
+    assert!(config.tiles > 0, "tiles must be positive");
+    let t = config.tiles;
+    let tw = die.width / t as f64;
+    let th = die.height / t as f64;
+
+    let (net_boxes, geoms) = net_geometry(netlist, placement, t, tw, th);
+    let mut h_demand = vec![0.0f64; t * t];
+    let mut v_demand = vec![0.0f64; t * t];
+    let all_rows = 0..t;
+    for (i, geom) in geoms.iter().enumerate() {
+        if let Some(g) = geom {
+            deposit_net(
+                netlist,
+                placement,
+                config.model,
+                NetId::new(i),
+                g,
+                &mut h_demand,
+                &mut v_demand,
+                t,
+                tw,
+                th,
+                &all_rows,
+            );
+        }
+    }
+    finish_map(config, t, h_demand, v_demand, net_boxes)
 }
 
 /// RISA net-weighting (Cheng, ICCAD'94): expected Steiner wirelength of a
@@ -349,11 +544,13 @@ fn risa_weight(k: usize) -> f64 {
 /// Deposits the two one-bend routes between `(ax, ay)` and `(bx, by)`,
 /// each with probability ½ and scaled by `weight`: horizontal span on both
 /// end rows, vertical span on both end columns, each tile receiving the
-/// actual segment length crossing it.
+/// actual segment length crossing it. Only the tile rows in `rows` are
+/// written (slab row 0 = tile row `rows.start`), so the same routine
+/// serves the serial reference (full range) and the striped pass.
 #[allow(clippy::too_many_arguments)]
 fn deposit_l(
-    h_demand: &mut [f64],
-    v_demand: &mut [f64],
+    h_slab: &mut [f64],
+    v_slab: &mut [f64],
     t: usize,
     tw: f64,
     th: f64,
@@ -362,6 +559,7 @@ fn deposit_l(
     bx: f64,
     by: f64,
     weight: f64,
+    rows: &Range<usize>,
 ) {
     let (x0, x1) = (ax.min(bx), ax.max(bx));
     let (y0, y1) = (ay.min(by), ay.max(by));
@@ -374,20 +572,27 @@ fn deposit_l(
     // the same wirelength units RUDY deposits), not a full tile width —
     // otherwise sub-tile nets in tangled clusters are overweighted by
     // `tw / |dx|` and one cluster tile dwarfs the rest of the map.
-    for tx in tx0..=tx1 {
-        let lo = tx as f64 * tw;
-        let overlap = (x1.min(lo + tw) - x0.max(lo)).max(0.0);
-        h_demand[ta * t + tx] += 0.5 * weight * overlap;
-        h_demand[tb * t + tx] += 0.5 * weight * overlap;
+    let (in_a, in_b) = (rows.contains(&ta), rows.contains(&tb));
+    if in_a || in_b {
+        for tx in tx0..=tx1 {
+            let lo = tx as f64 * tw;
+            let overlap = (x1.min(lo + tw) - x0.max(lo)).max(0.0);
+            if in_a {
+                h_slab[(ta - rows.start) * t + tx] += 0.5 * weight * overlap;
+            }
+            if in_b {
+                h_slab[(tb - rows.start) * t + tx] += 0.5 * weight * overlap;
+            }
+        }
     }
     let ca = ((ax / tw) as usize).min(t - 1);
     let cb = ((bx / tw) as usize).min(t - 1);
     // Vertical segments on column of b (route 1) and column of a (route 2).
-    for ty in ty0..=ty1 {
+    for ty in ty0.max(rows.start)..=ty1.min(rows.end - 1) {
         let lo = ty as f64 * th;
         let overlap = (y1.min(lo + th) - y0.max(lo)).max(0.0);
-        v_demand[ty * t + cb] += 0.5 * weight * overlap;
-        v_demand[ty * t + ca] += 0.5 * weight * overlap;
+        v_slab[(ty - rows.start) * t + cb] += 0.5 * weight * overlap;
+        v_slab[(ty - rows.start) * t + ca] += 0.5 * weight * overlap;
     }
 }
 

@@ -6,6 +6,12 @@
 //! 5× reduction in nets through 100%-congested tiles (179K → 36K), 2×
 //! through 90% tiles (217K → 113K), and average congestion dropping from
 //! 136% to 91%.
+//!
+//! Both halves of the flow run through the deterministic execution layer:
+//! the two placements use the sharded placer ([`crate::place`]) and both
+//! congestion maps come from the stripe-batched estimator
+//! ([`crate::congestion`]), so the outcome is byte-identical for any
+//! [`PlacerConfig::threads`] / [`RoutingConfig::threads`].
 
 use gtl_netlist::{CellId, Netlist};
 

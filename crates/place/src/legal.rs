@@ -5,6 +5,14 @@
 //! (near its global y) that minimizes displacement, at the first free x
 //! after that row's current cursor — the classic "Tetris" greedy of
 //! Hill's patent, as used by countless academic placers.
+//!
+//! Unlike the sharded solve ([`place`](crate::place)) and the striped
+//! congestion estimator ([`congestion`](crate::congestion)), legalization
+//! stays serial by design: every drop advances a row cursor that the next
+//! drop reads, so the greedy is one long dependency chain. It consumes
+//! the sharded placer's output unchanged and is itself deterministic
+//! (cells are visited in sorted x-then-id order), so the end-to-end
+//! pipeline keeps the byte-identical-for-any-thread-count property.
 
 use gtl_netlist::{CellId, Netlist};
 

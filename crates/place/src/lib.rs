@@ -5,10 +5,12 @@
 //! The authors used commercial IBM tools; this crate implements the
 //! standard academic equivalents from scratch:
 //!
-//! * [`quadratic`] — the netlist Laplacian (clique/star net model) and a
-//!   hand-written Jacobi-preconditioned conjugate-gradient solver;
+//! * [`quadratic`] — the netlist Laplacian (clique/star net model), a
+//!   hand-written Jacobi-preconditioned conjugate-gradient solver, and the
+//!   [`quadratic::ShardSolver`] scratch for shard-restricted systems;
 //! * [`place`] — SimPL-style anchored solve/spread iterations with a
-//!   boosted-anchor epilogue;
+//!   boosted-anchor epilogue, region-sharded onto `gtl_core::exec`
+//!   (byte-identical for any worker count);
 //! * [`spread`] — recursive-bisection density spreading (order-preserving,
 //!   separates stacked clusters coherently);
 //! * [`legal`] — a Tetris row legalizer;
@@ -16,7 +18,8 @@
 //! * [`wirelength`] — HPWL / star / rectilinear-MST models and per-net
 //!   reports;
 //! * [`congestion`] — probabilistic routing-demand estimation (RUDY and
-//!   L-shape models) with the paper's congestion statistics;
+//!   L-shape models), stripe-batched over tile rows, with the paper's
+//!   congestion statistics;
 //! * [`softblock`] — soft-block floorplanning from GTLs (the paper's
 //!   application 2);
 //! * [`inflate`] — the §5.1.3 flow: inflate GTL cells, re-place, and

@@ -1,12 +1,41 @@
-//! The top-level anchored quadratic placer.
+//! The top-level anchored quadratic placer, sharded onto
+//! [`gtl_core::exec`].
+//!
+//! Each solve/spread iteration decomposes the die into a deterministic
+//! [`ShardGrid`] of regions (cells are binned by their spread-target
+//! position), solves every shard's anchored system concurrently through
+//! [`parallel_map_with`] — one reusable [`ShardSolver`] per worker — and
+//! stitches the shards back together with a fixed-order boundary anchor
+//! pass. The decomposition depends only on the netlist, die and config
+//! (never on the worker count), so placements are byte-identical for any
+//! thread count; see `crates/place/tests/determinism.rs`.
 
+use gtl_core::exec::{derive_stream, parallel_map, parallel_map_with};
+use gtl_core::shard::{auto_grid, ShardGrid};
 use gtl_netlist::{CellId, Netlist};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use crate::quadratic::Laplacian;
+use crate::quadratic::{Laplacian, ShardSolver};
 use crate::spread::{spread, SpreadConfig};
 use crate::Die;
+
+/// Auto-sharding aims at roughly this many cells per shard; below it the
+/// die stays a single shard and the placer degenerates to the global
+/// solve.
+const SHARD_TARGET_CELLS: usize = 10_000;
+
+/// Hard cap on the auto-sized shard grid side.
+const MAX_SHARD_GRID: usize = 16;
+
+/// Fixed-order Gauss–Seidel sweeps over shard-boundary cells after each
+/// sharded solve.
+const BOUNDARY_SWEEPS: usize = 2;
+
+/// Relative amplitude of the per-shard anchor-target jitter (scaled by the
+/// die side). Far below the CG tolerance; only decorrelates exactly
+/// coincident targets produced by the gridded spreader.
+const TARGET_JITTER: f64 = 1e-12;
 
 /// Cell positions, indexed by [`CellId`].
 #[derive(Debug, Clone, PartialEq)]
@@ -87,8 +116,16 @@ pub struct PlacerConfig {
     pub anchor_final_boost: f64,
     /// Spreading parameters.
     pub spread: SpreadConfig,
-    /// Seed for the initial random placement.
+    /// Seed for the initial random placement (and, via
+    /// [`derive_stream`], for every per-shard stream).
     pub seed: u64,
+    /// Worker threads for the sharded solves; `0` means all cores. The
+    /// placement is byte-identical for every value.
+    pub threads: usize,
+    /// Region-decomposition grid side `g` (the die splits into `g × g`
+    /// shards). `0` auto-sizes toward ~10k cells per shard; `1` forces the
+    /// single-shard (global) solve.
+    pub shard_grid: usize,
 }
 
 impl Default for PlacerConfig {
@@ -102,6 +139,20 @@ impl Default for PlacerConfig {
             anchor_final_boost: 30.0,
             spread: SpreadConfig::default(),
             seed: 0x91ace,
+            threads: 0,
+            shard_grid: 0,
+        }
+    }
+}
+
+impl PlacerConfig {
+    /// The shard-grid side actually used for an `n`-cell design: the
+    /// explicit [`PlacerConfig::shard_grid`], or the auto-sized grid.
+    pub fn resolved_shard_grid(&self, n: usize) -> usize {
+        if self.shard_grid == 0 {
+            auto_grid(n, SHARD_TARGET_CELLS, MAX_SHARD_GRID)
+        } else {
+            self.shard_grid
         }
     }
 }
@@ -111,12 +162,38 @@ impl Default for PlacerConfig {
 /// α, repeat. Highly connected groups stay clustered (which is exactly how
 /// GTLs turn into hotspots); spreading keeps densities bounded.
 ///
+/// Every solve runs through the deterministic execution layer: the die is
+/// decomposed into [`PlacerConfig::shard_grid`]² region shards whose
+/// systems are solved concurrently (out-of-shard neighbors held fixed),
+/// then shard-boundary cells are reconciled by a fixed-order Gauss–Seidel
+/// anchor pass. A 1×1 grid degenerates to the exact global solve. Either
+/// way the output does not depend on [`PlacerConfig::threads`].
+///
 /// The result is a *global* placement; run
 /// [`legal::legalize`](crate::legal::legalize) for row-snapped positions.
 ///
 /// # Panics
 ///
 /// Panics if the netlist has no cells.
+///
+/// # Example
+///
+/// ```
+/// use gtl_netlist::NetlistBuilder;
+/// use gtl_place::{place, Die, PlacerConfig};
+///
+/// let mut b = NetlistBuilder::new();
+/// let cells: Vec<_> = (0..16).map(|i| b.add_cell(format!("c{i}"), 1.0)).collect();
+/// for i in 0..15 {
+///     b.add_anonymous_net([cells[i], cells[i + 1]]);
+/// }
+/// let nl = b.finish();
+/// let die = Die::for_netlist(&nl, 0.5);
+/// let placement = place(&nl, &die, &PlacerConfig::default());
+/// assert_eq!(placement.len(), 16);
+/// let (x, y) = placement.position(cells[0]);
+/// assert!(x >= 0.0 && x <= die.width && y >= 0.0 && y <= die.height);
+/// ```
 pub fn place(netlist: &Netlist, die: &Die, config: &PlacerConfig) -> Placement {
     assert!(netlist.num_cells() > 0, "cannot place an empty netlist");
     let n = netlist.num_cells();
@@ -127,27 +204,14 @@ pub fn place(netlist: &Netlist, die: &Die, config: &PlacerConfig) -> Placement {
     let mut ys: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..die.height)).collect();
 
     let lap = Laplacian::build(netlist);
+    let grid_side = config.resolved_shard_grid(n);
     let mut alpha = config.anchor_start;
 
     for _ in 0..config.iterations {
         // Spread current positions to produce anchor targets.
         let spread_p =
             spread(netlist, &Placement::from_coords(xs.clone(), ys.clone()), die, &config.spread);
-
-        let anchor = vec![alpha; n];
-        let rhs_x: Vec<f64> = spread_p.xs().iter().map(|&t| alpha * t).collect();
-        let rhs_y: Vec<f64> = spread_p.ys().iter().map(|&t| alpha * t).collect();
-        let (nx, _) =
-            lap.solve_anchored(&anchor, &rhs_x, &xs, config.tolerance, config.max_cg_iterations);
-        let (ny, _) =
-            lap.solve_anchored(&anchor, &rhs_y, &ys, config.tolerance, config.max_cg_iterations);
-        xs = nx;
-        ys = ny;
-        for i in 0..n {
-            let (cx, cy) = die.clamp(xs[i], ys[i]);
-            xs[i] = cx;
-            ys[i] = cy;
-        }
+        solve_pass(&lap, die, config, grid_side, alpha, &spread_p, &mut xs, &mut ys);
         alpha *= config.anchor_growth;
     }
 
@@ -159,19 +223,118 @@ pub fn place(netlist: &Netlist, die: &Die, config: &PlacerConfig) -> Placement {
     let spread_p =
         spread(netlist, &Placement::from_coords(xs.clone(), ys.clone()), die, &config.spread);
     let alpha_final = alpha * config.anchor_final_boost;
-    let anchor = vec![alpha_final; n];
-    let rhs_x: Vec<f64> = spread_p.xs().iter().map(|&t| alpha_final * t).collect();
-    let rhs_y: Vec<f64> = spread_p.ys().iter().map(|&t| alpha_final * t).collect();
-    let (mut fx, _) =
-        lap.solve_anchored(&anchor, &rhs_x, &xs, config.tolerance, config.max_cg_iterations);
-    let (mut fy, _) =
-        lap.solve_anchored(&anchor, &rhs_y, &ys, config.tolerance, config.max_cg_iterations);
-    for i in 0..n {
-        let (cx, cy) = die.clamp(fx[i], fy[i]);
-        fx[i] = cx;
-        fy[i] = cy;
+    solve_pass(&lap, die, config, grid_side, alpha_final, &spread_p, &mut xs, &mut ys);
+    Placement::from_coords(xs, ys)
+}
+
+/// One anchored solve toward `targets`, sharded when `grid_side > 1`,
+/// followed by the in-die clamp. Updates `xs`/`ys` in place.
+#[allow(clippy::too_many_arguments)]
+fn solve_pass(
+    lap: &Laplacian,
+    die: &Die,
+    config: &PlacerConfig,
+    grid_side: usize,
+    alpha: f64,
+    targets: &Placement,
+    xs: &mut Vec<f64>,
+    ys: &mut Vec<f64>,
+) {
+    let n = lap.dim();
+    if grid_side <= 1 {
+        // Global solve; the two axes are independent work items.
+        let (xs_now, ys_now): (&[f64], &[f64]) = (xs, ys);
+        let anchor = vec![alpha; n];
+        let mut solved = parallel_map(config.threads, 2, |axis| {
+            let (t, pos) = if axis == 0 { (targets.xs(), xs_now) } else { (targets.ys(), ys_now) };
+            let rhs: Vec<f64> = t.iter().map(|&t| alpha * t).collect();
+            lap.solve_anchored(&anchor, &rhs, pos, config.tolerance, config.max_cg_iterations).0
+        });
+        *ys = solved.pop().expect("y axis solved");
+        *xs = solved.pop().expect("x axis solved");
+    } else {
+        // Region decomposition: bin cells by their spread-target position
+        // (targets are density-balanced, so shards are too). The partition
+        // is a pure function of the targets — never of the thread count.
+        let grid = ShardGrid::square(grid_side, die.width, die.height);
+        let shards = grid.partition(targets.xs(), targets.ys());
+        let jitter = TARGET_JITTER * die.width.max(die.height);
+        let (xs_now, ys_now): (&[f64], &[f64]) = (xs, ys);
+
+        let solved: Vec<(Vec<f64>, Vec<f64>)> = parallel_map_with(
+            config.threads,
+            shards.len(),
+            |_worker| (ShardSolver::new(n), Vec::new(), Vec::new()),
+            |(solver, tx, ty), s| {
+                let cells = &shards[s];
+                if cells.is_empty() {
+                    return (Vec::new(), Vec::new());
+                }
+                // Per-shard RNG stream: decorrelates exactly coincident
+                // targets (the gridded spreader emits many) so each
+                // shard's system is canonically perturbed, independent of
+                // scheduling.
+                let mut rng = SmallRng::seed_from_u64(derive_stream(config.seed, s as u64));
+                tx.clear();
+                ty.clear();
+                for &c in cells {
+                    tx.push(targets.xs()[c as usize] + jitter * rng.gen_range(-0.5..0.5));
+                    ty.push(targets.ys()[c as usize] + jitter * rng.gen_range(-0.5..0.5));
+                }
+                solver.solve_shard(
+                    lap,
+                    cells,
+                    alpha,
+                    tx,
+                    ty,
+                    xs_now,
+                    ys_now,
+                    config.tolerance,
+                    config.max_cg_iterations,
+                )
+            },
+        );
+
+        // Stitch shard results back in fixed shard-then-cell order.
+        let mut shard_of = vec![0u32; n];
+        for (s, cells) in shards.iter().enumerate() {
+            for &c in cells {
+                shard_of[c as usize] = s as u32;
+            }
+        }
+        for (s, (sx, sy)) in solved.iter().enumerate() {
+            for (k, &c) in shards[s].iter().enumerate() {
+                xs[c as usize] = sx[k];
+                ys[c as usize] = sy[k];
+            }
+        }
+
+        // Fixed-order boundary anchor pass: cells with a neighbor in
+        // another shard were solved against stale neighbor positions;
+        // relax them (ascending cell id, serial, deterministic) against
+        // the freshly stitched coordinates. Each update is the exact
+        // stationarity condition of the global system at that cell.
+        let boundary: Vec<usize> =
+            (0..n).filter(|&i| lap.row(i).any(|(j, _)| shard_of[j] != shard_of[i])).collect();
+        for _ in 0..BOUNDARY_SWEEPS {
+            for &i in &boundary {
+                let (mut acc_x, mut acc_y) = (0.0, 0.0);
+                for (j, w) in lap.row(i) {
+                    acc_x += w * xs[j];
+                    acc_y += w * ys[j];
+                }
+                let denom = lap.degree(i) + alpha;
+                xs[i] = (alpha * targets.xs()[i] + acc_x) / denom;
+                ys[i] = (alpha * targets.ys()[i] + acc_y) / denom;
+            }
+        }
     }
-    Placement::from_coords(fx, fy)
+
+    for i in 0..n {
+        let (cx, cy) = die.clamp(xs[i], ys[i]);
+        xs[i] = cx;
+        ys[i] = cy;
+    }
 }
 
 #[cfg(test)]

@@ -106,6 +106,28 @@ impl Laplacian {
         self.diagonal.len()
     }
 
+    /// Off-diagonal entries of row `i` as `(column, weight)` pairs.
+    ///
+    /// A pair of cells connected by several nets appears once per net —
+    /// consumers must sum duplicates (as [`Laplacian::multiply`] does).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= dim()`.
+    pub fn row(&self, i: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        (self.offsets[i]..self.offsets[i + 1])
+            .map(move |k| (self.columns[k] as usize, self.values[k]))
+    }
+
+    /// Total incident edge weight of cell `i` (the Laplacian diagonal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= dim()`.
+    pub fn degree(&self, i: usize) -> f64 {
+        self.diagonal[i]
+    }
+
     /// Computes `y = Lx` (diagonal minus off-diagonals).
     ///
     /// # Panics
@@ -196,6 +218,239 @@ impl Laplacian {
             }
         }
         (x, max_iterations)
+    }
+}
+
+/// Reusable scratch for solving *shard-restricted* anchored systems.
+///
+/// The sharded placer decomposes the die into a grid of regions and solves
+/// each region's cells as an independent quadratic system, treating
+/// neighbors outside the shard as fixed (Dirichlet coupling: their current
+/// positions move to the right-hand side, their edge weights stay on the
+/// diagonal, so the local matrix remains SPD). One `ShardSolver` is built
+/// per *worker* of [`gtl_core::exec::parallel_map_with`] and reused across
+/// every shard that worker claims — the local CSR and all CG vectors are
+/// allocated once and recycled, per the execution layer's scratch
+/// contract.
+///
+/// The result of [`ShardSolver::solve_shard`] is a pure function of its
+/// arguments; nothing about buffer reuse or worker identity leaks into the
+/// output.
+///
+/// # Example
+///
+/// ```
+/// use gtl_netlist::NetlistBuilder;
+/// use gtl_place::quadratic::{Laplacian, ShardSolver};
+///
+/// // Three cells in a chain; solve the shard {0, 1} with cell 2 fixed.
+/// let mut b = NetlistBuilder::new();
+/// let cells: Vec<_> = (0..3).map(|i| b.add_cell(format!("c{i}"), 1.0)).collect();
+/// b.add_anonymous_net([cells[0], cells[1]]);
+/// b.add_anonymous_net([cells[1], cells[2]]);
+/// let nl = b.finish();
+/// let lap = Laplacian::build(&nl);
+///
+/// let mut solver = ShardSolver::new(nl.num_cells());
+/// let xs = [0.0, 0.0, 10.0];
+/// let ys = [0.0, 0.0, 0.0];
+/// let (sx, _sy) = solver.solve_shard(
+///     &lap, &[0, 1], 1.0, &[0.0, 0.0], &[0.0, 0.0], &xs, &ys, 1e-10, 100,
+/// );
+/// // Cell 1 is pulled toward the fixed cell 2 at x = 10; cell 0 follows.
+/// assert!(sx[1] > sx[0] && sx[1] > 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShardSolver {
+    /// Epoch stamp per global cell; `mark[g] == epoch` ⇔ `g` is in the
+    /// current shard.
+    mark: Vec<u32>,
+    /// Local index of each global cell (valid only where `mark` matches).
+    local_of: Vec<u32>,
+    epoch: u32,
+    // Shard-local CSR (columns hold *local* indices).
+    offsets: Vec<usize>,
+    columns: Vec<u32>,
+    values: Vec<f64>,
+    diagonal: Vec<f64>,
+    // Fixed-neighbor (Dirichlet) right-hand-side contributions per axis.
+    ext_x: Vec<f64>,
+    ext_y: Vec<f64>,
+    // CG work vectors.
+    rhs: Vec<f64>,
+    x: Vec<f64>,
+    r: Vec<f64>,
+    z: Vec<f64>,
+    p: Vec<f64>,
+    ap: Vec<f64>,
+}
+
+impl ShardSolver {
+    /// Creates a solver for shards of a `num_cells`-cell design.
+    pub fn new(num_cells: usize) -> Self {
+        Self {
+            mark: vec![0; num_cells],
+            local_of: vec![0; num_cells],
+            epoch: 0,
+            offsets: Vec::new(),
+            columns: Vec::new(),
+            values: Vec::new(),
+            diagonal: Vec::new(),
+            ext_x: Vec::new(),
+            ext_y: Vec::new(),
+            rhs: Vec::new(),
+            x: Vec::new(),
+            r: Vec::new(),
+            z: Vec::new(),
+            p: Vec::new(),
+            ap: Vec::new(),
+        }
+    }
+
+    /// Solves both axes of the anchored system restricted to `cells`.
+    ///
+    /// `targets_x`/`targets_y` are the anchor targets of the shard cells
+    /// (indexed like `cells`); `xs`/`ys` are the full current coordinate
+    /// vectors, used both as the CG starting guess and as the fixed
+    /// positions of out-of-shard neighbors. Returns the new coordinates of
+    /// the shard cells, in `cells` order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `anchor_weight <= 0`, the target slices do not match
+    /// `cells`, or any cell index is out of range for the Laplacian.
+    #[allow(clippy::too_many_arguments)]
+    pub fn solve_shard(
+        &mut self,
+        lap: &Laplacian,
+        cells: &[u32],
+        anchor_weight: f64,
+        targets_x: &[f64],
+        targets_y: &[f64],
+        xs: &[f64],
+        ys: &[f64],
+        tolerance: f64,
+        max_iterations: usize,
+    ) -> (Vec<f64>, Vec<f64>) {
+        let m = cells.len();
+        assert!(anchor_weight > 0.0, "anchor weight must be positive");
+        assert_eq!(targets_x.len(), m, "targets_x must match cells");
+        assert_eq!(targets_y.len(), m, "targets_y must match cells");
+
+        // Stamp shard membership (O(shard), no clearing of the full map).
+        self.epoch += 1;
+        for (k, &c) in cells.iter().enumerate() {
+            self.mark[c as usize] = self.epoch;
+            self.local_of[c as usize] = k as u32;
+        }
+
+        // Extract the shard-local CSR; edges leaving the shard keep their
+        // weight on the diagonal and push `w · neighbor_position` onto the
+        // per-axis right-hand side.
+        self.offsets.clear();
+        self.offsets.push(0);
+        self.columns.clear();
+        self.values.clear();
+        self.diagonal.clear();
+        self.ext_x.clear();
+        self.ext_y.clear();
+        for &c in cells {
+            let g = c as usize;
+            let (mut ex, mut ey) = (0.0, 0.0);
+            for (j, w) in lap.row(g) {
+                if self.mark[j] == self.epoch {
+                    self.columns.push(self.local_of[j]);
+                    self.values.push(w);
+                } else {
+                    ex += w * xs[j];
+                    ey += w * ys[j];
+                }
+            }
+            self.offsets.push(self.columns.len());
+            self.diagonal.push(lap.degree(g) + anchor_weight);
+            self.ext_x.push(ex);
+            self.ext_y.push(ey);
+        }
+
+        self.rhs.resize(m, 0.0);
+        self.x.resize(m, 0.0);
+        for k in 0..m {
+            self.rhs[k] = anchor_weight * targets_x[k] + self.ext_x[k];
+            self.x[k] = xs[cells[k] as usize];
+        }
+        let out_x = self.cg(tolerance, max_iterations);
+        for k in 0..m {
+            self.rhs[k] = anchor_weight * targets_y[k] + self.ext_y[k];
+            self.x[k] = ys[cells[k] as usize];
+        }
+        let out_y = self.cg(tolerance, max_iterations);
+        (out_x, out_y)
+    }
+
+    /// Jacobi-preconditioned CG on the current local system (`self.rhs`,
+    /// starting guess `self.x`), mirroring [`Laplacian::solve_anchored`].
+    fn cg(&mut self, tolerance: f64, max_iterations: usize) -> Vec<f64> {
+        let m = self.diagonal.len();
+        self.r.resize(m, 0.0);
+        self.z.resize(m, 0.0);
+        self.p.resize(m, 0.0);
+        self.ap.resize(m, 0.0);
+
+        self.apply_into_ap_from_x();
+        for i in 0..m {
+            self.r[i] = self.rhs[i] - self.ap[i];
+            self.z[i] = self.r[i] / self.diagonal[i].max(1e-12);
+        }
+        self.p.copy_from_slice(&self.z);
+        let mut rz: f64 = self.r.iter().zip(&self.z).map(|(a, b)| a * b).sum();
+        let target = tolerance * tolerance * self.rhs.iter().map(|v| v * v).sum::<f64>().max(1e-30);
+
+        for _ in 0..max_iterations {
+            let rr: f64 = self.r.iter().map(|v| v * v).sum();
+            if rr <= target {
+                break;
+            }
+            self.apply_into_ap_from_p();
+            let pap: f64 = self.p.iter().zip(&self.ap).map(|(a, b)| a * b).sum();
+            if pap <= 0.0 {
+                break; // numerical breakdown; current x is best effort
+            }
+            let alpha = rz / pap;
+            for i in 0..m {
+                self.x[i] += alpha * self.p[i];
+                self.r[i] -= alpha * self.ap[i];
+            }
+            for i in 0..m {
+                self.z[i] = self.r[i] / self.diagonal[i].max(1e-12);
+            }
+            let rz_new: f64 = self.r.iter().zip(&self.z).map(|(a, b)| a * b).sum();
+            let beta = rz_new / rz.max(1e-30);
+            rz = rz_new;
+            for i in 0..m {
+                self.p[i] = self.z[i] + beta * self.p[i];
+            }
+        }
+        self.x[..m].to_vec()
+    }
+
+    fn apply_into_ap_from_x(&mut self) {
+        for i in 0..self.diagonal.len() {
+            let mut acc = self.diagonal[i] * self.x[i];
+            for k in self.offsets[i]..self.offsets[i + 1] {
+                acc -= self.values[k] * self.x[self.columns[k] as usize];
+            }
+            self.ap[i] = acc;
+        }
+    }
+
+    fn apply_into_ap_from_p(&mut self) {
+        for i in 0..self.diagonal.len() {
+            let mut acc = self.diagonal[i] * self.p[i];
+            for k in self.offsets[i]..self.offsets[i + 1] {
+                acc -= self.values[k] * self.p[self.columns[k] as usize];
+            }
+            self.ap[i] = acc;
+        }
     }
 }
 
@@ -312,6 +567,60 @@ mod tests {
         }
         let res: f64 = ax.iter().zip(&rhs).map(|(a, b)| (a - b) * (a - b)).sum();
         assert!(res < 1e-10, "residual {res}");
+    }
+
+    #[test]
+    fn shard_solver_matches_global_on_full_shard() {
+        // One shard holding every cell has no external neighbors: the
+        // shard solve must agree with the global anchored solve.
+        let n = 30;
+        let nl = chain(n);
+        let lap = Laplacian::build(&nl);
+        let targets: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37) % 5.0).collect();
+        let anchor = vec![0.5; n];
+        let rhs: Vec<f64> = targets.iter().map(|t| 0.5 * t).collect();
+        let x0 = vec![0.0; n];
+        let (global, _) = lap.solve_anchored(&anchor, &rhs, &x0, 1e-12, 500);
+        let mut solver = ShardSolver::new(n);
+        let cells: Vec<u32> = (0..n as u32).collect();
+        let (sx, sy) =
+            solver.solve_shard(&lap, &cells, 0.5, &targets, &targets, &x0, &x0, 1e-12, 500);
+        for i in 0..n {
+            assert!((sx[i] - global[i]).abs() < 1e-8, "x[{i}]: {} vs {}", sx[i], global[i]);
+            assert!((sy[i] - global[i]).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn shard_solver_reuse_is_invisible() {
+        // Solving shard B between two solves of shard A must not change
+        // A's result — scratch reuse stays outside the output.
+        let n = 20;
+        let nl = chain(n);
+        let lap = Laplacian::build(&nl);
+        let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let ys = vec![1.0; n];
+        let ta = vec![2.5; 6];
+        let tb = vec![7.5; 14];
+        let a: Vec<u32> = (0..6).collect();
+        let b: Vec<u32> = (6..20).collect();
+        let mut solver = ShardSolver::new(n);
+        let first = solver.solve_shard(&lap, &a, 1.0, &ta, &ta, &xs, &ys, 1e-10, 200);
+        let _ = solver.solve_shard(&lap, &b, 1.0, &tb, &tb, &xs, &ys, 1e-10, 200);
+        let again = solver.solve_shard(&lap, &a, 1.0, &ta, &ta, &xs, &ys, 1e-10, 200);
+        assert_eq!(first, again);
+    }
+
+    #[test]
+    fn row_and_degree_expose_csr() {
+        let nl = chain(4);
+        let lap = Laplacian::build(&nl);
+        // Interior cell 1 neighbors 0 and 2, each with weight 1 (2/d, d=2).
+        let row: Vec<(usize, f64)> = lap.row(1).collect();
+        assert_eq!(row.len(), 2);
+        let sum: f64 = row.iter().map(|(_, w)| w).sum();
+        assert!((sum - lap.degree(1)).abs() < 1e-12);
+        assert!((lap.degree(0) - 1.0).abs() < 1e-12);
     }
 
     #[test]

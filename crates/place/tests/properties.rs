@@ -79,6 +79,65 @@ proptest! {
         }
     }
 
+    /// The stripe-batched congestion estimator agrees with the serial
+    /// per-net reference within 1e-9 on random netlists, for both the
+    /// RUDY and L-shape (RISA-corrected) models and any worker count.
+    /// (By construction the two are bit-identical — every tile sees the
+    /// same additions in the same order — so 1e-9 is generous.)
+    #[test]
+    fn striped_congestion_matches_reference(
+        (nl, p, die) in arb_design(60),
+        model_sel in 0usize..2,
+        threads in 1usize..5,
+    ) {
+        use gtl_place::congestion::{estimate, estimate_reference, DemandModel, RoutingConfig};
+        let cfg = RoutingConfig {
+            // 13 is deliberately not a multiple of the stripe height, so
+            // the ragged last stripe is exercised.
+            tiles: 13,
+            h_capacity: Some(1.0),
+            v_capacity: Some(1.0),
+            model: if model_sel == 0 { DemandModel::Rudy } else { DemandModel::LShape },
+            threads,
+            ..RoutingConfig::default()
+        };
+        let striped = estimate(&nl, &p, &die, &cfg);
+        let reference = estimate_reference(&nl, &p, &die, &cfg);
+        let (a, b) = (striped.to_grid(), reference.to_grid());
+        prop_assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+            prop_assert!((x - y).abs() <= 1e-9, "tile {}: {} vs {}", i, x, y);
+        }
+        let (ta, tb): (f64, f64) = (a.iter().sum(), b.iter().sum());
+        prop_assert!((ta - tb).abs() <= 1e-9 * ta.abs().max(1.0), "totals {} vs {}", ta, tb);
+        prop_assert_eq!(striped.report(), reference.report());
+    }
+
+    /// The striped density map equals a plain serial accumulation for any
+    /// worker count.
+    #[test]
+    fn striped_density_matches_serial((nl, p, die) in arb_design(60), threads in 1usize..5) {
+        use gtl_place::spread::DensityMap;
+        let bins = 6usize;
+        let map = DensityMap::compute_striped(&nl, &p, &die, bins, threads);
+        // Independent serial oracle.
+        let bw = die.width / bins as f64;
+        let bh = die.height / bins as f64;
+        let mut area = vec![0.0f64; bins * bins];
+        for c in nl.cells() {
+            let (x, y) = p.position(c);
+            let bx = ((x / bw) as usize).min(bins - 1);
+            let by = ((y / bh) as usize).min(bins - 1);
+            area[by * bins + bx] += nl.cell_area(c);
+        }
+        for by in 0..bins {
+            for bx in 0..bins {
+                let expected = area[by * bins + bx] / (bw * bh);
+                prop_assert!((map.utilization(bx, by) - expected).abs() <= 1e-12);
+            }
+        }
+    }
+
     /// The congestion map's demand is translation-consistent: moving every
     /// cell by the same offset (within the die) preserves totals.
     #[test]

@@ -223,7 +223,7 @@ impl<'a> TangledLogicFinder<'a> {
                     self.netlist.avg_pins_per_cell(),
                     &candidate_config,
                 )?;
-                Some(if self.config.refine {
+                let mut cand = if self.config.refine {
                     refine_candidate(
                         self.netlist,
                         &mut scratch.grower,
@@ -234,7 +234,13 @@ impl<'a> TangledLogicFinder<'a> {
                     )
                 } else {
                     cand
-                })
+                };
+                // Canonicalize after Phase III (refinement seeds sample the
+                // growth order, so sorting must not happen earlier):
+                // `prune_overlapping`'s equal-score tiebreak compares the
+                // cell vectors and requires them sorted.
+                cand.cells.sort_unstable();
+                Some(cand)
             },
         );
 
@@ -253,8 +259,9 @@ impl<'a> TangledLogicFinder<'a> {
             .into_iter()
             .map(|c| {
                 let ctx = DesignContext { avg_pins_per_cell: a_g, rent_exponent: c.rent_exponent };
-                let mut cells = c.cells;
-                cells.sort_unstable();
+                // Already ascending: candidates are canonicalized before
+                // pruning.
+                let cells = c.cells;
                 Gtl {
                     ngtl_score: metrics::ngtl_score(c.stats.cut, c.stats.size, &ctx),
                     gtl_sd: metrics::gtl_sd_score(

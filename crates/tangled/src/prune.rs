@@ -22,6 +22,16 @@ use crate::candidate::Candidate;
 /// better); each is kept iff it shares no cell with a previously kept one.
 /// `universe` is the netlist cell count.
 ///
+/// Equal scores tie-break on the cell vectors themselves, which is only
+/// canonical (independent of how each candidate's cells happen to be
+/// arranged) when every candidate's `cells` list is **sorted ascending**.
+/// Callers must canonicalize before pruning — the finder sorts right
+/// after Phase III — and debug builds enforce it.
+///
+/// # Panics
+///
+/// In debug builds, panics if any candidate's cell list is not sorted.
+///
 /// # Example
 ///
 /// ```
@@ -45,6 +55,10 @@ use crate::candidate::Candidate;
 /// assert_eq!(scores, [0.1, 0.5]);
 /// ```
 pub fn prune_overlapping(mut candidates: Vec<Candidate>, universe: usize) -> Vec<Candidate> {
+    debug_assert!(
+        candidates.iter().all(|c| c.cells.windows(2).all(|w| w[0] <= w[1])),
+        "candidate cell lists must be sorted ascending for a canonical tiebreak"
+    );
     candidates.sort_by(|a, b| a.score.total_cmp(&b.score).then(a.cells.cmp(&b.cells)));
     let mut kept: Vec<Candidate> = Vec::new();
     let mut covered = CellSet::new(universe);

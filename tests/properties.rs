@@ -115,12 +115,17 @@ proptest! {
     ) {
         let candidates: Vec<_> = groups
             .iter()
-            .map(|(cells, score)| tangled_logic::tangled::Candidate {
-                cells: cells.iter().map(|&i| CellId::new(i)).collect(),
-                stats: SubsetStats::default(),
-                score: *score,
-                rent_exponent: 0.6,
-                minimum_index: 0,
+            .map(|(cells, score)| {
+                // `prune_overlapping` requires canonical (sorted) lists.
+                let mut cells: Vec<CellId> = cells.iter().map(|&i| CellId::new(i)).collect();
+                cells.sort_unstable();
+                tangled_logic::tangled::Candidate {
+                    cells,
+                    stats: SubsetStats::default(),
+                    score: *score,
+                    rent_exponent: 0.6,
+                    minimum_index: 0,
+                }
             })
             .collect();
         let kept = prune_overlapping(candidates, 100);

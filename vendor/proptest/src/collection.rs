@@ -1,4 +1,4 @@
-//! Collection strategies: [`vec`] and [`hash_set`].
+//! Collection strategies: [`vec()`] and [`hash_set`].
 
 use std::collections::HashSet;
 use std::hash::Hash;
@@ -47,7 +47,7 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     VecStrategy { element, size: size.into() }
 }
 
-/// See [`vec`].
+/// See [`vec()`].
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S> {
     element: S,

@@ -1,5 +1,5 @@
 //! No-op `#[derive(Serialize, Deserialize)]` macros for the vendored
-//! [`serde`] stub.
+//! `serde` stub.
 //!
 //! The workspace only uses serde through
 //! `#[cfg_attr(feature = "serde", derive(serde::Serialize, ...))]`
