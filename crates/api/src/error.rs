@@ -1,0 +1,163 @@
+//! Structured API errors with stable codes.
+//!
+//! Every failure the API surface can produce maps to one of a small set
+//! of machine-readable codes, replacing the stringly errors the CLI used
+//! to hand-format. The codes are part of the wire contract (they travel
+//! in [`ErrorBody`](crate::ErrorBody)) and each carries a conventional
+//! process exit code for the `gtl` front-end.
+
+/// A structured API error: a stable code plus a human-readable message.
+///
+/// # Example
+///
+/// ```
+/// use gtl_api::ApiError;
+///
+/// let err = ApiError::invalid_argument("num_seeds must be positive");
+/// assert_eq!(err.code(), "invalid_argument");
+/// assert_eq!(err.exit_code(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ApiError {
+    /// The request could not be parsed or has the wrong shape.
+    BadRequest {
+        /// What was malformed.
+        message: String,
+    },
+    /// The request's `v` field names a protocol version this build does
+    /// not speak.
+    UnsupportedVersion {
+        /// The version the client asked for.
+        requested: u32,
+        /// The version this build supports.
+        supported: u32,
+    },
+    /// A well-formed request with a semantically invalid value.
+    InvalidArgument {
+        /// Which argument, and why.
+        message: String,
+    },
+    /// The netlist could not be loaded or parsed.
+    Netlist {
+        /// The loader/parser failure.
+        message: String,
+    },
+    /// An I/O failure (socket, file).
+    Io {
+        /// The underlying error.
+        message: String,
+    },
+}
+
+impl ApiError {
+    /// Shorthand for [`ApiError::BadRequest`].
+    pub fn bad_request(message: impl Into<String>) -> Self {
+        Self::BadRequest { message: message.into() }
+    }
+
+    /// Shorthand for [`ApiError::InvalidArgument`].
+    pub fn invalid_argument(message: impl Into<String>) -> Self {
+        Self::InvalidArgument { message: message.into() }
+    }
+
+    /// Shorthand for [`ApiError::Netlist`].
+    pub fn netlist(message: impl Into<String>) -> Self {
+        Self::Netlist { message: message.into() }
+    }
+
+    /// Shorthand for [`ApiError::Io`].
+    pub fn io(message: impl Into<String>) -> Self {
+        Self::Io { message: message.into() }
+    }
+
+    /// The stable machine-readable code (part of the wire contract).
+    pub fn code(&self) -> &'static str {
+        match self {
+            Self::BadRequest { .. } => "bad_request",
+            Self::UnsupportedVersion { .. } => "unsupported_version",
+            Self::InvalidArgument { .. } => "invalid_argument",
+            Self::Netlist { .. } => "netlist",
+            Self::Io { .. } => "io",
+        }
+    }
+
+    /// The conventional process exit code for the `gtl` CLI:
+    /// `1` for input/netlist errors, `2` for bad requests/arguments,
+    /// `3` for I/O failures.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            Self::Netlist { .. } => 1,
+            Self::BadRequest { .. }
+            | Self::UnsupportedVersion { .. }
+            | Self::InvalidArgument { .. } => 2,
+            Self::Io { .. } => 3,
+        }
+    }
+
+    /// The human-readable message (without the code).
+    pub fn message(&self) -> String {
+        match self {
+            Self::BadRequest { message }
+            | Self::InvalidArgument { message }
+            | Self::Netlist { message }
+            | Self::Io { message } => message.clone(),
+            Self::UnsupportedVersion { requested, supported } => {
+                format!("request version {requested} unsupported (this build speaks {supported})")
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for ApiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.code(), self.message())
+    }
+}
+
+impl std::error::Error for ApiError {}
+
+impl From<gtl_netlist::NetlistError> for ApiError {
+    fn from(e: gtl_netlist::NetlistError) -> Self {
+        Self::netlist(e.to_string())
+    }
+}
+
+impl From<std::io::Error> for ApiError {
+    fn from(e: std::io::Error) -> Self {
+        Self::io(e.to_string())
+    }
+}
+
+impl From<serde::Error> for ApiError {
+    fn from(e: serde::Error) -> Self {
+        Self::bad_request(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_and_exit_codes_are_stable() {
+        let cases = [
+            (ApiError::bad_request("x"), "bad_request", 2),
+            (ApiError::UnsupportedVersion { requested: 9, supported: 1 }, "unsupported_version", 2),
+            (ApiError::invalid_argument("x"), "invalid_argument", 2),
+            (ApiError::netlist("x"), "netlist", 1),
+            (ApiError::io("x"), "io", 3),
+        ];
+        for (err, code, exit) in cases {
+            assert_eq!(err.code(), code);
+            assert_eq!(err.exit_code(), exit);
+        }
+    }
+
+    #[test]
+    fn display_includes_code() {
+        let err = ApiError::UnsupportedVersion { requested: 2, supported: 1 };
+        let text = err.to_string();
+        assert!(text.contains("[unsupported_version]"), "{text}");
+        assert!(text.contains("version 2"), "{text}");
+    }
+}

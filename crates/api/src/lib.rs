@@ -1,0 +1,69 @@
+//! `gtl-api` — the versioned, serializable entry point to the
+//! tangled-logic system.
+//!
+//! The workspace's algorithms (`gtl-tangled`, `gtl-place`) expose plain
+//! Rust types; this crate wraps them in **wire contracts** so every
+//! front-end — the `gtl` CLI's `find --json`, the `gtl serve` JSON-lines
+//! server, tests, future backends — speaks exactly one language:
+//!
+//! * [`FindRequest`] / [`FindResponse`], [`PlaceRequest`] /
+//!   [`PlaceResponse`], [`StatsRequest`] / [`StatsResponse`]: versioned
+//!   (`v`, see [`API_VERSION`]) request/response pairs wrapping
+//!   [`FinderConfig`](gtl_tangled::FinderConfig) /
+//!   [`FinderResult`](gtl_tangled::FinderResult) and the placement
+//!   pipeline, all deriving real `serde` serialization;
+//! * [`Request`] / [`Response`]: the externally tagged envelopes that
+//!   travel as JSON lines;
+//! * [`ApiError`]: structured errors with stable codes
+//!   (`bad_request`, `unsupported_version`, `invalid_argument`,
+//!   `netlist`, `io`) and conventional CLI exit codes;
+//! * [`Session`]: a builder-constructed owner of one loaded
+//!   [`Netlist`](gtl_netlist::Netlist) that validates and serves repeated
+//!   requests with reused scratch;
+//! * [`serve`](mod@serve): the TCP JSON-lines server the `gtl serve` subcommand
+//!   runs.
+//!
+//! # Determinism
+//!
+//! Responses are **byte-identical** for any worker count: request compute
+//! fans out through `gtl_core::exec`, and the JSON renderer is
+//! deterministic (declaration-ordered fields, shortest round-trip
+//! floats). A `FindResponse` obtained over TCP equals the one from
+//! `gtl find --json`, byte for byte.
+//!
+//! # Example
+//!
+//! ```
+//! use gtl_api::{FindRequest, Request, Session};
+//! use gtl_netlist::NetlistBuilder;
+//! use gtl_tangled::FinderConfig;
+//!
+//! let mut b = NetlistBuilder::new();
+//! let cells: Vec<_> = (0..10).map(|i| b.add_cell(format!("c{i}"), 1.0)).collect();
+//! for i in 0..9 {
+//!     b.add_anonymous_net([cells[i], cells[i + 1]]);
+//! }
+//! let session = Session::builder().netlist(b.finish()).build().unwrap();
+//!
+//! // One JSON line in, one JSON line out — same contract as `gtl serve`.
+//! let config = FinderConfig { num_seeds: 4, ..FinderConfig::default() };
+//! let line = serde::json::to_string(&Request::Find(FindRequest::new(config)));
+//! let reply = session.handle_line(&line);
+//! assert!(reply.starts_with("{\"Find\":"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+pub mod serve;
+mod session;
+mod types;
+
+pub use error::ApiError;
+pub use serve::{bind, serve, ServeOptions};
+pub use session::{load_netlist, Session, SessionBuilder};
+pub use types::{
+    ErrorBody, FindRequest, FindResponse, NetlistSummary, PlaceRequest, PlaceResponse, Request,
+    Response, StatsRequest, StatsResponse, API_VERSION,
+};

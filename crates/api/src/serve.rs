@@ -1,0 +1,262 @@
+//! The `gtl serve` backend: a JSON-lines TCP server over a [`Session`].
+//!
+//! Protocol: one [`Request`](crate::Request) envelope per line in, one
+//! [`Response`](crate::Response) envelope per line out, in order, on a
+//! plain TCP stream (no HTTP). Blank lines are ignored; a connection ends
+//! at client EOF. Try it with netcat:
+//!
+//! ```text
+//! $ gtl serve design.hgr --port 7878 &
+//! $ printf '{"Stats":{"v":1}}\n' | nc 127.0.0.1 7878
+//! {"Stats":{"v":1,"stats":{...}}}
+//! ```
+//!
+//! # Concurrency and determinism
+//!
+//! Each accepted connection is handled on its own scoped thread. These
+//! threads are **I/O concurrency only** — they parse, dispatch and write
+//! bytes; every piece of heavy compute inside a request (the finder, the
+//! sharded placer, congestion) fans out through `gtl_core::exec` and is
+//! byte-identical for any worker count. No RNG, no scratch and no result
+//! state is shared between connections except the session's mutex-guarded
+//! prune scratch, which is invisible in outputs. Responses on one
+//! connection are serialized in request order, so the wire contract is
+//! deterministic: same request line, same response bytes — regardless of
+//! the server's thread count or how many clients are connected.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+
+use crate::{ApiError, Session};
+
+/// Options for [`serve()`].
+#[derive(Debug, Clone, Default)]
+pub struct ServeOptions {
+    /// Stop accepting after this many connections (`None` = run forever;
+    /// `Some(0)` returns immediately without accepting). Scripted callers
+    /// (CI golden tests) use this to get a clean exit.
+    pub max_connections: Option<usize>,
+}
+
+/// Binds a listener on `addr` (e.g. `"127.0.0.1:7878"`; port `0` asks the
+/// OS for a free port).
+///
+/// # Errors
+///
+/// [`ApiError::Io`] when binding fails.
+pub fn bind(addr: &str) -> Result<TcpListener, ApiError> {
+    TcpListener::bind(addr).map_err(|e| ApiError::io(format!("bind {addr}: {e}")))
+}
+
+/// Serves JSON-lines requests from `listener` against `session` until
+/// the connection budget is exhausted (or forever without one).
+///
+/// Returns the number of connections served.
+///
+/// # Errors
+///
+/// [`ApiError::Io`] when accepting fails; per-connection I/O errors
+/// terminate only that connection.
+pub fn serve(
+    session: &Session,
+    listener: &TcpListener,
+    options: &ServeOptions,
+) -> Result<usize, ApiError> {
+    if options.max_connections == Some(0) {
+        return Ok(0);
+    }
+    let mut served = 0usize;
+    let mut consecutive_errors = 0usize;
+    std::thread::scope(|scope| {
+        for stream in listener.incoming() {
+            let stream = match stream {
+                Ok(stream) => stream,
+                Err(e) => {
+                    // accept() fails transiently in normal operation
+                    // (ECONNABORTED on client reset, EMFILE under fd
+                    // pressure); one bad handshake must not take the
+                    // server down. Persistent failure still surfaces.
+                    consecutive_errors += 1;
+                    if consecutive_errors >= MAX_CONSECUTIVE_ACCEPT_ERRORS {
+                        return Err(ApiError::io(format!(
+                            "accept failed {consecutive_errors} times in a row: {e}"
+                        )));
+                    }
+                    continue;
+                }
+            };
+            consecutive_errors = 0;
+            served += 1;
+            scope.spawn(move || handle_connection(session, stream));
+            if options.max_connections.is_some_and(|max| served >= max) {
+                break;
+            }
+        }
+        Ok(served)
+    })
+}
+
+/// Largest accepted request line. A line is buffered in memory before
+/// parsing; without a cap, one newline-free stream could grow the buffer
+/// until the allocator aborts the process (which no thread can catch).
+/// Far above any real request — a full `FinderConfig` envelope is < 1 KB.
+const MAX_REQUEST_BYTES: u64 = 1 << 20;
+
+/// Give up on the listener after this many accept() failures in a row.
+const MAX_CONSECUTIVE_ACCEPT_ERRORS: usize = 100;
+
+/// Reads request lines until EOF, answering each on the same stream.
+/// I/O failures end the connection silently (the peer is gone); an
+/// oversized or non-UTF-8 line is answered with `bad_request` and the
+/// connection is dropped.
+fn handle_connection(session: &Session, stream: TcpStream) {
+    let Ok(read_half) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    let mut buf = Vec::new();
+    loop {
+        buf.clear();
+        // Bound the read: at most one byte past the cap, so an oversized
+        // line is detected without ever buffering the whole stream.
+        match std::io::Read::take(&mut reader, MAX_REQUEST_BYTES + 1).read_until(b'\n', &mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+        if buf.len() as u64 > MAX_REQUEST_BYTES {
+            let _ = answer(
+                &mut writer,
+                &error_line(&ApiError::bad_request(format!(
+                    "request line exceeds {MAX_REQUEST_BYTES} bytes"
+                ))),
+            );
+            break;
+        }
+        let Ok(line) = std::str::from_utf8(&buf) else {
+            let _ =
+                answer(&mut writer, &error_line(&ApiError::bad_request("request is not UTF-8")));
+            break;
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        if answer(&mut writer, &session.handle_line(line)).is_err() {
+            break;
+        }
+    }
+}
+
+/// Writes one response line and flushes it.
+fn answer(writer: &mut BufWriter<TcpStream>, response: &str) -> std::io::Result<()> {
+    writeln!(writer, "{response}")?;
+    writer.flush()
+}
+
+/// Serializes an [`ApiError`] as a wire error line (for transport-level
+/// failures that never reach [`Session::handle_line`]).
+fn error_line(err: &ApiError) -> String {
+    serde::json::to_string(&crate::Response::Error(crate::ErrorBody::from(err)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FindRequest, Request};
+    use gtl_netlist::NetlistBuilder;
+    use gtl_tangled::FinderConfig;
+
+    fn session() -> Session {
+        let mut b = NetlistBuilder::new();
+        let cells: Vec<_> = (0..20).map(|i| b.add_cell(format!("c{i}"), 1.0)).collect();
+        for i in 0..5 {
+            for j in (i + 1)..5 {
+                b.add_anonymous_net([cells[i], cells[j]]);
+            }
+        }
+        for i in 0..20 {
+            b.add_anonymous_net([cells[i], cells[(i + 1) % 20]]);
+        }
+        Session::builder().netlist(b.finish()).build().unwrap()
+    }
+
+    fn request_line() -> String {
+        serde::json::to_string(&Request::Find(FindRequest::new(FinderConfig {
+            num_seeds: 6,
+            min_size: 3,
+            max_order_len: 10,
+            rng_seed: 3,
+            ..FinderConfig::default()
+        })))
+    }
+
+    #[test]
+    fn zero_connection_budget_returns_immediately() {
+        let session = session();
+        let listener = bind("127.0.0.1:0").unwrap();
+        let served =
+            serve(&session, &listener, &ServeOptions { max_connections: Some(0) }).unwrap();
+        assert_eq!(served, 0);
+    }
+
+    #[test]
+    fn oversized_line_answered_and_dropped() {
+        let session = session();
+        let listener = bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(|| {
+                serve(&session, &listener, &ServeOptions { max_connections: Some(1) }).unwrap()
+            });
+            let mut conn = TcpStream::connect(addr).unwrap();
+            // Stream more than the cap without a newline; the server must
+            // answer bad_request and close rather than buffer forever.
+            let chunk = vec![b'x'; 1 << 16];
+            let mut sent = 0u64;
+            while sent <= MAX_REQUEST_BYTES {
+                if conn.write_all(&chunk).is_err() {
+                    break; // server already hung up — also acceptable
+                }
+                sent += chunk.len() as u64;
+            }
+            let _ = conn.shutdown(std::net::Shutdown::Write);
+            let mut response = String::new();
+            let _ = BufReader::new(conn).read_line(&mut response);
+            assert!(response.is_empty() || response.contains("\"bad_request\""), "{response}");
+            assert_eq!(handle.join().unwrap(), 1);
+        });
+    }
+
+    #[test]
+    fn tcp_round_trip_matches_in_process_dispatch() {
+        let session = session();
+        let listener = bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(|| {
+                serve(&session, &listener, &ServeOptions { max_connections: Some(2) }).unwrap()
+            });
+
+            let mut expected = None;
+            for _ in 0..2 {
+                let mut conn = TcpStream::connect(addr).unwrap();
+                // Two requests on one connection, plus a blank line and a
+                // malformed line that must produce an error response.
+                write!(conn, "{}\n\n{}\nnot json\n", request_line(), request_line()).unwrap();
+                conn.shutdown(std::net::Shutdown::Write).unwrap();
+                let mut lines = Vec::new();
+                for line in BufReader::new(conn).lines() {
+                    lines.push(line.unwrap());
+                }
+                assert_eq!(lines.len(), 3, "{lines:?}");
+                assert_eq!(lines[0], session.handle_line(&request_line()));
+                assert_eq!(lines[0], lines[1]);
+                assert!(lines[2].contains("\"bad_request\""), "{}", lines[2]);
+                // Every connection sees identical bytes.
+                match &expected {
+                    None => expected = Some(lines),
+                    Some(prev) => assert_eq!(prev, &lines),
+                }
+            }
+            assert_eq!(handle.join().unwrap(), 2);
+        });
+    }
+}

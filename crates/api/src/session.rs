@@ -1,0 +1,452 @@
+//! The [`Session`]: one loaded netlist serving repeated requests.
+//!
+//! A session is the unit of request dispatch: it owns the [`Netlist`],
+//! validates each request (version, then arguments) before any compute
+//! starts, and reuses allocation-heavy scratch across requests — today
+//! the finder's pruning bitset ([`gtl_tangled::PruneScratch`]), behind a
+//! mutex so concurrent `serve` connections share it safely. All heavy
+//! compute inside a request fans out through `gtl_core::exec` (via the
+//! finder and the sharded placer), so a response is byte-identical for
+//! any worker count.
+
+use std::path::Path;
+use std::sync::Mutex;
+
+use gtl_netlist::{bookshelf, hgr, verilog, Netlist, NetlistStats};
+use gtl_place::congestion;
+use gtl_tangled::{PruneScratch, TangledLogicFinder};
+
+use crate::{
+    ApiError, ErrorBody, FindRequest, FindResponse, NetlistSummary, PlaceRequest, PlaceResponse,
+    Request, Response, StatsRequest, StatsResponse, API_VERSION,
+};
+
+/// Loads a netlist, selecting the parser from the file extension
+/// (`.hgr` hMETIS, `.aux` Bookshelf, `.v` structural Verilog).
+///
+/// # Errors
+///
+/// [`ApiError::BadRequest`] for unknown extensions,
+/// [`ApiError::Netlist`] for load/parse failures.
+pub fn load_netlist(path: &str) -> Result<Netlist, ApiError> {
+    match Path::new(path).extension().and_then(|e| e.to_str()) {
+        Some("hgr") => Ok(hgr::read(path)?),
+        Some("aux") => Ok(bookshelf::read_aux(path)?.netlist),
+        Some("v") => Ok(verilog::read(path)?.netlist),
+        other => Err(ApiError::bad_request(format!(
+            "unsupported input extension {other:?} (expected .hgr, .aux or .v)"
+        ))),
+    }
+}
+
+/// Caps on remote-supplied request sizes. Requests arrive over the
+/// network; without bounds a single hostile line could drive the server
+/// into an allocator abort (which no thread can catch) or hours of
+/// compute. The caps are far above the paper-scale workloads
+/// (`m = 100` seeds, `Z = 100K` orderings, 32-tile grids).
+const MAX_NUM_SEEDS: usize = 100_000;
+/// Cap on [`FinderConfig::max_order_len`](gtl_tangled::FinderConfig).
+const MAX_ORDER_LEN: usize = 10_000_000;
+/// Cap on Phase III refinement seeds per candidate.
+const MAX_REFINE_SEEDS: usize = 64;
+/// Cap on the congestion grid side (a `t × t` grid allocates two
+/// `t²`-f64 slabs: 2048² ≈ 67 MB).
+const MAX_ROUTING_TILES: usize = 2_048;
+/// Cap on placer solve/spread iterations.
+const MAX_PLACER_ITERATIONS: usize = 1_000;
+/// Cap on CG iterations per solve.
+const MAX_CG_ITERATIONS: usize = 100_000;
+/// Cap on every request-supplied worker count (`0` = all cores is always
+/// allowed); each worker is an OS thread.
+const MAX_THREADS: usize = 1_024;
+/// Cap on the requested shard-grid side (the auto-sizer itself never
+/// exceeds 16; the placer allocates per-shard state for `g²` shards).
+const MAX_SHARD_GRID: usize = 64;
+/// Cap on spreading recursion depth (each level is a stack frame).
+const MAX_SPREAD_DEPTH: usize = 256;
+
+/// Validates a request-supplied worker count (`0` = all cores).
+fn check_threads(threads: usize, field: &str) -> Result<(), ApiError> {
+    if threads > MAX_THREADS {
+        return Err(ApiError::invalid_argument(format!(
+            "{field} must be at most {MAX_THREADS} (0 = all cores)"
+        )));
+    }
+    Ok(())
+}
+
+/// Builder for [`Session`] (see [`Session::builder`]).
+#[derive(Debug, Default)]
+pub struct SessionBuilder {
+    netlist: Option<Netlist>,
+}
+
+impl SessionBuilder {
+    /// Uses an already-built netlist.
+    pub fn netlist(mut self, netlist: Netlist) -> Self {
+        self.netlist = Some(netlist);
+        self
+    }
+
+    /// Loads the netlist from a file (extension selects the parser).
+    ///
+    /// # Errors
+    ///
+    /// See [`load_netlist`].
+    pub fn load(mut self, path: &str) -> Result<Self, ApiError> {
+        self.netlist = Some(load_netlist(path)?);
+        Ok(self)
+    }
+
+    /// Finishes the builder.
+    ///
+    /// # Errors
+    ///
+    /// [`ApiError::InvalidArgument`] if no netlist was provided or the
+    /// netlist is empty (the finder has nothing to search).
+    pub fn build(self) -> Result<Session, ApiError> {
+        let netlist =
+            self.netlist.ok_or_else(|| ApiError::invalid_argument("session requires a netlist"))?;
+        if netlist.num_cells() == 0 {
+            return Err(ApiError::invalid_argument("netlist has no cells"));
+        }
+        let summary = NetlistSummary::of(&netlist);
+        // The netlist is immutable for the session's lifetime, so the
+        // full statistics are computed once here, not per Stats request.
+        let stats = NetlistStats::compute(&netlist);
+        let scratch = Mutex::new(PruneScratch::new(netlist.num_cells()));
+        Ok(Session { netlist, summary, stats, scratch })
+    }
+}
+
+/// A loaded netlist plus per-session scratch, serving [`Request`]s.
+///
+/// # Example
+///
+/// ```
+/// use gtl_api::{FindRequest, Session};
+/// use gtl_netlist::NetlistBuilder;
+/// use gtl_tangled::FinderConfig;
+///
+/// let mut b = NetlistBuilder::new();
+/// let cells: Vec<_> = (0..8).map(|i| b.add_cell(format!("c{i}"), 1.0)).collect();
+/// for i in 0..7 {
+///     b.add_anonymous_net([cells[i], cells[i + 1]]);
+/// }
+/// let session = Session::builder().netlist(b.finish()).build().unwrap();
+///
+/// let req = FindRequest::new(FinderConfig { num_seeds: 4, ..FinderConfig::default() });
+/// let resp = session.find(&req).unwrap();
+/// assert_eq!(resp.netlist.num_cells, 8);
+/// ```
+#[derive(Debug)]
+pub struct Session {
+    netlist: Netlist,
+    summary: NetlistSummary,
+    stats: NetlistStats,
+    scratch: Mutex<PruneScratch>,
+}
+
+impl Session {
+    /// Starts building a session.
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::default()
+    }
+
+    /// The netlist this session serves.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// The summary echoed in every response.
+    pub fn summary(&self) -> &NetlistSummary {
+        &self.summary
+    }
+
+    fn check_version(&self, v: u32) -> Result<(), ApiError> {
+        if v == API_VERSION {
+            Ok(())
+        } else {
+            Err(ApiError::UnsupportedVersion { requested: v, supported: API_VERSION })
+        }
+    }
+
+    /// Runs the three-phase finder.
+    ///
+    /// # Errors
+    ///
+    /// Version and argument validation errors; never panics on bad
+    /// requests (the preconditions the finder asserts are checked here
+    /// and reported as [`ApiError::InvalidArgument`], and remote-supplied
+    /// sizes are capped before any allocation happens — a hostile request
+    /// must not be able to abort the server).
+    pub fn find(&self, request: &FindRequest) -> Result<FindResponse, ApiError> {
+        self.check_version(request.v)?;
+        let config = request.config;
+        if config.num_seeds == 0 || config.num_seeds > MAX_NUM_SEEDS {
+            return Err(ApiError::invalid_argument(format!(
+                "config.num_seeds must be in 1..={MAX_NUM_SEEDS}"
+            )));
+        }
+        if config.max_order_len == 0 || config.max_order_len > MAX_ORDER_LEN {
+            return Err(ApiError::invalid_argument(format!(
+                "config.max_order_len must be in 1..={MAX_ORDER_LEN}"
+            )));
+        }
+        if config.refine_seeds > MAX_REFINE_SEEDS {
+            return Err(ApiError::invalid_argument(format!(
+                "config.refine_seeds must be at most {MAX_REFINE_SEEDS}"
+            )));
+        }
+        check_threads(config.threads, "config.threads")?;
+        let finder = TangledLogicFinder::new(&self.netlist, config);
+        // Reuse the session scratch when it is free; under contention run
+        // with a fresh local one instead of serializing concurrent finds
+        // behind the mutex (the scratch is a pure allocation cache — the
+        // result is identical either way).
+        let result = match self.scratch.try_lock() {
+            Ok(mut scratch) => finder.run_with_scratch(&mut scratch),
+            Err(std::sync::TryLockError::Poisoned(poisoned)) => {
+                finder.run_with_scratch(&mut poisoned.into_inner())
+            }
+            Err(std::sync::TryLockError::WouldBlock) => {
+                finder.run_with_scratch(&mut PruneScratch::new(self.netlist.num_cells()))
+            }
+        };
+        Ok(FindResponse { v: API_VERSION, netlist: self.summary.clone(), result })
+    }
+
+    /// Runs global placement and congestion estimation.
+    ///
+    /// # Errors
+    ///
+    /// Version and argument validation errors.
+    pub fn place(&self, request: &PlaceRequest) -> Result<PlaceResponse, ApiError> {
+        self.check_version(request.v)?;
+        if !(request.utilization > 0.0 && request.utilization <= 1.0) {
+            return Err(ApiError::invalid_argument("utilization must be in (0, 1]"));
+        }
+        if request.routing.tiles == 0 || request.routing.tiles > MAX_ROUTING_TILES {
+            return Err(ApiError::invalid_argument(format!(
+                "routing.tiles must be in 1..={MAX_ROUTING_TILES}"
+            )));
+        }
+        if request.placer.iterations == 0 || request.placer.iterations > MAX_PLACER_ITERATIONS {
+            return Err(ApiError::invalid_argument(format!(
+                "placer.iterations must be in 1..={MAX_PLACER_ITERATIONS}"
+            )));
+        }
+        if request.placer.max_cg_iterations > MAX_CG_ITERATIONS {
+            return Err(ApiError::invalid_argument(format!(
+                "placer.max_cg_iterations must be at most {MAX_CG_ITERATIONS}"
+            )));
+        }
+        if request.placer.shard_grid > MAX_SHARD_GRID {
+            return Err(ApiError::invalid_argument(format!(
+                "placer.shard_grid must be at most {MAX_SHARD_GRID} (0 = auto)"
+            )));
+        }
+        let spread = &request.placer.spread;
+        if spread.leaf_cells == 0 || spread.max_depth > MAX_SPREAD_DEPTH {
+            return Err(ApiError::invalid_argument(format!(
+                "placer.spread requires leaf_cells >= 1 and max_depth <= {MAX_SPREAD_DEPTH}"
+            )));
+        }
+        if !(spread.target_utilization > 0.0 && spread.target_utilization.is_finite()) {
+            return Err(ApiError::invalid_argument(
+                "placer.spread.target_utilization must be positive and finite",
+            ));
+        }
+        check_threads(request.placer.threads, "placer.threads")?;
+        check_threads(request.routing.threads, "routing.threads")?;
+        let die = gtl_place::Die::for_netlist(&self.netlist, request.utilization);
+        let placement = gtl_place::place(&self.netlist, &die, &request.placer);
+        let hpwl = gtl_place::hpwl(&self.netlist, &placement);
+        let map = congestion::estimate(&self.netlist, &placement, &die, &request.routing);
+        Ok(PlaceResponse {
+            v: API_VERSION,
+            netlist: self.summary.clone(),
+            die,
+            hpwl,
+            congestion: map.report(),
+        })
+    }
+
+    /// Computes whole-design statistics.
+    ///
+    /// # Errors
+    ///
+    /// Version validation errors.
+    pub fn stats(&self, request: &StatsRequest) -> Result<StatsResponse, ApiError> {
+        self.check_version(request.v)?;
+        Ok(StatsResponse { v: API_VERSION, stats: self.stats.clone() })
+    }
+
+    /// Dispatches an envelope, mapping failures onto [`Response::Error`]
+    /// (this never fails — every outcome is a response).
+    pub fn handle(&self, request: &Request) -> Response {
+        let outcome = match request {
+            Request::Find(req) => self.find(req).map(Response::Find),
+            Request::Place(req) => self.place(req).map(Response::Place),
+            Request::Stats(req) => self.stats(req).map(Response::Stats),
+        };
+        outcome.unwrap_or_else(|err| Response::Error(ErrorBody::from(&err)))
+    }
+
+    /// The full wire round-trip for one JSON line: parse, dispatch,
+    /// serialize. Malformed input becomes a `bad_request` error response;
+    /// the returned string is always exactly one JSON document with no
+    /// trailing newline.
+    ///
+    /// Determinism contract: the same input line always yields the same
+    /// output bytes, for any `threads` value in the request and any
+    /// machine — requests fan out through `gtl_core::exec` and the JSON
+    /// renderer is deterministic.
+    pub fn handle_line(&self, line: &str) -> String {
+        let response = match serde::json::from_str::<Request>(line) {
+            Ok(request) => self.handle(&request),
+            Err(e) => Response::Error(ErrorBody::from(&ApiError::bad_request(e.to_string()))),
+        };
+        serde::json::to_string(&response)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtl_netlist::NetlistBuilder;
+    use gtl_tangled::FinderConfig;
+
+    fn two_cliques() -> Netlist {
+        let mut b = NetlistBuilder::new();
+        let cells: Vec<_> = (0..40).map(|i| b.add_cell(format!("c{i}"), 1.0)).collect();
+        for base in [0, 20] {
+            for i in 0..8 {
+                for j in (i + 1)..8 {
+                    b.add_anonymous_net([cells[base + i], cells[base + j]]);
+                }
+            }
+        }
+        for i in 0..40 {
+            b.add_anonymous_net([cells[i], cells[(i + 1) % 40]]);
+        }
+        b.finish()
+    }
+
+    fn session() -> Session {
+        Session::builder().netlist(two_cliques()).build().unwrap()
+    }
+
+    fn find_request() -> FindRequest {
+        FindRequest::new(FinderConfig {
+            num_seeds: 12,
+            min_size: 4,
+            max_order_len: 24,
+            rng_seed: 7,
+            ..FinderConfig::default()
+        })
+    }
+
+    #[test]
+    fn find_discovers_structures() {
+        let resp = session().find(&find_request()).unwrap();
+        assert_eq!(resp.v, API_VERSION);
+        assert_eq!(resp.netlist.num_cells, 40);
+        assert!(!resp.result.gtls.is_empty());
+    }
+
+    #[test]
+    fn version_mismatch_is_structured() {
+        let mut req = find_request();
+        req.v = 99;
+        let err = session().find(&req).unwrap_err();
+        assert_eq!(err.code(), "unsupported_version");
+    }
+
+    #[test]
+    fn invalid_arguments_do_not_panic() {
+        let s = session();
+        let mut req = find_request();
+        req.config.num_seeds = 0;
+        assert_eq!(s.find(&req).unwrap_err().code(), "invalid_argument");
+
+        // Remote-supplied sizes are capped before any allocation.
+        req.config.num_seeds = usize::MAX;
+        assert_eq!(s.find(&req).unwrap_err().code(), "invalid_argument");
+
+        let mut preq = PlaceRequest::new();
+        preq.utilization = 0.0;
+        assert_eq!(s.place(&preq).unwrap_err().code(), "invalid_argument");
+        preq.utilization = f64::NAN;
+        assert_eq!(s.place(&preq).unwrap_err().code(), "invalid_argument");
+        preq.utilization = 0.7;
+        preq.routing.tiles = usize::MAX;
+        assert_eq!(s.place(&preq).unwrap_err().code(), "invalid_argument");
+        preq.routing.tiles = 16;
+        preq.placer.shard_grid = usize::MAX;
+        assert_eq!(s.place(&preq).unwrap_err().code(), "invalid_argument");
+        preq.placer.shard_grid = 0;
+        preq.placer.threads = usize::MAX;
+        assert_eq!(s.place(&preq).unwrap_err().code(), "invalid_argument");
+        preq.placer.threads = 0;
+        preq.placer.spread.leaf_cells = 0;
+        assert_eq!(s.place(&preq).unwrap_err().code(), "invalid_argument");
+        preq.placer.spread.leaf_cells = 12;
+        preq.placer.spread.max_depth = usize::MAX;
+        assert_eq!(s.place(&preq).unwrap_err().code(), "invalid_argument");
+
+        let mut freq = find_request();
+        freq.config.threads = usize::MAX;
+        assert_eq!(s.find(&freq).unwrap_err().code(), "invalid_argument");
+    }
+
+    #[test]
+    fn place_and_stats_answer() {
+        let s = session();
+        let place = s.place(&PlaceRequest::new()).unwrap();
+        assert!(place.hpwl > 0.0);
+        assert!(place.die.width > 0.0);
+        let stats = s.stats(&StatsRequest::new()).unwrap();
+        assert_eq!(stats.stats.num_cells, 40);
+    }
+
+    #[test]
+    fn handle_never_fails() {
+        let s = session();
+        let mut req = find_request();
+        req.v = 3;
+        let Response::Error(body) = s.handle(&Request::Find(req)) else {
+            panic!("expected error response");
+        };
+        assert_eq!(body.code, "unsupported_version");
+    }
+
+    #[test]
+    fn handle_line_is_total_and_deterministic() {
+        let s = session();
+        let line = serde::json::to_string(&Request::Find(find_request()));
+        let a = s.handle_line(&line);
+        let b = s.handle_line(&line);
+        assert_eq!(a, b);
+        assert!(a.starts_with("{\"Find\":{\"v\":1,"), "{a}");
+
+        let err = s.handle_line("this is not json");
+        assert!(err.contains("\"code\":\"bad_request\""), "{err}");
+    }
+
+    #[test]
+    fn scratch_reuse_does_not_change_results() {
+        let s = session();
+        let first = format!("{:?}", s.find(&find_request()).unwrap().result);
+        let second = format!("{:?}", s.find(&find_request()).unwrap().result);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn empty_netlist_rejected_at_build() {
+        let err = Session::builder().netlist(NetlistBuilder::new().finish()).build().unwrap_err();
+        assert_eq!(err.code(), "invalid_argument");
+        let err = Session::builder().build().unwrap_err();
+        assert_eq!(err.code(), "invalid_argument");
+    }
+}

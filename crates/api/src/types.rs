@@ -1,0 +1,207 @@
+//! The versioned request/response contracts.
+//!
+//! Every message carries an explicit protocol version `v` (currently
+//! [`API_VERSION`]); a [`Session`](crate::Session) rejects versions it
+//! does not speak with a structured
+//! [`unsupported_version`](crate::ApiError::UnsupportedVersion) error
+//! instead of guessing. On the wire (JSON lines, see
+//! [`serve`](mod@crate::serve)) requests and responses travel inside the
+//! externally tagged [`Request`] / [`Response`] envelopes, e.g.
+//! `{"Find":{"v":1,"config":{...}}}`.
+//!
+//! Serialization is deterministic — field order is declaration order and
+//! floats render in shortest round-trip form — so equal responses are
+//! byte-identical, which the serve determinism tests assert across worker
+//! counts.
+
+use gtl_netlist::{Netlist, NetlistStats};
+use gtl_place::congestion::{CongestionReport, RoutingConfig};
+use gtl_place::{Die, PlacerConfig};
+use gtl_tangled::{FinderConfig, FinderResult};
+use serde::{Deserialize, Serialize};
+
+/// The protocol version this build speaks.
+///
+/// Bump when a contract changes shape incompatibly; a session answers a
+/// mismatched `v` with an `unsupported_version` error naming both sides.
+pub const API_VERSION: u32 = 1;
+
+/// Compact netlist identification echoed in every response, so clients
+/// can sanity-check which design the server is bound to.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetlistSummary {
+    /// Number of cells, `|V|`.
+    pub num_cells: usize,
+    /// Number of nets, `|E|`.
+    pub num_nets: usize,
+    /// Total pins.
+    pub num_pins: usize,
+    /// Average pins per cell, `A(G)`.
+    pub avg_pins_per_cell: f64,
+}
+
+impl NetlistSummary {
+    /// Summarizes a netlist.
+    pub fn of(netlist: &Netlist) -> Self {
+        Self {
+            num_cells: netlist.num_cells(),
+            num_nets: netlist.num_nets(),
+            num_pins: netlist.num_pins(),
+            avg_pins_per_cell: netlist.avg_pins_per_cell(),
+        }
+    }
+}
+
+/// A request to run the three-phase finder over the session's netlist.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FindRequest {
+    /// Protocol version (see [`API_VERSION`]).
+    pub v: u32,
+    /// Finder parameters. The finder's output is byte-identical for any
+    /// `config.threads`, so worker count is a performance knob, not a
+    /// semantic one.
+    pub config: FinderConfig,
+}
+
+impl FindRequest {
+    /// A current-version request with the given config.
+    pub fn new(config: FinderConfig) -> Self {
+        Self { v: API_VERSION, config }
+    }
+}
+
+impl Default for FindRequest {
+    fn default() -> Self {
+        Self::new(FinderConfig::default())
+    }
+}
+
+/// The finder's answer: the discovered GTLs plus run statistics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FindResponse {
+    /// Protocol version of this response.
+    pub v: u32,
+    /// The netlist the session served this request against.
+    pub netlist: NetlistSummary,
+    /// The finder outcome (GTLs best-first, search statistics).
+    pub result: FinderResult,
+}
+
+/// A request to place the session's netlist and estimate congestion.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlaceRequest {
+    /// Protocol version (see [`API_VERSION`]).
+    pub v: u32,
+    /// Die utilization in `(0, 1]` (cell area / die area).
+    pub utilization: f64,
+    /// Global-placer parameters.
+    pub placer: PlacerConfig,
+    /// Congestion-estimation parameters.
+    pub routing: RoutingConfig,
+}
+
+impl PlaceRequest {
+    /// A current-version request with default pipeline parameters.
+    pub fn new() -> Self {
+        Self {
+            v: API_VERSION,
+            utilization: 0.7,
+            placer: PlacerConfig::default(),
+            routing: RoutingConfig::default(),
+        }
+    }
+}
+
+impl Default for PlaceRequest {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The placement pipeline's answer: die, wirelength and congestion.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlaceResponse {
+    /// Protocol version of this response.
+    pub v: u32,
+    /// The netlist the session served this request against.
+    pub netlist: NetlistSummary,
+    /// The die the placement ran on.
+    pub die: Die,
+    /// Half-perimeter wirelength of the global placement.
+    pub hpwl: f64,
+    /// Congestion statistics of the placement.
+    pub congestion: CongestionReport,
+}
+
+/// A request for whole-design statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatsRequest {
+    /// Protocol version (see [`API_VERSION`]).
+    pub v: u32,
+}
+
+impl StatsRequest {
+    /// A current-version request.
+    pub fn new() -> Self {
+        Self { v: API_VERSION }
+    }
+}
+
+impl Default for StatsRequest {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Whole-design statistics (`gtl stats` over the wire).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatsResponse {
+    /// Protocol version of this response.
+    pub v: u32,
+    /// Full design statistics, including degree histograms.
+    pub stats: NetlistStats,
+}
+
+/// The structured error payload carried on the wire.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ErrorBody {
+    /// Protocol version of this response.
+    pub v: u32,
+    /// Stable machine-readable code (see [`ApiError::code`]).
+    ///
+    /// [`ApiError::code`]: crate::ApiError::code
+    pub code: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl From<&crate::ApiError> for ErrorBody {
+    fn from(err: &crate::ApiError) -> Self {
+        Self { v: API_VERSION, code: err.code().to_string(), message: err.message() }
+    }
+}
+
+/// The wire request envelope: one externally tagged JSON object per line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Run the finder.
+    Find(FindRequest),
+    /// Run the placement + congestion pipeline.
+    Place(PlaceRequest),
+    /// Fetch design statistics.
+    Stats(StatsRequest),
+}
+
+/// The wire response envelope, mirroring [`Request`] plus
+/// [`Response::Error`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Response {
+    /// Answer to [`Request::Find`].
+    Find(FindResponse),
+    /// Answer to [`Request::Place`].
+    Place(PlaceResponse),
+    /// Answer to [`Request::Stats`].
+    Stats(StatsResponse),
+    /// Any failure, with a stable code.
+    Error(ErrorBody),
+}

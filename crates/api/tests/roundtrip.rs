@@ -1,0 +1,240 @@
+//! Property tests: every API type survives JSON serialize → deserialize
+//! **bit-exactly**, floats included.
+//!
+//! Floats are drawn from arbitrary bit patterns (nudged to finite —
+//! non-finite values have no JSON literal), so subnormals, negative zero
+//! and extreme exponents are all exercised. Because the renderer emits
+//! the shortest representation that parses back to the same bits, byte
+//! equality of `render(parse(render(x)))` with `render(x)` implies bit
+//! equality of every float in `x`.
+
+use gtl_api::{
+    ErrorBody, FindRequest, FindResponse, NetlistSummary, PlaceRequest, PlaceResponse, Request,
+    Response, StatsRequest, API_VERSION,
+};
+use gtl_netlist::{CellId, SubsetStats};
+use gtl_place::congestion::{CongestionReport, DemandModel, RoutingConfig};
+use gtl_place::{Die, PlacerConfig};
+use gtl_tangled::ordering::GrowthCriterion;
+use gtl_tangled::{FinderConfig, FinderResult, Gtl, MetricKind};
+use proptest::prelude::*;
+
+/// Arbitrary finite `f64` from raw bits (clearing the top exponent bit
+/// maps Inf/NaN patterns onto finite values, keeping sign and mantissa).
+fn arb_f64() -> impl Strategy<Value = f64> {
+    (0u64..=u64::MAX).prop_map(|bits| {
+        let f = f64::from_bits(bits);
+        if f.is_finite() {
+            f
+        } else {
+            f64::from_bits(bits & !(1u64 << 62))
+        }
+    })
+}
+
+fn arb_finder_config() -> impl Strategy<Value = FinderConfig> {
+    (
+        (0usize..10_000, 1usize..200_000, 0usize..64, 0u8..2, 0u8..2, 1usize..5_000),
+        (arb_f64(), arb_f64(), arb_f64(), 0usize..9, 0u8..2, 0usize..32),
+        (0u64..=u64::MAX, (0u8..2, arb_f64())),
+    )
+        .prop_map(
+            |(
+                (num_seeds, max_order_len, lambda_threshold, criterion, metric, min_size),
+                (accept_threshold, prominence, max_fraction, refine_seeds, refine, threads),
+                (rng_seed, (has_rent, rent)),
+            )| FinderConfig {
+                num_seeds,
+                max_order_len,
+                lambda_threshold,
+                criterion: if criterion == 0 {
+                    GrowthCriterion::WeightFirst
+                } else {
+                    GrowthCriterion::CutFirst
+                },
+                metric: if metric == 0 { MetricKind::NGtlScore } else { MetricKind::GtlSd },
+                min_size,
+                accept_threshold,
+                prominence,
+                max_fraction,
+                refine_seeds,
+                refine: refine == 1,
+                threads,
+                rng_seed,
+                rent_exponent: (has_rent == 1).then_some(rent),
+            },
+        )
+}
+
+fn arb_gtl() -> impl Strategy<Value = Gtl> {
+    (
+        proptest::collection::vec(0usize..1_000_000, 0..40),
+        (0usize..5_000, 0usize..5_000, 0usize..50_000, 0usize..5_000),
+        (arb_f64(), arb_f64(), arb_f64(), arb_f64()),
+    )
+        .prop_map(|(cells, (size, cut, pins, internal_nets), (score, ngtl, sd, rent))| Gtl {
+            cells: cells.into_iter().map(CellId::new).collect(),
+            stats: SubsetStats { size, cut, pins, internal_nets },
+            score,
+            ngtl_score: ngtl,
+            gtl_sd: sd,
+            rent_exponent: rent,
+        })
+}
+
+fn arb_finder_result() -> impl Strategy<Value = FinderResult> {
+    (
+        proptest::collection::vec(arb_gtl(), 0..6),
+        0usize..10_000,
+        0usize..10_000,
+        arb_f64(),
+        arb_f64(),
+    )
+        .prop_map(|(gtls, num_candidates, num_empty_searches, avg_pins, avg_rent)| {
+            FinderResult {
+                gtls,
+                num_candidates,
+                num_empty_searches,
+                avg_pins_per_cell: avg_pins,
+                avg_rent_exponent: avg_rent,
+            }
+        })
+}
+
+fn arb_summary() -> impl Strategy<Value = NetlistSummary> {
+    (0usize..1_000_000, 0usize..1_000_000, 0usize..10_000_000, arb_f64()).prop_map(
+        |(num_cells, num_nets, num_pins, avg)| NetlistSummary {
+            num_cells,
+            num_nets,
+            num_pins,
+            avg_pins_per_cell: avg,
+        },
+    )
+}
+
+fn arb_place_request() -> impl Strategy<Value = PlaceRequest> {
+    (
+        0u32..4,
+        arb_f64(),
+        ((0usize..50, arb_f64(), arb_f64()), (arb_f64(), 0usize..2_000, arb_f64())),
+        ((1usize..256, (0u8..2, arb_f64()), (0u8..2, arb_f64())), (arb_f64(), 0u8..2, 0usize..32)),
+        (0u64..=u64::MAX, 0usize..32, 0usize..20),
+    )
+        .prop_map(
+            |(
+                v,
+                utilization,
+                ((iterations, anchor_start, anchor_growth), (tolerance, max_cg, boost)),
+                ((tiles, (has_h, h), (has_v, vcap)), (target_mean, model, rthreads)),
+                (seed, pthreads, shard_grid),
+            )| {
+                PlaceRequest {
+                    v,
+                    utilization,
+                    placer: PlacerConfig {
+                        iterations,
+                        anchor_start,
+                        anchor_growth,
+                        tolerance,
+                        max_cg_iterations: max_cg,
+                        anchor_final_boost: boost,
+                        seed,
+                        threads: pthreads,
+                        shard_grid,
+                        ..PlacerConfig::default()
+                    },
+                    routing: RoutingConfig {
+                        tiles,
+                        h_capacity: (has_h == 1).then_some(h),
+                        v_capacity: (has_v == 1).then_some(vcap),
+                        target_mean,
+                        model: if model == 0 { DemandModel::Rudy } else { DemandModel::LShape },
+                        threads: rthreads,
+                    },
+                }
+            },
+        )
+}
+
+/// Round-trips a value through JSON and asserts byte + Debug equality
+/// (both imply bit equality of every float — see module docs).
+fn assert_roundtrip<T>(value: &T)
+where
+    T: serde::Serialize + for<'a> serde::Deserialize<'a> + std::fmt::Debug,
+{
+    let text = serde::json::to_string(value);
+    let back: T = match serde::json::from_str(&text) {
+        Ok(v) => v,
+        Err(e) => panic!("failed to parse {text}: {e}"),
+    };
+    assert_eq!(serde::json::to_string(&back), text, "re-render differs");
+    assert_eq!(format!("{back:?}"), format!("{value:?}"), "Debug view differs");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn finder_config_roundtrips(config in arb_finder_config()) {
+        assert_roundtrip(&config);
+    }
+
+    #[test]
+    fn find_request_roundtrips(v in 0u32..4, config in arb_finder_config()) {
+        let mut request = FindRequest::new(config);
+        request.v = v;
+        assert_roundtrip(&request);
+        assert_roundtrip(&Request::Find(request));
+    }
+
+    #[test]
+    fn finder_result_roundtrips(result in arb_finder_result()) {
+        assert_roundtrip(&result);
+    }
+
+    #[test]
+    fn find_response_roundtrips(
+        netlist in arb_summary(),
+        result in arb_finder_result(),
+    ) {
+        let response = FindResponse { v: API_VERSION, netlist, result };
+        assert_roundtrip(&response);
+        assert_roundtrip(&Response::Find(response));
+    }
+
+    #[test]
+    fn place_contracts_roundtrip(
+        request in arb_place_request(),
+        netlist in arb_summary(),
+        floats in proptest::collection::vec(arb_f64(), 8),
+    ) {
+        assert_roundtrip(&request);
+        assert_roundtrip(&Request::Place(request));
+        let response = PlaceResponse {
+            v: API_VERSION,
+            netlist,
+            die: Die { width: floats[0], height: floats[1], rows: 64 },
+            hpwl: floats[2],
+            congestion: CongestionReport {
+                nets_through_100pct: 5,
+                nets_through_90pct: 9,
+                average_congestion_pct: floats[3],
+                max_utilization: floats[4],
+                mean_utilization: floats[5],
+            },
+        };
+        assert_roundtrip(&response);
+        assert_roundtrip(&Response::Place(response));
+    }
+}
+
+#[test]
+fn stats_and_error_envelopes_roundtrip() {
+    assert_roundtrip(&Request::Stats(StatsRequest::new()));
+    let body = ErrorBody {
+        v: API_VERSION,
+        code: "bad_request".into(),
+        message: "tab\there \"and\" newline\n".into(),
+    };
+    assert_roundtrip(&Response::Error(body));
+}

@@ -1,14 +1,17 @@
 //! Rendering helpers: ASCII tables, CSV series, JSON reports, and PGM
 //! heatmaps.
+//!
+//! JSON documents are [`serde::Value`] trees (re-exported here as
+//! [`Json`]); this crate no longer maintains a parallel serializer — the
+//! bench reports render through the same deterministic JSON machinery as
+//! the `gtl-api` wire contracts.
 
 use std::fmt::Write as _;
 use std::path::Path;
 
-/// A JSON value, for machine-readable bench reports.
-///
-/// Kept deliberately tiny (the workspace has no serde-based serializer —
-/// see `vendor/serde`): numbers, strings, booleans, arrays and objects,
-/// rendered with stable key order.
+/// A JSON value for machine-readable bench reports — an alias for
+/// [`serde::Value`], which provides the [`Json::num`] / [`Json::str`] /
+/// [`Json::arr`] / [`Json::obj`] constructors the bench binaries use.
 ///
 /// # Example
 ///
@@ -24,103 +27,7 @@ use std::path::Path;
 ///     r#"{"bench":"finder_parallel","threads":[1,8]}"#
 /// );
 /// ```
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// A finite number (rendered without trailing `.0` when integral).
-    Num(f64),
-    /// A string (escaped on render).
-    Str(String),
-    /// A boolean.
-    Bool(bool),
-    /// An ordered array.
-    Arr(Vec<Json>),
-    /// An object with keys in insertion order.
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// Shorthand for [`Json::Num`].
-    pub fn num(v: f64) -> Self {
-        Json::Num(v)
-    }
-
-    /// Shorthand for [`Json::Str`].
-    pub fn str(v: impl Into<String>) -> Self {
-        Json::Str(v.into())
-    }
-
-    /// Shorthand for [`Json::Arr`].
-    pub fn arr(items: impl IntoIterator<Item = Json>) -> Self {
-        Json::Arr(items.into_iter().collect())
-    }
-
-    /// Shorthand for [`Json::Obj`].
-    pub fn obj<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Json)>) -> Self {
-        Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
-    }
-
-    /// Renders the value as compact JSON text.
-    pub fn render(&self) -> String {
-        let mut out = String::new();
-        self.render_into(&mut out);
-        out
-    }
-
-    fn render_into(&self, out: &mut String) {
-        match self {
-            Json::Num(v) => {
-                if !v.is_finite() {
-                    // JSON has no NaN/inf literals; null keeps the
-                    // document parseable.
-                    out.push_str("null");
-                } else if v.fract() == 0.0 && v.abs() < 1e15 {
-                    let _ = write!(out, "{}", *v as i64);
-                } else {
-                    let _ = write!(out, "{v}");
-                }
-            }
-            Json::Str(s) => {
-                out.push('"');
-                for c in s.chars() {
-                    match c {
-                        '"' => out.push_str("\\\""),
-                        '\\' => out.push_str("\\\\"),
-                        '\n' => out.push_str("\\n"),
-                        '\t' => out.push_str("\\t"),
-                        c if (c as u32) < 0x20 => {
-                            let _ = write!(out, "\\u{:04x}", c as u32);
-                        }
-                        c => out.push(c),
-                    }
-                }
-                out.push('"');
-            }
-            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            Json::Arr(items) => {
-                out.push('[');
-                for (i, item) in items.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    item.render_into(out);
-                }
-                out.push(']');
-            }
-            Json::Obj(pairs) => {
-                out.push('{');
-                for (i, (key, value)) in pairs.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    Json::Str(key.clone()).render_into(out);
-                    out.push(':');
-                    value.render_into(out);
-                }
-                out.push('}');
-            }
-        }
-    }
-}
+pub use serde::Value as Json;
 
 /// Writes a [`Json`] document (with a trailing newline).
 ///
@@ -269,9 +176,12 @@ mod tests {
     use super::*;
 
     #[test]
-    fn json_non_finite_renders_null() {
+    fn json_alias_keeps_report_conventions() {
+        // Integral numbers render without a decimal point, non-finite as
+        // null — the conventions results/*.json consumers rely on.
         let doc = Json::arr([Json::num(f64::NAN), Json::num(f64::INFINITY), Json::num(1.5)]);
         assert_eq!(doc.render(), "[null,null,1.5]");
+        assert_eq!(Json::num(8.0).render(), "8");
     }
 
     #[test]

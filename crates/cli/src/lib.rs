@@ -5,23 +5,27 @@
 //! * `gtl stats <file>` — netlist statistics (`|V|`, `|E|`, pins, `A(G)`,
 //!   degree profile);
 //! * `gtl find <file> [options]` — run the three-phase finder and print a
-//!   GTL table;
+//!   GTL table, or the [`gtl_api::FindResponse`] JSON with `--json`;
 //! * `gtl score <file> --cells <ids>` — score one cell group under every
 //!   metric;
 //! * `gtl curve <file> --seed <id>` — CSV score curve of one linear
-//!   ordering (the paper's Figures 2/3/5 raw data).
+//!   ordering (the paper's Figures 2/3/5 raw data);
+//! * `gtl serve <file>` — the JSON-lines request server (see
+//!   [`gtl_api::serve`](mod@gtl_api::serve)).
 //!
 //! Input formats are detected by extension: `.hgr` (hMETIS), `.aux`
-//! (Bookshelf), `.v` (structural Verilog). The logic lives in this library
-//! so it can be unit-tested; `main.rs` is a thin shim.
+//! (Bookshelf), `.v` (structural Verilog). Errors carry structured
+//! [`ApiError`] codes; exit codes are documented in the `--help` text.
+//! The logic lives in this library so it can be unit-tested; `main.rs`
+//! is a thin shim.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt::Write as _;
-use std::path::Path;
 
-use gtl_netlist::{bookshelf, hgr, verilog, CellId, CellSet, Netlist, NetlistStats, SubsetStats};
+use gtl_api::{ApiError, FindRequest, Session};
+use gtl_netlist::{verilog, CellId, CellSet, Netlist, NetlistStats, SubsetStats};
 use gtl_tangled::candidate::{score_curve, CandidateConfig};
 use gtl_tangled::metrics::{self, baseline, DesignContext};
 use gtl_tangled::{FinderConfig, GrowthConfig, MetricKind, OrderingGrower, TangledLogicFinder};
@@ -34,57 +38,79 @@ USAGE:
   gtl stats <file>
   gtl find  <file> [--seeds N] [--min-size N] [--max-order N]
                    [--threshold F] [--metric ngtl|sd] [--rng N] [--threads N]
+                   [--json]
   gtl score <file> --cells id,id,... [--rent F]
   gtl curve <file> --seed id [--max-order N]
   gtl blocks <file> [find options] [--whitespace F]
   gtl resynth <file> [find options] [--max-fanout N] [--out <file.v>]
+  gtl serve <file> [--addr A] [--port N] [--max-conns N] [find defaults]
 
 FILES: .hgr (hMETIS), .aux (Bookshelf/ISPD), .v (structural Verilog)
+
+EXIT CODES (from the structured ApiError codes; see gtl_api):
+  0  success
+  1  netlist load/parse error                  [netlist]
+  2  bad arguments or malformed request        [bad_request, invalid_argument,
+                                                unsupported_version]
+  3  I/O failure (socket, file)                [io]
+
+`gtl find --json` prints one FindResponse JSON document: byte-identical
+to the payload a `gtl serve` round-trip returns for the same request,
+for any --threads value. `gtl serve` speaks JSON lines on plain TCP: one
+{\"Find\":..} | {\"Place\":..} | {\"Stats\":..} envelope per line in, one
+response envelope per line out (see ARCHITECTURE.md).
 ";
 
-/// Errors surfaced to the user (message + suggested exit code).
+/// A structured API error plus the CLI context it surfaced in.
+///
+/// Thin wrapper over [`ApiError`] so the binary can exit with the
+/// error's conventional code (`err.exit_code()`) and print its stable
+/// code tag (`[bad_request]`, `[netlist]`, …).
 #[derive(Debug)]
 pub struct CliError {
-    /// Human-readable message.
-    pub message: String,
-    /// Process exit code.
-    pub code: i32,
+    /// The structured error.
+    pub error: ApiError,
 }
 
 impl CliError {
-    fn new(message: impl Into<String>) -> Self {
-        Self { message: message.into(), code: 2 }
+    fn bad_request(message: impl Into<String>) -> Self {
+        Self { error: ApiError::bad_request(message) }
+    }
+
+    /// Process exit code (see `EXIT CODES` in [`USAGE`]).
+    pub fn exit_code(&self) -> i32 {
+        self.error.exit_code()
     }
 }
 
 impl std::fmt::Display for CliError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(&self.message)
+        self.error.fmt(f)
     }
 }
 
 impl std::error::Error for CliError {}
 
-impl From<gtl_netlist::NetlistError> for CliError {
-    fn from(e: gtl_netlist::NetlistError) -> Self {
-        Self { message: e.to_string(), code: 1 }
+impl From<ApiError> for CliError {
+    fn from(error: ApiError) -> Self {
+        Self { error }
     }
 }
 
-/// Loads a netlist, selecting the parser from the file extension.
+impl From<gtl_netlist::NetlistError> for CliError {
+    fn from(e: gtl_netlist::NetlistError) -> Self {
+        Self { error: e.into() }
+    }
+}
+
+/// Loads a netlist, selecting the parser from the file extension
+/// (delegates to [`gtl_api::load_netlist`]).
 ///
 /// # Errors
 ///
 /// Returns a [`CliError`] for unknown extensions or parse failures.
 pub fn load_netlist(path: &str) -> Result<Netlist, CliError> {
-    match Path::new(path).extension().and_then(|e| e.to_str()) {
-        Some("hgr") => Ok(hgr::read(path)?),
-        Some("aux") => Ok(bookshelf::read_aux(path)?.netlist),
-        Some("v") => Ok(verilog::read(path)?.netlist),
-        other => Err(CliError::new(format!(
-            "unsupported input extension {other:?} (expected .hgr, .aux or .v)"
-        ))),
-    }
+    Ok(gtl_api::load_netlist(path)?)
 }
 
 /// Runs the tool on pre-split arguments, returning the stdout text.
@@ -94,7 +120,7 @@ pub fn load_netlist(path: &str) -> Result<Netlist, CliError> {
 /// Returns a [`CliError`] on bad arguments or parse failures.
 pub fn run(args: &[String]) -> Result<String, CliError> {
     let Some(command) = args.first() else {
-        return Err(CliError::new(USAGE));
+        return Err(CliError::bad_request(USAGE));
     };
     match command.as_str() {
         "stats" => cmd_stats(&args[1..]),
@@ -103,15 +129,16 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "curve" => cmd_curve(&args[1..]),
         "blocks" => cmd_blocks(&args[1..]),
         "resynth" => cmd_resynth(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
         "--help" | "-h" | "help" => Ok(USAGE.to_string()),
-        other => Err(CliError::new(format!("unknown command `{other}`\n\n{USAGE}"))),
+        other => Err(CliError::bad_request(format!("unknown command `{other}`\n\n{USAGE}"))),
     }
 }
 
 fn want_file(args: &[String]) -> Result<&str, CliError> {
     args.first()
         .map(String::as_str)
-        .ok_or_else(|| CliError::new(format!("missing input file\n\n{USAGE}")))
+        .ok_or_else(|| CliError::bad_request(format!("missing input file\n\n{USAGE}")))
 }
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
@@ -125,9 +152,9 @@ fn parse_flag<T: std::str::FromStr>(
 ) -> Result<T, CliError> {
     match flag_value(args, flag) {
         None => Ok(default),
-        Some(v) => {
-            v.parse().map_err(|_| CliError::new(format!("{flag} expects a valid value, got `{v}`")))
-        }
+        Some(v) => v
+            .parse()
+            .map_err(|_| CliError::bad_request(format!("{flag} expects a valid value, got `{v}`"))),
     }
 }
 
@@ -145,27 +172,15 @@ fn cmd_stats(args: &[String]) -> Result<String, CliError> {
 
 fn cmd_find(args: &[String]) -> Result<String, CliError> {
     let netlist = load_netlist(want_file(args)?)?;
-    let metric = match flag_value(args, "--metric") {
-        None | Some("sd") => MetricKind::GtlSd,
-        Some("ngtl") => MetricKind::NGtlScore,
-        Some(other) => {
-            return Err(CliError::new(format!("--metric expects ngtl|sd, got `{other}`")))
-        }
-    };
-    let config = FinderConfig {
-        num_seeds: parse_flag(args, "--seeds", 100usize)?,
-        min_size: parse_flag(args, "--min-size", 30usize)?,
-        max_order_len: parse_flag(
-            args,
-            "--max-order",
-            (netlist.num_cells() / 4).clamp(64, 100_000),
-        )?,
-        accept_threshold: parse_flag(args, "--threshold", 0.9f64)?,
-        rng_seed: parse_flag(args, "--rng", 0xDACu64)?,
-        threads: parse_flag(args, "--threads", 0usize)?,
-        metric,
-        ..FinderConfig::default()
-    };
+    let config = finder_from_args(&netlist, args)?;
+    if args.iter().any(|a| a == "--json") {
+        // Same contract as one `gtl serve` round-trip: build the session,
+        // dispatch a FindRequest, print the FindResponse JSON — the exact
+        // payload bytes the server would answer with.
+        let session = Session::builder().netlist(netlist).build()?;
+        let response = session.find(&FindRequest::new(config))?;
+        return Ok(serde::json::to_string(&response) + "\n");
+    }
     let result = TangledLogicFinder::new(&netlist, config).run();
 
     let mut out = String::new();
@@ -197,15 +212,15 @@ fn cmd_find(args: &[String]) -> Result<String, CliError> {
 fn cmd_score(args: &[String]) -> Result<String, CliError> {
     let netlist = load_netlist(want_file(args)?)?;
     let cells_arg = flag_value(args, "--cells")
-        .ok_or_else(|| CliError::new("score requires --cells id,id,..."))?;
+        .ok_or_else(|| CliError::bad_request("score requires --cells id,id,..."))?;
     let mut cells = Vec::new();
     for token in cells_arg.split(',') {
         let id: usize = token
             .trim()
             .parse()
-            .map_err(|_| CliError::new(format!("invalid cell id `{token}`")))?;
+            .map_err(|_| CliError::bad_request(format!("invalid cell id `{token}`")))?;
         if id >= netlist.num_cells() {
-            return Err(CliError::new(format!(
+            return Err(CliError::bad_request(format!(
                 "cell {id} out of range (netlist has {} cells)",
                 netlist.num_cells()
             )));
@@ -242,7 +257,7 @@ fn cmd_curve(args: &[String]) -> Result<String, CliError> {
     let netlist = load_netlist(want_file(args)?)?;
     let seed: usize = parse_flag(args, "--seed", 0usize)?;
     if seed >= netlist.num_cells() {
-        return Err(CliError::new(format!("--seed {seed} out of range")));
+        return Err(CliError::bad_request(format!("--seed {seed} out of range")));
     }
     let max_order = parse_flag(args, "--max-order", (netlist.num_cells() / 4).clamp(64, 100_000))?;
     let growth = GrowthConfig { max_len: max_order, ..GrowthConfig::default() };
@@ -272,7 +287,7 @@ fn finder_from_args(netlist: &Netlist, args: &[String]) -> Result<FinderConfig, 
         None | Some("sd") => MetricKind::GtlSd,
         Some("ngtl") => MetricKind::NGtlScore,
         Some(other) => {
-            return Err(CliError::new(format!("--metric expects ngtl|sd, got `{other}`")))
+            return Err(CliError::bad_request(format!("--metric expects ngtl|sd, got `{other}`")))
         }
     };
     Ok(FinderConfig {
@@ -367,10 +382,31 @@ fn cmd_resynth(args: &[String]) -> Result<String, CliError> {
     );
     if let Some(path) = flag_value(args, "--out") {
         let text = verilog::to_module_string(&resynth, "resynthesized", None);
-        std::fs::write(path, text).map_err(|e| CliError::new(format!("write {path}: {e}")))?;
+        std::fs::write(path, text)
+            .map_err(|e| CliError::from(ApiError::io(format!("write {path}: {e}"))))?;
         let _ = writeln!(out, "wrote {path}");
     }
     Ok(out)
+}
+
+/// `gtl serve`: bind a TCP listener and answer JSON-lines requests over
+/// the loaded netlist until the connection budget (`--max-conns`, `0` =
+/// unlimited) is exhausted.
+fn cmd_serve(args: &[String]) -> Result<String, CliError> {
+    let path = want_file(args)?;
+    let netlist = load_netlist(path)?;
+    let addr = flag_value(args, "--addr").unwrap_or("127.0.0.1");
+    let port: u16 = parse_flag(args, "--port", 7878u16)?;
+    let max_conns: usize = parse_flag(args, "--max-conns", 0usize)?;
+    let session = Session::builder().netlist(netlist).build()?;
+    let listener = gtl_api::bind(&format!("{addr}:{port}"))?;
+    let local = listener.local_addr().map_err(ApiError::from)?;
+    // Readiness goes to stderr immediately (stdout is returned only when
+    // the server finishes, which without --max-conns is never).
+    eprintln!("gtl: serving {path} on {local} (JSON lines; Ctrl-C to stop)");
+    let options = gtl_api::ServeOptions { max_connections: (max_conns > 0).then_some(max_conns) };
+    let served = gtl_api::serve(&session, &listener, &options)?;
+    Ok(format!("served {served} connection(s)\n"))
 }
 
 #[cfg(test)]
@@ -445,9 +481,10 @@ mod tests {
         assert!(run(&argv(&["bogus"])).is_err());
         assert!(run(&argv(&[])).is_err());
         let err = run(&argv(&["score", &fixture_path()])).unwrap_err();
-        assert!(err.message.contains("--cells"));
+        assert!(err.to_string().contains("--cells"));
+        assert_eq!(err.exit_code(), 2);
         let err = run(&argv(&["score", &fixture_path(), "--cells", "99"])).unwrap_err();
-        assert!(err.message.contains("out of range"));
+        assert!(err.to_string().contains("out of range"));
     }
 
     #[test]
@@ -492,8 +529,41 @@ mod tests {
     }
 
     #[test]
+    fn find_json_matches_session_dispatch() {
+        let path = fixture_path();
+        let args =
+            ["find", &path, "--seeds", "10", "--min-size", "3", "--max-order", "10", "--json"];
+        let out = run(&argv(&args)).unwrap();
+        assert!(out.starts_with("{\"v\":1,"), "{out}");
+        assert!(out.ends_with("\n"));
+        // Byte-identical to dispatching the equivalent request in-process.
+        let netlist = load_netlist(&path).unwrap();
+        let config = finder_from_args(&netlist, &argv(&args[1..])).unwrap();
+        let session = Session::builder().netlist(netlist).build().unwrap();
+        let expected = serde::json::to_string(&session.find(&FindRequest::new(config)).unwrap());
+        assert_eq!(out.trim_end(), expected);
+    }
+
+    #[test]
+    fn serve_rejects_bad_flags() {
+        let err = run(&argv(&["serve", &fixture_path(), "--port", "notaport"])).unwrap_err();
+        assert_eq!(err.error.code(), "bad_request");
+        let err = run(&argv(&["serve"])).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+    }
+
+    #[test]
+    fn help_documents_exit_codes_and_serve() {
+        let help = run(&argv(&["--help"])).unwrap();
+        assert!(help.contains("EXIT CODES"), "{help}");
+        assert!(help.contains("gtl serve"), "{help}");
+        assert!(help.contains("--json"), "{help}");
+    }
+
+    #[test]
     fn unknown_extension_rejected() {
         let err = load_netlist("/tmp/whatever.xyz").unwrap_err();
-        assert!(err.message.contains("unsupported"));
+        assert!(err.to_string().contains("unsupported"));
+        assert_eq!(err.error.code(), "bad_request");
     }
 }

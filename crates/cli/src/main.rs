@@ -7,7 +7,7 @@ fn main() {
         Ok(output) => print!("{output}"),
         Err(e) => {
             eprintln!("gtl: {e}");
-            std::process::exit(e.code);
+            std::process::exit(e.exit_code());
         }
     }
 }

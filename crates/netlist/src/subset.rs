@@ -119,6 +119,13 @@ impl CellSet {
         }
     }
 
+    /// Removes every cell, keeping the allocation (for scratch reuse —
+    /// `O(universe/64)`).
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+        self.len = 0;
+    }
+
     /// Set union `self ∪ other`.
     ///
     /// # Panics

@@ -44,6 +44,7 @@ const STRIPE_ROWS: usize = gtl_core::shard::DEFAULT_STRIPE_ROWS;
 
 /// Which probabilistic router model deposits demand.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum DemandModel {
     /// Uniform bounding-box smear (RUDY).
     #[default]
@@ -54,6 +55,7 @@ pub enum DemandModel {
 
 /// Routing-grid parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RoutingConfig {
     /// Tiles per die side (grid is `tiles × tiles`).
     pub tiles: usize,
@@ -223,6 +225,7 @@ impl CongestionMap {
 
 /// Summary congestion statistics (the paper's §5.1.3 numbers).
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CongestionReport {
     /// Nets passing through ≥ 100% utilized tiles.
     pub nets_through_100pct: usize,

@@ -64,6 +64,7 @@ use gtl_netlist::Netlist;
 
 /// The placement region: a `width × height` core with standard-cell rows.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Die {
     /// Core width.
     pub width: f64,

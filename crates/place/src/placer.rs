@@ -99,6 +99,7 @@ impl Placement {
 
 /// Configuration of the global placer.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PlacerConfig {
     /// Solve/spread iterations.
     pub iterations: usize,

@@ -24,6 +24,7 @@ use crate::{Die, Placement};
 
 /// Parameters of the bisection spreader.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SpreadConfig {
     /// Target utilization: fraction of each region's area the cells of
     /// that region may demand before further splitting.

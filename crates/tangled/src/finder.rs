@@ -18,7 +18,6 @@ use crate::ordering::LinearOrdering;
 use crate::candidate::{extract_candidate, Candidate, CandidateConfig};
 use crate::metrics::{self, DesignContext, MetricKind};
 use crate::ordering::{GrowthConfig, OrderingGrower};
-use crate::prune::prune_overlapping;
 use crate::refine::{refine_candidate, RefineConfig};
 
 /// Configuration of the three-phase finder.
@@ -177,11 +176,18 @@ impl<'a> TangledLogicFinder<'a> {
 
     /// Runs all three phases with randomly drawn seed cells.
     pub fn run(&self) -> FinderResult {
+        self.run_with_scratch(&mut crate::prune::PruneScratch::new(self.netlist.num_cells()))
+    }
+
+    /// [`TangledLogicFinder::run`] with caller-owned pruning scratch, for
+    /// services running many finds over one netlist (the bitset of the
+    /// final pruning pass is reused instead of reallocated per request).
+    pub fn run_with_scratch(&self, scratch: &mut crate::prune::PruneScratch) -> FinderResult {
         let mut master = SmallRng::seed_from_u64(self.config.rng_seed);
         let seeds: Vec<CellId> = (0..self.config.num_seeds)
             .map(|_| CellId::new(master.gen_range(0..self.netlist.num_cells())))
             .collect();
-        self.run_from_seeds(&seeds)
+        self.run_from_seeds_with(&seeds, scratch)
     }
 
     /// Runs all three phases from caller-supplied seed cells.
@@ -193,6 +199,23 @@ impl<'a> TangledLogicFinder<'a> {
     ///
     /// Panics if any seed is out of bounds.
     pub fn run_from_seeds(&self, seeds: &[CellId]) -> FinderResult {
+        self.run_from_seeds_with(
+            seeds,
+            &mut crate::prune::PruneScratch::new(self.netlist.num_cells()),
+        )
+    }
+
+    /// [`TangledLogicFinder::run_from_seeds`] with caller-owned pruning
+    /// scratch (see [`TangledLogicFinder::run_with_scratch`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any seed is out of bounds.
+    pub fn run_from_seeds_with(
+        &self,
+        seeds: &[CellId],
+        scratch: &mut crate::prune::PruneScratch,
+    ) -> FinderResult {
         for &s in seeds {
             assert!(s.index() < self.netlist.num_cells(), "seed {s} out of bounds");
         }
@@ -253,7 +276,8 @@ impl<'a> TangledLogicFinder<'a> {
             candidates.iter().map(|c| c.rent_exponent).sum::<f64>() / candidates.len() as f64
         };
 
-        let kept = prune_overlapping(candidates, self.netlist.num_cells());
+        let kept =
+            crate::prune::prune_overlapping_with(candidates, self.netlist.num_cells(), scratch);
         let a_g = self.netlist.avg_pins_per_cell();
         let gtls = kept
             .into_iter()

@@ -16,11 +16,43 @@ use gtl_netlist::CellSet;
 
 use crate::candidate::Candidate;
 
+/// Reusable state for [`prune_overlapping_with`]: the bitset of cells
+/// covered by already-kept candidates.
+///
+/// Pruning runs once per finder invocation; a service handling repeated
+/// requests over one netlist (`gtl_api::Session`) reuses the allocation
+/// across calls instead of paying `O(universe/64)` words each time. The
+/// scratch transparently regrows when a larger universe shows up.
+#[derive(Debug, Clone)]
+pub struct PruneScratch {
+    covered: CellSet,
+}
+
+impl PruneScratch {
+    /// Creates scratch for netlists of up to `universe` cells.
+    pub fn new(universe: usize) -> Self {
+        Self { covered: CellSet::new(universe) }
+    }
+
+    /// Clears the bitset, reallocating only if `universe` grew.
+    fn reset(&mut self, universe: usize) {
+        if self.covered.universe() < universe {
+            self.covered = CellSet::new(universe);
+        } else {
+            self.covered.clear();
+        }
+    }
+}
+
 /// Selects a best-first disjoint subset of candidates.
 ///
 /// Candidates are sorted by ascending score (lower = more tangled =
-/// better); each is kept iff it shares no cell with a previously kept one.
-/// `universe` is the netlist cell count.
+/// better) **once**; each is then kept iff it shares no cell with a
+/// previously kept one, tracked in a single bitset with the membership
+/// probe bailing on the first covered cell. Total cost is
+/// `O(m log m + Σ|Cᵢ|)` after the sort — linear in the candidate cells,
+/// not quadratic in the candidate count `m`. `universe` is the netlist
+/// cell count.
 ///
 /// Equal scores tie-break on the cell vectors themselves, which is only
 /// canonical (independent of how each candidate's cells happen to be
@@ -54,15 +86,34 @@ use crate::candidate::Candidate;
 /// let scores: Vec<f64> = kept.iter().map(|c| c.score).collect();
 /// assert_eq!(scores, [0.1, 0.5]);
 /// ```
-pub fn prune_overlapping(mut candidates: Vec<Candidate>, universe: usize) -> Vec<Candidate> {
+pub fn prune_overlapping(candidates: Vec<Candidate>, universe: usize) -> Vec<Candidate> {
+    prune_overlapping_with(candidates, universe, &mut PruneScratch::new(universe))
+}
+
+/// [`prune_overlapping`] with caller-owned scratch, for callers that prune
+/// repeatedly over the same netlist (see [`PruneScratch`]).
+///
+/// # Panics
+///
+/// In debug builds, panics if any candidate's cell list is not sorted.
+pub fn prune_overlapping_with(
+    mut candidates: Vec<Candidate>,
+    universe: usize,
+    scratch: &mut PruneScratch,
+) -> Vec<Candidate> {
     debug_assert!(
         candidates.iter().all(|c| c.cells.windows(2).all(|w| w[0] <= w[1])),
         "candidate cell lists must be sorted ascending for a canonical tiebreak"
     );
-    candidates.sort_by(|a, b| a.score.total_cmp(&b.score).then(a.cells.cmp(&b.cells)));
+    // Best-first order, established exactly once. The comparator is a
+    // total order over (score, cells), so an unstable sort is canonical.
+    candidates.sort_unstable_by(|a, b| a.score.total_cmp(&b.score).then(a.cells.cmp(&b.cells)));
+    scratch.reset(universe);
+    let covered = &mut scratch.covered;
     let mut kept: Vec<Candidate> = Vec::new();
-    let mut covered = CellSet::new(universe);
     'outer: for cand in candidates {
+        // Probe before committing; the first covered cell disqualifies the
+        // candidate, so the common rejected case is O(overlap prefix).
         for &cell in &cand.cells {
             if covered.contains(cell) {
                 continue 'outer;
@@ -129,5 +180,23 @@ mod tests {
     #[test]
     fn empty_input() {
         assert!(prune_overlapping(Vec::new(), 5).is_empty());
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_runs() {
+        let mut scratch = PruneScratch::new(10);
+        let batch_a = vec![cand(&[0, 1, 2], 0.5), cand(&[2, 3, 4], 0.1)];
+        let batch_b = vec![cand(&[0, 1], 0.1), cand(&[1, 2], 0.2), cand(&[2, 3], 0.3)];
+        for batch in [batch_a, batch_b] {
+            let fresh = prune_overlapping(batch.clone(), 10);
+            let reused = prune_overlapping_with(batch, 10, &mut scratch);
+            assert_eq!(
+                fresh.iter().map(|c| (&c.cells, c.score)).collect::<Vec<_>>(),
+                reused.iter().map(|c| (&c.cells, c.score)).collect::<Vec<_>>()
+            );
+        }
+        // A larger universe regrows the scratch transparently.
+        let kept = prune_overlapping_with(vec![cand(&[700], 0.2)], 1000, &mut scratch);
+        assert_eq!(kept.len(), 1);
     }
 }

@@ -2,8 +2,10 @@
 //! *"Detecting Tangled Logic Structures in VLSI Netlists"* (Jindal,
 //! Alpert, Hu, Li, Nam, Winn — DAC 2010).
 //!
-//! Re-exports the five library crates:
+//! Re-exports the six library crates:
 //!
+//! * [`api`] — the versioned request/response surface (JSON contracts,
+//!   `Session`, structured errors, the `gtl serve` backend);
 //! * [`core`] — the shared deterministic parallel execution layer every
 //!   fan-out in the workspace runs on (ordered results, thread-count
 //!   independence, seed-stable RNG streams, per-worker scratch reuse);
@@ -20,6 +22,7 @@
 
 #![forbid(unsafe_code)]
 
+pub use gtl_api as api;
 pub use gtl_core as core;
 pub use gtl_netlist as netlist;
 pub use gtl_place as place;

@@ -1,0 +1,100 @@
+//! The PR-acceptance contract, end to end: `gtl find --json` and a
+//! `gtl serve` TCP round-trip produce **byte-identical** `FindResponse`
+//! JSON, for 1, 2 and 8 workers.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use gtl_api::{FindRequest, Request, ServeOptions, Session};
+use gtl_tangled::FinderConfig;
+
+/// The checked-in two-5-cliques design — the same file the CI serve
+/// golden round-trip replays, so both checks exercise one fixture.
+fn fixture_path() -> String {
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/two_cliques.hgr");
+    assert!(path.exists(), "golden fixture missing: {}", path.display());
+    path.display().to_string()
+}
+
+fn config(threads: usize) -> FinderConfig {
+    FinderConfig {
+        num_seeds: 10,
+        min_size: 3,
+        max_order_len: 10,
+        rng_seed: 0xDAC,
+        threads,
+        ..FinderConfig::default()
+    }
+}
+
+/// One TCP round-trip against a fresh single-connection server.
+fn serve_round_trip(session: &Session, line: &str) -> String {
+    let listener = gtl_api::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            gtl_api::serve(session, &listener, &ServeOptions { max_connections: Some(1) })
+        });
+        let mut conn = TcpStream::connect(addr).unwrap();
+        writeln!(conn, "{line}").unwrap();
+        conn.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut response = String::new();
+        BufReader::new(conn).read_line(&mut response).unwrap();
+        response.trim_end().to_string()
+    })
+}
+
+#[test]
+fn cli_json_equals_serve_payload_for_1_2_8_workers() {
+    let path = fixture_path();
+    let mut payloads = Vec::new();
+    for threads in [1usize, 2, 8] {
+        // One-shot CLI.
+        let cli_out = gtl_cli::run(&[
+            "find".into(),
+            path.clone(),
+            "--seeds".into(),
+            "10".into(),
+            "--min-size".into(),
+            "3".into(),
+            "--max-order".into(),
+            "10".into(),
+            "--rng".into(),
+            format!("{}", 0xDAC),
+            "--threads".into(),
+            threads.to_string(),
+            "--json".into(),
+        ])
+        .unwrap();
+        let cli_json = cli_out.trim_end().to_string();
+
+        // Serve round-trip with the equivalent request.
+        let session = Session::builder().load(&path).unwrap().build().unwrap();
+        let line = serde::json::to_string(&Request::Find(FindRequest::new(config(threads))));
+        let envelope = serve_round_trip(&session, &line);
+
+        // The envelope is exactly {"Find":<payload>}.
+        let payload = envelope
+            .strip_prefix("{\"Find\":")
+            .and_then(|rest| rest.strip_suffix('}'))
+            .unwrap_or_else(|| panic!("unexpected envelope {envelope}"));
+        assert_eq!(payload, cli_json, "serve payload != `gtl find --json` ({threads} workers)");
+        payloads.push(cli_json);
+    }
+    assert!(payloads[0].contains("\"gtls\":[{"), "no GTLs found: {}", payloads[0]);
+    assert_eq!(payloads[0], payloads[1], "2 workers changed the bytes");
+    assert_eq!(payloads[0], payloads[2], "8 workers changed the bytes");
+}
+
+#[test]
+fn serve_stats_and_errors_over_tcp() {
+    let path = fixture_path();
+    let session = Session::builder().load(&path).unwrap().build().unwrap();
+    let stats = serve_round_trip(&session, "{\"Stats\":{\"v\":1}}");
+    assert!(stats.contains("\"num_cells\":10"), "{stats}");
+    let err = serve_round_trip(&session, "{\"Find\":{\"v\":99,\"config\":{}}}");
+    assert!(err.contains("\"code\":\"bad_request\""), "{err}");
+    let err = serve_round_trip(&session, "{\"Nope\":{}}");
+    assert!(err.contains("unknown variant"), "{err}");
+}

@@ -1,0 +1,368 @@
+//! JSON text ⇄ [`Value`] ⇄ typed data.
+//!
+//! [`to_string`] and [`from_str`] are the typed entry points the rest of
+//! the workspace uses (`gtl-api` wire messages, `gtl find --json`, bench
+//! reports); [`parse`] exposes the untyped tree.
+//!
+//! The renderer is deterministic: object keys keep their insertion order
+//! and floats use Rust's shortest round-trip representation, so equal
+//! values always produce byte-identical documents — the property the
+//! `gtl serve` determinism tests assert end-to-end.
+
+use crate::{Deserialize, Error, Serialize, Value};
+
+/// Maximum nesting depth accepted by the parser (guards hostile inputs —
+/// `gtl serve` feeds it raw network bytes).
+const MAX_DEPTH: usize = 128;
+
+/// Serializes any [`Serialize`] type to compact JSON text.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(serde::json::to_string(&vec![1u32, 2]), "[1,2]");
+/// ```
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> String {
+    value.to_value().render()
+}
+
+/// Deserializes any [`Deserialize`] type from JSON text.
+///
+/// # Errors
+///
+/// Returns an [`Error`] describing the first syntax or shape mismatch.
+///
+/// # Example
+///
+/// ```
+/// let v: Vec<u32> = serde::json::from_str("[1,2]").unwrap();
+/// assert_eq!(v, [1, 2]);
+/// ```
+pub fn from_str<T: for<'a> Deserialize<'a>>(text: &str) -> Result<T, Error> {
+    T::from_value(&parse(text)?)
+}
+
+/// Parses JSON text into a [`Value`] tree.
+///
+/// Strict on structure (single document, no trailing garbage, depth cap)
+/// and lossless on numbers: integer literals become [`Value::I64`] /
+/// [`Value::U64`], everything with a `.` or exponent becomes
+/// [`Value::F64`].
+///
+/// # Errors
+///
+/// Returns an [`Error`] with the byte offset of the first problem.
+pub fn parse(text: &str) -> Result<Value, Error> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after document"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: impl std::fmt::Display) -> Error {
+        Error::new(format!("json at byte {}: {}", self.pos, message))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{}`", byte as char)))
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("invalid literal (expected `{text}`)")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, Error> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(self.err(format!("unexpected character `{}`", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(pairs));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: copy the longest run without escapes or quotes.
+            while let Some(c) = self.peek() {
+                if c == b'"' || c == b'\\' || c < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid UTF-8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => out.push(self.unicode_escape()?),
+                        other => {
+                            return Err(self.err(format!("unknown escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                Some(_) => return Err(self.err("control character in string")),
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let slice = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        let text = std::str::from_utf8(slice).map_err(|_| self.err("bad \\u escape"))?;
+        let code = u32::from_str_radix(text, 16).map_err(|_| self.err("bad \\u escape"))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn unicode_escape(&mut self) -> Result<char, Error> {
+        let hi = self.hex4()?;
+        // Surrogate pair: a second \uXXXX must follow.
+        if (0xD800..0xDC00).contains(&hi) {
+            if self.bytes.get(self.pos..self.pos + 2) != Some(b"\\u") {
+                return Err(self.err("unpaired surrogate"));
+            }
+            self.pos += 2;
+            let lo = self.hex4()?;
+            if !(0xDC00..0xE000).contains(&lo) {
+                return Err(self.err("invalid low surrogate"));
+            }
+            let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+            return char::from_u32(code).ok_or_else(|| self.err("invalid surrogate pair"));
+        }
+        char::from_u32(hi).ok_or_else(|| self.err("invalid \\u escape"))
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        if !is_float {
+            if let Some(digits) = text.strip_prefix('-') {
+                if digits.parse::<u64>().is_ok() {
+                    if let Ok(v) = text.parse::<i64>() {
+                        return Ok(Value::I64(v));
+                    }
+                }
+            } else if let Ok(v) = text.parse::<u64>() {
+                return Ok(Value::U64(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error::new(format!("json at byte {start}: invalid number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse("null").unwrap(), Value::Null);
+        assert_eq!(parse(" true ").unwrap(), Value::Bool(true));
+        assert_eq!(parse("42").unwrap(), Value::U64(42));
+        assert_eq!(parse("-7").unwrap(), Value::I64(-7));
+        assert_eq!(parse("1.5").unwrap(), Value::F64(1.5));
+        assert_eq!(parse("1e300").unwrap(), Value::F64(1e300));
+        assert_eq!(parse("\"hi\"").unwrap(), Value::str("hi"));
+    }
+
+    #[test]
+    fn large_integers_stay_exact() {
+        assert_eq!(parse(&u64::MAX.to_string()).unwrap(), Value::U64(u64::MAX));
+        assert_eq!(parse(&i64::MIN.to_string()).unwrap(), Value::I64(i64::MIN));
+        // Wider than u64 falls back to f64.
+        assert!(matches!(parse("99999999999999999999999").unwrap(), Value::F64(_)));
+    }
+
+    #[test]
+    fn nested_document_roundtrips() {
+        let text = r#"{"a":[1,-2,3.5,null,true],"b":{"c":"x\ny"},"d":[]}"#;
+        let v = parse(text).unwrap();
+        assert_eq!(v.render(), text);
+    }
+
+    #[test]
+    fn float_bits_roundtrip_through_text() {
+        for bits in
+            [0x3FB999999999999Au64, 0x7FEFFFFFFFFFFFFF, 0x0000000000000001, 0x8000000000000000]
+        {
+            let f = f64::from_bits(bits);
+            let Value::F64(back) = parse(&Value::F64(f).render()).unwrap() else {
+                panic!("float parsed as non-float");
+            };
+            assert_eq!(back.to_bits(), bits);
+        }
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let v = Value::str("q\"\\\n\t\r\u{8}\u{c}/é\u{1F600}");
+        let Value::Str(back) = parse(&v.render()).unwrap() else { panic!() };
+        assert_eq!(Value::Str(back), v);
+        // Explicit \u escapes, including a surrogate pair.
+        assert_eq!(parse(r#""\u0041\ud83d\ude00""#).unwrap(), Value::str("A\u{1F600}"));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\"}",
+            "{\"a\":1,}",
+            "tru",
+            "1 2",
+            "\"\\q\"",
+            "\"\u{1}\"",
+            "\"unterminated",
+            "[1]]",
+            "nul",
+            "--1",
+            "\"\\ud800x\"",
+        ] {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_deep_nesting() {
+        let text = "[".repeat(200) + &"]".repeat(200);
+        assert!(parse(&text).is_err());
+    }
+
+    #[test]
+    fn typed_entry_points() {
+        assert_eq!(to_string(&true), "true");
+        let v: bool = from_str("true").unwrap();
+        assert!(v);
+        assert!(from_str::<bool>("1").is_err());
+    }
+}

@@ -1,21 +1,385 @@
-//! Offline stub of the [`serde`](https://crates.io/crates/serde) facade.
+//! Offline, std-only replacement for the [`serde`](https://crates.io/crates/serde)
+//! facade — *real* serialization, not the former marker-trait stub.
 //!
-//! The workspace gates serde support behind a `serde` cargo feature and
-//! only ever *derives* the traits — nothing in the tree performs actual
-//! serialization (there is no `serde_json`). Because the build environment
-//! has no access to crates.io, this stub provides just enough for those
-//! `cfg_attr` derives to compile: marker traits plus no-op derive macros.
+//! The build environment has no crates.io access, so this vendored crate
+//! implements the surface the workspace needs end-to-end:
 //!
-//! If real serialization is ever needed, replace this stub with the real
-//! crate (same package name and feature set).
+//! * [`Serialize`] / [`Deserialize`] traits that convert through the
+//!   self-describing [`Value`] tree (the moral equivalent of
+//!   `serde_json::Value`);
+//! * derive macros (re-exported from `serde_derive`) covering named-field
+//!   structs, tuple/newtype structs and enums with unit, newtype and
+//!   struct variants — externally tagged, like upstream serde's default;
+//! * a strict JSON parser and a deterministic renderer in [`json`]
+//!   (insertion-ordered keys, shortest round-trip floats), used by
+//!   `gtl-api` wire messages, `gtl find --json` / `gtl serve`, and the
+//!   bench reports.
+//!
+//! Differences from upstream: serialization always materializes a
+//! [`Value`] (no streaming `Serializer` trait), `Deserialize`'s lifetime
+//! parameter is vestigial (values are always owned), and only JSON is
+//! provided as a text format. Swapping in the real crates later only
+//! requires re-pointing `[workspace.dependencies]`.
+//!
+//! # Example
+//!
+//! ```
+//! use serde::{Deserialize, Serialize};
+//!
+//! #[derive(Debug, PartialEq, Serialize, Deserialize)]
+//! struct Run {
+//!     threads: usize,
+//!     speedup: f64,
+//!     tags: Vec<String>,
+//! }
+//!
+//! let run = Run { threads: 8, speedup: 3.5, tags: vec!["ci".into()] };
+//! let text = serde::json::to_string(&run);
+//! assert_eq!(text, r#"{"threads":8,"speedup":3.5,"tags":["ci"]}"#);
+//! assert_eq!(serde::json::from_str::<Run>(&text).unwrap(), run);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
+mod value;
+
 pub use serde_derive::{Deserialize, Serialize};
+pub use value::{from_field, variant, Value};
 
-/// Marker stand-in for `serde::Serialize` (no methods; see crate docs).
-pub trait Serialize {}
+/// An error produced while deserializing (shape mismatches, JSON syntax
+/// errors). Nested failures are prefixed with the field path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
 
-/// Marker stand-in for `serde::Deserialize` (no methods; see crate docs).
-pub trait Deserialize<'de> {}
+impl Error {
+    /// Creates an error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        Self { message: message.into() }
+    }
+
+    /// The human-readable message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Conversion into the self-describing [`Value`] tree.
+///
+/// Implemented for the primitives, `String`, `Option`, `Vec`, slices,
+/// 2/3-tuples and references; `#[derive(Serialize)]` covers structs and
+/// enums.
+pub trait Serialize {
+    /// Serializes `self` into a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion back out of a [`Value`] tree.
+///
+/// The `'de` lifetime is kept for signature compatibility with upstream
+/// serde bounds (`for<'de> Deserialize<'de>`); this implementation always
+/// produces owned data.
+pub trait Deserialize<'de>: Sized {
+    /// Reconstructs `Self` from a [`Value`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`Error`] describing the first shape mismatch.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value.as_bool().ok_or_else(|| Error::new(format!("expected bool, got {}", value.kind())))
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                Value::U64(u64::from(*self))
+            }
+        }
+
+        impl<'de> Deserialize<'de> for $ty {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let raw = value.as_u64().ok_or_else(|| {
+                    Error::new(format!(
+                        concat!("expected ", stringify!($ty), ", got {}"),
+                        value.kind()
+                    ))
+                })?;
+                <$ty>::try_from(raw).map_err(|_| {
+                    Error::new(format!(concat!("{} out of range for ", stringify!($ty)), raw))
+                })
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64);
+
+macro_rules! impl_signed {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                let v = i64::from(*self);
+                if v < 0 {
+                    Value::I64(v)
+                } else {
+                    Value::U64(v as u64)
+                }
+            }
+        }
+
+        impl<'de> Deserialize<'de> for $ty {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let raw = value.as_i64().ok_or_else(|| {
+                    Error::new(format!(
+                        concat!("expected ", stringify!($ty), ", got {}"),
+                        value.kind()
+                    ))
+                })?;
+                <$ty>::try_from(raw).map_err(|_| {
+                    Error::new(format!(concat!("{} out of range for ", stringify!($ty)), raw))
+                })
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64);
+
+impl Serialize for usize {
+    fn to_value(&self) -> Value {
+        Value::U64(*self as u64)
+    }
+}
+
+impl<'de> Deserialize<'de> for usize {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let raw = value
+            .as_u64()
+            .ok_or_else(|| Error::new(format!("expected usize, got {}", value.kind())))?;
+        usize::try_from(raw).map_err(|_| Error::new(format!("{raw} out of range for usize")))
+    }
+}
+
+impl Serialize for isize {
+    fn to_value(&self) -> Value {
+        (*self as i64).to_value()
+    }
+}
+
+impl<'de> Deserialize<'de> for isize {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let raw = i64::from_value(value)?;
+        isize::try_from(raw).map_err(|_| Error::new(format!("{raw} out of range for isize")))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value.as_f64().ok_or_else(|| Error::new(format!("expected number, got {}", value.kind())))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        f64::from_value(value).map(|v| v as f32)
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::new(format!("expected string, got {}", value.kind())))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(v) => v.to_value(),
+        }
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let items = value
+            .as_arr()
+            .ok_or_else(|| Error::new(format!("expected array, got {}", value.kind())))?;
+        items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| T::from_value(item).map_err(|e| Error::new(format!("[{i}]: {e}"))))
+            .collect()
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Arr(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<'de, A, B> Deserialize<'de> for (A, B)
+where
+    A: for<'a> Deserialize<'a>,
+    B: for<'a> Deserialize<'a>,
+{
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value.as_arr() {
+            Some([a, b]) => Ok((A::from_value(a)?, B::from_value(b)?)),
+            _ => Err(Error::new(format!("expected 2-element array, got {}", value.kind()))),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Arr(vec![self.0.to_value(), self.1.to_value(), self.2.to_value()])
+    }
+}
+
+impl<'de, A, B, C> Deserialize<'de> for (A, B, C)
+where
+    A: for<'a> Deserialize<'a>,
+    B: for<'a> Deserialize<'a>,
+    C: for<'a> Deserialize<'a>,
+{
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value.as_arr() {
+            Some([a, b, c]) => Ok((A::from_value(a)?, B::from_value(b)?, C::from_value(c)?)),
+            _ => Err(Error::new(format!("expected 3-element array, got {}", value.kind()))),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_roundtrips() {
+        assert_eq!(u32::from_value(&42u32.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-9i64).to_value()).unwrap(), -9);
+        assert_eq!(usize::from_value(&7usize.to_value()).unwrap(), 7);
+        assert_eq!(f64::from_value(&1.25f64.to_value()).unwrap(), 1.25);
+        assert_eq!(String::from_value(&"hi".to_value()).unwrap(), "hi");
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<u32>::from_value(&Value::U64(3)).unwrap(), Some(3));
+        let v: Vec<(f64, f64)> = vec![(1.0, 2.0), (3.0, 4.0)];
+        assert_eq!(Vec::<(f64, f64)>::from_value(&v.to_value()).unwrap(), v);
+    }
+
+    #[test]
+    fn range_checks() {
+        assert!(u8::from_value(&Value::U64(300)).is_err());
+        assert!(u32::from_value(&Value::I64(-1)).is_err());
+        assert!(i8::from_value(&Value::I64(-200)).is_err());
+        assert!(bool::from_value(&Value::U64(1)).is_err());
+        assert!(String::from_value(&Value::Null).is_err());
+        assert!(Vec::<u32>::from_value(&Value::Bool(true)).is_err());
+    }
+
+    #[test]
+    fn error_paths_name_the_index() {
+        let err =
+            Vec::<u32>::from_value(&Value::arr([Value::U64(1), Value::Bool(true)])).unwrap_err();
+        assert!(err.message().contains("[1]"), "{err}");
+    }
+
+    #[test]
+    fn integers_keep_sign_variant() {
+        // Non-negative signed values serialize as U64 so the rendered JSON
+        // (and therefore the wire bytes) never depends on the Rust type.
+        assert_eq!(5i64.to_value(), Value::U64(5));
+        assert_eq!((-5i64).to_value(), Value::I64(-5));
+    }
+}

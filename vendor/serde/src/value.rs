@@ -1,0 +1,327 @@
+//! The self-describing [`Value`] tree every serialization passes through.
+//!
+//! [`Serialize`](crate::Serialize) turns a Rust value into a [`Value`];
+//! the [`json`](crate::json) module renders and parses that tree. Keeping
+//! the tree explicit (like `serde_json::Value`) lets callers build ad-hoc
+//! documents — the bench reports do exactly that — while derived types get
+//! lossless round-trips.
+
+use crate::Error;
+
+/// A JSON-compatible value tree.
+///
+/// Numbers keep their Rust flavor: integers serialize as [`Value::I64`] /
+/// [`Value::U64`] and render without a decimal point, while floats
+/// ([`Value::F64`]) always render with a `.` or exponent (Rust's shortest
+/// round-trip representation), so parsing a rendered document restores the
+/// exact variant *and* the exact bits. Non-finite floats render as `null`
+/// (JSON has no literal for them).
+///
+/// # Example
+///
+/// ```
+/// use serde::Value;
+///
+/// let doc = Value::obj([
+///     ("bench", Value::str("finder_parallel")),
+///     ("threads", Value::arr([Value::num(1.0), Value::num(8.0)])),
+/// ]);
+/// assert_eq!(doc.render(), r#"{"bench":"finder_parallel","threads":[1,8]}"#);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer (only produced for negative values by the parser).
+    I64(i64),
+    /// An unsigned integer.
+    U64(u64),
+    /// A double. Rendered with `.` or exponent so it never collides with
+    /// the integer variants on re-parse.
+    F64(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An ordered array.
+    Arr(Vec<Value>),
+    /// An object; key order is preserved (insertion order, stable render).
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Numeric shorthand matching the old bench-report API: integral
+    /// values within `±2^53` become integers, everything else [`Value::F64`].
+    pub fn num(v: f64) -> Self {
+        if v.fract() == 0.0 && v.abs() < 9e15 {
+            if v.is_sign_negative() && v != 0.0 {
+                Value::I64(v as i64)
+            } else {
+                Value::U64(v as u64)
+            }
+        } else {
+            Value::F64(v)
+        }
+    }
+
+    /// Shorthand for [`Value::Str`].
+    pub fn str(v: impl Into<String>) -> Self {
+        Value::Str(v.into())
+    }
+
+    /// Shorthand for [`Value::Arr`].
+    pub fn arr(items: impl IntoIterator<Item = Value>) -> Self {
+        Value::Arr(items.into_iter().collect())
+    }
+
+    /// Shorthand for [`Value::Obj`].
+    pub fn obj<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Value)>) -> Self {
+        Value::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Looks up a field of an object; `None` for other variants.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64`, converting from either integer variant.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::I64(v) => Some(v as f64),
+            Value::U64(v) => Some(v as f64),
+            Value::F64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64` (integers only; negative values are `None`).
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::I64(v) => u64::try_from(v).ok(),
+            Value::U64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value as `i64` (integers only; out-of-range values are `None`).
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::I64(v) => Some(v),
+            Value::U64(v) => i64::try_from(v).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as `bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as object entries.
+    pub fn as_obj(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// A short name of the variant, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) | Value::U64(_) => "integer",
+            Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Arr(_) => "array",
+            Value::Obj(_) => "object",
+        }
+    }
+
+    /// Renders the value as compact JSON text (no trailing newline).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    pub(crate) fn render_into(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::I64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::F64(v) => {
+                if v.is_finite() {
+                    // `{:?}` is Rust's shortest representation that parses
+                    // back to the same bits; it always contains `.` or an
+                    // exponent, keeping floats distinct from integers.
+                    let _ = write!(out, "{v:?}");
+                } else {
+                    // JSON has no NaN/inf literals; null keeps the
+                    // document parseable.
+                    out.push_str("null");
+                }
+            }
+            Value::Str(s) => render_str(s, out),
+            Value::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            Value::Obj(pairs) => {
+                out.push('{');
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    render_str(key, out);
+                    out.push(':');
+                    value.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn render_str(s: &str, out: &mut String) {
+    use std::fmt::Write as _;
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Reads `name` out of an object and deserializes it — the helper the
+/// derive macro expands field reads to.
+///
+/// # Errors
+///
+/// Fails when `value` is not an object, the field is missing, or the
+/// field's own deserialization fails (the error is prefixed with the
+/// field name to keep nested failures legible).
+pub fn from_field<T>(value: &Value, type_name: &str, name: &str) -> Result<T, Error>
+where
+    T: for<'a> crate::Deserialize<'a>,
+{
+    let Value::Obj(_) = value else {
+        return Err(Error::new(format!("{type_name}: expected object, got {}", value.kind())));
+    };
+    let field = value
+        .get(name)
+        .ok_or_else(|| Error::new(format!("{type_name}: missing field `{name}`")))?;
+    T::from_value(field).map_err(|e| Error::new(format!("{name}: {e}")))
+}
+
+/// Splits an externally tagged enum value into `(variant, payload)` — the
+/// helper the derive macro expands enum deserialization to.
+///
+/// A bare string is a unit variant; a single-entry object is a data
+/// variant.
+///
+/// # Errors
+///
+/// Fails for any other shape.
+pub fn variant<'v>(
+    value: &'v Value,
+    type_name: &str,
+) -> Result<(&'v str, Option<&'v Value>), Error> {
+    match value {
+        Value::Str(name) => Ok((name, None)),
+        Value::Obj(pairs) if pairs.len() == 1 => Ok((&pairs[0].0, Some(&pairs[0].1))),
+        other => Err(Error::new(format!(
+            "{type_name}: expected variant string or single-key object, got {}",
+            other.kind()
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn num_splits_integers_and_floats() {
+        assert_eq!(Value::num(3.0), Value::U64(3));
+        assert_eq!(Value::num(-3.0), Value::I64(-3));
+        assert_eq!(Value::num(1.5), Value::F64(1.5));
+        assert_eq!(Value::num(1e300), Value::F64(1e300));
+    }
+
+    #[test]
+    fn non_finite_renders_null() {
+        let doc = Value::arr([Value::F64(f64::NAN), Value::F64(f64::INFINITY), Value::F64(1.5)]);
+        assert_eq!(doc.render(), "[null,null,1.5]");
+    }
+
+    #[test]
+    fn floats_always_render_with_point_or_exponent() {
+        assert_eq!(Value::F64(5.0).render(), "5.0");
+        assert_eq!(Value::F64(-0.0).render(), "-0.0");
+        assert_eq!(Value::F64(1e300).render(), "1e300");
+        assert_eq!(Value::U64(5).render(), "5");
+    }
+
+    #[test]
+    fn string_escapes() {
+        let v = Value::str("a\"b\\c\nd\te\r\u{1}");
+        assert_eq!(v.render(), "\"a\\\"b\\\\c\\nd\\te\\r\\u0001\"");
+    }
+
+    #[test]
+    fn get_and_accessors() {
+        let v = Value::obj([("x", Value::num(1.0)), ("y", Value::Bool(true))]);
+        assert_eq!(v.get("x").and_then(Value::as_u64), Some(1));
+        assert_eq!(v.get("x").and_then(Value::as_f64), Some(1.0));
+        assert_eq!(v.get("y").and_then(Value::as_bool), Some(true));
+        assert!(v.get("z").is_none());
+        assert_eq!(Value::I64(-1).as_u64(), None);
+        assert_eq!(Value::U64(u64::MAX).as_i64(), None);
+        assert_eq!(Value::str("s").as_str(), Some("s"));
+        assert_eq!(Value::arr([Value::Null]).as_arr().map(<[Value]>::len), Some(1));
+    }
+}

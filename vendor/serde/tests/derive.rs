@@ -1,0 +1,119 @@
+//! End-to-end tests of the derive macros + JSON round-trips, exercising
+//! every supported shape (named structs, newtype/tuple/unit structs,
+//! enums with unit/newtype/tuple/struct variants, nesting, options).
+
+use serde::{json, Deserialize, Serialize, Value};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct Id(u32);
+
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct Pair(f64, f64);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct Marker;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+enum Mode {
+    #[default]
+    Fast,
+    Careful,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Payload {
+    Empty,
+    One(Id),
+    Two(f64, u32),
+    Shaped { left: String, right: Option<u64> },
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Doc {
+    name: String,
+    mode: Mode,
+    ids: Vec<Id>,
+    origin: Pair,
+    limit: Option<f64>,
+    payloads: Vec<Payload>,
+    marker: Marker,
+}
+
+fn doc() -> Doc {
+    Doc {
+        name: "fixture \"quoted\"\n".to_string(),
+        mode: Mode::Careful,
+        ids: vec![Id(0), Id(4_000_000_000)],
+        origin: Pair(-0.0, 1e-300),
+        limit: None,
+        payloads: vec![
+            Payload::Empty,
+            Payload::One(Id(7)),
+            Payload::Two(2.5, 9),
+            Payload::Shaped { left: "l".into(), right: Some(u64::MAX) },
+        ],
+        marker: Marker,
+    }
+}
+
+#[test]
+fn document_roundtrips_bit_exactly() {
+    let d = doc();
+    let text = json::to_string(&d);
+    let back: Doc = json::from_str(&text).unwrap();
+    assert_eq!(back, d);
+    // Render → parse → render is byte-identical (stable key order,
+    // shortest-float representation).
+    assert_eq!(json::to_string(&back), text);
+}
+
+#[test]
+fn newtype_is_transparent() {
+    assert_eq!(json::to_string(&Id(5)), "5");
+    assert_eq!(json::from_str::<Id>("5").unwrap(), Id(5));
+}
+
+#[test]
+fn tuple_struct_is_array() {
+    assert_eq!(json::to_string(&Pair(1.0, -2.5)), "[1.0,-2.5]");
+    assert_eq!(json::from_str::<Pair>("[1.0,-2.5]").unwrap(), Pair(1.0, -2.5));
+    assert!(json::from_str::<Pair>("[1.0]").is_err());
+}
+
+#[test]
+fn enums_are_externally_tagged() {
+    assert_eq!(json::to_string(&Mode::Fast), "\"Fast\"");
+    assert_eq!(json::to_string(&Payload::One(Id(7))), "{\"One\":7}");
+    assert_eq!(json::to_string(&Payload::Two(2.5, 9)), "{\"Two\":[2.5,9]}");
+    assert_eq!(
+        json::to_string(&Payload::Shaped { left: "x".into(), right: None }),
+        "{\"Shaped\":{\"left\":\"x\",\"right\":null}}"
+    );
+    assert_eq!(json::from_str::<Mode>("\"Careful\"").unwrap(), Mode::Careful);
+}
+
+#[test]
+fn shape_errors_are_descriptive() {
+    let err = json::from_str::<Doc>("{\"name\":\"x\"}").unwrap_err();
+    assert!(err.message().contains("missing field"), "{err}");
+    let err = json::from_str::<Mode>("\"Turbo\"").unwrap_err();
+    assert!(err.message().contains("unknown variant"), "{err}");
+    let err = json::from_str::<Payload>("{\"One\":7,\"Two\":[1.5,2]}").unwrap_err();
+    assert!(err.message().contains("single-key"), "{err}");
+    let err = json::from_str::<Payload>("{\"Empty\":3}").unwrap_err();
+    assert!(err.message().contains("no payload"), "{err}");
+    let err = json::from_str::<Payload>("\"One\"").unwrap_err();
+    assert!(err.message().contains("requires a payload"), "{err}");
+}
+
+#[test]
+fn untyped_value_passthrough() {
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Holder {
+        extra: Value,
+    }
+    let h = Holder { extra: Value::obj([("k", Value::num(1.5))]) };
+    let text = json::to_string(&h);
+    assert_eq!(text, "{\"extra\":{\"k\":1.5}}");
+    assert_eq!(json::from_str::<Holder>(&text).unwrap(), h);
+}

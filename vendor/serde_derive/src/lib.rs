@@ -1,22 +1,363 @@
-//! No-op `#[derive(Serialize, Deserialize)]` macros for the vendored
-//! `serde` stub.
+//! Real `#[derive(Serialize, Deserialize)]` macros for the vendored
+//! `serde` crate — no longer no-ops.
 //!
-//! The workspace only uses serde through
-//! `#[cfg_attr(feature = "serde", derive(serde::Serialize, ...))]`
-//! attributes; no code path actually serializes anything (there is no
-//! `serde_json` in the tree). These derives therefore expand to nothing:
-//! they exist so the `serde` feature still compiles offline.
+//! The build environment has no crates.io access (so no `syn`/`quote`);
+//! the input item is parsed with a small hand-rolled token walker and the
+//! impls are emitted by string formatting. Supported shapes — everything
+//! the workspace derives on:
+//!
+//! * structs with named fields (any field visibility),
+//! * tuple structs (1 field = transparent newtype, n fields = array),
+//! * unit structs,
+//! * enums with unit, newtype, tuple and struct variants (externally
+//!   tagged: `"Variant"` or `{"Variant": payload}`, like upstream serde).
+//!
+//! Generic type parameters are intentionally unsupported (nothing in the
+//! workspace needs them); deriving on a generic type is a compile error
+//! with a clear message.
 
-use proc_macro::TokenStream;
+use proc_macro::{Delimiter, TokenStream, TokenTree};
 
-/// Expands to nothing (see crate docs).
+/// Derives `serde::Serialize` (see crate docs for supported shapes).
 #[proc_macro_derive(Serialize)]
-pub fn derive_serialize(_item: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_serialize(item: TokenStream) -> TokenStream {
+    let input = Input::parse(item);
+    input.serialize_impl().parse().expect("serde_derive: generated invalid Serialize impl")
 }
 
-/// Expands to nothing (see crate docs).
+/// Derives `serde::Deserialize` (see crate docs for supported shapes).
 #[proc_macro_derive(Deserialize)]
-pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_deserialize(item: TokenStream) -> TokenStream {
+    let input = Input::parse(item);
+    input.deserialize_impl().parse().expect("serde_derive: generated invalid Deserialize impl")
+}
+
+/// The shape of one struct body or enum-variant body.
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+enum Data {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+struct Input {
+    name: String,
+    data: Data,
+}
+
+impl Input {
+    fn parse(item: TokenStream) -> Self {
+        let tokens: Vec<TokenTree> = item.into_iter().collect();
+        let mut i = 0;
+        // Skip attributes and visibility up to the `struct` / `enum`
+        // keyword.
+        let kind = loop {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+                Some(TokenTree::Ident(id)) if id.to_string() == "struct" => break "struct",
+                Some(TokenTree::Ident(id)) if id.to_string() == "enum" => break "enum",
+                Some(_) => i += 1,
+                None => panic!("serde_derive: expected `struct` or `enum`"),
+            }
+        };
+        i += 1;
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => panic!("serde_derive: expected a type name"),
+        };
+        i += 1;
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == '<' {
+                panic!("serde_derive: generic types are not supported (deriving on `{name}`)");
+            }
+        }
+        let data = match (kind, tokens.get(i)) {
+            ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+                Data::Struct(Fields::Named(parse_named_fields(g.stream())))
+            }
+            ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+                Data::Struct(Fields::Tuple(count_tuple_fields(g.stream())))
+            }
+            ("struct", _) => Data::Struct(Fields::Unit),
+            ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(g.stream()))
+            }
+            _ => panic!("serde_derive: malformed item body for `{name}`"),
+        };
+        Self { name, data }
+    }
+
+    fn serialize_impl(&self) -> String {
+        let name = &self.name;
+        let body = match &self.data {
+            Data::Struct(fields) => struct_to_value(name, fields, StructAccess::SelfDot),
+            Data::Enum(variants) => {
+                let arms: String = variants
+                    .iter()
+                    .map(|(variant, fields)| enum_arm_to_value(name, variant, fields))
+                    .collect();
+                format!("match self {{ {arms} }}")
+            }
+        };
+        format!(
+            "impl serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> serde::Value {{ {body} }}\n\
+             }}"
+        )
+    }
+
+    fn deserialize_impl(&self) -> String {
+        let name = &self.name;
+        let body = match &self.data {
+            Data::Struct(fields) => struct_from_value(name, name, fields, "value"),
+            Data::Enum(variants) => {
+                let arms: String = variants
+                    .iter()
+                    .map(|(variant, fields)| enum_arm_from_value(name, variant, fields))
+                    .collect();
+                format!(
+                    "let (tag, payload) = serde::variant(value, \"{name}\")?;\n\
+                     match tag {{ {arms}\n\
+                         other => ::std::result::Result::Err(serde::Error::new(\
+                             ::std::format!(\"{name}: unknown variant `{{other}}`\"))),\n\
+                     }}"
+                )
+            }
+        };
+        format!(
+            "impl<'de> serde::Deserialize<'de> for {name} {{\n\
+                 fn from_value(value: &serde::Value) \
+                     -> ::std::result::Result<Self, serde::Error> {{ {body} }}\n\
+             }}"
+        )
+    }
+}
+
+/// How the serialize body reaches the fields: `self.f` for structs,
+/// bound names for enum-variant arms.
+enum StructAccess {
+    SelfDot,
+    Bound,
+}
+
+fn struct_to_value(_name: &str, fields: &Fields, access: StructAccess) -> String {
+    match fields {
+        Fields::Named(names) => {
+            let entries: Vec<String> = names
+                .iter()
+                .map(|f| {
+                    let expr = match access {
+                        StructAccess::SelfDot => format!("&self.{f}"),
+                        StructAccess::Bound => f.clone(),
+                    };
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         serde::Serialize::to_value({expr}))"
+                    )
+                })
+                .collect();
+            format!("serde::Value::Obj(::std::vec![{}])", entries.join(", "))
+        }
+        Fields::Tuple(1) => match access {
+            StructAccess::SelfDot => "serde::Serialize::to_value(&self.0)".to_string(),
+            StructAccess::Bound => "serde::Serialize::to_value(f0)".to_string(),
+        },
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| match access {
+                    StructAccess::SelfDot => format!("serde::Serialize::to_value(&self.{i})"),
+                    StructAccess::Bound => format!("serde::Serialize::to_value(f{i})"),
+                })
+                .collect();
+            format!("serde::Value::Arr(::std::vec![{}])", items.join(", "))
+        }
+        Fields::Unit => "serde::Value::Null".to_string(),
+    }
+}
+
+/// Deserialize body constructing `ctor` (a type name or `Type::Variant`
+/// path) from the value expression `source`.
+fn struct_from_value(type_name: &str, ctor: &str, fields: &Fields, source: &str) -> String {
+    match fields {
+        Fields::Named(names) => {
+            let inits: Vec<String> = names
+                .iter()
+                .map(|f| format!("{f}: serde::from_field({source}, \"{type_name}\", \"{f}\")?"))
+                .collect();
+            format!("::std::result::Result::Ok({ctor} {{ {} }})", inits.join(", "))
+        }
+        Fields::Tuple(1) => {
+            format!("::std::result::Result::Ok({ctor}(serde::Deserialize::from_value({source})?))")
+        }
+        Fields::Tuple(n) => {
+            let args: Vec<String> =
+                (0..*n).map(|i| format!("serde::Deserialize::from_value(&items[{i}])?")).collect();
+            format!(
+                "let items = {source}.as_arr().ok_or_else(|| serde::Error::new(\
+                     ::std::format!(\"{type_name}: expected array, got {{}}\", {source}.kind())))?;\n\
+                 if items.len() != {n} {{\n\
+                     return ::std::result::Result::Err(serde::Error::new(\
+                         ::std::format!(\"{type_name}: expected {n} elements, got {{}}\", items.len())));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({ctor}({args}))",
+                args = args.join(", ")
+            )
+        }
+        Fields::Unit => format!(
+            "match {source} {{\n\
+                 serde::Value::Null => ::std::result::Result::Ok({ctor}),\n\
+                 other => ::std::result::Result::Err(serde::Error::new(\
+                     ::std::format!(\"{type_name}: expected null, got {{}}\", other.kind()))),\n\
+             }}"
+        ),
+    }
+}
+
+fn enum_arm_to_value(name: &str, variant: &str, fields: &Fields) -> String {
+    let tag = format!("::std::string::String::from(\"{variant}\")");
+    match fields {
+        Fields::Unit => {
+            format!("{name}::{variant} => serde::Value::Str({tag}),\n")
+        }
+        Fields::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+            let payload = struct_to_value(name, fields, StructAccess::Bound);
+            format!(
+                "{name}::{variant}({binds}) => serde::Value::Obj(::std::vec![({tag}, {payload})]),\n",
+                binds = binds.join(", ")
+            )
+        }
+        Fields::Named(field_names) => {
+            let payload = struct_to_value(name, fields, StructAccess::Bound);
+            format!(
+                "{name}::{variant} {{ {binds} }} => \
+                     serde::Value::Obj(::std::vec![({tag}, {payload})]),\n",
+                binds = field_names.join(", ")
+            )
+        }
+    }
+}
+
+fn enum_arm_from_value(name: &str, variant: &str, fields: &Fields) -> String {
+    let qualified = format!("{name}::{variant}");
+    match fields {
+        Fields::Unit => format!(
+            "\"{variant}\" => match payload {{\n\
+                 ::std::option::Option::None => ::std::result::Result::Ok({qualified}),\n\
+                 ::std::option::Option::Some(_) => ::std::result::Result::Err(serde::Error::new(\
+                     \"{name}: unit variant `{variant}` takes no payload\")),\n\
+             }},\n"
+        ),
+        _ => {
+            let body = struct_from_value(&qualified, &qualified, fields, "payload");
+            format!(
+                "\"{variant}\" => {{\n\
+                     let payload = payload.ok_or_else(|| serde::Error::new(\
+                         \"{name}: variant `{variant}` requires a payload\"))?;\n\
+                     {body}\n\
+                 }},\n"
+            )
+        }
+    }
+}
+
+/// Parses `a: T, pub b: U, ...` from a brace group, returning field names.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip attributes and visibility.
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2;
+                continue;
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+                continue;
+            }
+            TokenTree::Ident(id) => {
+                fields.push(id.to_string());
+                i += 1;
+                // Skip `:` and the type, up to the next top-level comma.
+                let mut angle_depth = 0i32;
+                while i < tokens.len() {
+                    match &tokens[i] {
+                        TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                            break;
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+                i += 1; // past the comma (or end)
+            }
+            other => panic!("serde_derive: unexpected token in fields: {other}"),
+        }
+    }
+    fields
+}
+
+/// Counts the fields of a tuple struct / tuple variant.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0;
+    let mut saw_token = false;
+    let mut angle_depth = 0i32;
+    for token in stream {
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                count += 1;
+                saw_token = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_token = true;
+    }
+    count + usize::from(saw_token)
+}
+
+/// Parses enum variants (skipping attributes like `#[default]`).
+fn parse_variants(stream: TokenStream) -> Vec<(String, Fields)> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Punct(p) if p.as_char() == ',' => i += 1,
+            TokenTree::Ident(id) => {
+                let name = id.to_string();
+                i += 1;
+                let fields = match tokens.get(i) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        i += 1;
+                        Fields::Named(parse_named_fields(g.stream()))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        i += 1;
+                        Fields::Tuple(count_tuple_fields(g.stream()))
+                    }
+                    _ => Fields::Unit,
+                };
+                variants.push((name, fields));
+            }
+            other => panic!("serde_derive: unexpected token in enum body: {other}"),
+        }
+    }
+    variants
 }
