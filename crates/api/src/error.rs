@@ -102,7 +102,10 @@ impl ApiError {
             | Self::Netlist { message }
             | Self::Io { message } => message.clone(),
             Self::UnsupportedVersion { requested, supported } => {
-                format!("request version {requested} unsupported (this build speaks {supported})")
+                format!(
+                    "request version {requested} unsupported (this build speaks {}..={supported})",
+                    crate::MIN_API_VERSION
+                )
             }
         }
     }

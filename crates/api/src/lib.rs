@@ -7,11 +7,15 @@
 //! server, tests, future backends — speaks exactly one language:
 //!
 //! * [`FindRequest`] / [`FindResponse`], [`PlaceRequest`] /
-//!   [`PlaceResponse`], [`StatsRequest`] / [`StatsResponse`]: versioned
-//!   (`v`, see [`API_VERSION`]) request/response pairs wrapping
+//!   [`PlaceResponse`], [`StatsRequest`] / [`StatsResponse`],
+//!   [`MetricsRequest`] / [`MetricsResponse`] (since v2): versioned
+//!   (`v`, see [`API_VERSION`]; every version in
+//!   [`MIN_API_VERSION`]`..=`[`API_VERSION`] is accepted and echoed
+//!   back) request/response pairs wrapping
 //!   [`FinderConfig`](gtl_tangled::FinderConfig) /
-//!   [`FinderResult`](gtl_tangled::FinderResult) and the placement
-//!   pipeline, all deriving real `serde` serialization;
+//!   [`FinderResult`](gtl_tangled::FinderResult), the placement
+//!   pipeline, and the serve runtime's counters, all deriving real
+//!   `serde` serialization;
 //! * [`Request`] / [`Response`]: the externally tagged envelopes that
 //!   travel as JSON lines;
 //! * [`ApiError`]: structured errors with stable codes
@@ -20,8 +24,12 @@
 //! * [`Session`]: a builder-constructed owner of one loaded
 //!   [`Netlist`](gtl_netlist::Netlist) that validates and serves repeated
 //!   requests with reused scratch;
-//! * [`serve`](mod@serve): the TCP JSON-lines server the `gtl serve` subcommand
-//!   runs.
+//! * [`serve`](mod@serve): the TCP JSON-lines server the `gtl serve`
+//!   subcommand runs — rewritten on the [`gtl_runtime`] bounded service
+//!   runtime: a fixed pool of compute lanes behind a bounded queue
+//!   (backpressure), per-connection pipelining with order-preserving
+//!   reorder buffers, a deterministic LRU response cache, read/idle
+//!   timeouts and a max-concurrent-connections gate.
 //!
 //! # Determinism
 //!
@@ -29,7 +37,11 @@
 //! fans out through `gtl_core::exec`, and the JSON renderer is
 //! deterministic (declaration-ordered fields, shortest round-trip
 //! floats). A `FindResponse` obtained over TCP equals the one from
-//! `gtl find --json`, byte for byte.
+//! `gtl find --json`, byte for byte — for any lane count, cache size
+//! (a cache hit returns exactly the bytes a fresh compute would;
+//! property-tested) and pipeline depth. The one exception is
+//! [`MetricsResponse`], which reports live runtime counters and is
+//! never cached.
 //!
 //! # Example
 //!
@@ -61,9 +73,10 @@ mod session;
 mod types;
 
 pub use error::ApiError;
-pub use serve::{bind, serve, ServeOptions};
+pub use serve::{bind, serve, ServeOptions, ServeSummary};
 pub use session::{load_netlist, Session, SessionBuilder};
 pub use types::{
-    ErrorBody, FindRequest, FindResponse, NetlistSummary, PlaceRequest, PlaceResponse, Request,
-    Response, StatsRequest, StatsResponse, API_VERSION,
+    ErrorBody, FindRequest, FindResponse, MetricsRequest, MetricsResponse, NetlistSummary,
+    PlaceRequest, PlaceResponse, Request, Response, RuntimeMetrics, StatsRequest, StatsResponse,
+    API_VERSION, METRICS_SINCE_VERSION, MIN_API_VERSION,
 };

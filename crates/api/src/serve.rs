@@ -1,41 +1,179 @@
-//! The `gtl serve` backend: a JSON-lines TCP server over a [`Session`].
+//! The `gtl serve` backend: a JSON-lines TCP server over a [`Session`],
+//! running on the [`gtl_runtime`] bounded service runtime.
 //!
-//! Protocol: one [`Request`](crate::Request) envelope per line in, one
-//! [`Response`](crate::Response) envelope per line out, in order, on a
-//! plain TCP stream (no HTTP). Blank lines are ignored; a connection ends
-//! at client EOF. Try it with netcat:
+//! Protocol: one [`Request`] envelope per line in, one
+//! [`Response`] envelope per line out, **in request
+//! order**, on a plain TCP stream (no HTTP). Blank lines are ignored; a
+//! connection ends at client EOF, at the read/idle timeout, or after a
+//! framing error (oversized / non-UTF-8 line — answered with
+//! `bad_request` first). Clients may **pipeline**: write many request
+//! lines before reading; the runtime keeps up to the configured pipeline
+//! depth in flight per connection and a reorder buffer preserves wire
+//! order. Try it with netcat:
 //!
 //! ```text
 //! $ gtl serve design.hgr --port 7878 &
-//! $ printf '{"Stats":{"v":1}}\n' | nc 127.0.0.1 7878
+//! $ printf '{"Stats":{"v":1}}\n{"Metrics":{"v":2}}\n' | nc 127.0.0.1 7878
 //! {"Stats":{"v":1,"stats":{...}}}
+//! {"Metrics":{"v":2,"metrics":{...}}}
 //! ```
 //!
 //! # Concurrency and determinism
 //!
-//! Each accepted connection is handled on its own scoped thread. These
-//! threads are **I/O concurrency only** — they parse, dispatch and write
-//! bytes; every piece of heavy compute inside a request (the finder, the
-//! sharded placer, congestion) fans out through `gtl_core::exec` and is
-//! byte-identical for any worker count. No RNG, no scratch and no result
-//! state is shared between connections except the session's mutex-guarded
-//! prune scratch, which is invisible in outputs. Responses on one
-//! connection are serialized in request order, so the wire contract is
-//! deterministic: same request line, same response bytes — regardless of
-//! the server's thread count or how many clients are connected.
+//! Connection threads are **I/O only** — they frame lines and move
+//! buffers; every request runs as a job on the runtime's fixed pool of
+//! compute lanes, fed by a bounded FIFO queue (full queue = backpressure
+//! to the client's TCP window, never unbounded buffering). Heavy compute
+//! inside a job (the finder, the sharded placer, congestion) still fans
+//! out through `gtl_core::exec` and is byte-identical for any worker
+//! count. Deterministic responses are additionally served from an LRU
+//! **response cache** keyed by the canonical request-line bytes; a hit
+//! returns exactly the bytes a fresh compute would (property-tested), so
+//! the wire contract is unchanged for any lane count, cache size
+//! (including 0 = disabled) and pipeline depth: same request line, same
+//! response bytes. The one deliberate exception is
+//! [`MetricsRequest`](crate::MetricsRequest), which reports live runtime
+//! counters and therefore bypasses the cache.
 
-use std::io::{BufRead, BufReader, BufWriter, Write};
-use std::net::{TcpListener, TcpStream};
+use std::net::TcpListener;
+use std::time::Duration;
 
-use crate::{ApiError, Session};
+use gtl_runtime::{Cacheability, LineHandler, RequestContext, RuntimeConfig, TransportError};
 
-/// Options for [`serve()`].
-#[derive(Debug, Clone, Default)]
+use crate::{ApiError, ErrorBody, Request, Response, RuntimeMetrics, Session};
+
+/// Largest accepted request line. A line is buffered in memory before
+/// parsing; without a cap, one newline-free stream could grow the buffer
+/// until the allocator aborts the process (which no thread can catch).
+/// Far above any real request — a full `FinderConfig` envelope is < 1 KB.
+const MAX_REQUEST_BYTES: u64 = 1 << 20;
+
+/// Default response-cache budget: 64 MiB holds tens of thousands of
+/// typical responses while staying far below paper-scale netlist
+/// footprints.
+const DEFAULT_CACHE_BYTES: usize = 64 << 20;
+
+/// Default per-connection pipeline depth.
+const DEFAULT_PIPELINE_DEPTH: usize = 8;
+
+/// Options for [`serve()`], built with builder-style setters.
+///
+/// ```
+/// use gtl_api::ServeOptions;
+/// use std::time::Duration;
+///
+/// let options = ServeOptions::new()
+///     .lanes(4)
+///     .cache_bytes(1 << 20)
+///     .pipeline_depth(16)
+///     .timeout(Some(Duration::from_secs(30)))
+///     .max_concurrent(Some(64))
+///     .max_connections(Some(100));
+/// assert_eq!(options.lanes, 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServeOptions {
+    /// Compute lanes (`0` = all cores). Lanes execute request jobs; the
+    /// per-request `threads` knobs still control fan-out *inside* a job.
+    pub lanes: usize,
+    /// Bounded job-queue capacity (`0` = auto: `4 × lanes`).
+    pub queue_depth: usize,
+    /// Response-cache byte budget (`0` disables caching).
+    pub cache_bytes: usize,
+    /// Max pipelined jobs in flight per connection (min 1).
+    pub pipeline_depth: usize,
+    /// Per-connection idle timeout (`None` = wait forever). A client
+    /// waiting on a slow compute is not idle; only a connection with no
+    /// request in flight and nothing arriving is closed.
+    pub timeout: Option<Duration>,
+    /// Max concurrently open connections (`None` = unbounded); excess
+    /// clients wait in the listen backlog.
+    pub max_concurrent: Option<usize>,
     /// Stop accepting after this many connections (`None` = run forever;
-    /// `Some(0)` returns immediately without accepting). Scripted callers
-    /// (CI golden tests) use this to get a clean exit.
+    /// `Some(0)` returns immediately). Scripted callers (CI golden
+    /// tests) use this to get a clean exit.
     pub max_connections: Option<usize>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            lanes: 0,
+            queue_depth: 0,
+            cache_bytes: DEFAULT_CACHE_BYTES,
+            pipeline_depth: DEFAULT_PIPELINE_DEPTH,
+            timeout: None,
+            max_concurrent: None,
+            max_connections: None,
+        }
+    }
+}
+
+impl ServeOptions {
+    /// The defaults: all cores, 64 MiB cache, pipeline depth 8, no
+    /// timeout, unbounded connections.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the compute-lane count (`0` = all cores).
+    pub fn lanes(mut self, lanes: usize) -> Self {
+        self.lanes = lanes;
+        self
+    }
+
+    /// Sets the job-queue capacity (`0` = auto).
+    pub fn queue_depth(mut self, queue_depth: usize) -> Self {
+        self.queue_depth = queue_depth;
+        self
+    }
+
+    /// Sets the response-cache byte budget (`0` disables caching).
+    pub fn cache_bytes(mut self, cache_bytes: usize) -> Self {
+        self.cache_bytes = cache_bytes;
+        self
+    }
+
+    /// Sets the per-connection pipeline depth (clamped to at least 1).
+    pub fn pipeline_depth(mut self, pipeline_depth: usize) -> Self {
+        self.pipeline_depth = pipeline_depth;
+        self
+    }
+
+    /// Sets the per-connection read/idle timeout.
+    pub fn timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Sets the max-concurrent-connections gate.
+    pub fn max_concurrent(mut self, max_concurrent: Option<usize>) -> Self {
+        self.max_concurrent = max_concurrent;
+        self
+    }
+
+    /// Sets the total accept budget.
+    pub fn max_connections(mut self, max_connections: Option<usize>) -> Self {
+        self.max_connections = max_connections;
+        self
+    }
+}
+
+/// What a bounded [`serve()`] run did. Earlier versions returned only a
+/// connection count and silently dropped per-connection I/O errors;
+/// those are now reported here.
+#[derive(Debug)]
+pub struct ServeSummary {
+    /// Connections accepted.
+    pub connections: usize,
+    /// Per-connection I/O error descriptions (reader and writer sides;
+    /// capped — see `dropped_io_errors`).
+    pub io_errors: Vec<String>,
+    /// I/O errors beyond the reporting cap (counted, not stored).
+    pub dropped_io_errors: usize,
+    /// The runtime's final metrics snapshot (cache hit/miss/eviction
+    /// counters, queue high-water, timeouts, …).
+    pub metrics: RuntimeMetrics,
 }
 
 /// Binds a listener on `addr` (e.g. `"127.0.0.1:7878"`; port `0` asks the
@@ -48,121 +186,106 @@ pub fn bind(addr: &str) -> Result<TcpListener, ApiError> {
     TcpListener::bind(addr).map_err(|e| ApiError::io(format!("bind {addr}: {e}")))
 }
 
-/// Serves JSON-lines requests from `listener` against `session` until
-/// the connection budget is exhausted (or forever without one).
-///
-/// Returns the number of connections served.
+/// Serves JSON-lines requests from `listener` against `session` on the
+/// bounded runtime until the connection budget is exhausted (or forever
+/// without one).
 ///
 /// # Errors
 ///
-/// [`ApiError::Io`] when accepting fails; per-connection I/O errors
-/// terminate only that connection.
+/// [`ApiError::Io`] when accepting fails persistently; per-connection
+/// I/O errors terminate only that connection and are reported in the
+/// returned [`ServeSummary`].
 pub fn serve(
     session: &Session,
     listener: &TcpListener,
     options: &ServeOptions,
-) -> Result<usize, ApiError> {
-    if options.max_connections == Some(0) {
-        return Ok(0);
-    }
-    let mut served = 0usize;
-    let mut consecutive_errors = 0usize;
-    std::thread::scope(|scope| {
-        for stream in listener.incoming() {
-            let stream = match stream {
-                Ok(stream) => stream,
-                Err(e) => {
-                    // accept() fails transiently in normal operation
-                    // (ECONNABORTED on client reset, EMFILE under fd
-                    // pressure); one bad handshake must not take the
-                    // server down. Persistent failure still surfaces.
-                    consecutive_errors += 1;
-                    if consecutive_errors >= MAX_CONSECUTIVE_ACCEPT_ERRORS {
-                        return Err(ApiError::io(format!(
-                            "accept failed {consecutive_errors} times in a row: {e}"
-                        )));
-                    }
-                    continue;
-                }
-            };
-            consecutive_errors = 0;
-            served += 1;
-            scope.spawn(move || handle_connection(session, stream));
-            if options.max_connections.is_some_and(|max| served >= max) {
-                break;
-            }
-        }
-        Ok(served)
+) -> Result<ServeSummary, ApiError> {
+    let config = RuntimeConfig {
+        lanes: options.lanes,
+        queue_depth: options.queue_depth,
+        cache_bytes: options.cache_bytes,
+        pipeline_depth: options.pipeline_depth,
+        max_request_bytes: MAX_REQUEST_BYTES,
+        read_timeout: options.timeout,
+        max_concurrent: options.max_concurrent,
+        max_connections: options.max_connections,
+    };
+    let handler = SessionHandler { session };
+    let report = gtl_runtime::serve_lines(listener, &config, &handler)
+        .map_err(|e| ApiError::io(e.to_string()))?;
+    Ok(ServeSummary {
+        connections: report.connections,
+        io_errors: report.io_errors,
+        dropped_io_errors: report.dropped_io_errors,
+        metrics: RuntimeMetrics::from(report.metrics),
     })
 }
 
-/// Largest accepted request line. A line is buffered in memory before
-/// parsing; without a cap, one newline-free stream could grow the buffer
-/// until the allocator aborts the process (which no thread can catch).
-/// Far above any real request — a full `FinderConfig` envelope is < 1 KB.
-const MAX_REQUEST_BYTES: u64 = 1 << 20;
+/// The [`LineHandler`] gluing the runtime to a [`Session`]: parse once,
+/// dispatch, serialize into the runtime's recycled buffer.
+struct SessionHandler<'s> {
+    session: &'s Session,
+}
 
-/// Give up on the listener after this many accept() failures in a row.
-const MAX_CONSECUTIVE_ACCEPT_ERRORS: usize = 100;
-
-/// Reads request lines until EOF, answering each on the same stream.
-/// I/O failures end the connection silently (the peer is gone); an
-/// oversized or non-UTF-8 line is answered with `bad_request` and the
-/// connection is dropped.
-fn handle_connection(session: &Session, stream: TcpStream) {
-    let Ok(read_half) = stream.try_clone() else { return };
-    let mut reader = BufReader::new(read_half);
-    let mut writer = BufWriter::new(stream);
-    let mut buf = Vec::new();
-    loop {
-        buf.clear();
-        // Bound the read: at most one byte past the cap, so an oversized
-        // line is detected without ever buffering the whole stream.
-        match std::io::Read::take(&mut reader, MAX_REQUEST_BYTES + 1).read_until(b'\n', &mut buf) {
-            Ok(0) | Err(_) => break,
-            Ok(_) => {}
-        }
-        if buf.len() as u64 > MAX_REQUEST_BYTES {
-            let _ = answer(
-                &mut writer,
-                &error_line(&ApiError::bad_request(format!(
-                    "request line exceeds {MAX_REQUEST_BYTES} bytes"
-                ))),
-            );
-            break;
-        }
-        let Ok(line) = std::str::from_utf8(&buf) else {
-            let _ =
-                answer(&mut writer, &error_line(&ApiError::bad_request("request is not UTF-8")));
-            break;
-        };
-        if line.trim().is_empty() {
-            continue;
-        }
-        if answer(&mut writer, &session.handle_line(line)).is_err() {
-            break;
+impl LineHandler for SessionHandler<'_> {
+    fn handle(&self, ctx: &RequestContext<'_>, line: &str, out: &mut String) -> Cacheability {
+        match serde::json::from_str::<Request>(line) {
+            // Metrics report live runtime state: the one response that is
+            // not a pure function of the request bytes, so it must never
+            // be cached.
+            Ok(Request::Metrics(req)) => {
+                let response = match self.session.metrics(&req, ctx.metrics()) {
+                    Ok(resp) => Response::Metrics(resp),
+                    Err(err) => Response::Error(ErrorBody::from(&err)),
+                };
+                serde::json::to_string_into(&response, out);
+                Cacheability::Uncacheable
+            }
+            Ok(request) => {
+                let response = self.session.handle(&request);
+                serde::json::to_string_into(&response, out);
+                // Error responses (validation failures) are deterministic
+                // but nearly free to recompute; caching them would let a
+                // stream of unique invalid requests evict Find/Place
+                // entries worth seconds of compute. Only successful
+                // responses earn cache space.
+                if matches!(response, Response::Error(_)) {
+                    Cacheability::Uncacheable
+                } else {
+                    Cacheability::Cacheable
+                }
+            }
+            Err(e) => {
+                serde::json::to_string_into(
+                    &Response::Error(ErrorBody::from(&ApiError::bad_request(e.to_string()))),
+                    out,
+                );
+                // Same reasoning: a parse failure costs microseconds —
+                // never worth evicting real compute for.
+                Cacheability::Uncacheable
+            }
         }
     }
-}
 
-/// Writes one response line and flushes it.
-fn answer(writer: &mut BufWriter<TcpStream>, response: &str) -> std::io::Result<()> {
-    writeln!(writer, "{response}")?;
-    writer.flush()
-}
-
-/// Serializes an [`ApiError`] as a wire error line (for transport-level
-/// failures that never reach [`Session::handle_line`]).
-fn error_line(err: &ApiError) -> String {
-    serde::json::to_string(&crate::Response::Error(crate::ErrorBody::from(err)))
+    fn transport_error(&self, error: &TransportError) -> Option<String> {
+        let err = match error {
+            TransportError::Oversized { limit } => {
+                ApiError::bad_request(format!("request line exceeds {limit} bytes"))
+            }
+            TransportError::NotUtf8 => ApiError::bad_request("request is not UTF-8"),
+        };
+        Some(serde::json::to_string(&Response::Error(ErrorBody::from(&err))))
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{FindRequest, Request};
+    use crate::{FindRequest, MetricsRequest, Request};
     use gtl_netlist::NetlistBuilder;
     use gtl_tangled::FinderConfig;
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
 
     fn session() -> Session {
         let mut b = NetlistBuilder::new();
@@ -192,9 +315,9 @@ mod tests {
     fn zero_connection_budget_returns_immediately() {
         let session = session();
         let listener = bind("127.0.0.1:0").unwrap();
-        let served =
-            serve(&session, &listener, &ServeOptions { max_connections: Some(0) }).unwrap();
-        assert_eq!(served, 0);
+        let options = ServeOptions::new().max_connections(Some(0));
+        let summary = serve(&session, &listener, &options).unwrap();
+        assert_eq!(summary.connections, 0);
     }
 
     #[test]
@@ -202,10 +325,9 @@ mod tests {
         let session = session();
         let listener = bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
+        let options = ServeOptions::new().max_connections(Some(1));
         std::thread::scope(|scope| {
-            let handle = scope.spawn(|| {
-                serve(&session, &listener, &ServeOptions { max_connections: Some(1) }).unwrap()
-            });
+            let handle = scope.spawn(|| serve(&session, &listener, &options).unwrap());
             let mut conn = TcpStream::connect(addr).unwrap();
             // Stream more than the cap without a newline; the server must
             // answer bad_request and close rather than buffer forever.
@@ -221,7 +343,7 @@ mod tests {
             let mut response = String::new();
             let _ = BufReader::new(conn).read_line(&mut response);
             assert!(response.is_empty() || response.contains("\"bad_request\""), "{response}");
-            assert_eq!(handle.join().unwrap(), 1);
+            assert_eq!(handle.join().unwrap().connections, 1);
         });
     }
 
@@ -230,10 +352,9 @@ mod tests {
         let session = session();
         let listener = bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
+        let options = ServeOptions::new().lanes(2).max_connections(Some(2));
         std::thread::scope(|scope| {
-            let handle = scope.spawn(|| {
-                serve(&session, &listener, &ServeOptions { max_connections: Some(2) }).unwrap()
-            });
+            let handle = scope.spawn(|| serve(&session, &listener, &options).unwrap());
 
             let mut expected = None;
             for _ in 0..2 {
@@ -256,7 +377,70 @@ mod tests {
                     Some(prev) => assert_eq!(prev, &lines),
                 }
             }
-            assert_eq!(handle.join().unwrap(), 2);
+            let summary = handle.join().unwrap();
+            assert_eq!(summary.connections, 2);
+            // The second connection's identical requests were served from
+            // the cache — with bytes identical to the fresh computes.
+            assert!(summary.metrics.cache_hits >= 1, "{:?}", summary.metrics);
+        });
+    }
+
+    #[test]
+    fn error_responses_do_not_occupy_the_cache() {
+        let session = session();
+        let listener = bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let options = ServeOptions::new().lanes(1).max_connections(Some(1));
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(|| serve(&session, &listener, &options).unwrap());
+            let mut conn = TcpStream::connect(addr).unwrap();
+            // Unique malformed and invalid requests must not evict real
+            // compute: none of them may take a cache slot.
+            for i in 0..3 {
+                writeln!(conn, "garbage number {i}").unwrap();
+            }
+            writeln!(conn, "{{\"Find\":{{\"v\":99,\"config\":{{}}}}}}").unwrap();
+            writeln!(conn, "{}", request_line()).unwrap();
+            conn.shutdown(std::net::Shutdown::Write).unwrap();
+            let lines: Vec<String> = BufReader::new(conn).lines().map(|l| l.unwrap()).collect();
+            assert_eq!(lines.len(), 5, "{lines:?}");
+            assert!(lines[..4].iter().all(|l| l.contains("\"Error\":")), "{lines:?}");
+            assert!(lines[4].starts_with("{\"Find\":"), "{}", lines[4]);
+            let summary = handle.join().unwrap();
+            assert_eq!(
+                summary.metrics.cache_entries, 1,
+                "only the successful Find may be cached: {:?}",
+                summary.metrics
+            );
+        });
+    }
+
+    #[test]
+    fn metrics_request_served_by_runtime_not_cached() {
+        let session = session();
+        let listener = bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let options = ServeOptions::new().lanes(1).max_connections(Some(1));
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(|| serve(&session, &listener, &options).unwrap());
+            let mut conn = TcpStream::connect(addr).unwrap();
+            let line = serde::json::to_string(&Request::Metrics(MetricsRequest::new()));
+            writeln!(conn, "{line}").unwrap();
+            writeln!(conn, "{line}").unwrap();
+            // A v1 Metrics request must be rejected: the pair is v2+.
+            writeln!(conn, "{{\"Metrics\":{{\"v\":1}}}}").unwrap();
+            conn.shutdown(std::net::Shutdown::Write).unwrap();
+            let lines: Vec<String> = BufReader::new(conn).lines().map(|l| l.unwrap()).collect();
+            assert_eq!(lines.len(), 3, "{lines:?}");
+            assert!(lines[0].starts_with("{\"Metrics\":{\"v\":2,\"metrics\":{"), "{}", lines[0]);
+            assert!(lines[1].contains("\"requests\":"), "{}", lines[1]);
+            assert!(lines[2].contains("\"invalid_argument\""), "{}", lines[2]);
+            let summary = handle.join().unwrap();
+            // Every Metrics outcome (snapshot or version error) bypasses
+            // the cache; the two snapshots differ (the counters moved
+            // between them).
+            assert_eq!(summary.metrics.cache_entries, 0, "Metrics outcomes are never cached");
+            assert_ne!(lines[0], lines[1], "metrics snapshots must not be cached");
         });
     }
 }

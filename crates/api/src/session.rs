@@ -17,8 +17,9 @@ use gtl_place::congestion;
 use gtl_tangled::{PruneScratch, TangledLogicFinder};
 
 use crate::{
-    ApiError, ErrorBody, FindRequest, FindResponse, NetlistSummary, PlaceRequest, PlaceResponse,
-    Request, Response, StatsRequest, StatsResponse, API_VERSION,
+    ApiError, ErrorBody, FindRequest, FindResponse, MetricsRequest, MetricsResponse,
+    NetlistSummary, PlaceRequest, PlaceResponse, Request, Response, RuntimeMetrics, StatsRequest,
+    StatsResponse, API_VERSION, METRICS_SINCE_VERSION, MIN_API_VERSION,
 };
 
 /// Loads a netlist, selecting the parser from the file extension
@@ -163,8 +164,11 @@ impl Session {
         &self.summary
     }
 
+    /// Accepts any version in [`MIN_API_VERSION`]`..=`[`API_VERSION`];
+    /// successful responses echo the request's version, so clients of an
+    /// older protocol receive byte-identical answers from newer builds.
     fn check_version(&self, v: u32) -> Result<(), ApiError> {
-        if v == API_VERSION {
+        if (MIN_API_VERSION..=API_VERSION).contains(&v) {
             Ok(())
         } else {
             Err(ApiError::UnsupportedVersion { requested: v, supported: API_VERSION })
@@ -213,7 +217,7 @@ impl Session {
                 finder.run_with_scratch(&mut PruneScratch::new(self.netlist.num_cells()))
             }
         };
-        Ok(FindResponse { v: API_VERSION, netlist: self.summary.clone(), result })
+        Ok(FindResponse { v: request.v, netlist: self.summary.clone(), result })
     }
 
     /// Runs global placement and congestion estimation.
@@ -264,7 +268,7 @@ impl Session {
         let hpwl = gtl_place::hpwl(&self.netlist, &placement);
         let map = congestion::estimate(&self.netlist, &placement, &die, &request.routing);
         Ok(PlaceResponse {
-            v: API_VERSION,
+            v: request.v,
             netlist: self.summary.clone(),
             die,
             hpwl,
@@ -279,18 +283,67 @@ impl Session {
     /// Version validation errors.
     pub fn stats(&self, request: &StatsRequest) -> Result<StatsResponse, ApiError> {
         self.check_version(request.v)?;
-        Ok(StatsResponse { v: API_VERSION, stats: self.stats.clone() })
+        Ok(StatsResponse { v: request.v, stats: self.stats.clone() })
+    }
+
+    /// Builds a [`MetricsResponse`] from a runtime snapshot — called by
+    /// the serve runtime, which owns the counters (see
+    /// [`serve`](crate::serve())). The pair exists since protocol v2;
+    /// older versions are rejected.
+    ///
+    /// # Errors
+    ///
+    /// Version validation errors.
+    pub fn metrics(
+        &self,
+        request: &MetricsRequest,
+        snapshot: gtl_runtime::MetricsSnapshot,
+    ) -> Result<MetricsResponse, ApiError> {
+        self.check_version(request.v)?;
+        if request.v < METRICS_SINCE_VERSION {
+            return Err(ApiError::invalid_argument(format!(
+                "Metrics requires protocol version {METRICS_SINCE_VERSION} (requested {})",
+                request.v
+            )));
+        }
+        Ok(MetricsResponse { v: request.v, metrics: RuntimeMetrics::from(snapshot) })
     }
 
     /// Dispatches an envelope, mapping failures onto [`Response::Error`]
     /// (this never fails — every outcome is a response).
+    ///
+    /// [`Request::Metrics`] is the one envelope a bare session cannot
+    /// serve: the counters belong to the `gtl serve` runtime, which
+    /// intercepts it before dispatch (see [`serve`](crate::serve())).
+    /// Here it is answered with a structured `invalid_argument` error.
     pub fn handle(&self, request: &Request) -> Response {
+        let requested_v = match request {
+            Request::Find(req) => req.v,
+            Request::Place(req) => req.v,
+            Request::Stats(req) => req.v,
+            Request::Metrics(req) => req.v,
+        };
         let outcome = match request {
             Request::Find(req) => self.find(req).map(Response::Find),
             Request::Place(req) => self.place(req).map(Response::Place),
             Request::Stats(req) => self.stats(req).map(Response::Stats),
+            Request::Metrics(_) => Err(ApiError::invalid_argument(
+                "Metrics is served by the `gtl serve` runtime (no runtime is attached to an \
+                 in-process session)",
+            )),
         };
-        outcome.unwrap_or_else(|err| Response::Error(ErrorBody::from(&err)))
+        outcome.unwrap_or_else(|err| {
+            let mut body = ErrorBody::from(&err);
+            // Like success responses, errors echo the request's version —
+            // a v1 client sees exactly the bytes a v1 build produced. A
+            // version outside the supported range can't be spoken back,
+            // so those errors (and parse failures, where no version is
+            // known) stamp the build's own API_VERSION.
+            if !matches!(err, ApiError::UnsupportedVersion { .. }) {
+                body.v = requested_v;
+            }
+            Response::Error(body)
+        })
     }
 
     /// The full wire round-trip for one JSON line: parse, dispatch,
@@ -303,11 +356,33 @@ impl Session {
     /// machine — requests fan out through `gtl_core::exec` and the JSON
     /// renderer is deterministic.
     pub fn handle_line(&self, line: &str) -> String {
-        let response = match serde::json::from_str::<Request>(line) {
-            Ok(request) => self.handle(&request),
-            Err(e) => Response::Error(ErrorBody::from(&ApiError::bad_request(e.to_string()))),
-        };
-        serde::json::to_string(&response)
+        let mut out = String::new();
+        self.handle_line_into(line, &mut out);
+        out
+    }
+
+    /// [`handle_line`](Self::handle_line) into a caller-owned buffer:
+    /// appends the response document onto `out` (cleared first), reusing
+    /// its allocation. The serve runtime calls this with a recycled
+    /// per-connection buffer so steady-state request handling allocates
+    /// no fresh response `String`; the bytes are identical to
+    /// [`handle_line`](Self::handle_line).
+    pub fn handle_line_into(&self, line: &str, out: &mut String) {
+        out.clear();
+        match serde::json::from_str::<Request>(line) {
+            Ok(request) => self.handle_into(&request, out),
+            Err(e) => serde::json::to_string_into(
+                &Response::Error(ErrorBody::from(&ApiError::bad_request(e.to_string()))),
+                out,
+            ),
+        }
+    }
+
+    /// Dispatches an envelope and appends the serialized response onto
+    /// `out` (same contract as [`handle`](Self::handle), without the
+    /// intermediate `String`).
+    pub fn handle_into(&self, request: &Request, out: &mut String) {
+        serde::json::to_string_into(&self.handle(request), out);
     }
 }
 
@@ -411,6 +486,30 @@ mod tests {
     }
 
     #[test]
+    fn error_responses_echo_a_supported_request_version() {
+        let s = session();
+        // A v1 request failing validation answers with v:1 — the bytes a
+        // v1 build produced.
+        let mut req = find_request();
+        req.v = 1;
+        req.config.num_seeds = 0;
+        let Response::Error(body) = s.handle(&Request::Find(req)) else {
+            panic!("expected error response");
+        };
+        assert_eq!(body.v, 1);
+        assert_eq!(body.code, "invalid_argument");
+        // An unsupported version can't be spoken back: the build's own
+        // version is stamped, and the message names the range.
+        let mut req = find_request();
+        req.v = 99;
+        let Response::Error(body) = s.handle(&Request::Find(req)) else {
+            panic!("expected error response");
+        };
+        assert_eq!(body.v, API_VERSION);
+        assert!(body.message.contains("1..=2"), "{}", body.message);
+    }
+
+    #[test]
     fn handle_never_fails() {
         let s = session();
         let mut req = find_request();
@@ -428,7 +527,12 @@ mod tests {
         let a = s.handle_line(&line);
         let b = s.handle_line(&line);
         assert_eq!(a, b);
-        assert!(a.starts_with("{\"Find\":{\"v\":1,"), "{a}");
+        assert!(a.starts_with("{\"Find\":{\"v\":2,"), "{a}");
+        // A v1 request is still accepted and echoes v1 — the golden
+        // round-trip from the v1 protocol stays byte-identical.
+        let v1 = s.handle_line(&line.replacen("\"v\":2", "\"v\":1", 1));
+        assert!(v1.starts_with("{\"Find\":{\"v\":1,"), "{v1}");
+        assert_eq!(v1.replacen("\"v\":1", "\"v\":2", 1), a);
 
         let err = s.handle_line("this is not json");
         assert!(err.contains("\"code\":\"bad_request\""), "{err}");

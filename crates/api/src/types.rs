@@ -17,14 +17,31 @@
 use gtl_netlist::{Netlist, NetlistStats};
 use gtl_place::congestion::{CongestionReport, RoutingConfig};
 use gtl_place::{Die, PlacerConfig};
+use gtl_runtime::MetricsSnapshot;
 use gtl_tangled::{FinderConfig, FinderResult};
 use serde::{Deserialize, Serialize};
 
-/// The protocol version this build speaks.
+/// The newest protocol version this build speaks.
 ///
-/// Bump when a contract changes shape incompatibly; a session answers a
-/// mismatched `v` with an `unsupported_version` error naming both sides.
-pub const API_VERSION: u32 = 1;
+/// Bump when a contract changes shape incompatibly **or** gains a new
+/// request pair (v2 added [`MetricsRequest`]/[`MetricsResponse`]). A
+/// session accepts every version in
+/// [`MIN_API_VERSION`]`..=`[`API_VERSION`] and **echoes the request's
+/// version** in its response, so v1 clients keep receiving bytes
+/// identical to a v1 build; anything outside the range is answered with
+/// a structured `unsupported_version` error naming both sides.
+pub const API_VERSION: u32 = 2;
+
+/// The oldest protocol version this build still speaks.
+///
+/// v1 (the original Find/Place/Stats contracts) is unchanged in shape,
+/// so it remains fully supported.
+pub const MIN_API_VERSION: u32 = 1;
+
+/// The version that introduced the Metrics request pair; a
+/// [`MetricsRequest`] with an older `v` is rejected (the pair did not
+/// exist in that protocol).
+pub const METRICS_SINCE_VERSION: u32 = 2;
 
 /// Compact netlist identification echoed in every response, so clients
 /// can sanity-check which design the server is bound to.
@@ -162,10 +179,122 @@ pub struct StatsResponse {
     pub stats: NetlistStats,
 }
 
+/// A request for the serve runtime's metrics (since protocol v2).
+///
+/// Answered only by the `gtl serve` runtime, which owns the counters;
+/// an in-process [`Session`](crate::Session) has no runtime attached
+/// and answers with a structured `invalid_argument` error.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsRequest {
+    /// Protocol version (at least [`METRICS_SINCE_VERSION`]).
+    pub v: u32,
+}
+
+impl MetricsRequest {
+    /// A current-version request.
+    pub fn new() -> Self {
+        Self { v: API_VERSION }
+    }
+}
+
+impl Default for MetricsRequest {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The serve runtime's counters (`{"Metrics":..}` over the wire).
+///
+/// Unlike every other response, a metrics snapshot is **not** a pure
+/// function of the request bytes — it reports live runtime state — so
+/// the serve runtime never caches it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsResponse {
+    /// Protocol version of this response (echoes the request).
+    pub v: u32,
+    /// The runtime counters at the time the request was served.
+    pub metrics: RuntimeMetrics,
+}
+
+/// Wire mirror of [`gtl_runtime::MetricsSnapshot`] — a separate type so
+/// the wire contract stays stable even if the runtime grows internal
+/// counters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RuntimeMetrics {
+    /// Compute lanes (scheduler worker threads).
+    pub lanes: u64,
+    /// Capacity of the bounded job queue feeding the lanes.
+    pub queue_capacity: u64,
+    /// Max jobs in flight per connection (reorder-buffer size).
+    pub pipeline_depth: u64,
+    /// Connections accepted since the server started.
+    pub connections_accepted: u64,
+    /// Connections currently open.
+    pub connections_active: u64,
+    /// Request lines admitted to the scheduler.
+    pub requests: u64,
+    /// Response lines successfully written back.
+    pub responses: u64,
+    /// Connections closed by the read/idle timeout.
+    pub read_timeouts: u64,
+    /// Per-connection I/O failures.
+    pub io_errors: u64,
+    /// Handler panics caught on a compute lane (each costs its
+    /// connection, never the lane).
+    pub handler_panics: u64,
+    /// Jobs waiting in the scheduler queue (last observed).
+    pub queue_depth: u64,
+    /// Highest queue depth observed so far.
+    pub queue_high_water: u64,
+    /// Response-cache byte budget (`0` = caching disabled).
+    pub cache_capacity_bytes: u64,
+    /// Response-cache resident entries.
+    pub cache_entries: u64,
+    /// Response-cache resident bytes.
+    pub cache_bytes: u64,
+    /// Response-cache lookup hits.
+    pub cache_hits: u64,
+    /// Response-cache lookup misses.
+    pub cache_misses: u64,
+    /// Response-cache evictions under the byte budget.
+    pub cache_evictions: u64,
+    /// Response-cache insertions.
+    pub cache_insertions: u64,
+}
+
+impl From<MetricsSnapshot> for RuntimeMetrics {
+    fn from(snapshot: MetricsSnapshot) -> Self {
+        Self {
+            lanes: snapshot.lanes,
+            queue_capacity: snapshot.queue_capacity,
+            pipeline_depth: snapshot.pipeline_depth,
+            connections_accepted: snapshot.connections_accepted,
+            connections_active: snapshot.connections_active,
+            requests: snapshot.requests,
+            responses: snapshot.responses,
+            read_timeouts: snapshot.read_timeouts,
+            io_errors: snapshot.io_errors,
+            handler_panics: snapshot.handler_panics,
+            queue_depth: snapshot.queue_depth,
+            queue_high_water: snapshot.queue_high_water,
+            cache_capacity_bytes: snapshot.cache_capacity_bytes,
+            cache_entries: snapshot.cache_entries,
+            cache_bytes: snapshot.cache_bytes,
+            cache_hits: snapshot.cache_hits,
+            cache_misses: snapshot.cache_misses,
+            cache_evictions: snapshot.cache_evictions,
+            cache_insertions: snapshot.cache_insertions,
+        }
+    }
+}
+
 /// The structured error payload carried on the wire.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ErrorBody {
-    /// Protocol version of this response.
+    /// Protocol version of this response. Echoes the request's version
+    /// when that version is supported (so v1 clients see v1 error
+    /// bytes); [`API_VERSION`] for `unsupported_version` errors and
+    /// unparseable requests, where no valid version is known.
     pub v: u32,
     /// Stable machine-readable code (see [`ApiError::code`]).
     ///
@@ -190,6 +319,8 @@ pub enum Request {
     Place(PlaceRequest),
     /// Fetch design statistics.
     Stats(StatsRequest),
+    /// Fetch serve-runtime metrics (since protocol v2).
+    Metrics(MetricsRequest),
 }
 
 /// The wire response envelope, mirroring [`Request`] plus
@@ -202,6 +333,8 @@ pub enum Response {
     Place(PlaceResponse),
     /// Answer to [`Request::Stats`].
     Stats(StatsResponse),
+    /// Answer to [`Request::Metrics`].
+    Metrics(MetricsResponse),
     /// Any failure, with a stable code.
     Error(ErrorBody),
 }

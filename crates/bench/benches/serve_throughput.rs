@@ -1,0 +1,172 @@
+//! Criterion bench for the `gtl-runtime` serving path: pipelined TCP
+//! request throughput with the response cache cold (disabled) versus
+//! warm (enabled and pre-filled).
+//!
+//! Besides the criterion timings, the bench writes a machine-readable
+//! `serve_throughput.json` summary (mode, wall seconds, req/s, cache
+//! counters) into `results/` via the `gtl_bench::report` machinery, and
+//! enforces the service determinism contract where it matters:
+//!
+//! * every response in every burst is byte-identical to an in-process
+//!   `Session::handle_line` dispatch, for both cache modes;
+//! * the checked-in golden round-trip (`tests/golden/`) replays
+//!   byte-identically through the new runtime path.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::Path;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gtl_api::{FindRequest, Request, ServeOptions, Session};
+use gtl_bench::report::{write_json, Json};
+use gtl_synth::planted::{self, PlantedConfig};
+use gtl_tangled::FinderConfig;
+
+fn testbed_session() -> Session {
+    let g = planted::generate(&PlantedConfig {
+        num_cells: 2_000,
+        blocks: vec![120, 200],
+        seed: 23,
+        ..PlantedConfig::default()
+    });
+    Session::builder().netlist(g.netlist).build().expect("session")
+}
+
+fn request_line() -> String {
+    serde::json::to_string(&Request::Find(FindRequest::new(FinderConfig {
+        num_seeds: 12,
+        min_size: 40,
+        max_order_len: 400,
+        rng_seed: 29,
+        threads: 1,
+        ..FinderConfig::default()
+    })))
+}
+
+/// One pipelined burst of `n` identical requests against a fresh
+/// single-connection server; returns the wall time of the burst and the
+/// server's final summary. Every response is asserted byte-identical to
+/// the in-process oracle.
+fn run_burst(
+    session: &Session,
+    line: &str,
+    expected: &str,
+    cache_bytes: usize,
+    warmup: bool,
+    n: usize,
+) -> (f64, gtl_api::ServeSummary) {
+    let listener = gtl_api::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("local addr");
+    let options = ServeOptions::new()
+        .lanes(2)
+        .pipeline_depth(16)
+        .cache_bytes(cache_bytes)
+        .max_connections(Some(1));
+    std::thread::scope(|scope| {
+        let server = scope.spawn(|| gtl_api::serve(session, &listener, &options).expect("serve"));
+        let mut conn = TcpStream::connect(addr).expect("connect");
+        let mut reader = BufReader::new(conn.try_clone().expect("clone"));
+        let mut response = String::new();
+        if warmup {
+            // Fill the cache (and the connection's buffer pool) outside
+            // the timed section.
+            writeln!(conn, "{line}").expect("write warmup");
+            reader.read_line(&mut response).expect("read warmup");
+            assert_eq!(response.trim_end(), expected, "warmup response diverged");
+        }
+        let start = Instant::now();
+        for _ in 0..n {
+            writeln!(conn, "{line}").expect("write");
+        }
+        conn.shutdown(std::net::Shutdown::Write).expect("shutdown");
+        let mut served = 0usize;
+        loop {
+            response.clear();
+            if reader.read_line(&mut response).expect("read") == 0 {
+                break;
+            }
+            assert_eq!(response.trim_end(), expected, "response {served} diverged");
+            served += 1;
+        }
+        let wall = start.elapsed().as_secs_f64();
+        assert_eq!(served, n, "lost responses");
+        (wall, server.join().expect("server thread"))
+    })
+}
+
+/// Replays the checked-in golden request against a live runtime-backed
+/// server and requires the response bytes to equal the golden file —
+/// the same check CI runs against the `gtl serve` binary.
+fn golden_round_trip() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let golden = root.join("tests/golden");
+    let netlist = gtl_netlist::hgr::read(golden.join("two_cliques.hgr").to_str().expect("path"))
+        .expect("golden netlist");
+    let request =
+        std::fs::read_to_string(golden.join("serve_find_request.json")).expect("golden request");
+    let expected =
+        std::fs::read_to_string(golden.join("serve_find_response.json")).expect("golden response");
+    let session = Session::builder().netlist(netlist).build().expect("session");
+    let (_, summary) =
+        run_burst(&session, request.trim_end(), expected.trim_end(), 1 << 20, false, 1);
+    assert_eq!(summary.connections, 1);
+    println!("golden round-trip byte-identical through gtl-runtime");
+}
+
+fn serve_throughput(c: &mut Criterion) {
+    golden_round_trip();
+
+    let session = testbed_session();
+    let line = request_line();
+    let expected = session.handle_line(&line);
+    let n = 64;
+
+    // One timed pass per mode for the JSON summary (criterion's own
+    // samples follow below). Cold = cache disabled: every request
+    // recomputes. Warm = cache enabled and pre-filled: requests after
+    // the first are hits, byte-identical to the cold computes.
+    let mut rows = Vec::new();
+    for (mode, cache_bytes, warmup) in [("cold", 0usize, false), ("warm", 16 << 20, true)] {
+        let (wall, summary) = run_burst(&session, &line, &expected, cache_bytes, warmup, n);
+        let m = &summary.metrics;
+        if mode == "warm" {
+            assert_eq!(m.cache_hits, n as u64, "warm burst should be all hits");
+        }
+        rows.push(Json::obj([
+            ("mode", Json::str(mode)),
+            ("cache_bytes", Json::num(cache_bytes as f64)),
+            ("requests", Json::num(n as f64)),
+            ("wall_seconds", Json::num(wall)),
+            ("req_per_s", Json::num(n as f64 / wall)),
+            ("cache_hits", Json::num(m.cache_hits as f64)),
+            ("cache_misses", Json::num(m.cache_misses as f64)),
+        ]));
+    }
+    let doc = Json::obj([
+        ("bench", Json::str("serve_throughput")),
+        ("num_cells", Json::num(2_000.0)),
+        ("pipeline_depth", Json::num(16.0)),
+        ("lanes", Json::num(2.0)),
+        ("runs", Json::arr(rows)),
+    ]);
+    let path = gtl_bench::results_dir().join("serve_throughput.json");
+    write_json(&path, &doc).expect("write serve_throughput.json");
+    println!("wrote {}", path.display());
+
+    // No explicit sample_size: the CRITERION_SAMPLE_SIZE env cap (CI
+    // sets 2 for a smoke run) must stay in effect.
+    let mut group = c.benchmark_group("serve_throughput_2k");
+    for (mode, cache_bytes, warmup) in [("cold", 0usize, false), ("warm", 16 << 20, true)] {
+        group.bench_with_input(BenchmarkId::from_parameter(mode), &cache_bytes, |b, &bytes| {
+            b.iter(|| {
+                let (wall, _) = run_burst(&session, &line, &expected, bytes, warmup, 16);
+                std::hint::black_box(wall)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, serve_throughput);
+criterion_main!(benches);

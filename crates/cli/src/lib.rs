@@ -43,9 +43,26 @@ USAGE:
   gtl curve <file> --seed id [--max-order N]
   gtl blocks <file> [find options] [--whitespace F]
   gtl resynth <file> [find options] [--max-fanout N] [--out <file.v>]
-  gtl serve <file> [--addr A] [--port N] [--max-conns N] [find defaults]
+  gtl serve <file> [--addr A] [--port N] [--max-conns N]
+                   [--lanes N] [--queue-depth N] [--cache-bytes N]
+                   [--pipeline K] [--timeout-ms N] [--max-concurrent N]
 
 FILES: .hgr (hMETIS), .aux (Bookshelf/ISPD), .v (structural Verilog)
+
+SERVE RUNTIME (gtl-runtime; see ARCHITECTURE.md):
+  --lanes N           compute lanes executing requests (0 = all cores)
+  --queue-depth N     bounded job queue feeding the lanes (0 = auto);
+                      full queue = backpressure, never unbounded buffering
+  --cache-bytes N     deterministic LRU response-cache budget
+                      (default 67108864 = 64 MiB; 0 disables caching)
+  --pipeline K        max in-flight requests per connection (default 8);
+                      responses always return in request order
+  --timeout-ms N      per-connection idle timeout (default 30000;
+                      0 = wait forever); waiting on a slow response
+                      does not count as idle
+  --max-concurrent N  concurrently open connections (0 = unbounded);
+                      excess clients wait in the listen backlog
+  --max-conns N       total connections before a clean exit (0 = forever)
 
 EXIT CODES (from the structured ApiError codes; see gtl_api):
   0  success
@@ -56,9 +73,11 @@ EXIT CODES (from the structured ApiError codes; see gtl_api):
 
 `gtl find --json` prints one FindResponse JSON document: byte-identical
 to the payload a `gtl serve` round-trip returns for the same request,
-for any --threads value. `gtl serve` speaks JSON lines on plain TCP: one
-{\"Find\":..} | {\"Place\":..} | {\"Stats\":..} envelope per line in, one
-response envelope per line out (see ARCHITECTURE.md).
+for any --threads value, --lanes count, --cache-bytes budget (hits are
+byte-identical to fresh computes) and --pipeline depth. `gtl serve`
+speaks JSON lines on plain TCP: one {\"Find\":..} | {\"Place\":..} |
+{\"Stats\":..} | {\"Metrics\":..} envelope per line in, one response
+envelope per line out, in request order (see ARCHITECTURE.md).
 ";
 
 /// A structured API error plus the CLI context it surfaced in.
@@ -390,23 +409,62 @@ fn cmd_resynth(args: &[String]) -> Result<String, CliError> {
 }
 
 /// `gtl serve`: bind a TCP listener and answer JSON-lines requests over
-/// the loaded netlist until the connection budget (`--max-conns`, `0` =
-/// unlimited) is exhausted.
+/// the loaded netlist on the bounded `gtl-runtime` (compute lanes,
+/// response cache, pipelining, timeouts) until the connection budget
+/// (`--max-conns`, `0` = unlimited) is exhausted.
 fn cmd_serve(args: &[String]) -> Result<String, CliError> {
     let path = want_file(args)?;
     let netlist = load_netlist(path)?;
     let addr = flag_value(args, "--addr").unwrap_or("127.0.0.1");
     let port: u16 = parse_flag(args, "--port", 7878u16)?;
     let max_conns: usize = parse_flag(args, "--max-conns", 0usize)?;
+    let lanes: usize = parse_flag(args, "--lanes", 0usize)?;
+    let queue_depth: usize = parse_flag(args, "--queue-depth", 0usize)?;
+    let cache_bytes: usize = parse_flag(args, "--cache-bytes", 64usize << 20)?;
+    let pipeline: usize = parse_flag(args, "--pipeline", 8usize)?;
+    let timeout_ms: u64 = parse_flag(args, "--timeout-ms", 30_000u64)?;
+    let max_concurrent: usize = parse_flag(args, "--max-concurrent", 0usize)?;
     let session = Session::builder().netlist(netlist).build()?;
     let listener = gtl_api::bind(&format!("{addr}:{port}"))?;
     let local = listener.local_addr().map_err(ApiError::from)?;
+    let options = gtl_api::ServeOptions::new()
+        .lanes(lanes)
+        .queue_depth(queue_depth)
+        .cache_bytes(cache_bytes)
+        .pipeline_depth(pipeline)
+        .timeout((timeout_ms > 0).then(|| std::time::Duration::from_millis(timeout_ms)))
+        .max_concurrent((max_concurrent > 0).then_some(max_concurrent))
+        .max_connections((max_conns > 0).then_some(max_conns));
     // Readiness goes to stderr immediately (stdout is returned only when
     // the server finishes, which without --max-conns is never).
     eprintln!("gtl: serving {path} on {local} (JSON lines; Ctrl-C to stop)");
-    let options = gtl_api::ServeOptions { max_connections: (max_conns > 0).then_some(max_conns) };
-    let served = gtl_api::serve(&session, &listener, &options)?;
-    Ok(format!("served {served} connection(s)\n"))
+    let summary = gtl_api::serve(&session, &listener, &options)?;
+    let m = &summary.metrics;
+    let mut out = format!(
+        "served {} connection(s): {} requests, {} responses, cache {} hit(s) / {} miss(es) / {} \
+         eviction(s), queue high-water {}, {} timeout(s)\n",
+        summary.connections,
+        m.requests,
+        m.responses,
+        m.cache_hits,
+        m.cache_misses,
+        m.cache_evictions,
+        m.queue_high_water,
+        m.read_timeouts,
+    );
+    let dropped = summary.dropped_io_errors;
+    if !summary.io_errors.is_empty() || dropped > 0 {
+        let _ = writeln!(
+            out,
+            "{} connection I/O error(s){}:",
+            summary.io_errors.len() + dropped,
+            if dropped > 0 { format!(" ({dropped} not shown)") } else { String::new() }
+        );
+        for error in &summary.io_errors {
+            let _ = writeln!(out, "  {error}");
+        }
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -534,7 +592,7 @@ mod tests {
         let args =
             ["find", &path, "--seeds", "10", "--min-size", "3", "--max-order", "10", "--json"];
         let out = run(&argv(&args)).unwrap();
-        assert!(out.starts_with("{\"v\":1,"), "{out}");
+        assert!(out.starts_with("{\"v\":2,"), "{out}");
         assert!(out.ends_with("\n"));
         // Byte-identical to dispatching the equivalent request in-process.
         let netlist = load_netlist(&path).unwrap();
@@ -548,8 +606,35 @@ mod tests {
     fn serve_rejects_bad_flags() {
         let err = run(&argv(&["serve", &fixture_path(), "--port", "notaport"])).unwrap_err();
         assert_eq!(err.error.code(), "bad_request");
+        for flag in [
+            "--lanes",
+            "--queue-depth",
+            "--cache-bytes",
+            "--pipeline",
+            "--timeout-ms",
+            "--max-concurrent",
+            "--max-conns",
+        ] {
+            let err = run(&argv(&["serve", &fixture_path(), flag, "bogus"])).unwrap_err();
+            assert_eq!(err.error.code(), "bad_request", "{flag}");
+        }
         let err = run(&argv(&["serve"])).unwrap_err();
         assert_eq!(err.exit_code(), 2);
+    }
+
+    #[test]
+    fn serve_with_zero_budget_reports_summary() {
+        // --max-conns handling goes through the full runtime path; a
+        // 0-connection budget is represented as `None` (run forever), so
+        // use port 0 + max-conns 1 … which would block. Instead check the
+        // summary formatting via the api layer directly.
+        let netlist = load_netlist(&fixture_path()).unwrap();
+        let session = Session::builder().netlist(netlist).build().unwrap();
+        let listener = gtl_api::bind("127.0.0.1:0").unwrap();
+        let options = gtl_api::ServeOptions::new().max_connections(Some(0));
+        let summary = gtl_api::serve(&session, &listener, &options).unwrap();
+        assert_eq!(summary.connections, 0);
+        assert!(summary.io_errors.is_empty());
     }
 
     #[test]
@@ -558,6 +643,9 @@ mod tests {
         assert!(help.contains("EXIT CODES"), "{help}");
         assert!(help.contains("gtl serve"), "{help}");
         assert!(help.contains("--json"), "{help}");
+        for flag in ["--lanes", "--cache-bytes", "--pipeline", "--timeout-ms", "--max-concurrent"] {
+            assert!(help.contains(flag), "missing {flag} in help:\n{help}");
+        }
     }
 
     #[test]

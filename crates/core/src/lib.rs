@@ -5,7 +5,9 @@
 //! estimator, the figure/table bench binaries — goes through [`exec`]
 //! instead of hand-rolling `std::thread` chunking at each call site.
 //! [`shard`] supplies the matching deterministic *decompositions* (region
-//! shards and tile stripes) for the spatial clients.
+//! shards and tile stripes) for the spatial clients, and [`sync`] the
+//! blocking admission primitives (bounded FIFO queue, counting semaphore)
+//! the `gtl-runtime` service layer schedules work with.
 //!
 //! # Determinism contract
 //!
@@ -38,6 +40,8 @@
 
 pub mod exec;
 pub mod shard;
+pub mod sync;
 
 pub use exec::{derive_stream, effective_threads, parallel_map, parallel_map_with};
 pub use shard::{auto_grid, stripes, ShardGrid, DEFAULT_STRIPE_ROWS};
+pub use sync::{BoundedQueue, Semaphore};

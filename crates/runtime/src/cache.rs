@@ -1,0 +1,366 @@
+//! The deterministic response cache: an LRU map from request-line bytes
+//! to response bytes under a configurable byte budget.
+//!
+//! The workspace's service responses are **pure functions of the request
+//! line** (the execution layer makes every compute byte-identical for any
+//! worker count), which makes them trivially cacheable: serving a stored
+//! response is indistinguishable from recomputing it. That is the cache's
+//! hard invariant — *transparency* — and it holds by construction: a key
+//! is exactly the bytes the handler would receive, a value is exactly the
+//! bytes the handler produced for them, and entries are never mutated.
+//! Eviction order may depend on request interleaving across connections,
+//! but evictions only ever cost a recompute, never change bytes
+//! (property-tested here and end-to-end in `gtl-api`).
+//!
+//! Only responses the handler declares cacheable are stored — runtime
+//! metrics snapshots, for example, are *not* pure functions of the
+//! request bytes and bypass the cache.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Approximate per-entry bookkeeping cost (hash-map slot, list node,
+/// refcounts) charged against the byte budget on top of key + value
+/// length, so a budget of N bytes bounds real memory near N.
+const ENTRY_OVERHEAD: usize = 96;
+
+/// Sentinel index for "no node" in the intrusive LRU list.
+const NIL: usize = usize::MAX;
+
+/// Counters describing cache behavior since construction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that missed (the caller computed the response).
+    pub misses: u64,
+    /// Entries evicted to make room under the byte budget.
+    pub evictions: u64,
+    /// Entries stored (refreshes of an existing key do not count).
+    pub insertions: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+    /// Bytes currently charged (keys + values + per-entry overhead).
+    pub bytes: u64,
+    /// The configured byte budget (`0` = caching disabled).
+    pub capacity_bytes: u64,
+}
+
+/// A thread-safe LRU response cache with a byte budget.
+///
+/// A budget of `0` disables caching entirely: every lookup misses without
+/// touching a lock, and nothing is ever stored.
+///
+/// # Example
+///
+/// ```
+/// use gtl_runtime::ResponseCache;
+///
+/// let cache = ResponseCache::new(4096);
+/// assert!(cache.get(b"req-a").is_none());
+/// cache.insert(b"req-a", "resp-a");
+/// assert_eq!(cache.get(b"req-a").as_deref(), Some("resp-a"));
+/// let stats = cache.stats();
+/// assert_eq!((stats.hits, stats.misses), (1, 1));
+/// ```
+#[derive(Debug)]
+pub struct ResponseCache {
+    /// `None` when the budget is zero (caching disabled).
+    inner: Option<Mutex<Lru>>,
+}
+
+impl ResponseCache {
+    /// Creates a cache bounded by `budget_bytes` (`0` disables caching).
+    pub fn new(budget_bytes: usize) -> Self {
+        let inner = (budget_bytes > 0).then(|| {
+            Mutex::new(Lru {
+                budget: budget_bytes,
+                map: HashMap::new(),
+                nodes: Vec::new(),
+                free: Vec::new(),
+                head: NIL,
+                tail: NIL,
+                bytes: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+                insertions: 0,
+            })
+        });
+        Self { inner }
+    }
+
+    /// Whether caching is enabled (budget > 0).
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Looks up the response stored for `key`, promoting it to
+    /// most-recently-used on a hit.
+    pub fn get(&self, key: &[u8]) -> Option<Arc<str>> {
+        let inner = self.inner.as_ref()?;
+        let mut lru = inner.lock().unwrap_or_else(|e| e.into_inner());
+        match lru.map.get(key).copied() {
+            Some(index) => {
+                lru.hits += 1;
+                lru.unlink(index);
+                lru.push_front(index);
+                Some(Arc::clone(&lru.nodes[index].as_ref().expect("linked node").value))
+            }
+            None => {
+                lru.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores `value` for `key`, evicting least-recently-used entries
+    /// until the budget holds. A key already present is only promoted
+    /// (the stored bytes are necessarily identical — responses are pure
+    /// functions of their request); an entry larger than the whole budget
+    /// is not stored.
+    pub fn insert(&self, key: &[u8], value: &str) {
+        let Some(inner) = self.inner.as_ref() else { return };
+        let mut lru = inner.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(index) = lru.map.get(key).copied() {
+            // A concurrent miss on another lane computed the same bytes.
+            debug_assert_eq!(
+                &*lru.nodes[index].as_ref().expect("linked node").value,
+                value,
+                "cache transparency violated: same key, different response bytes"
+            );
+            lru.unlink(index);
+            lru.push_front(index);
+            return;
+        }
+        let cost = key.len() + value.len() + ENTRY_OVERHEAD;
+        if cost > lru.budget {
+            return;
+        }
+        while lru.bytes + cost > lru.budget {
+            lru.evict_tail();
+        }
+        let key: Arc<[u8]> = Arc::from(key);
+        let node =
+            Node { key: Arc::clone(&key), value: Arc::from(value), cost, prev: NIL, next: NIL };
+        let index = match lru.free.pop() {
+            Some(slot) => {
+                lru.nodes[slot] = Some(node);
+                slot
+            }
+            None => {
+                lru.nodes.push(Some(node));
+                lru.nodes.len() - 1
+            }
+        };
+        lru.push_front(index);
+        lru.map.insert(key, index);
+        lru.bytes += cost;
+        lru.insertions += 1;
+    }
+
+    /// A consistent snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        match self.inner.as_ref() {
+            None => CacheStats::default(),
+            Some(inner) => {
+                let lru = inner.lock().unwrap_or_else(|e| e.into_inner());
+                CacheStats {
+                    hits: lru.hits,
+                    misses: lru.misses,
+                    evictions: lru.evictions,
+                    insertions: lru.insertions,
+                    entries: lru.map.len() as u64,
+                    bytes: lru.bytes as u64,
+                    capacity_bytes: lru.budget as u64,
+                }
+            }
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Node {
+    key: Arc<[u8]>,
+    value: Arc<str>,
+    cost: usize,
+    /// Toward the MRU end (`NIL` at the head).
+    prev: usize,
+    /// Toward the LRU end (`NIL` at the tail).
+    next: usize,
+}
+
+/// The locked interior: a slab of nodes threaded into an intrusive
+/// doubly-linked recency list (head = most recent), plus the key map.
+#[derive(Debug)]
+struct Lru {
+    budget: usize,
+    map: HashMap<Arc<[u8]>, usize>,
+    nodes: Vec<Option<Node>>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    bytes: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    insertions: u64,
+}
+
+impl Lru {
+    fn unlink(&mut self, index: usize) {
+        let (prev, next) = {
+            let node = self.nodes[index].as_ref().expect("linked node");
+            (node.prev, node.next)
+        };
+        match prev {
+            NIL => self.head = next,
+            p => self.nodes[p].as_mut().expect("linked node").next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.nodes[n].as_mut().expect("linked node").prev = prev,
+        }
+    }
+
+    fn push_front(&mut self, index: usize) {
+        let old_head = self.head;
+        {
+            let node = self.nodes[index].as_mut().expect("linked node");
+            node.prev = NIL;
+            node.next = old_head;
+        }
+        match old_head {
+            NIL => self.tail = index,
+            h => self.nodes[h].as_mut().expect("linked node").prev = index,
+        }
+        self.head = index;
+    }
+
+    fn evict_tail(&mut self) {
+        let index = self.tail;
+        debug_assert_ne!(index, NIL, "evicting from an empty cache");
+        self.unlink(index);
+        let node = self.nodes[index].take().expect("linked node");
+        self.map.remove(&node.key);
+        self.bytes -= node.cost;
+        self.free.push(index);
+        self.evictions += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_cache_never_stores() {
+        let cache = ResponseCache::new(0);
+        assert!(!cache.is_enabled());
+        cache.insert(b"k", "v");
+        assert!(cache.get(b"k").is_none());
+        assert_eq!(cache.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn hit_returns_exact_bytes() {
+        let cache = ResponseCache::new(1 << 16);
+        cache.insert(b"key-1", "response bytes \u{3b1}\u{3b2}");
+        assert_eq!(cache.get(b"key-1").as_deref(), Some("response bytes \u{3b1}\u{3b2}"));
+        assert!(cache.get(b"key-2").is_none());
+    }
+
+    #[test]
+    fn lru_order_governs_eviction() {
+        // Budget for exactly two entries of this size.
+        let cost = 1 + 1 + ENTRY_OVERHEAD;
+        let cache = ResponseCache::new(2 * cost);
+        cache.insert(b"a", "A");
+        cache.insert(b"b", "B");
+        // Touch `a` so `b` is now least recently used.
+        assert!(cache.get(b"a").is_some());
+        cache.insert(b"c", "C");
+        assert!(cache.get(b"b").is_none(), "LRU entry should have been evicted");
+        assert!(cache.get(b"a").is_some());
+        assert!(cache.get(b"c").is_some());
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn oversized_entry_is_not_stored() {
+        let cache = ResponseCache::new(ENTRY_OVERHEAD + 4);
+        cache.insert(b"key", "a response far larger than the whole budget");
+        assert!(cache.get(b"key").is_none());
+        assert_eq!(cache.stats().entries, 0);
+        assert_eq!(cache.stats().evictions, 0);
+    }
+
+    #[test]
+    fn byte_accounting_balances_across_churn() {
+        let cache = ResponseCache::new(5 * (8 + 8 + ENTRY_OVERHEAD));
+        for round in 0..50u32 {
+            for k in 0..8u32 {
+                let key = format!("key-{k:04}");
+                let value = format!("val-{k:04}");
+                cache.insert(key.as_bytes(), &value);
+                let _ = cache.get(format!("key-{:04}", (k + round) % 8).as_bytes());
+            }
+        }
+        let stats = cache.stats();
+        assert!(stats.entries <= 5, "{stats:?}");
+        assert!(stats.bytes <= stats.capacity_bytes, "{stats:?}");
+        assert_eq!(stats.insertions, stats.evictions + stats.entries, "{stats:?}");
+    }
+
+    #[test]
+    fn refresh_of_existing_key_promotes_without_reinserting() {
+        let cost = 1 + 1 + ENTRY_OVERHEAD;
+        let cache = ResponseCache::new(2 * cost);
+        cache.insert(b"a", "A");
+        cache.insert(b"b", "B");
+        cache.insert(b"a", "A"); // refresh: `b` becomes LRU
+        cache.insert(b"c", "C");
+        assert!(cache.get(b"b").is_none());
+        assert!(cache.get(b"a").is_some());
+        assert_eq!(cache.stats().insertions, 3);
+    }
+
+    use proptest::prelude::*;
+
+    /// The pure "handler" the property test checks the cache against.
+    fn pure_response(key: u32) -> String {
+        format!("response({key})={}", u64::from(key).wrapping_mul(0x9e37_79b9))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The transparency property, simulated: for *any* access
+        /// sequence and *any* budget (including budgets small enough to
+        /// force constant eviction), a cache-mediated lookup always
+        /// yields the bytes the pure handler produces, and the byte
+        /// accounting never exceeds the budget.
+        #[test]
+        fn transparency_under_random_access_patterns(
+            budget in 0usize..2048,
+            accesses in proptest::collection::vec(0u32..24, 0..200),
+        ) {
+            let cache = ResponseCache::new(budget);
+            for key in accesses {
+                let key_bytes = format!("req-{key}");
+                let expected = pure_response(key);
+                let got = match cache.get(key_bytes.as_bytes()) {
+                    Some(hit) => hit.to_string(),
+                    None => {
+                        cache.insert(key_bytes.as_bytes(), &expected);
+                        expected.clone()
+                    }
+                };
+                prop_assert_eq!(got, expected);
+                let stats = cache.stats();
+                prop_assert!(stats.bytes <= stats.capacity_bytes);
+            }
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Runtime observability: cheap atomic counters aggregated into a
+//! [`MetricsSnapshot`].
+//!
+//! Every counter is updated with relaxed atomics on hot paths (the
+//! scheduler and the per-connection I/O threads), so metrics never
+//! serialize the runtime. A snapshot is *not* a point-in-time transaction
+//! across all counters — each field is individually consistent, which is
+//! what a monitoring endpoint needs. Crucially, metrics are
+//! **observation only**: no counter value ever feeds back into request
+//! handling, so exposing them cannot perturb response bytes.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::cache::ResponseCache;
+
+/// Live counters owned by the runtime (see [`MetricsSnapshot`] for the
+/// exported view).
+#[derive(Debug)]
+pub(crate) struct MetricsHub {
+    /// Static config echoes, so a snapshot is self-describing.
+    lanes: u64,
+    queue_capacity: u64,
+    pipeline_depth: u64,
+    connections_accepted: AtomicU64,
+    connections_active: AtomicU64,
+    requests: AtomicU64,
+    responses: AtomicU64,
+    read_timeouts: AtomicU64,
+    io_errors: AtomicU64,
+    handler_panics: AtomicU64,
+    queue_depth: AtomicU64,
+    queue_high_water: AtomicU64,
+}
+
+impl MetricsHub {
+    pub(crate) fn new(lanes: usize, queue_capacity: usize, pipeline_depth: usize) -> Self {
+        Self {
+            lanes: lanes as u64,
+            queue_capacity: queue_capacity as u64,
+            pipeline_depth: pipeline_depth as u64,
+            connections_accepted: AtomicU64::new(0),
+            connections_active: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            responses: AtomicU64::new(0),
+            read_timeouts: AtomicU64::new(0),
+            io_errors: AtomicU64::new(0),
+            handler_panics: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            queue_high_water: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn connection_opened(&self) {
+        self.connections_accepted.fetch_add(1, Ordering::Relaxed);
+        self.connections_active.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn connection_closed(&self) {
+        self.connections_active.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn request_submitted(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn response_written(&self) {
+        self.responses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn read_timeout(&self) {
+        self.read_timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn io_error(&self) {
+        self.io_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn handler_panic(&self) {
+        self.handler_panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records the scheduler queue length observed after a push/pop.
+    pub(crate) fn observe_queue_depth(&self, depth: usize) {
+        let depth = depth as u64;
+        self.queue_depth.store(depth, Ordering::Relaxed);
+        self.queue_high_water.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self, cache: &ResponseCache) -> MetricsSnapshot {
+        let cache = cache.stats();
+        MetricsSnapshot {
+            lanes: self.lanes,
+            queue_capacity: self.queue_capacity,
+            pipeline_depth: self.pipeline_depth,
+            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
+            connections_active: self.connections_active.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            responses: self.responses.load(Ordering::Relaxed),
+            read_timeouts: self.read_timeouts.load(Ordering::Relaxed),
+            io_errors: self.io_errors.load(Ordering::Relaxed),
+            handler_panics: self.handler_panics.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            queue_high_water: self.queue_high_water.load(Ordering::Relaxed),
+            cache_capacity_bytes: cache.capacity_bytes,
+            cache_entries: cache.entries,
+            cache_bytes: cache.bytes,
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            cache_evictions: cache.evictions,
+            cache_insertions: cache.insertions,
+        }
+    }
+}
+
+/// A point-in-time view of the runtime's counters, as exposed by the
+/// versioned Metrics API (`gtl-api` mirrors this into its wire contract).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Number of compute lanes (scheduler worker threads).
+    pub lanes: u64,
+    /// Capacity of the bounded job queue feeding the lanes.
+    pub queue_capacity: u64,
+    /// Max jobs in flight per connection (reorder-buffer size).
+    pub pipeline_depth: u64,
+    /// Connections accepted since the server started.
+    pub connections_accepted: u64,
+    /// Connections currently open.
+    pub connections_active: u64,
+    /// Request lines admitted to the scheduler.
+    pub requests: u64,
+    /// Response lines successfully written back.
+    pub responses: u64,
+    /// Connections closed by the read/idle timeout.
+    pub read_timeouts: u64,
+    /// Per-connection I/O failures (reads and writes).
+    pub io_errors: u64,
+    /// Handler panics caught on a lane (each costs its connection, never
+    /// the lane).
+    pub handler_panics: u64,
+    /// Jobs waiting in the scheduler queue (last observed).
+    pub queue_depth: u64,
+    /// Highest queue depth observed so far.
+    pub queue_high_water: u64,
+    /// Response-cache byte budget (`0` = caching disabled).
+    pub cache_capacity_bytes: u64,
+    /// Response-cache resident entries.
+    pub cache_entries: u64,
+    /// Response-cache resident bytes (keys + values + overhead).
+    pub cache_bytes: u64,
+    /// Response-cache lookup hits.
+    pub cache_hits: u64,
+    /// Response-cache lookup misses.
+    pub cache_misses: u64,
+    /// Response-cache evictions under the byte budget.
+    pub cache_evictions: u64,
+    /// Response-cache insertions (distinct stored entries).
+    pub cache_insertions: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_counters() {
+        let hub = MetricsHub::new(3, 12, 4);
+        let cache = ResponseCache::new(1 << 12);
+        hub.connection_opened();
+        hub.connection_opened();
+        hub.connection_closed();
+        hub.request_submitted();
+        hub.response_written();
+        hub.read_timeout();
+        hub.io_error();
+        hub.observe_queue_depth(5);
+        hub.observe_queue_depth(2);
+        cache.insert(b"k", "v");
+        let _ = cache.get(b"k");
+
+        let snap = hub.snapshot(&cache);
+        assert_eq!(snap.lanes, 3);
+        assert_eq!(snap.queue_capacity, 12);
+        assert_eq!(snap.pipeline_depth, 4);
+        assert_eq!(snap.connections_accepted, 2);
+        assert_eq!(snap.connections_active, 1);
+        assert_eq!(snap.requests, 1);
+        assert_eq!(snap.responses, 1);
+        assert_eq!(snap.read_timeouts, 1);
+        assert_eq!(snap.io_errors, 1);
+        assert_eq!(snap.queue_depth, 2);
+        assert_eq!(snap.queue_high_water, 5);
+        assert_eq!(snap.cache_hits, 1);
+        assert_eq!(snap.cache_insertions, 1);
+    }
+}

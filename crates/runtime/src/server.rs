@@ -1,0 +1,1057 @@
+//! The bounded line-serving runtime: acceptor → I/O threads → bounded
+//! job queue → compute lanes → per-connection reorder buffer.
+//!
+//! [`serve_lines`] turns a [`TcpListener`] plus a [`LineHandler`] into a
+//! pipelined JSON-lines-style server with *bounded admission* at every
+//! level:
+//!
+//! * **Compute lanes.** A fixed pool of `lanes` worker threads executes
+//!   request jobs popped from one global bounded FIFO
+//!   ([`gtl_core::sync::BoundedQueue`]). When every lane is busy and the
+//!   queue is full, connection readers block in `push` — backpressure
+//!   reaches the client's TCP window instead of growing an unbounded
+//!   buffer.
+//! * **Pipelining with order preservation.** A client may write up to
+//!   `pipeline_depth` request lines before reading; jobs from one
+//!   connection run concurrently on the lanes, and a per-connection
+//!   reorder ring emits responses strictly in request order, so the wire
+//!   contract is exactly that of a serial server.
+//! * **Connection bounds.** An optional max-concurrent-connections gate
+//!   (excess clients wait in the listen backlog), an optional total
+//!   accept budget (for scripted runs), and a per-connection read/idle
+//!   timeout.
+//!
+//! Connection threads are **I/O only**: they parse frames and move
+//! buffers; all request compute happens on the lanes, and whatever the
+//! handler fans out internally (e.g. `gtl_core::exec`) stays inside the
+//! job. Responses for a given request line are byte-identical no matter
+//! how many lanes, connections, or pipelined requests are in flight —
+//! provided the handler is deterministic, which the [`ResponseCache`]
+//! additionally exploits (see [`crate::cache`]).
+
+use std::io::{BufRead as _, BufReader, BufWriter, Write as _};
+use std::net::{TcpListener, TcpStream};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use gtl_core::sync::{BoundedQueue, Semaphore};
+
+use crate::cache::ResponseCache;
+use crate::metrics::{MetricsHub, MetricsSnapshot};
+
+/// Give up on the listener after this many `accept()` failures in a row
+/// (transient `ECONNABORTED`-style failures are tolerated and reset on
+/// every successful accept).
+const MAX_CONSECUTIVE_ACCEPT_ERRORS: usize = 100;
+
+/// At most this many per-connection I/O error strings are kept verbatim
+/// in the [`ServeReport`]; further ones only bump a drop counter (a
+/// long-running server must not grow an unbounded error log).
+const MAX_REPORTED_IO_ERRORS: usize = 64;
+
+/// Whether a response may be stored in the response cache.
+///
+/// Only responses that are **pure functions of the request line bytes**
+/// may be cached — everything the workspace computes (find/place/stats)
+/// qualifies; a metrics snapshot does not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cacheability {
+    /// The response depends only on the request bytes: cache it.
+    Cacheable,
+    /// The response depends on runtime state (e.g. metrics): never cache.
+    Uncacheable,
+}
+
+/// A framing-level failure detected before the handler runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportError {
+    /// The request line exceeded the configured byte cap.
+    Oversized {
+        /// The configured cap in bytes.
+        limit: u64,
+    },
+    /// The request line is not valid UTF-8.
+    NotUtf8,
+}
+
+/// Per-request context handed to the handler (read-only runtime views).
+#[derive(Debug)]
+pub struct RequestContext<'a> {
+    pub(crate) hub: &'a MetricsHub,
+    pub(crate) cache: &'a ResponseCache,
+}
+
+impl RequestContext<'_> {
+    /// A point-in-time snapshot of the runtime's metrics, for serving a
+    /// monitoring endpoint. Metrics are observation-only; reading them
+    /// never perturbs request handling.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.hub.snapshot(self.cache)
+    }
+}
+
+/// The request dispatcher a runtime serves.
+///
+/// `handle` receives one trimmed request line and must append exactly the
+/// response line's bytes (no trailing newline) onto `out`, which arrives
+/// cleared but with reused capacity. It must be **total** (every input
+/// produces a response, errors included) and **deterministic** for every
+/// response it declares [`Cacheability::Cacheable`] — the cache's
+/// transparency invariant builds on that.
+pub trait LineHandler: Sync {
+    /// Computes the response for `line` into `out`.
+    fn handle(&self, ctx: &RequestContext<'_>, line: &str, out: &mut String) -> Cacheability;
+
+    /// The response line for a framing failure (`None` = close without
+    /// answering). The connection is dropped after this response either
+    /// way; previously pipelined responses are still flushed first.
+    fn transport_error(&self, error: &TransportError) -> Option<String> {
+        let _ = error;
+        None
+    }
+}
+
+impl<F> LineHandler for F
+where
+    F: Fn(&RequestContext<'_>, &str, &mut String) -> Cacheability + Sync,
+{
+    fn handle(&self, ctx: &RequestContext<'_>, line: &str, out: &mut String) -> Cacheability {
+        self(ctx, line, out)
+    }
+}
+
+/// Sizing and limits for [`serve_lines`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuntimeConfig {
+    /// Compute lanes (scheduler worker threads); `0` = all cores.
+    pub lanes: usize,
+    /// Bounded job-queue capacity; `0` = auto (`4 × lanes`, at least the
+    /// pipeline depth).
+    pub queue_depth: usize,
+    /// Response-cache byte budget; `0` disables caching.
+    pub cache_bytes: usize,
+    /// Max jobs in flight per connection (reorder-ring size); clamped to
+    /// at least 1. `1` degenerates to strict serial request/response.
+    pub pipeline_depth: usize,
+    /// Largest accepted request line in bytes. A line is buffered before
+    /// parsing; the cap keeps one hostile newline-free stream from
+    /// growing the buffer until the allocator aborts the process.
+    pub max_request_bytes: u64,
+    /// Per-connection idle timeout (`None` = wait forever). Idle means
+    /// no request in flight **and** nothing arriving: a client waiting
+    /// on a slow compute never trips it. On expiry the connection stops
+    /// reading, flushes anything in flight and closes.
+    pub read_timeout: Option<Duration>,
+    /// Max concurrently open connections (`None`/`Some(0)` = unbounded);
+    /// excess clients wait in the listen backlog.
+    pub max_concurrent: Option<usize>,
+    /// Total accept budget (`None` = run forever; `Some(0)` = return
+    /// immediately). Scripted callers use this for a clean exit.
+    pub max_connections: Option<usize>,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        Self {
+            lanes: 0,
+            queue_depth: 0,
+            cache_bytes: 0,
+            pipeline_depth: 1,
+            max_request_bytes: 1 << 20,
+            read_timeout: None,
+            max_concurrent: None,
+            max_connections: None,
+        }
+    }
+}
+
+impl RuntimeConfig {
+    fn resolved_lanes(&self) -> usize {
+        if self.lanes == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            self.lanes
+        }
+    }
+
+    fn resolved_pipeline(&self) -> usize {
+        self.pipeline_depth.max(1)
+    }
+
+    fn resolved_queue_depth(&self) -> usize {
+        if self.queue_depth == 0 {
+            (self.resolved_lanes() * 4).max(self.resolved_pipeline())
+        } else {
+            self.queue_depth
+        }
+    }
+}
+
+/// What a bounded [`serve_lines`] run did.
+#[derive(Debug)]
+pub struct ServeReport {
+    /// Connections accepted.
+    pub connections: usize,
+    /// Per-connection I/O error descriptions, capped at a fixed count
+    /// (earlier behavior silently dropped these).
+    pub io_errors: Vec<String>,
+    /// I/O errors beyond the reporting cap (counted, not stored).
+    pub dropped_io_errors: usize,
+    /// Final metrics snapshot.
+    pub metrics: MetricsSnapshot,
+}
+
+/// A unit of compute queued for the lanes: one request's dispatch,
+/// boxed with everything it needs to deliver its response.
+type Job<'a> = Box<dyn FnOnce() + Send + 'a>;
+
+/// Serves line-delimited requests from `listener` until the accept
+/// budget is exhausted (or forever without one).
+///
+/// # Errors
+///
+/// An [`std::io::Error`] when accepting fails persistently (100 times
+/// in a row — transient failures are tolerated). Per-connection
+/// I/O errors never fail the server; they are counted and reported in
+/// the [`ServeReport`].
+///
+/// # Panics
+///
+/// A panic inside [`LineHandler::handle`] is caught on the lane: it
+/// costs the connection whose request panicked (earlier pipelined
+/// responses still flush, then the connection closes; counted in
+/// [`MetricsSnapshot::handler_panics`] and reported in the
+/// [`ServeReport`]), never a lane or the server. Panics from runtime
+/// internals still propagate.
+pub fn serve_lines<H: LineHandler>(
+    listener: &TcpListener,
+    config: &RuntimeConfig,
+    handler: &H,
+) -> std::io::Result<ServeReport> {
+    let lanes = config.resolved_lanes();
+    let pipeline = config.resolved_pipeline();
+    let queue_depth = config.resolved_queue_depth();
+
+    let cache = ResponseCache::new(config.cache_bytes);
+    let hub = MetricsHub::new(lanes, queue_depth, pipeline);
+    let sink = Mutex::new(ErrorSink::default());
+    let gate = config.max_concurrent.filter(|&max| max > 0).map(Semaphore::new);
+    if config.max_connections == Some(0) {
+        return Ok(ServeReport {
+            connections: 0,
+            io_errors: Vec::new(),
+            dropped_io_errors: 0,
+            metrics: hub.snapshot(&cache),
+        });
+    }
+
+    let rt = RuntimeRefs {
+        handler,
+        cache: &cache,
+        hub: &hub,
+        sink: &sink,
+        pipeline,
+        max_request_bytes: config.max_request_bytes,
+        read_timeout: config.read_timeout,
+    };
+    // Declared after `rt` so queued jobs may borrow it (drop order runs
+    // the queue down first).
+    let queue: BoundedQueue<Job<'_>> = BoundedQueue::new(queue_depth);
+
+    let (served, accept_error) = std::thread::scope(|scope| {
+        for _ in 0..lanes {
+            let queue = &queue;
+            let hub = &hub;
+            scope.spawn(move || {
+                while let Some(job) = queue.pop() {
+                    hub.observe_queue_depth(queue.len());
+                    job();
+                }
+            });
+        }
+
+        let mut served = 0usize;
+        let mut consecutive_errors = 0usize;
+        let mut connections: Vec<std::thread::ScopedJoinHandle<'_, ()>> = Vec::new();
+        let accept_error = loop {
+            if let Some(gate) = &gate {
+                gate.acquire();
+            }
+            let stream = match listener.accept() {
+                Ok((stream, _peer)) => {
+                    consecutive_errors = 0;
+                    stream
+                }
+                Err(e) => {
+                    // accept() fails transiently in normal operation
+                    // (ECONNABORTED on client reset, EMFILE under fd
+                    // pressure); one bad handshake must not take the
+                    // server down. Persistent failure still surfaces.
+                    if let Some(gate) = &gate {
+                        gate.release();
+                    }
+                    consecutive_errors += 1;
+                    if consecutive_errors >= MAX_CONSECUTIVE_ACCEPT_ERRORS {
+                        break Some(std::io::Error::new(
+                            e.kind(),
+                            format!("accept failed {consecutive_errors} times in a row: {e}"),
+                        ));
+                    }
+                    continue;
+                }
+            };
+            served += 1;
+            hub.connection_opened();
+            let conn_id = served;
+            let rt = &rt;
+            let queue = &queue;
+            let gate = &gate;
+            connections.push(scope.spawn(move || {
+                run_connection(rt, queue, scope, conn_id, stream);
+                if let Some(gate) = gate {
+                    gate.release();
+                }
+                rt.hub.connection_closed();
+            }));
+            // Reap finished connection threads so the handle list stays
+            // proportional to *live* connections on a forever-server.
+            let mut i = 0;
+            while i < connections.len() {
+                if connections[i].is_finished() {
+                    connections.swap_remove(i).join().expect("connection thread panicked");
+                } else {
+                    i += 1;
+                }
+            }
+            if config.max_connections.is_some_and(|max| served >= max) {
+                break None;
+            }
+        };
+        // Graceful shutdown: every accepted connection finishes (readers
+        // drain, lanes finish their jobs, writers flush) before the
+        // queue closes and the lanes exit.
+        for handle in connections {
+            handle.join().expect("connection thread panicked");
+        }
+        queue.close();
+        (served, accept_error)
+    });
+
+    // End the job container's borrows (of `rt`, and through it `sink`)
+    // before draining the sink by value.
+    drop(queue);
+    if let Some(error) = accept_error {
+        return Err(error);
+    }
+    let drained = sink.into_inner().unwrap_or_else(|e| e.into_inner());
+    Ok(ServeReport {
+        connections: served,
+        io_errors: drained.errors,
+        dropped_io_errors: drained.dropped,
+        metrics: hub.snapshot(&cache),
+    })
+}
+
+/// Shared references every connection and job needs, bundled so the
+/// spawned closures capture one pointer.
+struct RuntimeRefs<'a, H: LineHandler> {
+    handler: &'a H,
+    cache: &'a ResponseCache,
+    hub: &'a MetricsHub,
+    sink: &'a Mutex<ErrorSink>,
+    pipeline: usize,
+    max_request_bytes: u64,
+    read_timeout: Option<Duration>,
+}
+
+impl<H: LineHandler> RuntimeRefs<'_, H> {
+    fn record_io_error(&self, conn_id: usize, message: String) {
+        self.hub.io_error();
+        self.record_error(conn_id, message);
+    }
+
+    /// Stores a per-connection error description for the report without
+    /// bumping the I/O-error counter (used for non-I/O failures such as
+    /// handler panics, which have their own counter).
+    fn record_error(&self, conn_id: usize, message: String) {
+        let mut sink = self.sink.lock().unwrap_or_else(|e| e.into_inner());
+        if sink.errors.len() < MAX_REPORTED_IO_ERRORS {
+            sink.errors.push(format!("connection #{conn_id}: {message}"));
+        } else {
+            sink.dropped += 1;
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct ErrorSink {
+    errors: Vec<String>,
+    dropped: usize,
+}
+
+/// One connection: spawn the writer, run the read loop, join the writer.
+fn run_connection<'j, 'scope, 'env, H: LineHandler>(
+    rt: &'j RuntimeRefs<'j, H>,
+    queue: &BoundedQueue<Job<'j>>,
+    scope: &'scope std::thread::Scope<'scope, 'env>,
+    conn_id: usize,
+    stream: TcpStream,
+) where
+    'j: 'env,
+{
+    if rt.read_timeout.is_some() {
+        if let Err(e) = stream.set_read_timeout(rt.read_timeout) {
+            rt.record_io_error(conn_id, format!("set_read_timeout: {e}"));
+            return;
+        }
+    }
+    let write_half = match stream.try_clone() {
+        Ok(half) => half,
+        Err(e) => {
+            rt.record_io_error(conn_id, format!("clone: {e}"));
+            return;
+        }
+    };
+    let conn = Arc::new(ConnShared::new(rt.pipeline));
+    let writer = {
+        let conn = Arc::clone(&conn);
+        let hub = rt.hub;
+        scope.spawn(move || write_side(&conn, BufWriter::new(write_half), hub))
+    };
+    read_side(rt, queue, &conn, conn_id, stream);
+    conn.finish_input();
+    if let Some(message) = writer.join().expect("connection writer panicked") {
+        rt.record_io_error(conn_id, message);
+    }
+}
+
+/// The I/O-only producer: frame request lines, acquire a pipeline slot,
+/// submit a job per line. Never computes a response itself.
+fn read_side<'j, H: LineHandler>(
+    rt: &'j RuntimeRefs<'j, H>,
+    queue: &BoundedQueue<Job<'j>>,
+    conn: &Arc<ConnShared>,
+    conn_id: usize,
+    stream: TcpStream,
+) {
+    let mut reader = BufReader::new(stream);
+    let mut buf: Vec<u8> = Vec::new();
+    'lines: loop {
+        buf.clear();
+        // Read one line, possibly across several timeout wakeups: the
+        // timeout measures client *idleness*, so while responses are in
+        // flight (the client is waiting on the server, not the other way
+        // round) wakeups just retry. With nothing in flight the timeout
+        // closes the connection — including one stalled mid-line, whose
+        // partial bytes are discarded (slowloris protection).
+        loop {
+            // Bound the read: at most one byte past the cap, so an
+            // oversized line is detected without ever buffering the
+            // whole stream.
+            let budget = rt.max_request_bytes + 1 - buf.len() as u64;
+            match std::io::Read::take(&mut reader, budget).read_until(b'\n', &mut buf) {
+                Ok(0) if buf.is_empty() => break 'lines, // clean EOF
+                // EOF terminating a final unterminated line, a complete
+                // line, or the byte budget exhausted (caught below).
+                Ok(0) => break,
+                Ok(_) if buf.last() == Some(&b'\n') || buf.len() as u64 > rt.max_request_bytes => {
+                    break
+                }
+                Ok(_) => {} // partial read (short take) — keep reading
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if conn.has_inflight() {
+                        continue; // server still computing — not idle
+                    }
+                    // Genuinely idle: stop reading; anything already in
+                    // flight still flushes before the connection closes.
+                    rt.hub.read_timeout();
+                    break 'lines;
+                }
+                Err(e) => {
+                    rt.record_io_error(conn_id, format!("read: {e}"));
+                    break 'lines;
+                }
+            }
+        }
+        if buf.len() as u64 > rt.max_request_bytes {
+            respond_transport_error(
+                rt,
+                conn,
+                &TransportError::Oversized { limit: rt.max_request_bytes },
+            );
+            break;
+        }
+        let Ok(text) = std::str::from_utf8(&buf) else {
+            respond_transport_error(rt, conn, &TransportError::NotUtf8);
+            break;
+        };
+        // The canonical request line: surrounding whitespace stripped
+        // (it cannot change the parsed request), so the cache key and
+        // the handler input are exactly the same bytes.
+        let line = text.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let Some((seq, out)) = conn.acquire_slot() else {
+            break; // the writer died; stop producing
+        };
+        rt.hub.request_submitted();
+        let line = line.to_string();
+        let job: Job<'j> = Box::new({
+            let conn = Arc::clone(conn);
+            move || run_job(rt, &conn, conn_id, seq, &line, out)
+        });
+        if queue.push(job).is_err() {
+            // Only possible if shutdown raced this connection; fail the
+            // stream rather than leave the writer waiting on `seq`.
+            conn.kill();
+            break;
+        }
+        rt.hub.observe_queue_depth(queue.len());
+    }
+}
+
+/// Answers a framing failure in request order (if the handler supplies a
+/// response line) — the connection is closed by the caller afterwards.
+fn respond_transport_error<H: LineHandler>(
+    rt: &RuntimeRefs<'_, H>,
+    conn: &ConnShared,
+    error: &TransportError,
+) {
+    if let Some(text) = rt.handler.transport_error(error) {
+        if let Some((seq, mut out)) = conn.acquire_slot() {
+            rt.hub.request_submitted();
+            out.clear();
+            out.push_str(&text);
+            conn.deposit(seq, out);
+        }
+    }
+}
+
+/// One request's compute, run on a lane: cache lookup, handler dispatch,
+/// cache fill, in-order delivery.
+///
+/// A panic inside the handler is contained here: it costs exactly the
+/// connection that submitted the request (the same blast radius as the
+/// old dispatch-on-the-connection-thread server), never the lane — the
+/// connection flushes every earlier in-order response, then closes.
+fn run_job<H: LineHandler>(
+    rt: &RuntimeRefs<'_, H>,
+    conn: &ConnShared,
+    conn_id: usize,
+    seq: u64,
+    line: &str,
+    mut out: String,
+) {
+    out.clear();
+    if let Some(hit) = rt.cache.get(line.as_bytes()) {
+        // Transparency invariant: these are exactly the bytes the
+        // handler produced for this line (property-tested end to end).
+        out.push_str(&hit);
+    } else {
+        let ctx = RequestContext { hub: rt.hub, cache: rt.cache };
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            rt.handler.handle(&ctx, line, &mut out)
+        }));
+        match outcome {
+            Ok(Cacheability::Cacheable) => rt.cache.insert(line.as_bytes(), &out),
+            Ok(Cacheability::Uncacheable) => {}
+            Err(_panic) => {
+                rt.hub.handler_panic();
+                rt.record_error(conn_id, "handler panicked; connection dropped".to_string());
+                conn.abort_after(seq);
+                return;
+            }
+        }
+    }
+    conn.deposit(seq, out);
+}
+
+/// The consumer: write responses strictly in request order, recycling
+/// buffers back to the connection's pool.
+///
+/// Flushing is adaptive: while the next in-order response is already
+/// deposited (a pipelined burst, e.g. cache-warm repeats), lines batch
+/// in the `BufWriter` and flush together; the flush happens as soon as
+/// the writer would otherwise wait, so an interactive client still sees
+/// every response immediately.
+fn write_side(
+    conn: &ConnShared,
+    mut writer: BufWriter<TcpStream>,
+    hub: &MetricsHub,
+) -> Option<String> {
+    let result = write_loop(conn, &mut writer, hub);
+    // Once the writer stops, nothing will ever be answered on this
+    // connection again; shut the read half so a reader blocked in a
+    // timeout-less read (e.g. after a handler panic aborted the
+    // connection) sees EOF instead of leaking. On a normally completed
+    // connection the reader has already exited and this is a no-op.
+    let _ = writer.get_ref().shutdown(std::net::Shutdown::Read);
+    result
+}
+
+/// The write loop proper (see [`write_side`]).
+fn write_loop(
+    conn: &ConnShared,
+    writer: &mut BufWriter<TcpStream>,
+    hub: &MetricsHub,
+) -> Option<String> {
+    loop {
+        let text = {
+            let mut state = conn.state.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if state.dead {
+                    return None;
+                }
+                let slot = state.ring_index(state.written);
+                if let Some(text) = state.ring[slot].take() {
+                    break text;
+                }
+                if state.total == Some(state.written) {
+                    // Everything written; push out whatever is batched.
+                    drop(state);
+                    return match writer.flush() {
+                        Ok(()) => None,
+                        Err(e) => Some(format!("flush: {e}")),
+                    };
+                }
+                state = conn.response_ready.wait(state).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        match writeln!(writer, "{text}") {
+            Ok(()) => {
+                hub.response_written();
+                let next_ready = {
+                    let mut state = conn.state.lock().unwrap_or_else(|e| e.into_inner());
+                    state.written += 1;
+                    let mut recycled = text;
+                    recycled.clear();
+                    if state.pool.len() < state.ring.len() {
+                        state.pool.push(recycled);
+                    }
+                    conn.slot_freed.notify_one();
+                    let slot = state.ring_index(state.written);
+                    state.ring[slot].is_some()
+                };
+                if !next_ready {
+                    if let Err(e) = writer.flush() {
+                        conn.kill();
+                        return Some(format!("flush: {e}"));
+                    }
+                }
+            }
+            Err(e) => {
+                conn.kill();
+                return Some(format!("write: {e}"));
+            }
+        }
+    }
+}
+
+/// Per-connection pipeline state: the reorder ring plus flow control.
+///
+/// Invariants: `written ≤ submitted ≤ written + ring.len()` (the
+/// pipeline-depth window), so every in-flight sequence number maps to a
+/// distinct ring slot; `total` is set exactly once, when the read side
+/// stops producing.
+struct ConnShared {
+    state: Mutex<ConnState>,
+    /// Signaled when `written` advances or the connection dies
+    /// (producers waiting for a pipeline slot).
+    slot_freed: Condvar,
+    /// Signaled when a response lands in the ring, input ends, or the
+    /// connection dies (the writer waits on this).
+    response_ready: Condvar,
+}
+
+struct ConnState {
+    /// `ring[seq % depth]` holds the finished response for `seq`.
+    ring: Vec<Option<String>>,
+    /// Recycled response buffers (capacity reuse across requests).
+    pool: Vec<String>,
+    /// Next sequence number to assign.
+    submitted: u64,
+    /// Responses written back so far (the reorder cursor).
+    written: u64,
+    /// Sequence number past the last response the writer should emit
+    /// (set at end of input, or truncated by [`ConnShared::abort_after`]).
+    total: Option<u64>,
+    /// The writer failed; discard everything, stop producing.
+    dead: bool,
+    /// Stop producing new requests (a job failed); unlike `dead`, the
+    /// writer still drains every response before the abort point.
+    aborted: bool,
+}
+
+impl ConnState {
+    fn ring_index(&self, seq: u64) -> usize {
+        (seq % self.ring.len() as u64) as usize
+    }
+}
+
+impl ConnShared {
+    fn new(pipeline_depth: usize) -> Self {
+        Self {
+            state: Mutex::new(ConnState {
+                ring: (0..pipeline_depth).map(|_| None).collect(),
+                pool: Vec::new(),
+                submitted: 0,
+                written: 0,
+                total: None,
+                dead: false,
+                aborted: false,
+            }),
+            slot_freed: Condvar::new(),
+            response_ready: Condvar::new(),
+        }
+    }
+
+    /// Blocks until fewer than `pipeline_depth` requests are in flight,
+    /// then claims the next sequence number and a recycled buffer.
+    /// `None` when the connection is dead.
+    fn acquire_slot(&self) -> Option<(u64, String)> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if state.dead || state.aborted {
+                return None;
+            }
+            if state.submitted - state.written < state.ring.len() as u64 {
+                let seq = state.submitted;
+                state.submitted += 1;
+                let out = state.pool.pop().unwrap_or_default();
+                return Some((seq, out));
+            }
+            state = self.slot_freed.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Delivers the finished response for `seq` into its ring slot.
+    fn deposit(&self, seq: u64, text: String) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let slot = state.ring_index(seq);
+        debug_assert!(state.ring[slot].is_none(), "reorder slot for seq {seq} overwritten");
+        state.ring[slot] = Some(text);
+        self.response_ready.notify_one();
+    }
+
+    /// Whether any accepted request has not been answered on the wire
+    /// yet — the read/idle timeout only closes a connection when this is
+    /// `false` (a client waiting on a slow response is not idle). A dead
+    /// or aborted connection will never answer anything again, so it
+    /// reports `false` no matter the counters.
+    fn has_inflight(&self) -> bool {
+        let state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        !state.dead && !state.aborted && state.submitted > state.written
+    }
+
+    /// Marks end of input: the writer exits after draining everything
+    /// submitted so far (unless an abort already truncated earlier).
+    fn finish_input(&self) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if state.total.is_none() {
+            state.total = Some(state.submitted);
+        }
+        self.response_ready.notify_all();
+    }
+
+    /// Fails the connection at `seq` (its job produced no response):
+    /// stop producing, let the writer flush every response before `seq`,
+    /// then close. Responses for later in-flight sequence numbers are
+    /// discarded.
+    fn abort_after(&self, seq: u64) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.aborted = true;
+        state.total = Some(state.total.map_or(seq, |t| t.min(seq)));
+        self.slot_freed.notify_all();
+        self.response_ready.notify_all();
+    }
+
+    /// Marks the connection dead (producer-side failure).
+    fn kill(&self) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.dead = true;
+        self.slot_freed.notify_all();
+        self.response_ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic test handler: echoes with a prefix, sleeps a few
+    /// milliseconds on `slow-` lines (to shuffle lane completion order),
+    /// serves a metrics line, and answers framing errors.
+    struct TestHandler;
+
+    impl LineHandler for TestHandler {
+        fn handle(&self, ctx: &RequestContext<'_>, line: &str, out: &mut String) -> Cacheability {
+            if line == "panic" {
+                panic!("handler blew up");
+            }
+            if line == "sleep-long" {
+                std::thread::sleep(Duration::from_millis(150));
+            }
+            if line == "metrics" {
+                let snap = ctx.metrics();
+                out.push_str(&format!("metrics hits={}", snap.cache_hits));
+                return Cacheability::Uncacheable;
+            }
+            if let Some(rest) = line.strip_prefix("slow-") {
+                let ms = rest.bytes().next().map_or(0, |b| u64::from(b % 4));
+                std::thread::sleep(Duration::from_millis(ms));
+            }
+            out.push_str("echo:");
+            out.push_str(line);
+            Cacheability::Cacheable
+        }
+
+        fn transport_error(&self, error: &TransportError) -> Option<String> {
+            Some(match error {
+                TransportError::Oversized { limit } => format!("error:oversized:{limit}"),
+                TransportError::NotUtf8 => "error:not-utf8".to_string(),
+            })
+        }
+    }
+
+    fn bind() -> TcpListener {
+        TcpListener::bind("127.0.0.1:0").expect("bind loopback")
+    }
+
+    #[test]
+    fn zero_connection_budget_returns_immediately() {
+        let listener = bind();
+        let config = RuntimeConfig { max_connections: Some(0), ..RuntimeConfig::default() };
+        let report = serve_lines(&listener, &config, &TestHandler).unwrap();
+        assert_eq!(report.connections, 0);
+    }
+
+    #[test]
+    fn pipelined_responses_arrive_in_request_order() {
+        let listener = bind();
+        let addr = listener.local_addr().unwrap();
+        let config = RuntimeConfig {
+            lanes: 4,
+            pipeline_depth: 5,
+            max_connections: Some(1),
+            ..RuntimeConfig::default()
+        };
+        std::thread::scope(|scope| {
+            let server = scope.spawn(|| serve_lines(&listener, &config, &TestHandler).unwrap());
+            let mut conn = TcpStream::connect(addr).unwrap();
+            // Burst of uneven-latency requests, written before any read.
+            let n = 40;
+            let mut expected = Vec::new();
+            for i in 0..n {
+                writeln!(conn, "slow-{i}").unwrap();
+                expected.push(format!("echo:slow-{i}"));
+            }
+            conn.shutdown(std::net::Shutdown::Write).unwrap();
+            let got: Vec<String> = BufReader::new(conn).lines().map(|l| l.unwrap()).collect();
+            assert_eq!(got, expected, "responses reordered");
+            let report = server.join().unwrap();
+            assert_eq!(report.connections, 1);
+            assert_eq!(report.metrics.requests, n as u64);
+            assert_eq!(report.metrics.responses, n as u64);
+        });
+    }
+
+    #[test]
+    fn cache_serves_repeats_and_metrics_bypass_it() {
+        let listener = bind();
+        let addr = listener.local_addr().unwrap();
+        let config = RuntimeConfig {
+            lanes: 2,
+            pipeline_depth: 4,
+            cache_bytes: 1 << 16,
+            max_connections: Some(1),
+            ..RuntimeConfig::default()
+        };
+        std::thread::scope(|scope| {
+            let server = scope.spawn(|| serve_lines(&listener, &config, &TestHandler).unwrap());
+            let mut conn = TcpStream::connect(addr).unwrap();
+            let mut reader = BufReader::new(conn.try_clone().unwrap());
+            let read_line = |reader: &mut BufReader<TcpStream>| {
+                let mut line = String::new();
+                reader.read_line(&mut line).unwrap();
+                line.trim_end().to_string()
+            };
+            // First request fills the cache; reading its response before
+            // sending the repeats makes the hit count deterministic.
+            writeln!(conn, "repeat-me").unwrap();
+            assert_eq!(read_line(&mut reader), "echo:repeat-me");
+            writeln!(conn, "repeat-me").unwrap();
+            writeln!(conn, "repeat-me").unwrap();
+            writeln!(conn, "metrics").unwrap();
+            conn.shutdown(std::net::Shutdown::Write).unwrap();
+            assert_eq!(read_line(&mut reader), "echo:repeat-me");
+            assert_eq!(read_line(&mut reader), "echo:repeat-me");
+            assert!(read_line(&mut reader).starts_with("metrics hits="), "metrics line");
+            let report = server.join().unwrap();
+            // The two repeats hit; the first fill and the (uncacheable,
+            // so never resident) metrics probe miss.
+            assert_eq!(report.metrics.cache_hits, 2);
+            assert_eq!(report.metrics.cache_misses, 2);
+            // The metrics line must not have been cached: exactly one
+            // resident entry (the echoed request).
+            assert_eq!(report.metrics.cache_entries, 1);
+        });
+    }
+
+    #[test]
+    fn oversized_line_answered_in_order_then_closed() {
+        let listener = bind();
+        let addr = listener.local_addr().unwrap();
+        let config = RuntimeConfig {
+            lanes: 1,
+            pipeline_depth: 2,
+            max_request_bytes: 64,
+            max_connections: Some(1),
+            ..RuntimeConfig::default()
+        };
+        std::thread::scope(|scope| {
+            let server = scope.spawn(|| serve_lines(&listener, &config, &TestHandler).unwrap());
+            let mut conn = TcpStream::connect(addr).unwrap();
+            writeln!(conn, "ok").unwrap();
+            writeln!(conn, "{}", "x".repeat(100)).unwrap();
+            let _ = conn.shutdown(std::net::Shutdown::Write);
+            let got: Vec<String> = BufReader::new(conn).lines().map(|l| l.unwrap()).collect();
+            assert_eq!(got, vec!["echo:ok".to_string(), "error:oversized:64".to_string()]);
+            server.join().unwrap();
+        });
+    }
+
+    #[test]
+    fn idle_timeout_closes_the_connection() {
+        let listener = bind();
+        let addr = listener.local_addr().unwrap();
+        let config = RuntimeConfig {
+            lanes: 1,
+            read_timeout: Some(Duration::from_millis(30)),
+            max_connections: Some(1),
+            ..RuntimeConfig::default()
+        };
+        std::thread::scope(|scope| {
+            let server = scope.spawn(|| serve_lines(&listener, &config, &TestHandler).unwrap());
+            let mut conn = TcpStream::connect(addr).unwrap();
+            writeln!(conn, "before-idle").unwrap();
+            // Then go idle: the server must answer what it got and close.
+            let got: Vec<String> = BufReader::new(conn).lines().map(|l| l.unwrap()).collect();
+            assert_eq!(got, vec!["echo:before-idle".to_string()]);
+            let report = server.join().unwrap();
+            assert_eq!(report.metrics.read_timeouts, 1);
+        });
+    }
+
+    #[test]
+    fn slow_compute_does_not_trip_the_idle_timeout() {
+        let listener = bind();
+        let addr = listener.local_addr().unwrap();
+        let config = RuntimeConfig {
+            lanes: 1,
+            // Far shorter than the 150ms the request takes to compute:
+            // the timeout must only measure idleness, not compute.
+            read_timeout: Some(Duration::from_millis(40)),
+            max_connections: Some(1),
+            ..RuntimeConfig::default()
+        };
+        std::thread::scope(|scope| {
+            let server = scope.spawn(|| serve_lines(&listener, &config, &TestHandler).unwrap());
+            let mut conn = TcpStream::connect(addr).unwrap();
+            writeln!(conn, "sleep-long").unwrap();
+            // Keep the write half open (a serial client waiting for its
+            // answer); the idle timeout should close the connection only
+            // after the response arrives.
+            let got: Vec<String> = BufReader::new(conn).lines().map_while(Result::ok).collect();
+            assert_eq!(got, vec!["echo:sleep-long".to_string()], "slow response lost to timeout");
+            let report = server.join().unwrap();
+            // The post-response idle close is the one counted timeout.
+            assert_eq!(report.metrics.read_timeouts, 1);
+            assert_eq!(report.metrics.responses, 1);
+        });
+    }
+
+    #[test]
+    fn handler_panic_costs_the_connection_not_the_server() {
+        let listener = bind();
+        let addr = listener.local_addr().unwrap();
+        let config = RuntimeConfig {
+            lanes: 1, // serialize jobs so the pre-panic response is deposited first
+            pipeline_depth: 4,
+            max_connections: Some(2),
+            ..RuntimeConfig::default()
+        };
+        std::thread::scope(|scope| {
+            let server = scope.spawn(|| serve_lines(&listener, &config, &TestHandler).unwrap());
+            // Connection 1: a good request, then a panicking one. The
+            // server must flush the first response, then close without
+            // answering the panicked request — even though this client
+            // keeps its write half open and the server has no read
+            // timeout (the abort unblocks the reader via shutdown, so
+            // the connection cannot leak).
+            let conn = TcpStream::connect(addr).unwrap();
+            let mut writer = conn.try_clone().unwrap();
+            writeln!(writer, "before\npanic").unwrap();
+            let got: Vec<String> = BufReader::new(conn).lines().map_while(Result::ok).collect();
+            assert_eq!(got, vec!["echo:before".to_string()], "pre-panic response must flush");
+            drop(writer);
+            // Connection 2: the lane survived; the server still serves.
+            let mut conn = TcpStream::connect(addr).unwrap();
+            writeln!(conn, "still-alive").unwrap();
+            conn.shutdown(std::net::Shutdown::Write).unwrap();
+            let got: Vec<String> = BufReader::new(conn).lines().map_while(Result::ok).collect();
+            assert_eq!(got, vec!["echo:still-alive".to_string()]);
+            let report = server.join().unwrap();
+            assert_eq!(report.metrics.handler_panics, 1);
+            assert!(
+                report.io_errors.iter().any(|e| e.contains("handler panicked")),
+                "{:?}",
+                report.io_errors
+            );
+        });
+    }
+
+    #[test]
+    fn concurrent_connections_all_complete_under_gate() {
+        let listener = bind();
+        let addr = listener.local_addr().unwrap();
+        let clients = 6usize;
+        let config = RuntimeConfig {
+            lanes: 2,
+            pipeline_depth: 3,
+            cache_bytes: 1 << 14,
+            max_concurrent: Some(2),
+            max_connections: Some(clients),
+            ..RuntimeConfig::default()
+        };
+        std::thread::scope(|scope| {
+            let server = scope.spawn(|| serve_lines(&listener, &config, &TestHandler).unwrap());
+            let mut client_handles = Vec::new();
+            for c in 0..clients {
+                client_handles.push(scope.spawn(move || {
+                    let mut conn = TcpStream::connect(addr).unwrap();
+                    for i in 0..5 {
+                        writeln!(conn, "slow-{}", (c + i) % 3).unwrap();
+                    }
+                    conn.shutdown(std::net::Shutdown::Write).unwrap();
+                    BufReader::new(conn).lines().map(|l| l.unwrap()).collect::<Vec<_>>()
+                }));
+            }
+            for (c, handle) in client_handles.into_iter().enumerate() {
+                let got = handle.join().unwrap();
+                let expected: Vec<String> =
+                    (0..5).map(|i| format!("echo:slow-{}", (c + i) % 3)).collect();
+                assert_eq!(got, expected, "client {c}");
+            }
+            let report = server.join().unwrap();
+            assert_eq!(report.connections, clients);
+            assert_eq!(report.metrics.responses, (clients * 5) as u64);
+            assert!(report.io_errors.is_empty(), "{:?}", report.io_errors);
+        });
+    }
+}

@@ -34,7 +34,7 @@ fn serve_round_trip(session: &Session, line: &str) -> String {
     let addr = listener.local_addr().unwrap();
     std::thread::scope(|scope| {
         scope.spawn(|| {
-            gtl_api::serve(session, &listener, &ServeOptions { max_connections: Some(1) })
+            gtl_api::serve(session, &listener, &ServeOptions::new().max_connections(Some(1)))
         });
         let mut conn = TcpStream::connect(addr).unwrap();
         writeln!(conn, "{line}").unwrap();

@@ -26,6 +26,22 @@ pub fn to_string<T: Serialize + ?Sized>(value: &T) -> String {
     value.to_value().render()
 }
 
+/// Serializes any [`Serialize`] type to compact JSON text appended onto
+/// `out`, reusing the buffer's allocation (the caller clears it between
+/// uses). Hot serve loops use this to avoid a fresh `String` per
+/// response; the bytes produced are identical to [`to_string`].
+///
+/// # Example
+///
+/// ```
+/// let mut buf = String::from("doc: ");
+/// serde::json::to_string_into(&vec![1u32, 2], &mut buf);
+/// assert_eq!(buf, "doc: [1,2]");
+/// ```
+pub fn to_string_into<T: Serialize + ?Sized>(value: &T, out: &mut String) {
+    value.to_value().render_into(out);
+}
+
 /// Deserializes any [`Deserialize`] type from JSON text.
 ///
 /// # Errors
