@@ -47,6 +47,18 @@ pub enum ApiError {
         /// The underlying error.
         message: String,
     },
+    /// The request's deadline (its `deadline_ms` or the server-side
+    /// default) passed before the response was produced. Never cached.
+    DeadlineExceeded {
+        /// Which deadline fired.
+        message: String,
+    },
+    /// The request was cancelled before completion (connection loss,
+    /// shutdown). Never cached.
+    Cancelled {
+        /// Why the request was cancelled.
+        message: String,
+    },
 }
 
 impl ApiError {
@@ -70,6 +82,16 @@ impl ApiError {
         Self::Io { message: message.into() }
     }
 
+    /// Shorthand for [`ApiError::DeadlineExceeded`].
+    pub fn deadline_exceeded(message: impl Into<String>) -> Self {
+        Self::DeadlineExceeded { message: message.into() }
+    }
+
+    /// Shorthand for [`ApiError::Cancelled`].
+    pub fn cancelled(message: impl Into<String>) -> Self {
+        Self::Cancelled { message: message.into() }
+    }
+
     /// The stable machine-readable code (part of the wire contract).
     pub fn code(&self) -> &'static str {
         match self {
@@ -78,12 +100,14 @@ impl ApiError {
             Self::InvalidArgument { .. } => "invalid_argument",
             Self::Netlist { .. } => "netlist",
             Self::Io { .. } => "io",
+            Self::DeadlineExceeded { .. } => "deadline_exceeded",
+            Self::Cancelled { .. } => "cancelled",
         }
     }
 
     /// The conventional process exit code for the `gtl` CLI:
     /// `1` for input/netlist errors, `2` for bad requests/arguments,
-    /// `3` for I/O failures.
+    /// `3` for I/O failures, `4` for deadline/cancellation outcomes.
     pub fn exit_code(&self) -> i32 {
         match self {
             Self::Netlist { .. } => 1,
@@ -91,6 +115,7 @@ impl ApiError {
             | Self::UnsupportedVersion { .. }
             | Self::InvalidArgument { .. } => 2,
             Self::Io { .. } => 3,
+            Self::DeadlineExceeded { .. } | Self::Cancelled { .. } => 4,
         }
     }
 
@@ -100,7 +125,9 @@ impl ApiError {
             Self::BadRequest { message }
             | Self::InvalidArgument { message }
             | Self::Netlist { message }
-            | Self::Io { message } => message.clone(),
+            | Self::Io { message }
+            | Self::DeadlineExceeded { message }
+            | Self::Cancelled { message } => message.clone(),
             Self::UnsupportedVersion { requested, supported } => {
                 format!(
                     "request version {requested} unsupported (this build speaks {}..={supported})",
@@ -137,6 +164,19 @@ impl From<serde::Error> for ApiError {
     }
 }
 
+impl From<gtl_core::cancel::Cancelled> for ApiError {
+    fn from(c: gtl_core::cancel::Cancelled) -> Self {
+        match c.reason {
+            gtl_core::cancel::CancelReason::DeadlineExceeded => {
+                Self::deadline_exceeded("deadline expired before the response was produced")
+            }
+            gtl_core::cancel::CancelReason::Cancelled => {
+                Self::cancelled("request cancelled before completion")
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,6 +189,8 @@ mod tests {
             (ApiError::invalid_argument("x"), "invalid_argument", 2),
             (ApiError::netlist("x"), "netlist", 1),
             (ApiError::io("x"), "io", 3),
+            (ApiError::deadline_exceeded("x"), "deadline_exceeded", 4),
+            (ApiError::cancelled("x"), "cancelled", 4),
         ];
         for (err, code, exit) in cases {
             assert_eq!(err.code(), code);

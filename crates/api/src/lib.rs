@@ -78,5 +78,5 @@ pub use session::{load_netlist, Session, SessionBuilder};
 pub use types::{
     ErrorBody, FindRequest, FindResponse, MetricsRequest, MetricsResponse, NetlistSummary,
     PlaceRequest, PlaceResponse, Request, Response, RuntimeMetrics, StatsRequest, StatsResponse,
-    API_VERSION, METRICS_SINCE_VERSION, MIN_API_VERSION,
+    API_VERSION, DEADLINE_SINCE_VERSION, METRICS_SINCE_VERSION, MIN_API_VERSION,
 };

@@ -93,6 +93,13 @@ pub struct ServeOptions {
     /// `Some(0)` returns immediately). Scripted callers (CI golden
     /// tests) use this to get a clean exit.
     pub max_connections: Option<usize>,
+    /// Server-side default deadline per request (`None` = unbounded).
+    /// Anchored at request admission; an expired deadline answers a
+    /// `deadline_exceeded` error without consuming compute, and a
+    /// deadline firing mid-compute aborts at the next checkpoint.
+    /// Request-supplied `deadline_ms` (protocol v3+) narrows this
+    /// further per request.
+    pub deadline: Option<Duration>,
 }
 
 impl Default for ServeOptions {
@@ -105,6 +112,7 @@ impl Default for ServeOptions {
             timeout: None,
             max_concurrent: None,
             max_connections: None,
+            deadline: None,
         }
     }
 }
@@ -155,6 +163,12 @@ impl ServeOptions {
     /// Sets the total accept budget.
     pub fn max_connections(mut self, max_connections: Option<usize>) -> Self {
         self.max_connections = max_connections;
+        self
+    }
+
+    /// Sets the server-side default per-request deadline.
+    pub fn deadline(mut self, deadline: Option<Duration>) -> Self {
+        self.deadline = deadline;
         self
     }
 }
@@ -209,6 +223,7 @@ pub fn serve(
         read_timeout: options.timeout,
         max_concurrent: options.max_concurrent,
         max_connections: options.max_connections,
+        default_deadline: options.deadline,
     };
     let handler = SessionHandler { session };
     let report = gtl_runtime::serve_lines(listener, &config, &handler)
@@ -242,14 +257,44 @@ impl LineHandler for SessionHandler<'_> {
                 Cacheability::Uncacheable
             }
             Ok(request) => {
-                let response = self.session.handle(&request);
+                // The job token (connection loss + server default
+                // deadline) reaches the compute through the session;
+                // `deadline_ms` in the request narrows it further,
+                // anchored at admission so queue wait counts.
+                let response = self.session.handle_cancellable(
+                    &request,
+                    ctx.cancel_token(),
+                    ctx.submitted_at(),
+                );
                 serde::json::to_string_into(&response, out);
-                // Error responses (validation failures) are deterministic
-                // but nearly free to recompute; caching them would let a
-                // stream of unique invalid requests evict Find/Place
-                // entries worth seconds of compute. Only successful
-                // responses earn cache space.
-                if matches!(response, Response::Error(_)) {
+                if let Response::Error(body) = &response {
+                    // The runtime owns the counters; the handler owns
+                    // the outcome classification.
+                    match body.code.as_str() {
+                        "deadline_exceeded" => ctx.record_deadline_exceeded(),
+                        "cancelled" => ctx.record_cancelled(),
+                        _ => {}
+                    }
+                    // Error responses (validation failures, deadline and
+                    // cancellation outcomes) are never cached: unique
+                    // invalid requests must not evict compute worth
+                    // seconds, and deadline/cancel outcomes are
+                    // timing-dependent, not pure functions of the line.
+                    return Cacheability::Uncacheable;
+                }
+                // Successful responses are deterministic — cached bytes
+                // are always exactly what a successful compute of the
+                // line produces. Deadlines only make the success-vs-error
+                // *outcome* timing-dependent, and a warm hit resolving
+                // that race in the client's favor is deliberate: a
+                // deadline bounds latency, and a hit (microseconds)
+                // always meets it. Requests carrying their own
+                // `deadline_ms` are still kept out of the cache: the
+                // deadline is part of the key bytes, so admitting them
+                // would let one client mint unbounded near-duplicate
+                // entries of the same response (one per deadline value)
+                // and evict everything else.
+                if request.deadline_ms().is_some() {
                     Cacheability::Uncacheable
                 } else {
                     Cacheability::Cacheable
@@ -416,6 +461,46 @@ mod tests {
     }
 
     #[test]
+    fn deadline_ms_over_the_wire() {
+        let session = session();
+        let listener = bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let options = ServeOptions::new().lanes(1).max_connections(Some(1));
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(|| serve(&session, &listener, &options).unwrap());
+            let mut conn = TcpStream::connect(addr).unwrap();
+            // An already-expired per-request deadline: answered with a
+            // structured error, without running the finder.
+            let expired = request_line().replace("\"deadline_ms\":null", "\"deadline_ms\":0");
+            assert!(expired.contains("\"deadline_ms\":0"), "{expired}");
+            writeln!(conn, "{expired}").unwrap();
+            // A generous deadline: served normally, but never cached
+            // (the outcome is timing-dependent) — send it twice.
+            let generous =
+                request_line().replace("\"deadline_ms\":null", "\"deadline_ms\":3600000");
+            writeln!(conn, "{generous}").unwrap();
+            writeln!(conn, "{generous}").unwrap();
+            // A v2 request carrying deadline_ms: the field is v3+.
+            let wrong_version = expired.replacen("\"v\":3", "\"v\":2", 1);
+            writeln!(conn, "{wrong_version}").unwrap();
+            conn.shutdown(std::net::Shutdown::Write).unwrap();
+            let lines: Vec<String> = BufReader::new(conn).lines().map(|l| l.unwrap()).collect();
+            assert_eq!(lines.len(), 4, "{lines:?}");
+            assert!(lines[0].contains("\"code\":\"deadline_exceeded\""), "{}", lines[0]);
+            assert!(lines[1].starts_with("{\"Find\":{\"v\":3,"), "{}", lines[1]);
+            assert_eq!(lines[1], lines[2], "same line must answer identically");
+            assert!(lines[3].contains("\"code\":\"invalid_argument\""), "{}", lines[3]);
+            let summary = handle.join().unwrap();
+            assert_eq!(summary.metrics.deadlines_exceeded, 1, "{:?}", summary.metrics);
+            assert_eq!(
+                summary.metrics.cache_entries, 0,
+                "deadline-carrying requests must never be cached: {:?}",
+                summary.metrics
+            );
+        });
+    }
+
+    #[test]
     fn metrics_request_served_by_runtime_not_cached() {
         let session = session();
         let listener = bind("127.0.0.1:0").unwrap();
@@ -432,7 +517,7 @@ mod tests {
             conn.shutdown(std::net::Shutdown::Write).unwrap();
             let lines: Vec<String> = BufReader::new(conn).lines().map(|l| l.unwrap()).collect();
             assert_eq!(lines.len(), 3, "{lines:?}");
-            assert!(lines[0].starts_with("{\"Metrics\":{\"v\":2,\"metrics\":{"), "{}", lines[0]);
+            assert!(lines[0].starts_with("{\"Metrics\":{\"v\":3,\"metrics\":{"), "{}", lines[0]);
             assert!(lines[1].contains("\"requests\":"), "{}", lines[1]);
             assert!(lines[2].contains("\"invalid_argument\""), "{}", lines[2]);
             let summary = handle.join().unwrap();

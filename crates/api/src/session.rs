@@ -11,7 +11,9 @@
 
 use std::path::Path;
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
+use gtl_core::cancel::{CancelToken, Deadline};
 use gtl_netlist::{bookshelf, hgr, verilog, Netlist, NetlistStats};
 use gtl_place::congestion;
 use gtl_tangled::{PruneScratch, TangledLogicFinder};
@@ -19,7 +21,7 @@ use gtl_tangled::{PruneScratch, TangledLogicFinder};
 use crate::{
     ApiError, ErrorBody, FindRequest, FindResponse, MetricsRequest, MetricsResponse,
     NetlistSummary, PlaceRequest, PlaceResponse, Request, Response, RuntimeMetrics, StatsRequest,
-    StatsResponse, API_VERSION, METRICS_SINCE_VERSION, MIN_API_VERSION,
+    StatsResponse, API_VERSION, DEADLINE_SINCE_VERSION, METRICS_SINCE_VERSION, MIN_API_VERSION,
 };
 
 /// Loads a netlist, selecting the parser from the file extension
@@ -74,6 +76,35 @@ fn check_threads(threads: usize, field: &str) -> Result<(), ApiError> {
         )));
     }
     Ok(())
+}
+
+/// Builds the effective cancellation token for one request: the caller's
+/// `base` token (the serve runtime's per-connection token, or a fresh
+/// never-firing one for in-process dispatch), narrowed by the request's
+/// `deadline_ms` anchored at `anchor` (request admission, so queue wait
+/// counts against the deadline).
+///
+/// # Errors
+///
+/// [`ApiError::InvalidArgument`] when `deadline_ms` is supplied with a
+/// protocol version older than [`DEADLINE_SINCE_VERSION`].
+fn request_token(
+    base: &CancelToken,
+    v: u32,
+    deadline_ms: Option<u64>,
+    anchor: Instant,
+) -> Result<CancelToken, ApiError> {
+    match deadline_ms {
+        None => Ok(base.clone()),
+        Some(_) if v < DEADLINE_SINCE_VERSION => Err(ApiError::invalid_argument(format!(
+            "deadline_ms requires protocol version {DEADLINE_SINCE_VERSION} (requested {v})"
+        ))),
+        Some(ms) => match Deadline::anchored(anchor, Duration::from_millis(ms)) {
+            Some(deadline) => Ok(base.child_with_deadline(deadline)),
+            // An unrepresentably far deadline is the same as none.
+            None => Ok(base.clone()),
+        },
+    }
 }
 
 /// Builder for [`Session`] (see [`Session::builder`]).
@@ -185,7 +216,31 @@ impl Session {
     /// sizes are capped before any allocation happens — a hostile request
     /// must not be able to abort the server).
     pub fn find(&self, request: &FindRequest) -> Result<FindResponse, ApiError> {
+        self.find_cancellable(request, &CancelToken::new(), Instant::now())
+    }
+
+    /// [`Session::find`] under a caller-supplied cancellation `base`
+    /// token (the serve runtime passes the connection's token) and
+    /// deadline anchor. The request's `deadline_ms` (v3+) narrows the
+    /// token; an already-expired deadline is answered before any compute
+    /// starts, and a deadline firing mid-run aborts the finder at its
+    /// next checkpoint (one seed search).
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Session::find`] reports, plus
+    /// [`ApiError::DeadlineExceeded`] / [`ApiError::Cancelled`].
+    pub fn find_cancellable(
+        &self,
+        request: &FindRequest,
+        base: &CancelToken,
+        anchor: Instant,
+    ) -> Result<FindResponse, ApiError> {
         self.check_version(request.v)?;
+        let token = request_token(base, request.v, request.deadline_ms, anchor)?;
+        // The cheap pre-compute probe: an expired deadline (or lost
+        // connection) is answered here, before any lane time is spent.
+        token.checkpoint().map_err(ApiError::from)?;
         let config = request.config;
         if config.num_seeds == 0 || config.num_seeds > MAX_NUM_SEEDS {
             return Err(ApiError::invalid_argument(format!(
@@ -209,14 +264,15 @@ impl Session {
         // behind the mutex (the scratch is a pure allocation cache — the
         // result is identical either way).
         let result = match self.scratch.try_lock() {
-            Ok(mut scratch) => finder.run_with_scratch(&mut scratch),
+            Ok(mut scratch) => finder.run_with_scratch_cancellable(&mut scratch, &token),
             Err(std::sync::TryLockError::Poisoned(poisoned)) => {
-                finder.run_with_scratch(&mut poisoned.into_inner())
+                finder.run_with_scratch_cancellable(&mut poisoned.into_inner(), &token)
             }
-            Err(std::sync::TryLockError::WouldBlock) => {
-                finder.run_with_scratch(&mut PruneScratch::new(self.netlist.num_cells()))
-            }
-        };
+            Err(std::sync::TryLockError::WouldBlock) => finder.run_with_scratch_cancellable(
+                &mut PruneScratch::new(self.netlist.num_cells()),
+                &token,
+            ),
+        }?;
         Ok(FindResponse { v: request.v, netlist: self.summary.clone(), result })
     }
 
@@ -226,7 +282,27 @@ impl Session {
     ///
     /// Version and argument validation errors.
     pub fn place(&self, request: &PlaceRequest) -> Result<PlaceResponse, ApiError> {
+        self.place_cancellable(request, &CancelToken::new(), Instant::now())
+    }
+
+    /// [`Session::place`] under a caller-supplied cancellation `base`
+    /// token and deadline anchor (see [`Session::find_cancellable`]);
+    /// the placer checkpoints between solve/spread iterations and the
+    /// congestion estimator between tile stripes.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Session::place`] reports, plus
+    /// [`ApiError::DeadlineExceeded`] / [`ApiError::Cancelled`].
+    pub fn place_cancellable(
+        &self,
+        request: &PlaceRequest,
+        base: &CancelToken,
+        anchor: Instant,
+    ) -> Result<PlaceResponse, ApiError> {
         self.check_version(request.v)?;
+        let token = request_token(base, request.v, request.deadline_ms, anchor)?;
+        token.checkpoint().map_err(ApiError::from)?;
         if !(request.utilization > 0.0 && request.utilization <= 1.0) {
             return Err(ApiError::invalid_argument("utilization must be in (0, 1]"));
         }
@@ -264,9 +340,15 @@ impl Session {
         check_threads(request.placer.threads, "placer.threads")?;
         check_threads(request.routing.threads, "routing.threads")?;
         let die = gtl_place::Die::for_netlist(&self.netlist, request.utilization);
-        let placement = gtl_place::place(&self.netlist, &die, &request.placer);
+        let placement = gtl_place::place_cancellable(&self.netlist, &die, &request.placer, &token)?;
         let hpwl = gtl_place::hpwl(&self.netlist, &placement);
-        let map = congestion::estimate(&self.netlist, &placement, &die, &request.routing);
+        let map = congestion::estimate_cancellable(
+            &self.netlist,
+            &placement,
+            &die,
+            &request.routing,
+            &token,
+        )?;
         Ok(PlaceResponse {
             v: request.v,
             netlist: self.summary.clone(),
@@ -317,6 +399,19 @@ impl Session {
     /// intercepts it before dispatch (see [`serve`](crate::serve())).
     /// Here it is answered with a structured `invalid_argument` error.
     pub fn handle(&self, request: &Request) -> Response {
+        self.handle_cancellable(request, &CancelToken::new(), Instant::now())
+    }
+
+    /// [`Session::handle`] under a caller-supplied cancellation `base`
+    /// token and deadline anchor: cancellation and deadline outcomes
+    /// become `cancelled` / `deadline_exceeded` error responses (echoing
+    /// the request's version like every other error).
+    pub fn handle_cancellable(
+        &self,
+        request: &Request,
+        base: &CancelToken,
+        anchor: Instant,
+    ) -> Response {
         let requested_v = match request {
             Request::Find(req) => req.v,
             Request::Place(req) => req.v,
@@ -324,8 +419,8 @@ impl Session {
             Request::Metrics(req) => req.v,
         };
         let outcome = match request {
-            Request::Find(req) => self.find(req).map(Response::Find),
-            Request::Place(req) => self.place(req).map(Response::Place),
+            Request::Find(req) => self.find_cancellable(req, base, anchor).map(Response::Find),
+            Request::Place(req) => self.place_cancellable(req, base, anchor).map(Response::Place),
             Request::Stats(req) => self.stats(req).map(Response::Stats),
             Request::Metrics(_) => Err(ApiError::invalid_argument(
                 "Metrics is served by the `gtl serve` runtime (no runtime is attached to an \
@@ -506,14 +601,14 @@ mod tests {
             panic!("expected error response");
         };
         assert_eq!(body.v, API_VERSION);
-        assert!(body.message.contains("1..=2"), "{}", body.message);
+        assert!(body.message.contains("1..=3"), "{}", body.message);
     }
 
     #[test]
     fn handle_never_fails() {
         let s = session();
         let mut req = find_request();
-        req.v = 3;
+        req.v = API_VERSION + 1;
         let Response::Error(body) = s.handle(&Request::Find(req)) else {
             panic!("expected error response");
         };
@@ -527,15 +622,75 @@ mod tests {
         let a = s.handle_line(&line);
         let b = s.handle_line(&line);
         assert_eq!(a, b);
-        assert!(a.starts_with("{\"Find\":{\"v\":2,"), "{a}");
+        assert!(a.starts_with("{\"Find\":{\"v\":3,"), "{a}");
         // A v1 request is still accepted and echoes v1 — the golden
         // round-trip from the v1 protocol stays byte-identical.
-        let v1 = s.handle_line(&line.replacen("\"v\":2", "\"v\":1", 1));
+        let v1 = s.handle_line(&line.replacen("\"v\":3", "\"v\":1", 1));
         assert!(v1.starts_with("{\"Find\":{\"v\":1,"), "{v1}");
-        assert_eq!(v1.replacen("\"v\":1", "\"v\":2", 1), a);
+        assert_eq!(v1.replacen("\"v\":1", "\"v\":3", 1), a);
 
         let err = s.handle_line("this is not json");
         assert!(err.contains("\"code\":\"bad_request\""), "{err}");
+    }
+
+    #[test]
+    fn expired_deadline_answers_deadline_exceeded_before_compute() {
+        let s = session();
+        let mut req = find_request();
+        req.deadline_ms = Some(0);
+        let err = s.find(&req).unwrap_err();
+        assert_eq!(err.code(), "deadline_exceeded");
+        assert_eq!(err.exit_code(), 4);
+
+        let mut preq = PlaceRequest::new();
+        preq.deadline_ms = Some(0);
+        assert_eq!(s.place(&preq).unwrap_err().code(), "deadline_exceeded");
+    }
+
+    #[test]
+    fn deadline_ms_requires_protocol_v3() {
+        let s = session();
+        for v in [1, 2] {
+            let mut req = find_request();
+            req.v = v;
+            req.deadline_ms = Some(5_000);
+            let err = s.find(&req).unwrap_err();
+            assert_eq!(err.code(), "invalid_argument", "v={v}");
+            assert!(err.message().contains("deadline_ms"), "{}", err.message());
+        }
+    }
+
+    #[test]
+    fn generous_deadline_leaves_the_response_identical() {
+        let s = session();
+        let plain = serde::json::to_string(&s.find(&find_request()).unwrap());
+        let mut req = find_request();
+        req.deadline_ms = Some(3_600_000);
+        let with_deadline = serde::json::to_string(&s.find(&req).unwrap());
+        assert_eq!(plain, with_deadline);
+        // An absurdly far deadline saturates to "no deadline".
+        req.deadline_ms = Some(u64::MAX);
+        assert_eq!(plain, serde::json::to_string(&s.find(&req).unwrap()));
+    }
+
+    #[test]
+    fn cancelled_base_token_reaches_the_dispatch() {
+        let s = session();
+        let base = CancelToken::new();
+        base.cancel();
+        let err = s.find_cancellable(&find_request(), &base, Instant::now()).unwrap_err();
+        assert_eq!(err.code(), "cancelled");
+        // Through the envelope path the outcome is an error *response*
+        // echoing the request's version.
+        let mut req = find_request();
+        req.v = 1;
+        let Response::Error(body) =
+            s.handle_cancellable(&Request::Find(req), &base, Instant::now())
+        else {
+            panic!("expected error response");
+        };
+        assert_eq!(body.code, "cancelled");
+        assert_eq!(body.v, 1);
     }
 
     #[test]

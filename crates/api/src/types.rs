@@ -24,13 +24,17 @@ use serde::{Deserialize, Serialize};
 /// The newest protocol version this build speaks.
 ///
 /// Bump when a contract changes shape incompatibly **or** gains a new
-/// request pair (v2 added [`MetricsRequest`]/[`MetricsResponse`]). A
-/// session accepts every version in
+/// request pair or field (v2 added [`MetricsRequest`]/[`MetricsResponse`];
+/// v3 added the optional per-request `deadline_ms` on [`FindRequest`] and
+/// [`PlaceRequest`]). A session accepts every version in
 /// [`MIN_API_VERSION`]`..=`[`API_VERSION`] and **echoes the request's
-/// version** in its response, so v1 clients keep receiving bytes
-/// identical to a v1 build; anything outside the range is answered with
-/// a structured `unsupported_version` error naming both sides.
-pub const API_VERSION: u32 = 2;
+/// version** in its response, so v1/v2 clients keep receiving bytes
+/// identical to the build that introduced their protocol (for the
+/// deterministic compute contracts — the live [`MetricsResponse`]
+/// payload is additive instead, see [`RuntimeMetrics`]); anything
+/// outside the range is answered with a structured `unsupported_version`
+/// error naming both sides.
+pub const API_VERSION: u32 = 3;
 
 /// The oldest protocol version this build still speaks.
 ///
@@ -42,6 +46,12 @@ pub const MIN_API_VERSION: u32 = 1;
 /// [`MetricsRequest`] with an older `v` is rejected (the pair did not
 /// exist in that protocol).
 pub const METRICS_SINCE_VERSION: u32 = 2;
+
+/// The version that introduced per-request deadlines; a request carrying
+/// `deadline_ms` with an older `v` is rejected with `invalid_argument`
+/// (the field did not exist in that protocol, so accepting it would make
+/// v1/v2 behavior build-dependent).
+pub const DEADLINE_SINCE_VERSION: u32 = 3;
 
 /// Compact netlist identification echoed in every response, so clients
 /// can sanity-check which design the server is bound to.
@@ -78,12 +88,20 @@ pub struct FindRequest {
     /// `config.threads`, so worker count is a performance knob, not a
     /// semantic one.
     pub config: FinderConfig,
+    /// Optional deadline in milliseconds (protocol v3+), measured from
+    /// the moment the server admits the request — queue wait counts. An
+    /// expired deadline answers a `deadline_exceeded` error without
+    /// consuming compute; a deadline that fires mid-compute aborts at
+    /// the next checkpoint. Responses to deadline-carrying requests are
+    /// timing-dependent and therefore never cached. Absent (or `null`)
+    /// means no per-request deadline.
+    pub deadline_ms: Option<u64>,
 }
 
 impl FindRequest {
-    /// A current-version request with the given config.
+    /// A current-version request with the given config and no deadline.
     pub fn new(config: FinderConfig) -> Self {
-        Self { v: API_VERSION, config }
+        Self { v: API_VERSION, config, deadline_ms: None }
     }
 }
 
@@ -115,16 +133,21 @@ pub struct PlaceRequest {
     pub placer: PlacerConfig,
     /// Congestion-estimation parameters.
     pub routing: RoutingConfig,
+    /// Optional deadline in milliseconds (protocol v3+); same semantics
+    /// as [`FindRequest::deadline_ms`].
+    pub deadline_ms: Option<u64>,
 }
 
 impl PlaceRequest {
-    /// A current-version request with default pipeline parameters.
+    /// A current-version request with default pipeline parameters and no
+    /// deadline.
     pub fn new() -> Self {
         Self {
             v: API_VERSION,
             utilization: 0.7,
             placer: PlacerConfig::default(),
             routing: RoutingConfig::default(),
+            deadline_ms: None,
         }
     }
 }
@@ -219,6 +242,14 @@ pub struct MetricsResponse {
 /// Wire mirror of [`gtl_runtime::MetricsSnapshot`] — a separate type so
 /// the wire contract stays stable even if the runtime grows internal
 /// counters.
+///
+/// Unlike the compute contracts (Find/Place/Stats), the Metrics payload
+/// is **additive across protocol versions**: new counters (e.g. the v3
+/// cancellation pair) appear for every accepted `v`, and clients must
+/// ignore fields they do not know. A metrics snapshot reports live,
+/// ever-changing state — it is never cached, never byte-frozen and
+/// never golden-tested, so the version-echo byte freeze deliberately
+/// does not apply to it.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RuntimeMetrics {
     /// Compute lanes (scheduler worker threads).
@@ -242,6 +273,11 @@ pub struct RuntimeMetrics {
     /// Handler panics caught on a compute lane (each costs its
     /// connection, never the lane).
     pub handler_panics: u64,
+    /// Jobs abandoned because their connection was lost (queued compute
+    /// skipped; nobody left to answer).
+    pub jobs_cancelled: u64,
+    /// Requests answered with a `deadline_exceeded` error.
+    pub deadlines_exceeded: u64,
     /// Jobs waiting in the scheduler queue (last observed).
     pub queue_depth: u64,
     /// Highest queue depth observed so far.
@@ -275,6 +311,8 @@ impl From<MetricsSnapshot> for RuntimeMetrics {
             read_timeouts: snapshot.read_timeouts,
             io_errors: snapshot.io_errors,
             handler_panics: snapshot.handler_panics,
+            jobs_cancelled: snapshot.jobs_cancelled,
+            deadlines_exceeded: snapshot.deadlines_exceeded,
             queue_depth: snapshot.queue_depth,
             queue_high_water: snapshot.queue_high_water,
             cache_capacity_bytes: snapshot.cache_capacity_bytes,
@@ -321,6 +359,19 @@ pub enum Request {
     Stats(StatsRequest),
     /// Fetch serve-runtime metrics (since protocol v2).
     Metrics(MetricsRequest),
+}
+
+impl Request {
+    /// The request's `deadline_ms`, for the variants that carry one
+    /// (compute-heavy Find/Place; Stats and Metrics answer in
+    /// microseconds and have no deadline field).
+    pub fn deadline_ms(&self) -> Option<u64> {
+        match self {
+            Self::Find(req) => req.deadline_ms,
+            Self::Place(req) => req.deadline_ms,
+            Self::Stats(_) | Self::Metrics(_) => None,
+        }
+    }
 }
 
 /// The wire response envelope, mirroring [`Request`] plus

@@ -118,7 +118,7 @@ fn arb_place_request() -> impl Strategy<Value = PlaceRequest> {
         arb_f64(),
         ((0usize..50, arb_f64(), arb_f64()), (arb_f64(), 0usize..2_000, arb_f64())),
         ((1usize..256, (0u8..2, arb_f64()), (0u8..2, arb_f64())), (arb_f64(), 0u8..2, 0usize..32)),
-        (0u64..=u64::MAX, 0usize..32, 0usize..20),
+        (0u64..=u64::MAX, 0usize..32, 0usize..20, (0u8..2, 0u64..=u64::MAX)),
     )
         .prop_map(
             |(
@@ -126,7 +126,7 @@ fn arb_place_request() -> impl Strategy<Value = PlaceRequest> {
                 utilization,
                 ((iterations, anchor_start, anchor_growth), (tolerance, max_cg, boost)),
                 ((tiles, (has_h, h), (has_v, vcap)), (target_mean, model, rthreads)),
-                (seed, pthreads, shard_grid),
+                (seed, pthreads, shard_grid, (has_deadline, deadline)),
             )| {
                 PlaceRequest {
                     v,
@@ -151,6 +151,7 @@ fn arb_place_request() -> impl Strategy<Value = PlaceRequest> {
                         model: if model == 0 { DemandModel::Rudy } else { DemandModel::LShape },
                         threads: rthreads,
                     },
+                    deadline_ms: (has_deadline == 1).then_some(deadline),
                 }
             },
         )
@@ -180,11 +181,31 @@ proptest! {
     }
 
     #[test]
-    fn find_request_roundtrips(v in 0u32..4, config in arb_finder_config()) {
+    fn find_request_roundtrips(
+        v in 0u32..5,
+        config in arb_finder_config(),
+        has_deadline in 0u8..2,
+        deadline in 0u64..=u64::MAX,
+    ) {
         let mut request = FindRequest::new(config);
         request.v = v;
+        request.deadline_ms = (has_deadline == 1).then_some(deadline);
         assert_roundtrip(&request);
         assert_roundtrip(&Request::Find(request));
+    }
+
+    /// A pre-v3 document without the `deadline_ms` key (exactly what a
+    /// v1/v2 client sends) still parses, with the field defaulting to
+    /// `None` — the compatibility the versioned contract promises.
+    #[test]
+    fn find_request_without_deadline_field_parses(v in 1u32..3, config in arb_finder_config()) {
+        let mut request = FindRequest::new(config);
+        request.v = v;
+        let text = serde::json::to_string(&request);
+        let legacy = text.replace(",\"deadline_ms\":null", "");
+        assert!(!legacy.contains("deadline_ms"), "{legacy}");
+        let back: FindRequest = serde::json::from_str(&legacy).unwrap();
+        prop_assert_eq!(back, request);
     }
 
     #[test]

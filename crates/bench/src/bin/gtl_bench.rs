@@ -1,0 +1,111 @@
+//! `gtl-bench` — offline utilities over the bench artifacts.
+//!
+//! ```text
+//! gtl-bench trend [--results DIR] [--baselines DIR] [--max-regress F]
+//! ```
+//!
+//! `trend` compares the freshly emitted `results/*.json` bench reports
+//! against the committed snapshots in `results/baselines/` and exits
+//! non-zero on a cold-path regression beyond the tolerance (default
+//! 30%) — the CI bench-trend gate. See [`gtl_bench::trend`].
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use gtl_bench::trend::{self, MetricCheck};
+
+const USAGE: &str = "\
+gtl-bench — offline bench-artifact utilities
+
+USAGE:
+  gtl-bench trend [--results DIR] [--baselines DIR] [--max-regress F]
+
+  trend   compare results/*.json against results/baselines/*.json and
+          fail (exit 1) when a tracked cold-path metric drops more than
+          the tolerance below its baseline (default 0.30 = 30%).
+          Missing or malformed artifacts fail the gate loudly.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("trend") => cmd_trend(&args[1..]),
+        Some("--help" | "-h" | "help") => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    let value = args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1))?;
+    if value.starts_with("--") {
+        // A flag directly followed by another flag has no value; dying
+        // here beats silently treating "--baselines" as a path.
+        eprintln!("{flag} expects a value, found `{value}`");
+        std::process::exit(2);
+    }
+    Some(value)
+}
+
+fn cmd_trend(args: &[String]) -> ExitCode {
+    let results =
+        flag_value(args, "--results").map(PathBuf::from).unwrap_or_else(gtl_bench::results_dir);
+    let baselines = flag_value(args, "--baselines")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| gtl_bench::results_dir().join(trend::BASELINES_SUBDIR));
+    let max_regress: f64 = match flag_value(args, "--max-regress") {
+        None => trend::DEFAULT_MAX_REGRESS,
+        Some(raw) => match raw.parse() {
+            Ok(v) if (0.0..1.0).contains(&v) => v,
+            _ => {
+                eprintln!("--max-regress expects a fraction in [0, 1), got `{raw}`");
+                return ExitCode::from(2);
+            }
+        },
+    };
+
+    let checks = match trend::run_gate(&results, &baselines, max_regress) {
+        Ok(checks) => checks,
+        Err(message) => {
+            eprintln!("bench-trend gate error: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut table = gtl_bench::report::Table::new(&[
+        "bench", "metric", "baseline", "current", "ratio", "status",
+    ]);
+    let mut regressed = false;
+    for MetricCheck { bench, metric, baseline, current, ratio, regressed: bad } in &checks {
+        regressed |= bad;
+        table.row(&[
+            bench.clone(),
+            metric.clone(),
+            format!("{baseline:.3}"),
+            format!("{current:.3}"),
+            format!("{ratio:.3}"),
+            if *bad { "REGRESSED".to_string() } else { "ok".to_string() },
+        ]);
+    }
+    print!("{}", table.render());
+    if regressed {
+        eprintln!(
+            "bench-trend gate FAILED: a cold-path metric dropped more than {:.0}% below {}",
+            max_regress * 100.0,
+            baselines.display()
+        );
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "bench-trend gate ok ({} metric(s) within {:.0}% of baseline)",
+            checks.len(),
+            max_regress * 100.0
+        );
+        ExitCode::SUCCESS
+    }
+}

@@ -11,19 +11,34 @@
 
 pub mod args;
 pub mod report;
+pub mod trend;
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
-/// Directory where the binaries drop CSV/PGM artifacts (`results/` under
-/// the workspace root, or the current directory as fallback).
+/// Environment variable overriding where bench artifacts are written
+/// (takes precedence over [`RESULTS_DIR`]).
+pub const RESULTS_DIR_ENV: &str = "GTL_RESULTS_DIR";
+
+/// Where bench artifacts land, relative to the workspace root — **the**
+/// results location: the reproduction binaries, the criterion benches
+/// and CI all resolve through [`results_dir`], so there is exactly one
+/// place artifacts can end up regardless of the invoking directory
+/// (`cargo bench` runs with the crate as cwd, the binaries with the
+/// workspace root; both used to disagree).
+pub const RESULTS_DIR: &str = "results";
+
+/// Directory where binaries and benches drop CSV/PGM/JSON artifacts:
+/// `$GTL_RESULTS_DIR` when set, else [`RESULTS_DIR`] under the workspace
+/// root (located from this crate's manifest, so the answer does not
+/// depend on the current directory). Created on first use; falls back to
+/// the current directory only if creation fails.
 pub fn results_dir() -> PathBuf {
-    let candidates = [PathBuf::from("results"), PathBuf::from("../results")];
-    for c in &candidates {
-        if c.parent().map(|p| p.as_os_str().is_empty() || p.exists()).unwrap_or(true)
-            && std::fs::create_dir_all(c).is_ok()
-        {
-            return c.clone();
-        }
+    let dir = std::env::var_os(RESULTS_DIR_ENV)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join(RESULTS_DIR));
+    if std::fs::create_dir_all(&dir).is_ok() {
+        dir
+    } else {
+        PathBuf::from(".")
     }
-    PathBuf::from(".")
 }

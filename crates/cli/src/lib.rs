@@ -46,6 +46,7 @@ USAGE:
   gtl serve <file> [--addr A] [--port N] [--max-conns N]
                    [--lanes N] [--queue-depth N] [--cache-bytes N]
                    [--pipeline K] [--timeout-ms N] [--max-concurrent N]
+                   [--deadline-ms N]
 
 FILES: .hgr (hMETIS), .aux (Bookshelf/ISPD), .v (structural Verilog)
 
@@ -63,6 +64,14 @@ SERVE RUNTIME (gtl-runtime; see ARCHITECTURE.md):
   --max-concurrent N  concurrently open connections (0 = unbounded);
                       excess clients wait in the listen backlog
   --max-conns N       total connections before a clean exit (0 = forever)
+  --deadline-ms N     server-side default deadline per request
+                      (0 = unbounded); measured from request admission,
+                      so queue wait counts. An expired request answers
+                      an error with code deadline_exceeded without
+                      consuming compute. Requests may narrow it further
+                      with their own deadline_ms field (protocol v3+);
+                      a job whose client disconnects is cancelled at its
+                      next checkpoint either way.
 
 EXIT CODES (from the structured ApiError codes; see gtl_api):
   0  success
@@ -70,6 +79,7 @@ EXIT CODES (from the structured ApiError codes; see gtl_api):
   2  bad arguments or malformed request        [bad_request, invalid_argument,
                                                 unsupported_version]
   3  I/O failure (socket, file)                [io]
+  4  deadline expired or request cancelled     [deadline_exceeded, cancelled]
 
 `gtl find --json` prints one FindResponse JSON document: byte-identical
 to the payload a `gtl serve` round-trip returns for the same request,
@@ -424,6 +434,7 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
     let pipeline: usize = parse_flag(args, "--pipeline", 8usize)?;
     let timeout_ms: u64 = parse_flag(args, "--timeout-ms", 30_000u64)?;
     let max_concurrent: usize = parse_flag(args, "--max-concurrent", 0usize)?;
+    let deadline_ms: u64 = parse_flag(args, "--deadline-ms", 0u64)?;
     let session = Session::builder().netlist(netlist).build()?;
     let listener = gtl_api::bind(&format!("{addr}:{port}"))?;
     let local = listener.local_addr().map_err(ApiError::from)?;
@@ -434,7 +445,8 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
         .pipeline_depth(pipeline)
         .timeout((timeout_ms > 0).then(|| std::time::Duration::from_millis(timeout_ms)))
         .max_concurrent((max_concurrent > 0).then_some(max_concurrent))
-        .max_connections((max_conns > 0).then_some(max_conns));
+        .max_connections((max_conns > 0).then_some(max_conns))
+        .deadline((deadline_ms > 0).then(|| std::time::Duration::from_millis(deadline_ms)));
     // Readiness goes to stderr immediately (stdout is returned only when
     // the server finishes, which without --max-conns is never).
     eprintln!("gtl: serving {path} on {local} (JSON lines; Ctrl-C to stop)");
@@ -442,7 +454,7 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
     let m = &summary.metrics;
     let mut out = format!(
         "served {} connection(s): {} requests, {} responses, cache {} hit(s) / {} miss(es) / {} \
-         eviction(s), queue high-water {}, {} timeout(s)\n",
+         eviction(s), queue high-water {}, {} timeout(s), {} cancelled, {} deadline-exceeded\n",
         summary.connections,
         m.requests,
         m.responses,
@@ -451,6 +463,8 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
         m.cache_evictions,
         m.queue_high_water,
         m.read_timeouts,
+        m.jobs_cancelled,
+        m.deadlines_exceeded,
     );
     let dropped = summary.dropped_io_errors;
     if !summary.io_errors.is_empty() || dropped > 0 {
@@ -592,7 +606,7 @@ mod tests {
         let args =
             ["find", &path, "--seeds", "10", "--min-size", "3", "--max-order", "10", "--json"];
         let out = run(&argv(&args)).unwrap();
-        assert!(out.starts_with("{\"v\":2,"), "{out}");
+        assert!(out.starts_with("{\"v\":3,"), "{out}");
         assert!(out.ends_with("\n"));
         // Byte-identical to dispatching the equivalent request in-process.
         let netlist = load_netlist(&path).unwrap();
@@ -614,6 +628,7 @@ mod tests {
             "--timeout-ms",
             "--max-concurrent",
             "--max-conns",
+            "--deadline-ms",
         ] {
             let err = run(&argv(&["serve", &fixture_path(), flag, "bogus"])).unwrap_err();
             assert_eq!(err.error.code(), "bad_request", "{flag}");
@@ -643,9 +658,17 @@ mod tests {
         assert!(help.contains("EXIT CODES"), "{help}");
         assert!(help.contains("gtl serve"), "{help}");
         assert!(help.contains("--json"), "{help}");
-        for flag in ["--lanes", "--cache-bytes", "--pipeline", "--timeout-ms", "--max-concurrent"] {
+        for flag in [
+            "--lanes",
+            "--cache-bytes",
+            "--pipeline",
+            "--timeout-ms",
+            "--max-concurrent",
+            "--deadline-ms",
+        ] {
             assert!(help.contains(flag), "missing {flag} in help:\n{help}");
         }
+        assert!(help.contains("deadline_exceeded"), "{help}");
     }
 
     #[test]

@@ -10,6 +10,8 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use crate::cancel::{CancelToken, Cancelled};
+
 /// Resolves a requested worker count against the machine and item count.
 ///
 /// `0` means "all available cores"; the result is clamped to `[1, len]`
@@ -92,13 +94,75 @@ where
     I: Fn(usize) -> S + Sync,
     F: Fn(&mut S, usize) -> T + Sync,
 {
+    match map_impl(threads, len, None, init, f) {
+        Ok(out) => out,
+        Err(_) => unreachable!("a map without a token cannot be cancelled"),
+    }
+}
+
+/// [`parallel_map_with`] with cooperative cancellation.
+///
+/// `token` is polled **between items**: workers finish the item they are
+/// on, then stop claiming; the call returns within one item's compute of
+/// the token firing. When the token never fires, the result is
+/// byte-identical to [`parallel_map_with`] for any thread count (the two
+/// share one implementation; property-tested in this module).
+///
+/// # Errors
+///
+/// [`Cancelled`] (with the firing [`CancelReason`](crate::cancel::CancelReason))
+/// once the token fires — even when it fires after the last item
+/// completed, so the outcome never depends on a race between completion
+/// and cancellation observed elsewhere.
+///
+/// # Panics
+///
+/// Propagates panics from `f`, like [`parallel_map_with`].
+pub fn parallel_map_with_cancellable<S, T, I, F>(
+    threads: usize,
+    len: usize,
+    token: &CancelToken,
+    init: I,
+    f: F,
+) -> Result<Vec<T>, Cancelled>
+where
+    T: Send,
+    I: Fn(usize) -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    map_impl(threads, len, Some(token), init, f)
+}
+
+/// The shared scheduler behind the cancellable and infallible maps: one
+/// code path, so "token never fires" is *structurally* byte-identical to
+/// "no token".
+fn map_impl<S, T, I, F>(
+    threads: usize,
+    len: usize,
+    token: Option<&CancelToken>,
+    init: I,
+    f: F,
+) -> Result<Vec<T>, Cancelled>
+where
+    T: Send,
+    I: Fn(usize) -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    let checkpoint = crate::cancel::checkpoint;
     if len == 0 {
-        return Vec::new();
+        checkpoint(token)?;
+        return Ok(Vec::new());
     }
     let threads = effective_threads(threads, len);
     if threads == 1 {
         let mut scratch = init(0);
-        return (0..len).map(|i| f(&mut scratch, i)).collect();
+        let mut out = Vec::with_capacity(len);
+        for i in 0..len {
+            checkpoint(token)?;
+            out.push(f(&mut scratch, i));
+        }
+        checkpoint(token)?;
+        return Ok(out);
     }
 
     let next = AtomicUsize::new(0);
@@ -113,6 +177,11 @@ where
                     let mut scratch = init(worker);
                     let mut out = Vec::new();
                     loop {
+                        // Poll between items: a fired token stops this
+                        // worker from claiming, never from finishing.
+                        if token.is_some_and(CancelToken::is_cancelled) {
+                            break;
+                        }
                         let index = next.fetch_add(1, Ordering::Relaxed);
                         if index >= len {
                             break;
@@ -128,6 +197,11 @@ where
         }
     });
 
+    // A worker only ever leaves an index unclaimed after its token fired,
+    // and the flag is monotonic — so this probe failing is exactly the
+    // condition under which the slots below might be incomplete.
+    checkpoint(token)?;
+
     // Merge worker-local buffers back into input order.
     let mut slots: Vec<Option<T>> = (0..len).map(|_| None).collect();
     for part in parts {
@@ -136,7 +210,7 @@ where
             slots[index] = Some(value);
         }
     }
-    slots.into_iter().map(|slot| slot.expect("every index is claimed exactly once")).collect()
+    Ok(slots.into_iter().map(|slot| slot.expect("every index is claimed exactly once")).collect())
 }
 
 /// Deterministic parallel map without scratch state.
@@ -159,6 +233,41 @@ where
     F: Fn(usize) -> T + Sync,
 {
     parallel_map_with(threads, len, |_| (), |(), i| f(i))
+}
+
+/// [`parallel_map`] with cooperative cancellation; shorthand for
+/// [`parallel_map_with_cancellable`] with unit scratch (same polling,
+/// determinism and error contract).
+///
+/// # Errors
+///
+/// [`Cancelled`] once the token fires.
+///
+/// # Example
+///
+/// ```
+/// use gtl_core::cancel::CancelToken;
+/// use gtl_core::exec::{parallel_map, parallel_map_cancellable};
+///
+/// let live = CancelToken::new();
+/// let out = parallel_map_cancellable(4, 5, &live, |i| i * i).unwrap();
+/// assert_eq!(out, parallel_map(4, 5, |i| i * i));
+///
+/// let tripped = CancelToken::new();
+/// tripped.cancel();
+/// assert!(parallel_map_cancellable(4, 5, &tripped, |i| i * i).is_err());
+/// ```
+pub fn parallel_map_cancellable<T, F>(
+    threads: usize,
+    len: usize,
+    token: &CancelToken,
+    f: F,
+) -> Result<Vec<T>, Cancelled>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    parallel_map_with_cancellable(threads, len, token, |_| (), |(), i| f(i))
 }
 
 #[cfg(test)]
@@ -245,5 +354,106 @@ mod tests {
             }
             i
         });
+    }
+
+    #[test]
+    fn pre_cancelled_token_errors_without_computing() {
+        let token = CancelToken::new();
+        token.cancel();
+        let ran = AtomicUsize::new(0);
+        for threads in [1, 4] {
+            let result = parallel_map_cancellable(threads, 100, &token, |i| {
+                ran.fetch_add(1, Ordering::Relaxed);
+                i
+            });
+            assert_eq!(
+                result.unwrap_err().reason,
+                crate::cancel::CancelReason::Cancelled,
+                "threads={threads}"
+            );
+        }
+        // Serial path polls before every item; parallel workers poll
+        // before claiming — a pre-tripped token admits no work at all.
+        assert_eq!(ran.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn cancelling_mid_map_stops_claiming() {
+        let token = CancelToken::new();
+        let ran = AtomicUsize::new(0);
+        let result = parallel_map_cancellable(2, 1_000, &token, |i| {
+            ran.fetch_add(1, Ordering::Relaxed);
+            if i == 0 {
+                token.cancel();
+            }
+            i
+        });
+        assert!(result.is_err());
+        // Workers finish their in-flight item but claim nothing new:
+        // far fewer than all items run (each worker can overshoot by at
+        // most the one item it was on when the flag tripped).
+        assert!(ran.load(Ordering::Relaxed) < 1_000, "cancellation did not stop the map");
+    }
+
+    #[test]
+    fn cancelled_empty_map_still_reports_cancellation() {
+        let token = CancelToken::new();
+        token.cancel();
+        let result: Result<Vec<u32>, _> =
+            parallel_map_cancellable(4, 0, &token, |_| unreachable!());
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn deadline_token_trips_the_map() {
+        let token =
+            CancelToken::with_deadline(crate::cancel::Deadline::at(std::time::Instant::now()));
+        let err = parallel_map_cancellable(3, 50, &token, |i| i).unwrap_err();
+        assert_eq!(err.reason, crate::cancel::CancelReason::DeadlineExceeded);
+    }
+
+    #[test]
+    fn live_token_leaves_results_identical_with_scratch() {
+        let token = CancelToken::new();
+        let init = |_worker: usize| Vec::<usize>::new();
+        let item = |scratch: &mut Vec<usize>, i: usize| {
+            scratch.clear();
+            scratch.extend(0..=i);
+            scratch.iter().sum::<usize>()
+        };
+        let plain = parallel_map_with(4, 64, init, item);
+        let cancellable = parallel_map_with_cancellable(4, 64, &token, init, item).unwrap();
+        assert_eq!(plain, cancellable);
+    }
+}
+
+#[cfg(test)]
+mod cancellable_props {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The tentpole determinism property: a token that never fires
+        /// leaves `parallel_map_cancellable` byte-identical to
+        /// `parallel_map`, for any worker count and input size.
+        #[test]
+        fn never_firing_token_is_invisible(
+            threads in 0usize..9,
+            len in 0usize..80,
+            seed in 0u64..=u64::MAX,
+        ) {
+            let work = move |i: usize| {
+                // Uneven per-item cost so schedules actually differ.
+                let mut acc = derive_stream(seed, i as u64);
+                for _ in 0..(acc % 512) {
+                    acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+                }
+                acc
+            };
+            let token = CancelToken::new();
+            let plain = parallel_map(threads, len, work);
+            let cancellable = parallel_map_cancellable(threads, len, &token, work).unwrap();
+            prop_assert_eq!(plain, cancellable);
+        }
     }
 }

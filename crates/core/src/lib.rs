@@ -5,9 +5,12 @@
 //! estimator, the figure/table bench binaries — goes through [`exec`]
 //! instead of hand-rolling `std::thread` chunking at each call site.
 //! [`shard`] supplies the matching deterministic *decompositions* (region
-//! shards and tile stripes) for the spatial clients, and [`sync`] the
+//! shards and tile stripes) for the spatial clients, [`sync`] the
 //! blocking admission primitives (bounded FIFO queue, counting semaphore)
-//! the `gtl-runtime` service layer schedules work with.
+//! the `gtl-runtime` service layer schedules work with, and [`cancel`]
+//! the cooperative cancellation tokens (atomic flag + optional monotonic
+//! deadline) the `*_cancellable` map variants and the service runtime
+//! poll between work items.
 //!
 //! # Determinism contract
 //!
@@ -38,10 +41,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cancel;
 pub mod exec;
 pub mod shard;
 pub mod sync;
 
-pub use exec::{derive_stream, effective_threads, parallel_map, parallel_map_with};
+pub use cancel::{CancelReason, CancelToken, Cancelled, Deadline};
+pub use exec::{
+    derive_stream, effective_threads, parallel_map, parallel_map_cancellable, parallel_map_with,
+    parallel_map_with_cancellable,
+};
 pub use shard::{auto_grid, stripes, ShardGrid, DEFAULT_STRIPE_ROWS};
 pub use sync::{BoundedQueue, Semaphore};

@@ -408,6 +408,44 @@ pub fn estimate(
     die: &Die,
     config: &RoutingConfig,
 ) -> CongestionMap {
+    match estimate_impl(netlist, placement, die, config, None) {
+        Ok(map) => map,
+        Err(_) => unreachable!("an estimate without a token cannot be cancelled"),
+    }
+}
+
+/// [`estimate`] polling `token` between tile stripes: a fired token makes
+/// the pass return [`Cancelled`](gtl_core::cancel::Cancelled) (workers finish the stripe they are on).
+/// A token that never fires yields a map identical to [`estimate`] (same
+/// code path).
+///
+/// # Errors
+///
+/// [`Cancelled`](gtl_core::cancel::Cancelled) once the token fires.
+///
+/// # Panics
+///
+/// Panics if the placement does not cover the netlist or `tiles == 0`,
+/// like [`estimate`].
+pub fn estimate_cancellable(
+    netlist: &Netlist,
+    placement: &Placement,
+    die: &Die,
+    config: &RoutingConfig,
+    token: &gtl_core::cancel::CancelToken,
+) -> Result<CongestionMap, gtl_core::cancel::Cancelled> {
+    estimate_impl(netlist, placement, die, config, Some(token))
+}
+
+/// The shared striped pass behind [`estimate`] and
+/// [`estimate_cancellable`].
+fn estimate_impl(
+    netlist: &Netlist,
+    placement: &Placement,
+    die: &Die,
+    config: &RoutingConfig,
+    token: Option<&gtl_core::cancel::CancelToken>,
+) -> Result<CongestionMap, gtl_core::cancel::Cancelled> {
     assert!(placement.len() >= netlist.num_cells(), "placement smaller than netlist");
     assert!(config.tiles > 0, "tiles must be positive");
     let t = config.tiles;
@@ -431,7 +469,7 @@ pub fn estimate(
     // One batched pass: each stripe accumulates its own slab pair (the
     // slab doubles as the returned result, so it is allocated exactly
     // once — no shared grid, no per-net allocation, no copy-out).
-    let slabs: Vec<(Vec<f64>, Vec<f64>)> = parallel_map(config.threads, row_stripes.len(), |s| {
+    let stripe_pass = |s: usize| {
         let rows = &row_stripes[s];
         let len = rows.len() * t;
         let mut h_acc = vec![0.0f64; len];
@@ -453,7 +491,16 @@ pub fn estimate(
             );
         }
         (h_acc, v_acc)
-    });
+    };
+    let slabs: Vec<(Vec<f64>, Vec<f64>)> = match token {
+        None => parallel_map(config.threads, row_stripes.len(), stripe_pass),
+        Some(token) => gtl_core::exec::parallel_map_cancellable(
+            config.threads,
+            row_stripes.len(),
+            token,
+            stripe_pass,
+        )?,
+    };
 
     // Stitch stripe slabs into the full grid (each tile row belongs to
     // exactly one stripe).
@@ -465,7 +512,7 @@ pub fn estimate(
         v_demand[rows.start * t..rows.end * t].copy_from_slice(v_slab);
     }
 
-    finish_map(config, t, h_demand, v_demand, net_boxes)
+    Ok(finish_map(config, t, h_demand, v_demand, net_boxes))
 }
 
 /// The serial per-net reference estimator: every net deposits into one
@@ -746,5 +793,44 @@ mod tests {
         assert!(net_touches_tile(&map, gtl_netlist::NetId::new(0), 1, 1));
         assert!(!net_touches_tile(&map, gtl_netlist::NetId::new(0), 7, 7));
         let _ = nl;
+    }
+}
+
+#[cfg(test)]
+mod cancel_tests {
+    use super::*;
+    use gtl_core::cancel::{CancelReason, CancelToken};
+    use gtl_netlist::NetlistBuilder;
+
+    fn fixture() -> (Netlist, Placement, Die, RoutingConfig) {
+        let mut b = NetlistBuilder::new();
+        let cells: Vec<_> = (0..16).map(|i| b.add_cell(format!("c{i}"), 1.0)).collect();
+        for i in 0..15 {
+            b.add_anonymous_net([cells[i], cells[i + 1]]);
+        }
+        let nl = b.finish();
+        let die = Die { width: 16.0, height: 16.0, rows: 16 };
+        let coords: Vec<f64> = (0..16).map(|i| i as f64 + 0.5).collect();
+        let p = Placement::from_coords(coords.clone(), coords);
+        let cfg = RoutingConfig { tiles: 8, ..RoutingConfig::default() };
+        (nl, p, die, cfg)
+    }
+
+    #[test]
+    fn cancellable_estimate_with_live_token_is_identical() {
+        let (nl, p, die, cfg) = fixture();
+        let plain = estimate(&nl, &p, &die, &cfg);
+        let token = CancelToken::new();
+        let cancellable = estimate_cancellable(&nl, &p, &die, &cfg, &token).unwrap();
+        assert_eq!(format!("{:?}", plain.report()), format!("{:?}", cancellable.report()));
+    }
+
+    #[test]
+    fn cancelled_estimate_returns_structured_error() {
+        let (nl, p, die, cfg) = fixture();
+        let token = CancelToken::new();
+        token.cancel();
+        let err = estimate_cancellable(&nl, &p, &die, &cfg, &token).unwrap_err();
+        assert_eq!(err.reason, CancelReason::Cancelled);
     }
 }

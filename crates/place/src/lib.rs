@@ -58,7 +58,7 @@ pub mod wirelength;
 
 mod placer;
 
-pub use placer::{place, Placement, PlacerConfig};
+pub use placer::{place, place_cancellable, Placement, PlacerConfig};
 
 use gtl_netlist::Netlist;
 

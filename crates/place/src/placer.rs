@@ -10,6 +10,7 @@
 //! (never on the worker count), so placements are byte-identical for any
 //! thread count; see `crates/place/tests/determinism.rs`.
 
+use gtl_core::cancel::{CancelToken, Cancelled};
 use gtl_core::exec::{derive_stream, parallel_map, parallel_map_with};
 use gtl_core::shard::{auto_grid, ShardGrid};
 use gtl_netlist::{CellId, Netlist};
@@ -196,7 +197,43 @@ impl PlacerConfig {
 /// assert!(x >= 0.0 && x <= die.width && y >= 0.0 && y <= die.height);
 /// ```
 pub fn place(netlist: &Netlist, die: &Die, config: &PlacerConfig) -> Placement {
+    match place_impl(netlist, die, config, None) {
+        Ok(placement) => placement,
+        Err(_) => unreachable!("a placement without a token cannot be cancelled"),
+    }
+}
+
+/// [`place`] polling `token` between solve/spread iterations: a fired
+/// token makes the run return [`Cancelled`] at the next iteration
+/// boundary (the checkpoint interval is one anchored solve + spread). A
+/// token that never fires yields a placement identical to [`place`]
+/// (same code path).
+///
+/// # Errors
+///
+/// [`Cancelled`] once the token fires.
+///
+/// # Panics
+///
+/// Panics if the netlist has no cells, like [`place`].
+pub fn place_cancellable(
+    netlist: &Netlist,
+    die: &Die,
+    config: &PlacerConfig,
+    token: &CancelToken,
+) -> Result<Placement, Cancelled> {
+    place_impl(netlist, die, config, Some(token))
+}
+
+/// The shared placer loop behind [`place`] and [`place_cancellable`].
+fn place_impl(
+    netlist: &Netlist,
+    die: &Die,
+    config: &PlacerConfig,
+    token: Option<&CancelToken>,
+) -> Result<Placement, Cancelled> {
     assert!(netlist.num_cells() > 0, "cannot place an empty netlist");
+    let checkpoint = gtl_core::cancel::checkpoint;
     let n = netlist.num_cells();
     let mut rng = SmallRng::seed_from_u64(config.seed);
 
@@ -209,6 +246,7 @@ pub fn place(netlist: &Netlist, die: &Die, config: &PlacerConfig) -> Placement {
     let mut alpha = config.anchor_start;
 
     for _ in 0..config.iterations {
+        checkpoint(token)?;
         // Spread current positions to produce anchor targets.
         let spread_p =
             spread(netlist, &Placement::from_coords(xs.clone(), ys.clone()), die, &config.spread);
@@ -216,6 +254,7 @@ pub fn place(netlist: &Netlist, die: &Die, config: &PlacerConfig) -> Placement {
         alpha *= config.anchor_growth;
     }
 
+    checkpoint(token)?;
     // Epilogue: spread once more, then re-solve with a strongly boosted
     // anchor. Density wins globally (dense groups stay where spreading put
     // them instead of re-collapsing onto the die center), while connected
@@ -225,7 +264,7 @@ pub fn place(netlist: &Netlist, die: &Die, config: &PlacerConfig) -> Placement {
         spread(netlist, &Placement::from_coords(xs.clone(), ys.clone()), die, &config.spread);
     let alpha_final = alpha * config.anchor_final_boost;
     solve_pass(&lap, die, config, grid_side, alpha_final, &spread_p, &mut xs, &mut ys);
-    Placement::from_coords(xs, ys)
+    Ok(Placement::from_coords(xs, ys))
 }
 
 /// One anchored solve toward `targets`, sharded when `grid_side > 1`,
@@ -413,6 +452,36 @@ mod tests {
         let a = place(&nl, &die, &PlacerConfig::default());
         let b = place(&nl, &die, &PlacerConfig::default());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cancellable_place_with_live_token_is_identical() {
+        let nl = clustered_netlist();
+        let die = Die::for_netlist(&nl, 0.5);
+        let plain = place(&nl, &die, &PlacerConfig::default());
+        let token = CancelToken::new();
+        let cancellable = place_cancellable(&nl, &die, &PlacerConfig::default(), &token).unwrap();
+        assert_eq!(plain, cancellable);
+    }
+
+    #[test]
+    fn cancelled_place_returns_structured_error() {
+        let nl = clustered_netlist();
+        let die = Die::for_netlist(&nl, 0.5);
+        let token = CancelToken::new();
+        token.cancel();
+        let err = place_cancellable(&nl, &die, &PlacerConfig::default(), &token).unwrap_err();
+        assert_eq!(err.reason, gtl_core::cancel::CancelReason::Cancelled);
+    }
+
+    #[test]
+    fn expired_deadline_stops_the_placer() {
+        let nl = clustered_netlist();
+        let die = Die::for_netlist(&nl, 0.5);
+        let token =
+            CancelToken::with_deadline(gtl_core::cancel::Deadline::at(std::time::Instant::now()));
+        let err = place_cancellable(&nl, &die, &PlacerConfig::default(), &token).unwrap_err();
+        assert_eq!(err.reason, gtl_core::cancel::CancelReason::DeadlineExceeded);
     }
 
     #[test]

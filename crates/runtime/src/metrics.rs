@@ -28,6 +28,8 @@ pub(crate) struct MetricsHub {
     read_timeouts: AtomicU64,
     io_errors: AtomicU64,
     handler_panics: AtomicU64,
+    jobs_cancelled: AtomicU64,
+    deadlines_exceeded: AtomicU64,
     queue_depth: AtomicU64,
     queue_high_water: AtomicU64,
 }
@@ -45,6 +47,8 @@ impl MetricsHub {
             read_timeouts: AtomicU64::new(0),
             io_errors: AtomicU64::new(0),
             handler_panics: AtomicU64::new(0),
+            jobs_cancelled: AtomicU64::new(0),
+            deadlines_exceeded: AtomicU64::new(0),
             queue_depth: AtomicU64::new(0),
             queue_high_water: AtomicU64::new(0),
         }
@@ -79,6 +83,14 @@ impl MetricsHub {
         self.handler_panics.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn job_cancelled(&self) {
+        self.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn deadline_exceeded(&self) {
+        self.deadlines_exceeded.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Records the scheduler queue length observed after a push/pop.
     pub(crate) fn observe_queue_depth(&self, depth: usize) {
         let depth = depth as u64;
@@ -99,6 +111,8 @@ impl MetricsHub {
             read_timeouts: self.read_timeouts.load(Ordering::Relaxed),
             io_errors: self.io_errors.load(Ordering::Relaxed),
             handler_panics: self.handler_panics.load(Ordering::Relaxed),
+            jobs_cancelled: self.jobs_cancelled.load(Ordering::Relaxed),
+            deadlines_exceeded: self.deadlines_exceeded.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             queue_high_water: self.queue_high_water.load(Ordering::Relaxed),
             cache_capacity_bytes: cache.capacity_bytes,
@@ -137,6 +151,12 @@ pub struct MetricsSnapshot {
     /// Handler panics caught on a lane (each costs its connection, never
     /// the lane).
     pub handler_panics: u64,
+    /// Jobs abandoned because their connection was lost (the lane skips
+    /// or discards the compute; nobody is left to answer).
+    pub jobs_cancelled: u64,
+    /// Requests answered with a `deadline_exceeded` error (per-request
+    /// `deadline_ms` or the server-side default deadline fired).
+    pub deadlines_exceeded: u64,
     /// Jobs waiting in the scheduler queue (last observed).
     pub queue_depth: u64,
     /// Highest queue depth observed so far.

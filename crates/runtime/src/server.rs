@@ -32,8 +32,9 @@
 use std::io::{BufRead as _, BufReader, BufWriter, Write as _};
 use std::net::{TcpListener, TcpStream};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use gtl_core::cancel::{CancelToken, Deadline};
 use gtl_core::sync::{BoundedQueue, Semaphore};
 
 use crate::cache::ResponseCache;
@@ -74,11 +75,14 @@ pub enum TransportError {
     NotUtf8,
 }
 
-/// Per-request context handed to the handler (read-only runtime views).
+/// Per-request context handed to the handler (read-only runtime views
+/// plus this request's cancellation token).
 #[derive(Debug)]
 pub struct RequestContext<'a> {
     pub(crate) hub: &'a MetricsHub,
     pub(crate) cache: &'a ResponseCache,
+    pub(crate) token: &'a CancelToken,
+    pub(crate) submitted_at: Instant,
 }
 
 impl RequestContext<'_> {
@@ -87,6 +91,35 @@ impl RequestContext<'_> {
     /// never perturbs request handling.
     pub fn metrics(&self) -> MetricsSnapshot {
         self.hub.snapshot(self.cache)
+    }
+
+    /// This request's cancellation token: a child of the connection's
+    /// token (tripped on connection loss) carrying the server-side
+    /// default deadline, anchored at [`RequestContext::submitted_at`].
+    /// Handlers should poll it inside long compute and may derive
+    /// tighter children for request-supplied deadlines.
+    pub fn cancel_token(&self) -> &CancelToken {
+        self.token
+    }
+
+    /// When the runtime admitted this request (the read side framed the
+    /// line) — the anchor for request-supplied deadlines, so time spent
+    /// waiting in the job queue counts against the deadline.
+    pub fn submitted_at(&self) -> Instant {
+        self.submitted_at
+    }
+
+    /// Records that this request was answered with a deadline-exceeded
+    /// error (the handler owns the response formats, the runtime owns
+    /// the counters).
+    pub fn record_deadline_exceeded(&self) {
+        self.hub.deadline_exceeded();
+    }
+
+    /// Records that this request's compute was abandoned or answered
+    /// with a cancellation error after its connection was lost.
+    pub fn record_cancelled(&self) {
+        self.hub.job_cancelled();
     }
 }
 
@@ -148,6 +181,12 @@ pub struct RuntimeConfig {
     /// Total accept budget (`None` = run forever; `Some(0)` = return
     /// immediately). Scripted callers use this for a clean exit.
     pub max_connections: Option<usize>,
+    /// Server-side default deadline per request (`None` = unbounded).
+    /// Anchored at submission, so queue wait counts; the job's
+    /// [`RequestContext::cancel_token`] trips once it passes. Handlers
+    /// decide the response; cancelled work never blocks a lane beyond
+    /// its current checkpoint interval.
+    pub default_deadline: Option<Duration>,
 }
 
 impl Default for RuntimeConfig {
@@ -161,6 +200,7 @@ impl Default for RuntimeConfig {
             read_timeout: None,
             max_concurrent: None,
             max_connections: None,
+            default_deadline: None,
         }
     }
 }
@@ -253,6 +293,7 @@ pub fn serve_lines<H: LineHandler>(
         pipeline,
         max_request_bytes: config.max_request_bytes,
         read_timeout: config.read_timeout,
+        default_deadline: config.default_deadline,
     };
     // Declared after `rt` so queued jobs may borrow it (drop order runs
     // the queue down first).
@@ -362,6 +403,7 @@ struct RuntimeRefs<'a, H: LineHandler> {
     pipeline: usize,
     max_request_bytes: u64,
     read_timeout: Option<Duration>,
+    default_deadline: Option<Duration>,
 }
 
 impl<H: LineHandler> RuntimeRefs<'_, H> {
@@ -473,7 +515,12 @@ fn read_side<'j, H: LineHandler>(
                     break 'lines;
                 }
                 Err(e) => {
+                    // A read *error* (as opposed to a clean EOF, which may
+                    // be a pipelining client's half-close) means the
+                    // connection is gone: cancel its in-flight jobs so
+                    // lane time is not spent on answers nobody can read.
                     rt.record_io_error(conn_id, format!("read: {e}"));
+                    conn.kill();
                     break 'lines;
                 }
             }
@@ -502,9 +549,10 @@ fn read_side<'j, H: LineHandler>(
         };
         rt.hub.request_submitted();
         let line = line.to_string();
+        let submitted = Instant::now();
         let job: Job<'j> = Box::new({
             let conn = Arc::clone(conn);
-            move || run_job(rt, &conn, conn_id, seq, &line, out)
+            move || run_job(rt, &conn, conn_id, seq, &line, out, submitted)
         });
         if queue.push(job).is_err() {
             // Only possible if shutdown raced this connection; fail the
@@ -533,8 +581,8 @@ fn respond_transport_error<H: LineHandler>(
     }
 }
 
-/// One request's compute, run on a lane: cache lookup, handler dispatch,
-/// cache fill, in-order delivery.
+/// One request's compute, run on a lane: cancellation probe, cache
+/// lookup, handler dispatch, cache fill, in-order delivery.
 ///
 /// A panic inside the handler is contained here: it costs exactly the
 /// connection that submitted the request (the same blast radius as the
@@ -547,14 +595,35 @@ fn run_job<H: LineHandler>(
     seq: u64,
     line: &str,
     mut out: String,
+    submitted: Instant,
 ) {
+    // The connection died (token tripped) or this sequence number was
+    // truncated by an abort (an earlier job panicked) while the job sat
+    // in the queue: nobody will ever read an answer, so skip the
+    // compute entirely — this is what keeps a lost connection from
+    // occupying a compute lane. Note the abort case must NOT cancel the
+    // connection token: earlier in-flight jobs still flush their real
+    // responses, which a token trip would corrupt into errors.
+    if conn.token().is_cancelled() || conn.discards(seq) {
+        rt.hub.job_cancelled();
+        return;
+    }
     out.clear();
     if let Some(hit) = rt.cache.get(line.as_bytes()) {
         // Transparency invariant: these are exactly the bytes the
         // handler produced for this line (property-tested end to end).
         out.push_str(&hit);
     } else {
-        let ctx = RequestContext { hub: rt.hub, cache: rt.cache };
+        // The job's token: trips on connection loss, and additionally on
+        // the server-side default deadline (anchored at submission, so
+        // queue wait counts). An unrepresentably far deadline is no
+        // deadline.
+        let token = match rt.default_deadline.and_then(|d| Deadline::anchored(submitted, d)) {
+            Some(deadline) => conn.token().child_with_deadline(deadline),
+            None => conn.token().clone(),
+        };
+        let ctx =
+            RequestContext { hub: rt.hub, cache: rt.cache, token: &token, submitted_at: submitted };
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             rt.handler.handle(&ctx, line, &mut out)
         }));
@@ -667,6 +736,11 @@ struct ConnShared {
     /// Signaled when a response lands in the ring, input ends, or the
     /// connection dies (the writer waits on this).
     response_ready: Condvar,
+    /// The connection's cancellation root: tripped by [`ConnShared::kill`]
+    /// (connection loss — reader error or writer failure), so queued and
+    /// in-flight jobs of this connection stop consuming lane time. Every
+    /// job token is this token or a deadline-carrying child of it.
+    token: CancelToken,
 }
 
 struct ConnState {
@@ -708,7 +782,21 @@ impl ConnShared {
             }),
             slot_freed: Condvar::new(),
             response_ready: Condvar::new(),
+            token: CancelToken::new(),
         }
+    }
+
+    /// The connection's cancellation root (see the field docs).
+    fn token(&self) -> &CancelToken {
+        &self.token
+    }
+
+    /// Whether a response for `seq` would be discarded unread: the
+    /// connection is dead, or an abort truncated the response stream
+    /// before `seq`. Lanes skip such jobs instead of computing them.
+    fn discards(&self, seq: u64) -> bool {
+        let state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.dead || state.total.is_some_and(|total| seq >= total)
     }
 
     /// Blocks until fewer than `pipeline_depth` requests are in flight,
@@ -771,8 +859,12 @@ impl ConnShared {
         self.response_ready.notify_all();
     }
 
-    /// Marks the connection dead (producer-side failure).
+    /// Marks the connection dead (connection loss: reader error or
+    /// writer failure) and cancels its token, so jobs already queued or
+    /// running for this connection stop at their next checkpoint instead
+    /// of computing answers nobody can read.
     fn kill(&self) {
+        self.token.cancel();
         let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
         state.dead = true;
         self.slot_freed.notify_all();
@@ -783,6 +875,7 @@ impl ConnShared {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::Ordering;
 
     /// Deterministic test handler: echoes with a prefix, sleeps a few
     /// milliseconds on `slow-` lines (to shuffle lane completion order),
@@ -793,6 +886,18 @@ mod tests {
         fn handle(&self, ctx: &RequestContext<'_>, line: &str, out: &mut String) -> Cacheability {
             if line == "panic" {
                 panic!("handler blew up");
+            }
+            if line == "check-token" {
+                // Cooperative cancellation: the handler polls the job
+                // token; a tripped deadline becomes an error response.
+                return if ctx.cancel_token().is_cancelled() {
+                    ctx.record_deadline_exceeded();
+                    out.push_str("error:deadline");
+                    Cacheability::Uncacheable
+                } else {
+                    out.push_str("token:live");
+                    Cacheability::Cacheable
+                };
             }
             if line == "sleep-long" {
                 std::thread::sleep(Duration::from_millis(150));
@@ -1012,6 +1117,153 @@ mod tests {
                 report.io_errors.iter().any(|e| e.contains("handler panicked")),
                 "{:?}",
                 report.io_errors
+            );
+        });
+    }
+
+    #[test]
+    fn default_deadline_trips_the_job_token() {
+        // An already-expired server-side deadline: the job token is
+        // tripped before the handler runs, and the handler answers with
+        // its deadline response (counted in the metrics).
+        let listener = bind();
+        let addr = listener.local_addr().unwrap();
+        let config = RuntimeConfig {
+            lanes: 1,
+            default_deadline: Some(Duration::from_millis(0)),
+            max_connections: Some(1),
+            ..RuntimeConfig::default()
+        };
+        std::thread::scope(|scope| {
+            let server = scope.spawn(|| serve_lines(&listener, &config, &TestHandler).unwrap());
+            let mut conn = TcpStream::connect(addr).unwrap();
+            writeln!(conn, "check-token").unwrap();
+            conn.shutdown(std::net::Shutdown::Write).unwrap();
+            let got: Vec<String> = BufReader::new(conn).lines().map(|l| l.unwrap()).collect();
+            assert_eq!(got, vec!["error:deadline".to_string()]);
+            let report = server.join().unwrap();
+            assert_eq!(report.metrics.deadlines_exceeded, 1);
+        });
+    }
+
+    #[test]
+    fn no_deadline_leaves_the_job_token_live() {
+        let listener = bind();
+        let addr = listener.local_addr().unwrap();
+        let config = RuntimeConfig {
+            lanes: 1,
+            default_deadline: Some(Duration::from_secs(3600)),
+            max_connections: Some(1),
+            ..RuntimeConfig::default()
+        };
+        std::thread::scope(|scope| {
+            let server = scope.spawn(|| serve_lines(&listener, &config, &TestHandler).unwrap());
+            let mut conn = TcpStream::connect(addr).unwrap();
+            writeln!(conn, "check-token").unwrap();
+            conn.shutdown(std::net::Shutdown::Write).unwrap();
+            let got: Vec<String> = BufReader::new(conn).lines().map(|l| l.unwrap()).collect();
+            assert_eq!(got, vec!["token:live".to_string()]);
+            let report = server.join().unwrap();
+            assert_eq!(report.metrics.deadlines_exceeded, 0);
+        });
+    }
+
+    /// A handler that counts how many requests actually computed, so a
+    /// test can prove that a lost connection's queued jobs were skipped.
+    struct CountingHandler {
+        computed: std::sync::atomic::AtomicUsize,
+    }
+
+    impl LineHandler for CountingHandler {
+        fn handle(&self, _ctx: &RequestContext<'_>, line: &str, out: &mut String) -> Cacheability {
+            self.computed.fetch_add(1, Ordering::Relaxed);
+            if line == "panic" {
+                panic!("handler blew up");
+            }
+            std::thread::sleep(Duration::from_millis(25));
+            out.push_str("echo:");
+            out.push_str(line);
+            Cacheability::Uncacheable // force every request to compute
+        }
+    }
+
+    #[test]
+    fn panic_abort_skips_the_connections_queued_jobs() {
+        // A handler panic aborts its connection; the jobs still queued
+        // behind it can never be answered, so the lanes must skip them
+        // instead of computing responses nobody will read — while the
+        // pre-panic response still flushes.
+        let listener = bind();
+        let addr = listener.local_addr().unwrap();
+        let handler = CountingHandler { computed: std::sync::atomic::AtomicUsize::new(0) };
+        let config = RuntimeConfig {
+            lanes: 1,
+            pipeline_depth: 8,
+            max_connections: Some(1),
+            ..RuntimeConfig::default()
+        };
+        std::thread::scope(|scope| {
+            let server = scope.spawn(|| serve_lines(&listener, &config, &handler).unwrap());
+            let conn = TcpStream::connect(addr).unwrap();
+            let mut writer = conn.try_clone().unwrap();
+            writeln!(writer, "before\npanic\ndoomed-0\ndoomed-1\ndoomed-2\ndoomed-3").unwrap();
+            let got: Vec<String> = BufReader::new(conn).lines().map_while(Result::ok).collect();
+            assert_eq!(got, vec!["echo:before".to_string()], "pre-panic response must flush");
+            drop(writer);
+            let report = server.join().unwrap();
+            assert_eq!(report.metrics.handler_panics, 1);
+            // "before" and "panic" computed; the four doomed jobs must
+            // have been skipped on the lane, not run.
+            assert_eq!(handler.computed.load(Ordering::Relaxed), 2, "{:?}", report.metrics);
+            assert_eq!(report.metrics.jobs_cancelled, 4, "{:?}", report.metrics);
+        });
+    }
+
+    #[test]
+    fn mid_burst_disconnect_cancels_queued_jobs_but_not_other_connections() {
+        let listener = bind();
+        let addr = listener.local_addr().unwrap();
+        let burst = 8usize;
+        let handler = CountingHandler { computed: std::sync::atomic::AtomicUsize::new(0) };
+        let config = RuntimeConfig {
+            lanes: 1, // serialize jobs so most of the burst is still queued
+            pipeline_depth: burst,
+            max_connections: Some(2),
+            ..RuntimeConfig::default()
+        };
+        std::thread::scope(|scope| {
+            let server = scope.spawn(|| serve_lines(&listener, &config, &handler).unwrap());
+            // Connection 1: pipeline a slow burst, then drop the socket
+            // without reading anything. The unread response triggers an
+            // RST, the reader/writer fail, the connection token trips,
+            // and the still-queued jobs are skipped on the lane.
+            {
+                let mut conn = TcpStream::connect(addr).unwrap();
+                for i in 0..burst {
+                    writeln!(conn, "doomed-{i}").unwrap();
+                }
+                // Full close with responses unread → RST.
+            }
+            // Connection 2 (after the disconnect): must be served in
+            // full, byte-identical to an undisturbed serial exchange.
+            let mut conn = TcpStream::connect(addr).unwrap();
+            for i in 0..3 {
+                writeln!(conn, "alive-{i}").unwrap();
+            }
+            conn.shutdown(std::net::Shutdown::Write).unwrap();
+            let got: Vec<String> = BufReader::new(conn).lines().map(|l| l.unwrap()).collect();
+            assert_eq!(got, vec!["echo:alive-0", "echo:alive-1", "echo:alive-2"]);
+            let report = server.join().unwrap();
+            // The doomed burst must not have run to completion: at least
+            // one queued job was cancelled instead of computed.
+            let computed = handler.computed.load(Ordering::Relaxed);
+            assert!(computed < burst + 3, "all {burst} doomed jobs still computed");
+            assert!(report.metrics.jobs_cancelled > 0, "{:?}", report.metrics);
+            assert_eq!(
+                computed as u64 + report.metrics.jobs_cancelled,
+                (burst + 3) as u64,
+                "every admitted request either computed or was cancelled: {:?}",
+                report.metrics
             );
         });
     }

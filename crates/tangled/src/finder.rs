@@ -9,6 +9,7 @@
 //! RNG stream from the search index via [`gtl_core::derive_stream`] and
 //! the execution layer returns results in seed order.
 
+use gtl_core::cancel::{CancelToken, Cancelled};
 use gtl_netlist::{CellId, Netlist, SubsetStats};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -179,15 +180,56 @@ impl<'a> TangledLogicFinder<'a> {
         self.run_with_scratch(&mut crate::prune::PruneScratch::new(self.netlist.num_cells()))
     }
 
+    /// [`TangledLogicFinder::run`] polling `token` between seed searches:
+    /// workers finish the search they are on, then the run returns
+    /// [`Cancelled`]. A token that never fires yields a result identical
+    /// to [`TangledLogicFinder::run`] (same code path through
+    /// `gtl_core::exec`).
+    ///
+    /// # Errors
+    ///
+    /// [`Cancelled`] once the token fires.
+    pub fn run_cancellable(&self, token: &CancelToken) -> Result<FinderResult, Cancelled> {
+        self.run_with_scratch_cancellable(
+            &mut crate::prune::PruneScratch::new(self.netlist.num_cells()),
+            token,
+        )
+    }
+
     /// [`TangledLogicFinder::run`] with caller-owned pruning scratch, for
     /// services running many finds over one netlist (the bitset of the
     /// final pruning pass is reused instead of reallocated per request).
     pub fn run_with_scratch(&self, scratch: &mut crate::prune::PruneScratch) -> FinderResult {
+        match self.run_scratch_impl(scratch, None) {
+            Ok(result) => result,
+            Err(_) => unreachable!("a run without a token cannot be cancelled"),
+        }
+    }
+
+    /// [`TangledLogicFinder::run_with_scratch`] with cooperative
+    /// cancellation (see [`TangledLogicFinder::run_cancellable`]).
+    ///
+    /// # Errors
+    ///
+    /// [`Cancelled`] once the token fires.
+    pub fn run_with_scratch_cancellable(
+        &self,
+        scratch: &mut crate::prune::PruneScratch,
+        token: &CancelToken,
+    ) -> Result<FinderResult, Cancelled> {
+        self.run_scratch_impl(scratch, Some(token))
+    }
+
+    fn run_scratch_impl(
+        &self,
+        scratch: &mut crate::prune::PruneScratch,
+        token: Option<&CancelToken>,
+    ) -> Result<FinderResult, Cancelled> {
         let mut master = SmallRng::seed_from_u64(self.config.rng_seed);
         let seeds: Vec<CellId> = (0..self.config.num_seeds)
             .map(|_| CellId::new(master.gen_range(0..self.netlist.num_cells())))
             .collect();
-        self.run_from_seeds_with(&seeds, scratch)
+        self.run_core(&seeds, scratch, token)
     }
 
     /// Runs all three phases from caller-supplied seed cells.
@@ -216,6 +258,21 @@ impl<'a> TangledLogicFinder<'a> {
         seeds: &[CellId],
         scratch: &mut crate::prune::PruneScratch,
     ) -> FinderResult {
+        match self.run_core(seeds, scratch, None) {
+            Ok(result) => result,
+            Err(_) => unreachable!("a run without a token cannot be cancelled"),
+        }
+    }
+
+    /// The shared three-phase pipeline behind every `run*` entry point;
+    /// `token` (when present) is polled between seed searches and before
+    /// the serial pruning pass.
+    fn run_core(
+        &self,
+        seeds: &[CellId],
+        scratch: &mut crate::prune::PruneScratch,
+        token: Option<&CancelToken>,
+    ) -> Result<FinderResult, Cancelled> {
         for &s in seeds {
             assert!(s.index() < self.netlist.num_cells(), "seed {s} out of bounds");
         }
@@ -228,44 +285,54 @@ impl<'a> TangledLogicFinder<'a> {
         // worker claims, results come back in seed order, and each search
         // derives its RNG from (master seed, seed index) — so the output
         // is identical for any thread count.
-        let results: Vec<Option<Candidate>> = gtl_core::parallel_map_with(
-            self.config.threads,
-            seeds.len(),
-            |_worker| SearchScratch {
-                grower: OrderingGrower::new(self.netlist, self.config.growth()),
-                ordering: LinearOrdering::new(),
-            },
-            |scratch, index| {
-                let mut rng = SmallRng::seed_from_u64(gtl_core::derive_stream(
-                    self.config.rng_seed,
-                    index as u64,
-                ));
-                scratch.grower.grow_into(seeds[index], &mut scratch.ordering);
-                let cand = extract_candidate(
-                    &scratch.ordering,
-                    self.netlist.avg_pins_per_cell(),
+        let init = |_worker: usize| SearchScratch {
+            grower: OrderingGrower::new(self.netlist, self.config.growth()),
+            ordering: LinearOrdering::new(),
+        };
+        let search = |scratch: &mut SearchScratch<'_>, index: usize| {
+            let mut rng = SmallRng::seed_from_u64(gtl_core::derive_stream(
+                self.config.rng_seed,
+                index as u64,
+            ));
+            scratch.grower.grow_into(seeds[index], &mut scratch.ordering);
+            let cand = extract_candidate(
+                &scratch.ordering,
+                self.netlist.avg_pins_per_cell(),
+                &candidate_config,
+            )?;
+            let mut cand = if self.config.refine {
+                refine_candidate(
+                    self.netlist,
+                    &mut scratch.grower,
+                    cand,
                     &candidate_config,
-                )?;
-                let mut cand = if self.config.refine {
-                    refine_candidate(
-                        self.netlist,
-                        &mut scratch.grower,
-                        cand,
-                        &candidate_config,
-                        &refine_config,
-                        &mut rng,
-                    )
-                } else {
-                    cand
-                };
-                // Canonicalize after Phase III (refinement seeds sample the
-                // growth order, so sorting must not happen earlier):
-                // `prune_overlapping`'s equal-score tiebreak compares the
-                // cell vectors and requires them sorted.
-                cand.cells.sort_unstable();
-                Some(cand)
-            },
-        );
+                    &refine_config,
+                    &mut rng,
+                )
+            } else {
+                cand
+            };
+            // Canonicalize after Phase III (refinement seeds sample the
+            // growth order, so sorting must not happen earlier):
+            // `prune_overlapping`'s equal-score tiebreak compares the
+            // cell vectors and requires them sorted.
+            cand.cells.sort_unstable();
+            Some(cand)
+        };
+        // The searches poll the token between items; the tail (pruning,
+        // scoring) is cheap but still guarded so a cancelled run never
+        // pays for it.
+        let results: Vec<Option<Candidate>> = match token {
+            None => gtl_core::parallel_map_with(self.config.threads, seeds.len(), init, search),
+            Some(token) => gtl_core::parallel_map_with_cancellable(
+                self.config.threads,
+                seeds.len(),
+                token,
+                init,
+                search,
+            )?,
+        };
+        gtl_core::cancel::checkpoint(token)?;
 
         let num_empty = results.iter().filter(|r| r.is_none()).count();
         let candidates: Vec<Candidate> = results.into_iter().flatten().collect();
@@ -302,13 +369,13 @@ impl<'a> TangledLogicFinder<'a> {
             })
             .collect();
 
-        FinderResult {
+        Ok(FinderResult {
             gtls,
             num_candidates,
             num_empty_searches: num_empty,
             avg_pins_per_cell: a_g,
             avg_rent_exponent: avg_p,
-        }
+        })
     }
 }
 
@@ -445,6 +512,36 @@ mod tests {
         let mut cfg = config();
         cfg.num_seeds = 0;
         let _ = TangledLogicFinder::new(&nl, cfg);
+    }
+
+    #[test]
+    fn cancellable_run_with_live_token_matches_plain_run() {
+        let (nl, _) = testbed();
+        let finder = TangledLogicFinder::new(&nl, config());
+        let plain = format!("{:?}", finder.run());
+        let token = CancelToken::new();
+        let cancellable = format!("{:?}", finder.run_cancellable(&token).unwrap());
+        assert_eq!(plain, cancellable);
+    }
+
+    #[test]
+    fn pre_cancelled_token_aborts_the_run() {
+        let (nl, _) = testbed();
+        let finder = TangledLogicFinder::new(&nl, config());
+        let token = CancelToken::new();
+        token.cancel();
+        let err = finder.run_cancellable(&token).unwrap_err();
+        assert_eq!(err.reason, gtl_core::cancel::CancelReason::Cancelled);
+    }
+
+    #[test]
+    fn expired_deadline_aborts_with_deadline_reason() {
+        let (nl, _) = testbed();
+        let finder = TangledLogicFinder::new(&nl, config());
+        let token =
+            CancelToken::with_deadline(gtl_core::cancel::Deadline::at(std::time::Instant::now()));
+        let err = finder.run_cancellable(&token).unwrap_err();
+        assert_eq!(err.reason, gtl_core::cancel::CancelReason::DeadlineExceeded);
     }
 
     /// The execution-layer determinism contract, end-to-end: the full

@@ -239,11 +239,17 @@ fn render_str(s: &str, out: &mut String) {
 /// Reads `name` out of an object and deserializes it — the helper the
 /// derive macro expands field reads to.
 ///
+/// A missing key is deserialized as [`Value::Null`]: `Option<T>` fields
+/// may simply be absent from the document (how upstream serde treats
+/// `#[serde(default)]` optionals — the behavior versioned wire contracts
+/// need to add fields compatibly), while any non-nullable type still
+/// reports the field as missing.
+///
 /// # Errors
 ///
-/// Fails when `value` is not an object, the field is missing, or the
-/// field's own deserialization fails (the error is prefixed with the
-/// field name to keep nested failures legible).
+/// Fails when `value` is not an object, the field is missing and not
+/// nullable, or the field's own deserialization fails (the error is
+/// prefixed with the field name to keep nested failures legible).
 pub fn from_field<T>(value: &Value, type_name: &str, name: &str) -> Result<T, Error>
 where
     T: for<'a> crate::Deserialize<'a>,
@@ -251,10 +257,11 @@ where
     let Value::Obj(_) = value else {
         return Err(Error::new(format!("{type_name}: expected object, got {}", value.kind())));
     };
-    let field = value
-        .get(name)
-        .ok_or_else(|| Error::new(format!("{type_name}: missing field `{name}`")))?;
-    T::from_value(field).map_err(|e| Error::new(format!("{name}: {e}")))
+    match value.get(name) {
+        Some(field) => T::from_value(field).map_err(|e| Error::new(format!("{name}: {e}"))),
+        None => T::from_value(&Value::Null)
+            .map_err(|_| Error::new(format!("{type_name}: missing field `{name}`"))),
+    }
 }
 
 /// Splits an externally tagged enum value into `(variant, payload)` — the
@@ -283,6 +290,19 @@ pub fn variant<'v>(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn missing_optional_field_deserializes_as_none() {
+        let obj = Value::obj([("a", Value::U64(1))]);
+        // Optionals may be absent entirely (compatible field additions)…
+        assert_eq!(from_field::<Option<u32>>(&obj, "T", "b").unwrap(), None);
+        // …or explicitly null, with identical results…
+        let with_null = Value::obj([("a", Value::U64(1)), ("b", Value::Null)]);
+        assert_eq!(from_field::<Option<u32>>(&with_null, "T", "b").unwrap(), None);
+        // …while non-nullable fields still report missing.
+        let err = from_field::<u32>(&obj, "T", "b").unwrap_err();
+        assert!(err.message().contains("missing field `b`"), "{err}");
+    }
 
     #[test]
     fn num_splits_integers_and_floats() {
