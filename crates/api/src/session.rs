@@ -147,7 +147,8 @@ impl SessionBuilder {
         // full statistics are computed once here, not per Stats request.
         let stats = NetlistStats::compute(&netlist);
         let scratch = Mutex::new(PruneScratch::new(netlist.num_cells()));
-        Ok(Session { netlist, summary, stats, scratch })
+        let place_scratch = Mutex::new(gtl_place::PlaceScratch::new());
+        Ok(Session { netlist, summary, stats, scratch, place_scratch })
     }
 }
 
@@ -177,6 +178,7 @@ pub struct Session {
     summary: NetlistSummary,
     stats: NetlistStats,
     scratch: Mutex<PruneScratch>,
+    place_scratch: Mutex<gtl_place::PlaceScratch>,
 }
 
 impl Session {
@@ -340,7 +342,34 @@ impl Session {
         check_threads(request.placer.threads, "placer.threads")?;
         check_threads(request.routing.threads, "routing.threads")?;
         let die = gtl_place::Die::for_netlist(&self.netlist, request.utilization);
-        let placement = gtl_place::place_cancellable(&self.netlist, &die, &request.placer, &token)?;
+        // Reuse the session's Laplacian-build scratch when it is free;
+        // under contention fall back to a fresh one rather than queueing
+        // (the scratch is a pure allocation cache — results are identical).
+        let placement = match self.place_scratch.try_lock() {
+            Ok(mut scratch) => gtl_place::place_cancellable_with_scratch(
+                &self.netlist,
+                &die,
+                &request.placer,
+                &token,
+                &mut scratch,
+            ),
+            Err(std::sync::TryLockError::Poisoned(poisoned)) => {
+                gtl_place::place_cancellable_with_scratch(
+                    &self.netlist,
+                    &die,
+                    &request.placer,
+                    &token,
+                    &mut poisoned.into_inner(),
+                )
+            }
+            Err(std::sync::TryLockError::WouldBlock) => gtl_place::place_cancellable_with_scratch(
+                &self.netlist,
+                &die,
+                &request.placer,
+                &token,
+                &mut gtl_place::PlaceScratch::new(),
+            ),
+        }?;
         let hpwl = gtl_place::hpwl(&self.netlist, &placement);
         let map = congestion::estimate_cancellable(
             &self.netlist,

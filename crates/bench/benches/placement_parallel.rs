@@ -40,25 +40,35 @@ fn placement_parallel(c: &mut Criterion) {
     let mut group = c.benchmark_group("placement_parallel");
     group.sample_size(10);
 
-    // One timed pass per thread count for the JSON summary (criterion's
-    // own samples follow below); also checks determinism across counts.
+    // Untimed warmup so the first measured row does not also pay the
+    // page-fault/allocator warmup of the whole process.
+    std::hint::black_box(place(&g.netlist, &die, &config(1)).len());
+
+    // Best-of-2 timed passes per thread count for the JSON summary
+    // (criterion's own samples follow below); also checks determinism
+    // across counts. The minimum is the standard low-noise wall
+    // estimator: interference only ever adds time.
     let mut rows = Vec::new();
     let mut serial_wall = 0.0f64;
     let mut baseline = None;
     for &threads in &thread_counts() {
-        let start = Instant::now();
-        let placement = place(&g.netlist, &die, &config(threads));
-        let wall = start.elapsed().as_secs_f64();
-        let wirelength = hpwl(&g.netlist, &placement);
-        match &baseline {
-            None => {
-                serial_wall = wall;
-                baseline = Some(placement);
+        let mut wall = f64::INFINITY;
+        let mut wirelength = 0.0f64;
+        for _ in 0..2 {
+            let start = Instant::now();
+            let placement = place(&g.netlist, &die, &config(threads));
+            wall = wall.min(start.elapsed().as_secs_f64());
+            wirelength = hpwl(&g.netlist, &placement);
+            match &baseline {
+                None => baseline = Some(placement),
+                Some(expected) => assert_eq!(
+                    expected, &placement,
+                    "placement changed between 1 and {threads} threads"
+                ),
             }
-            Some(expected) => assert_eq!(
-                expected, &placement,
-                "placement changed between 1 and {threads} threads"
-            ),
+        }
+        if threads == 1 {
+            serial_wall = wall;
         }
         rows.push(Json::obj([
             ("threads", Json::num(threads as f64)),

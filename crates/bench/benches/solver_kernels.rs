@@ -1,0 +1,181 @@
+//! Criterion bench for the quadratic-solver kernels themselves — the
+//! fused Jacobi-CG of [`Laplacian::solve_anchored_into`] and the
+//! shard-restricted CG of [`ShardSolver::solve_shard_into`] — measured
+//! below the placer so kernel-level regressions are visible before they
+//! wash out in a full `place()` run.
+//!
+//! Besides the criterion timings, the bench writes a machine-readable
+//! `solver_kernels.json` summary (kernel, wall seconds, solves/s) into
+//! `results/` via the `gtl_bench::report` machinery, and asserts both
+//! kernels are run-to-run deterministic (two timed passes over the same
+//! inputs must agree bit-for-bit). Both passes run with caller-owned
+//! output buffers and reused scratch: the steady state allocates nothing.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gtl_bench::report::{write_json, Json};
+use gtl_core::shard::ShardGrid;
+use gtl_place::quadratic::{Laplacian, ShardSolver, SolveScratch};
+use gtl_place::Die;
+use gtl_synth::ispd_like::{generate, IspdBenchmark, IspdLikeConfig};
+
+/// Anchor weight for both kernels.
+const ALPHA: f64 = 0.5;
+const TOLERANCE: f64 = 1e-6;
+const MAX_CG_ITERATIONS: usize = 300;
+/// Shard-grid side for the shard kernel (matches `placement_parallel`).
+const GRID: usize = 3;
+
+struct Testbed {
+    lap: Laplacian,
+    anchor: Vec<f64>,
+    rhs: Vec<f64>,
+    x0: Vec<f64>,
+    targets: Vec<f64>,
+    shards: Vec<Vec<u32>>,
+}
+
+fn testbed() -> Testbed {
+    let g = generate(&IspdLikeConfig::new(IspdBenchmark::Adaptec1, 0.05));
+    let die = Die::for_netlist(&g.netlist, 0.6);
+    let lap = Laplacian::build(&g.netlist);
+    let n = lap.dim();
+    // Deterministic pseudo-random targets/starting guess inside the die.
+    let coord = |seed: u64, i: usize, side: f64| {
+        (gtl_core::derive_stream(seed, i as u64) % 10_000) as f64 / 10_000.0 * side
+    };
+    let targets: Vec<f64> = (0..n).map(|i| coord(5, i, die.width)).collect();
+    let x0: Vec<f64> = (0..n).map(|i| coord(7, i, die.width)).collect();
+    let ys: Vec<f64> = (0..n).map(|i| coord(9, i, die.height)).collect();
+    let rhs: Vec<f64> = targets.iter().map(|t| ALPHA * t).collect();
+    let grid = ShardGrid::square(GRID, die.width, die.height);
+    let shards = grid.partition(&x0, &ys);
+    Testbed { lap, anchor: vec![ALPHA; n], rhs, x0, targets, shards }
+}
+
+/// Runs `reps` anchored solves into reused buffers; returns the wall
+/// time and the solution of the last solve (they are all identical).
+fn anchored_pass(tb: &Testbed, reps: usize) -> (f64, Vec<f64>) {
+    let mut scratch = SolveScratch::new();
+    let mut x = vec![0.0; tb.lap.dim()];
+    let start = Instant::now();
+    for _ in 0..reps {
+        x.copy_from_slice(&tb.x0);
+        tb.lap.solve_anchored_into(
+            &tb.anchor,
+            &tb.rhs,
+            &mut x,
+            TOLERANCE,
+            MAX_CG_ITERATIONS,
+            &mut scratch,
+        );
+        std::hint::black_box(x[0]);
+    }
+    (start.elapsed().as_secs_f64(), x)
+}
+
+/// Runs `reps` full sweeps over every shard (both axes each) into reused
+/// buffers; returns the wall time and a concatenated fingerprint of the
+/// last sweep.
+fn shard_pass(tb: &Testbed, reps: usize) -> (f64, Vec<f64>) {
+    let n = tb.lap.dim();
+    let mut solver = ShardSolver::new(n);
+    let (mut out_x, mut out_y) = (Vec::new(), Vec::new());
+    let (mut tx, mut ty) = (Vec::new(), Vec::new());
+    let mut fingerprint = Vec::new();
+    let start = Instant::now();
+    for rep in 0..reps {
+        if rep + 1 == reps {
+            fingerprint.clear();
+        }
+        for cells in &tb.shards {
+            if cells.is_empty() {
+                continue;
+            }
+            tx.clear();
+            ty.clear();
+            for &c in cells {
+                tx.push(tb.targets[c as usize]);
+                ty.push(tb.targets[c as usize]);
+            }
+            solver.solve_shard_into(
+                &tb.lap,
+                cells,
+                ALPHA,
+                &tx,
+                &ty,
+                &tb.x0,
+                &tb.x0,
+                TOLERANCE,
+                MAX_CG_ITERATIONS,
+                &mut out_x,
+                &mut out_y,
+            );
+            std::hint::black_box(out_x.first().copied());
+            if rep + 1 == reps {
+                fingerprint.extend_from_slice(&out_x);
+                fingerprint.extend_from_slice(&out_y);
+            }
+        }
+    }
+    (start.elapsed().as_secs_f64(), fingerprint)
+}
+
+fn solver_kernels(c: &mut Criterion) {
+    let tb = testbed();
+    const REPS: usize = 8;
+
+    // Untimed warmup, then two timed passes per kernel: the minimum is
+    // the low-noise wall estimator, and the pair doubles as the
+    // determinism check (reused scratch must be invisible).
+    let mut rows = Vec::new();
+    {
+        std::hint::black_box(anchored_pass(&tb, 1).0);
+        let (wall_a, out_a) = anchored_pass(&tb, REPS);
+        let (wall_b, out_b) = anchored_pass(&tb, REPS);
+        assert_eq!(out_a, out_b, "anchored solve is not run-to-run deterministic");
+        let wall = wall_a.min(wall_b);
+        rows.push(Json::obj([
+            ("kernel", Json::str("anchored")),
+            ("solves", Json::num(REPS as f64)),
+            ("wall_seconds", Json::num(wall)),
+            ("solves_per_s", Json::num(REPS as f64 / wall)),
+        ]));
+    }
+    {
+        std::hint::black_box(shard_pass(&tb, 1).0);
+        let (wall_a, out_a) = shard_pass(&tb, REPS);
+        let (wall_b, out_b) = shard_pass(&tb, REPS);
+        assert_eq!(out_a, out_b, "shard solve is not run-to-run deterministic");
+        let wall = wall_a.min(wall_b);
+        rows.push(Json::obj([
+            ("kernel", Json::str("shard")),
+            ("solves", Json::num(REPS as f64)),
+            ("wall_seconds", Json::num(wall)),
+            ("solves_per_s", Json::num(REPS as f64 / wall)),
+        ]));
+    }
+    let doc = Json::obj([
+        ("bench", Json::str("solver_kernels")),
+        ("num_cells", Json::num(tb.lap.dim() as f64)),
+        ("shard_grid", Json::num(GRID as f64)),
+        ("runs", Json::arr(rows)),
+    ]);
+    let path = gtl_bench::results_dir().join("solver_kernels.json");
+    write_json(&path, &doc).expect("write solver_kernels.json");
+    println!("wrote {}", path.display());
+
+    let mut group = c.benchmark_group("solver_kernels");
+    group.sample_size(10);
+    group.bench_function("anchored", |b| {
+        b.iter(|| std::hint::black_box(anchored_pass(&tb, 1).0));
+    });
+    group.bench_function("shard", |b| {
+        b.iter(|| std::hint::black_box(shard_pass(&tb, 1).0));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, solver_kernels);
+criterion_main!(benches);

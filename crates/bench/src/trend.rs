@@ -13,15 +13,20 @@
 //! * `serve_throughput.json` → `cold_req_per_s` (requests per second
 //!   with the response cache disabled);
 //! * `finder_parallel.json` → `serial_finds_per_s` (the reciprocal of
-//!   the single-thread wall time of the full three-phase finder).
+//!   the single-thread wall time of the full three-phase finder);
+//! * `placement_parallel.json` → `serial_places_per_s` (the reciprocal
+//!   of the single-thread wall time of a full sharded `place()` run);
+//! * `solver_kernels.json` → `<kernel>_solves_per_s` for every kernel
+//!   row (currently `anchored` and `shard`), gating the fused CG
+//!   kernels directly, below placer-level noise.
 //!
 //! Baselines are **machine- and toolchain-relative** absolute numbers:
 //! they must be re-snapshotted whenever the reference hardware or the
-//! pinned toolchain changes (run the two benches, then copy
-//! `results/{serve_throughput,finder_parallel}.json` into
-//! `results/baselines/`), and a CI migration to different runner
-//! hardware starts by refreshing them in the same PR. The 30% default
-//! tolerance absorbs run-to-run noise, not hardware deltas.
+//! pinned toolchain changes (run every tracked bench, then copy
+//! `results/<bench>.json` into `results/baselines/`), and a CI
+//! migration to different runner hardware starts by refreshing them in
+//! the same PR. The 30% default tolerance absorbs run-to-run noise, not
+//! hardware deltas.
 
 use std::path::Path;
 
@@ -30,7 +35,8 @@ use crate::report::Json;
 /// Benches the gate tracks; each must have a current result *and* a
 /// committed baseline, so a silently-missing artifact fails loudly
 /// instead of passing vacuously.
-pub const TRACKED_BENCHES: &[&str] = &["serve_throughput", "finder_parallel"];
+pub const TRACKED_BENCHES: &[&str] =
+    &["serve_throughput", "finder_parallel", "placement_parallel", "solver_kernels"];
 
 /// Default tolerated cold-path regression: fail when a tracked metric
 /// drops more than 30% below its committed baseline.
@@ -97,6 +103,32 @@ pub fn tracked_metrics(bench: &str, doc: &Json) -> Result<Vec<(String, f64)>, St
                 }
             }
             Err(format!("{bench}: no run with threads 1"))
+        }
+        "placement_parallel" => {
+            for run in runs {
+                if field(run, "threads", bench)?.as_u64() == Some(1) {
+                    let wall = number(run, "wall_seconds", bench)?;
+                    if wall <= 0.0 || wall.is_nan() {
+                        return Err(format!("{bench}: non-positive serial wall time {wall}"));
+                    }
+                    return Ok(vec![("serial_places_per_s".to_string(), 1.0 / wall)]);
+                }
+            }
+            Err(format!("{bench}: no run with threads 1"))
+        }
+        "solver_kernels" => {
+            let mut metrics = Vec::new();
+            for run in runs {
+                let kernel = field(run, "kernel", bench)?
+                    .as_str()
+                    .ok_or_else(|| format!("{bench}: `kernel` is not a string"))?;
+                let solves_per_s = number(run, "solves_per_s", bench)?;
+                metrics.push((format!("{kernel}_solves_per_s"), solves_per_s));
+            }
+            if metrics.is_empty() {
+                return Err(format!("{bench}: no kernel runs"));
+            }
+            Ok(metrics)
         }
         other => Err(format!("unknown tracked bench `{other}`")),
     }
@@ -208,6 +240,41 @@ mod tests {
         ])
     }
 
+    fn placement_doc(serial_wall: f64) -> Json {
+        Json::obj([
+            ("bench", Json::str("placement_parallel")),
+            (
+                "runs",
+                Json::arr([
+                    Json::obj([
+                        ("threads", Json::num(1.0)),
+                        ("wall_seconds", Json::num(serial_wall)),
+                    ]),
+                    Json::obj([("threads", Json::num(4.0)), ("wall_seconds", Json::num(0.3))]),
+                ]),
+            ),
+        ])
+    }
+
+    fn solver_doc(anchored_sps: f64, shard_sps: f64) -> Json {
+        Json::obj([
+            ("bench", Json::str("solver_kernels")),
+            (
+                "runs",
+                Json::arr([
+                    Json::obj([
+                        ("kernel", Json::str("anchored")),
+                        ("solves_per_s", Json::num(anchored_sps)),
+                    ]),
+                    Json::obj([
+                        ("kernel", Json::str("shard")),
+                        ("solves_per_s", Json::num(shard_sps)),
+                    ]),
+                ]),
+            ),
+        ])
+    }
+
     #[test]
     fn within_tolerance_passes() {
         let checks = compare("serve_throughput", &serve_doc(100.0), &serve_doc(80.0), 0.30)
@@ -246,6 +313,41 @@ mod tests {
     }
 
     #[test]
+    fn placement_metric_is_reciprocal_wall_time() {
+        let checks = compare("placement_parallel", &placement_doc(1.0), &placement_doc(2.0), 0.30)
+            .expect("compare");
+        assert_eq!(checks[0].metric, "serial_places_per_s");
+        assert!(checks[0].regressed, "{checks:?}");
+        let checks = compare("placement_parallel", &placement_doc(1.0), &placement_doc(1.2), 0.30)
+            .expect("compare");
+        assert!(!checks[0].regressed, "{checks:?}");
+    }
+
+    #[test]
+    fn solver_kernels_track_one_metric_per_kernel() {
+        let checks =
+            compare("solver_kernels", &solver_doc(100.0, 40.0), &solver_doc(90.0, 20.0), 0.30)
+                .expect("compare");
+        assert_eq!(checks.len(), 2);
+        assert_eq!(checks[0].metric, "anchored_solves_per_s");
+        assert!(!checks[0].regressed, "{checks:?}");
+        assert_eq!(checks[1].metric, "shard_solves_per_s");
+        assert!(checks[1].regressed, "{checks:?}");
+        // A kernel present in the baseline but missing from the current
+        // report is an error, not a silent pass.
+        let anchored_only = Json::obj([(
+            "runs",
+            Json::arr([Json::obj([
+                ("kernel", Json::str("anchored")),
+                ("solves_per_s", Json::num(90.0)),
+            ])]),
+        )]);
+        assert!(compare("solver_kernels", &solver_doc(100.0, 40.0), &anchored_only, 0.3).is_err());
+        let empty_runs = Json::obj([("runs", Json::arr([]))]);
+        assert!(tracked_metrics("solver_kernels", &empty_runs).is_err());
+    }
+
+    #[test]
     fn malformed_reports_error_instead_of_passing() {
         let empty = Json::obj([("bench", Json::str("serve_throughput"))]);
         assert!(compare("serve_throughput", &empty, &serve_doc(1.0), 0.3).is_err());
@@ -272,15 +374,25 @@ mod tests {
         let baselines = dir.join("baselines");
         std::fs::create_dir_all(&results).unwrap();
         std::fs::create_dir_all(&baselines).unwrap();
-        for (target, serve, finder) in [
-            (&baselines, serve_doc(100.0), finder_doc(1.0)),
-            (&results, serve_doc(90.0), finder_doc(1.1)),
-        ] {
-            crate::report::write_json(target.join("serve_throughput.json"), &serve).unwrap();
-            crate::report::write_json(target.join("finder_parallel.json"), &finder).unwrap();
+        for (target, scale) in [(&baselines, 1.0), (&results, 1.1)] {
+            crate::report::write_json(target.join("serve_throughput.json"), &serve_doc(100.0))
+                .unwrap();
+            crate::report::write_json(target.join("finder_parallel.json"), &finder_doc(scale))
+                .unwrap();
+            crate::report::write_json(
+                target.join("placement_parallel.json"),
+                &placement_doc(scale),
+            )
+            .unwrap();
+            crate::report::write_json(target.join("solver_kernels.json"), &solver_doc(100.0, 40.0))
+                .unwrap();
         }
         let checks = run_gate(&results, &baselines, 0.3).expect("gate");
-        assert_eq!(checks.len(), 2);
+        assert_eq!(checks.len(), 5);
         assert!(checks.iter().all(|c| !c.regressed), "{checks:?}");
+        // Deleting any one tracked artifact fails the whole gate.
+        std::fs::remove_file(baselines.join("solver_kernels.json")).unwrap();
+        let err = run_gate(&results, &baselines, 0.3).unwrap_err();
+        assert!(err.contains("solver_kernels"), "{err}");
     }
 }

@@ -1,28 +1,110 @@
 //! Deterministic parallel map over an index space.
 //!
 //! See the [crate-level docs](crate) for the determinism contract. The
-//! scheduler is a self-balancing atomic work queue: workers claim indices
-//! with a `fetch_add` and write `(index, value)` pairs into worker-local
-//! buffers that are merged by index after the join, so load imbalance
-//! between items (orderings from different seeds can differ in cost by
-//! orders of magnitude) never idles a thread, and scheduling never leaks
-//! into the results.
+//! scheduler is a self-balancing atomic work queue: workers claim *chunks*
+//! of contiguous indices with a `fetch_add` and write `(index, value)`
+//! pairs into worker-local buffers that are merged by index after the
+//! join, so load imbalance between items (orderings from different seeds
+//! can differ in cost by orders of magnitude) never idles a thread, and
+//! scheduling never leaks into the results.
+//!
+//! # Scheduling granularity
+//!
+//! Every map claims the index space in contiguous chunks. The classic
+//! entry points ([`parallel_map`], [`parallel_map_with`], …) claim one
+//! item at a time ([`Granularity::Items`]`(1)` — maximum load-balancing
+//! slack); the `*_chunked` variants take an explicit [`Granularity`] so
+//! large maps can amortize claim traffic, per-chunk cancellation polling
+//! and per-worker cache churn over many items. Two invariants make chunk
+//! size a pure tuning knob:
+//!
+//! * chunk boundaries are a pure function of `(len, chunk_size)` — chunk
+//!   `k` always covers `[k·c, min(len, (k+1)·c))` — never of the worker
+//!   count or the machine;
+//! * per-item work is unchanged: item `i` computes `f(scratch, i)` with
+//!   its RNG still derived as `derive_stream(master_seed, i)`.
+//!
+//! Together with the merge-by-index join, the output is byte-identical
+//! for **any** `(threads, chunk_size)` pair — property-tested in this
+//! module across threads × chunk sizes × token presence.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 use crate::cancel::{CancelToken, Cancelled};
 
+/// Environment variable forcing the [`Granularity::Auto`] chunk size, for
+/// CI determinism runs that re-execute the identity suites at a
+/// non-default grain. Explicit [`Granularity::Items`] requests are never
+/// overridden. Chunk size cannot affect results (see the
+/// [module docs](self)), so this is a scheduling knob, not a correctness
+/// one.
+pub const CHUNK_ENV: &str = "GTL_EXEC_CHUNK";
+
+/// How a map partitions its index space into scheduler claims.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Granularity {
+    /// Chunk size picked by [`auto_chunk`] from the item count (honoring
+    /// the [`CHUNK_ENV`] override). The right default for every call
+    /// site that has no measured reason to override.
+    #[default]
+    Auto,
+    /// Fixed chunk size in items (clamped to at least 1).
+    Items(usize),
+}
+
+/// The auto-chunk heuristic: the chunk size [`Granularity::Auto`]
+/// resolves to for an `len`-item map.
+///
+/// A pure function of `len` alone — **never** of the worker count or the
+/// machine — so the decomposition it induces is part of the deterministic
+/// schedule shape, not of the hardware. It aims at ~128 claims per map:
+/// small maps (the finder's per-seed searches, tile stripes) keep
+/// per-item claims and maximum load-balancing slack, while maps with
+/// thousands of cheap items get chunks that amortize the atomic claim
+/// and the per-chunk cancellation poll.
+///
+/// # Example
+///
+/// ```
+/// use gtl_core::exec::auto_chunk;
+///
+/// assert_eq!(auto_chunk(64), 1); // small maps: per-item claims
+/// assert_eq!(auto_chunk(1_280), 10); // large maps: ~128 claims
+/// ```
+pub fn auto_chunk(len: usize) -> usize {
+    (len / 128).max(1)
+}
+
+/// Cached [`CHUNK_ENV`] override (`None` when unset or unparseable).
+fn chunk_override() -> Option<usize> {
+    static CACHE: OnceLock<Option<usize>> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        std::env::var(CHUNK_ENV).ok().and_then(|s| s.parse::<usize>().ok()).filter(|&c| c >= 1)
+    })
+}
+
+/// Resolves a [`Granularity`] to a concrete chunk size for `len` items.
+fn resolve_chunk(granularity: Granularity, len: usize) -> usize {
+    match granularity {
+        Granularity::Items(c) => c.max(1),
+        Granularity::Auto => chunk_override().unwrap_or_else(|| auto_chunk(len)),
+    }
+}
+
 /// Resolves a requested worker count against the machine and item count.
 ///
-/// `0` means "all available cores"; the result is clamped to `[1, len]`
-/// (never more workers than items, never zero).
+/// `0` means "all available cores"; any request is capped at the
+/// machine's available parallelism (a thread-count knob is an upper
+/// bound on concurrency, never a demand to oversubscribe — two workers
+/// timesharing one core only add switching and cache-thrash overhead)
+/// and the result is clamped to `[1, len]` (never more workers than
+/// claims, never zero). Worker count cannot affect results, so the cap
+/// is invisible in the output.
 pub fn effective_threads(requested: usize, len: usize) -> usize {
-    let hw = if requested == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-    } else {
-        requested
-    };
-    hw.min(len).max(1)
+    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let req = if requested == 0 { hw } else { requested.min(hw) };
+    req.min(len).max(1)
 }
 
 /// SplitMix64 stream derivation: maps `(master_seed, index)` to an
@@ -54,10 +136,11 @@ pub fn derive_stream(master_seed: u64, index: u64) -> u64 {
 /// Deterministic parallel map with per-worker reusable scratch state.
 ///
 /// Computes `f(&mut scratch, index)` for every `index in 0..len` across
-/// `threads` workers (`0` = all cores) and returns the results in index
-/// order. `init(worker)` builds each worker's scratch exactly once; the
-/// worker id is provided for diagnostics only and must not influence
-/// results.
+/// `threads` workers (`0` = all cores, capped at the machine) and returns
+/// the results in index order. `init(worker)` builds each worker's
+/// scratch exactly once; the worker id is provided for diagnostics only
+/// and must not influence results. Claims one item at a time — use
+/// [`parallel_map_chunked_with`] to pick a coarser grain.
 ///
 /// # Determinism
 ///
@@ -94,7 +177,50 @@ where
     I: Fn(usize) -> S + Sync,
     F: Fn(&mut S, usize) -> T + Sync,
 {
-    match map_impl(threads, len, None, init, f) {
+    parallel_map_chunked_with(threads, len, Granularity::Items(1), init, f)
+}
+
+/// [`parallel_map_with`] with an explicit scheduling [`Granularity`].
+///
+/// Workers claim contiguous chunks of the index space instead of single
+/// items, amortizing the atomic claim, the per-chunk cancellation poll
+/// and per-worker scratch/cache churn over `chunk_size` items. The chunk
+/// decomposition is a pure function of `(len, chunk_size)` — never of
+/// the worker count — and per-item work is unchanged, so the output is
+/// byte-identical to [`parallel_map_with`] for every
+/// `(threads, granularity)` pair (property-tested in this module).
+///
+/// # Panics
+///
+/// Propagates panics from `f`, like [`parallel_map_with`].
+///
+/// # Example
+///
+/// ```
+/// use gtl_core::exec::{parallel_map_chunked_with, Granularity};
+///
+/// let out = parallel_map_chunked_with(
+///     2,
+///     10,
+///     Granularity::Items(4), // claims: [0..4), [4..8), [8..10)
+///     |_worker| (),
+///     |(), i| i * 3,
+/// );
+/// assert_eq!(out, (0..10).map(|i| i * 3).collect::<Vec<_>>());
+/// ```
+pub fn parallel_map_chunked_with<S, T, I, F>(
+    threads: usize,
+    len: usize,
+    granularity: Granularity,
+    init: I,
+    f: F,
+) -> Vec<T>
+where
+    T: Send,
+    I: Fn(usize) -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    match run_map(threads, len, granularity, None, init, f) {
         Ok(out) => out,
         Err(_) => unreachable!("a map without a token cannot be cancelled"),
     }
@@ -102,11 +228,12 @@ where
 
 /// [`parallel_map_with`] with cooperative cancellation.
 ///
-/// `token` is polled **between items**: workers finish the item they are
-/// on, then stop claiming; the call returns within one item's compute of
-/// the token firing. When the token never fires, the result is
-/// byte-identical to [`parallel_map_with`] for any thread count (the two
-/// share one implementation; property-tested in this module).
+/// `token` is polled **between claims**: workers finish the chunk they
+/// are on (one item, for the per-item entry points), then stop claiming;
+/// the call returns within one claim's compute of the token firing. When
+/// the token never fires, the result is byte-identical to
+/// [`parallel_map_with`] for any thread count (the two share one
+/// implementation; property-tested in this module).
 ///
 /// # Errors
 ///
@@ -130,15 +257,45 @@ where
     I: Fn(usize) -> S + Sync,
     F: Fn(&mut S, usize) -> T + Sync,
 {
-    map_impl(threads, len, Some(token), init, f)
+    run_map(threads, len, Granularity::Items(1), Some(token), init, f)
 }
 
-/// The shared scheduler behind the cancellable and infallible maps: one
-/// code path, so "token never fires" is *structurally* byte-identical to
-/// "no token".
-fn map_impl<S, T, I, F>(
+/// [`parallel_map_chunked_with`] with cooperative cancellation: the
+/// token is polled between chunk claims (workers always finish the chunk
+/// they are on), and a never-firing token is byte-invisible for every
+/// `(threads, granularity)` pair.
+///
+/// # Errors
+///
+/// [`Cancelled`] once the token fires.
+///
+/// # Panics
+///
+/// Propagates panics from `f`, like [`parallel_map_with`].
+pub fn parallel_map_chunked_with_cancellable<S, T, I, F>(
     threads: usize,
     len: usize,
+    granularity: Granularity,
+    token: &CancelToken,
+    init: I,
+    f: F,
+) -> Result<Vec<T>, Cancelled>
+where
+    T: Send,
+    I: Fn(usize) -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    run_map(threads, len, granularity, Some(token), init, f)
+}
+
+/// Resolves the chunk size and worker count, then runs the shared
+/// scheduler — one code path behind every public map, so "token never
+/// fires" and "chunk size changed" are *structurally* byte-identical to
+/// the plain per-item map.
+fn run_map<S, T, I, F>(
+    threads: usize,
+    len: usize,
+    granularity: Granularity,
     token: Option<&CancelToken>,
     init: I,
     f: F,
@@ -153,22 +310,50 @@ where
         checkpoint(token)?;
         return Ok(Vec::new());
     }
-    let threads = effective_threads(threads, len);
-    if threads == 1 {
+    let chunk = resolve_chunk(granularity, len);
+    let num_chunks = len.div_ceil(chunk);
+    let workers = effective_threads(threads, num_chunks);
+    map_impl(workers, len, chunk, token, init, f)
+}
+
+/// The scheduler core. `workers` is the already-resolved worker count
+/// (≥ 1), `chunk` the already-resolved chunk size (≥ 1), and `len > 0`.
+/// Kept separate from [`run_map`] so the in-module tests can force
+/// worker counts beyond the machine's cores and still exercise the
+/// multi-worker claim/merge path on any box.
+fn map_impl<S, T, I, F>(
+    workers: usize,
+    len: usize,
+    chunk: usize,
+    token: Option<&CancelToken>,
+    init: I,
+    f: F,
+) -> Result<Vec<T>, Cancelled>
+where
+    T: Send,
+    I: Fn(usize) -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    let checkpoint = crate::cancel::checkpoint;
+    let num_chunks = len.div_ceil(chunk);
+    if workers == 1 {
         let mut scratch = init(0);
         let mut out = Vec::with_capacity(len);
-        for i in 0..len {
+        for c in 0..num_chunks {
+            // Same polling cadence as a parallel worker: once per claim.
             checkpoint(token)?;
-            out.push(f(&mut scratch, i));
+            for i in c * chunk..((c + 1) * chunk).min(len) {
+                out.push(f(&mut scratch, i));
+            }
         }
         checkpoint(token)?;
         return Ok(out);
     }
 
     let next = AtomicUsize::new(0);
-    let mut parts: Vec<Vec<(usize, T)>> = Vec::with_capacity(threads);
+    let mut parts: Vec<Vec<(usize, T)>> = Vec::with_capacity(workers);
     std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
+        let handles: Vec<_> = (0..workers)
             .map(|worker| {
                 let next = &next;
                 let init = &init;
@@ -177,27 +362,33 @@ where
                     let mut scratch = init(worker);
                     let mut out = Vec::new();
                     loop {
-                        // Poll between items: a fired token stops this
-                        // worker from claiming, never from finishing.
+                        // Poll between claims: a fired token stops this
+                        // worker from claiming, never from finishing
+                        // the chunk it is on.
                         if token.is_some_and(CancelToken::is_cancelled) {
                             break;
                         }
-                        let index = next.fetch_add(1, Ordering::Relaxed);
-                        if index >= len {
+                        let c = next.fetch_add(1, Ordering::Relaxed);
+                        if c >= num_chunks {
                             break;
                         }
-                        out.push((index, f(&mut scratch, index)));
+                        for i in c * chunk..((c + 1) * chunk).min(len) {
+                            out.push((i, f(&mut scratch, i)));
+                        }
                     }
                     out
                 })
             })
             .collect();
         for handle in handles {
-            parts.push(handle.join().expect("parallel_map worker panicked"));
+            // Re-raise the worker's own panic payload so the message a
+            // caller observes does not depend on the resolved worker
+            // count (the serial path propagates `f`'s panic directly).
+            parts.push(handle.join().unwrap_or_else(|panic| std::panic::resume_unwind(panic)));
         }
     });
 
-    // A worker only ever leaves an index unclaimed after its token fired,
+    // A worker only ever leaves a chunk unclaimed after its token fired,
     // and the flag is monotonic — so this probe failing is exactly the
     // condition under which the slots below might be incomplete.
     checkpoint(token)?;
@@ -235,6 +426,33 @@ where
     parallel_map_with(threads, len, |_| (), |(), i| f(i))
 }
 
+/// [`parallel_map`] with an explicit scheduling [`Granularity`];
+/// shorthand for [`parallel_map_chunked_with`] with unit scratch (same
+/// determinism contract — the output never depends on the granularity).
+///
+/// # Example
+///
+/// ```
+/// use gtl_core::exec::{parallel_map, parallel_map_chunked, Granularity};
+///
+/// let auto = parallel_map_chunked(4, 300, Granularity::Auto, |i| i + 1);
+/// let fixed = parallel_map_chunked(2, 300, Granularity::Items(7), |i| i + 1);
+/// assert_eq!(auto, parallel_map(1, 300, |i| i + 1));
+/// assert_eq!(auto, fixed);
+/// ```
+pub fn parallel_map_chunked<T, F>(
+    threads: usize,
+    len: usize,
+    granularity: Granularity,
+    f: F,
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    parallel_map_chunked_with(threads, len, granularity, |_| (), |(), i| f(i))
+}
+
 /// [`parallel_map`] with cooperative cancellation; shorthand for
 /// [`parallel_map_with_cancellable`] with unit scratch (same polling,
 /// determinism and error contract).
@@ -270,6 +488,26 @@ where
     parallel_map_with_cancellable(threads, len, token, |_| (), |(), i| f(i))
 }
 
+/// [`parallel_map_chunked`] with cooperative cancellation; shorthand for
+/// [`parallel_map_chunked_with_cancellable`] with unit scratch.
+///
+/// # Errors
+///
+/// [`Cancelled`] once the token fires.
+pub fn parallel_map_chunked_cancellable<T, F>(
+    threads: usize,
+    len: usize,
+    granularity: Granularity,
+    token: &CancelToken,
+    f: F,
+) -> Result<Vec<T>, Cancelled>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    parallel_map_chunked_with_cancellable(threads, len, granularity, token, |_| (), |(), i| f(i))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -289,19 +527,83 @@ mod tests {
         }
     }
 
-    #[test]
-    fn thread_count_does_not_change_output() {
-        // Uneven per-item cost to force different schedules.
-        let work = |i: usize| {
-            let mut acc = derive_stream(42, i as u64);
+    /// Uneven per-item cost to force different schedules.
+    fn uneven(seed: u64) -> impl Fn(usize) -> u64 + Sync + Copy {
+        move |i: usize| {
+            let mut acc = derive_stream(seed, i as u64);
             for _ in 0..(i % 7) * 1000 {
                 acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
             }
             acc
-        };
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_output() {
+        let work = uneven(42);
         let baseline = parallel_map(1, 200, work);
         for threads in [2, 4, 8] {
             assert_eq!(parallel_map(threads, 200, work), baseline, "threads={threads}");
+        }
+        // The public entry points cap workers at the machine; force the
+        // multi-worker claim/merge path directly so this holds even on a
+        // single-core box.
+        for workers in [2, 3, 5] {
+            let forced =
+                map_impl(workers, 200, 1, None, |_| (), |(), i| work(i)).expect("no token");
+            assert_eq!(forced, baseline, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn chunk_size_does_not_change_output() {
+        let work = uneven(7);
+        let baseline = parallel_map(1, 150, work);
+        for chunk in [1, 2, 3, 7, 64, 150, 1000] {
+            for workers in [1, 2, 4] {
+                let out =
+                    map_impl(workers, 150, chunk, None, |_| (), |(), i| work(i)).expect("no token");
+                assert_eq!(out, baseline, "workers={workers} chunk={chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_public_entry_points_match_per_item() {
+        let work = uneven(3);
+        let baseline = parallel_map(2, 90, work);
+        for granularity in [Granularity::Auto, Granularity::Items(4), Granularity::Items(0)] {
+            assert_eq!(parallel_map_chunked(2, 90, granularity, work), baseline, "{granularity:?}");
+            let token = CancelToken::new();
+            let cancellable =
+                parallel_map_chunked_cancellable(2, 90, granularity, &token, work).unwrap();
+            assert_eq!(cancellable, baseline, "{granularity:?} cancellable");
+        }
+    }
+
+    #[test]
+    fn auto_chunk_is_a_pure_function_of_len() {
+        // Pinned heuristic: ~128 claims, at least one item per chunk.
+        for (len, expected) in [
+            (0, 1),
+            (1, 1),
+            (64, 1),
+            (127, 1),
+            (128, 1),
+            (129, 1),
+            (256, 2),
+            (1_280, 10),
+            (1_000_000, 7_812),
+        ] {
+            assert_eq!(auto_chunk(len), expected, "len={len}");
+            // Same len, same answer — no hidden machine/worker input.
+            assert_eq!(auto_chunk(len), auto_chunk(len));
+        }
+        // The induced decomposition covers the index space exactly.
+        for len in [1usize, 5, 127, 128, 129, 1_000] {
+            let c = auto_chunk(len);
+            let covered: usize = (0..len.div_ceil(c)).map(|k| ((k + 1) * c).min(len) - k * c).sum();
+            assert_eq!(covered, len, "len={len} chunk={c}");
         }
     }
 
@@ -332,10 +634,14 @@ mod tests {
 
     #[test]
     fn effective_threads_clamps() {
-        assert_eq!(effective_threads(4, 2), 2);
-        assert_eq!(effective_threads(4, 100), 4);
+        let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        // Requests are capped at the machine: never oversubscribe.
+        assert_eq!(effective_threads(4, 2), 4.min(hw).min(2));
+        assert_eq!(effective_threads(4, 100), 4.min(hw));
+        assert_eq!(effective_threads(usize::MAX, 100), hw.min(100));
         assert_eq!(effective_threads(1, 0), 1);
         assert!(effective_threads(0, 1_000_000) >= 1);
+        assert!(effective_threads(0, 1_000_000) <= hw);
     }
 
     #[test]
@@ -346,9 +652,29 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "worker panicked")]
+    #[should_panic(expected = "boom")]
     fn worker_panic_propagates() {
-        let _ = parallel_map(2, 10, |i| {
+        // The original payload must survive the join on the multi-worker
+        // path (forced, so the test is meaningful on single-core boxes).
+        let _ = map_impl(
+            2,
+            10,
+            1,
+            None,
+            |_| (),
+            |(), i| {
+                if i == 5 {
+                    panic!("boom");
+                }
+                i
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn serial_panic_propagates() {
+        let _ = parallel_map(1, 10, |i| {
             if i == 5 {
                 panic!("boom");
             }
@@ -372,8 +698,8 @@ mod tests {
                 "threads={threads}"
             );
         }
-        // Serial path polls before every item; parallel workers poll
-        // before claiming — a pre-tripped token admits no work at all.
+        // Serial and parallel workers both poll before every claim — a
+        // pre-tripped token admits no work at all.
         assert_eq!(ran.load(Ordering::Relaxed), 0);
     }
 
@@ -381,27 +707,61 @@ mod tests {
     fn cancelling_mid_map_stops_claiming() {
         let token = CancelToken::new();
         let ran = AtomicUsize::new(0);
-        let result = parallel_map_cancellable(2, 1_000, &token, |i| {
-            ran.fetch_add(1, Ordering::Relaxed);
-            if i == 0 {
-                token.cancel();
-            }
-            i
-        });
+        let result = map_impl(
+            2,
+            1_000,
+            1,
+            Some(&token),
+            |_| (),
+            |(), i| {
+                ran.fetch_add(1, Ordering::Relaxed);
+                if i == 0 {
+                    token.cancel();
+                }
+                i
+            },
+        );
         assert!(result.is_err());
-        // Workers finish their in-flight item but claim nothing new:
+        // Workers finish their in-flight claim but take nothing new:
         // far fewer than all items run (each worker can overshoot by at
-        // most the one item it was on when the flag tripped).
+        // most the one chunk it was on when the flag tripped).
         assert!(ran.load(Ordering::Relaxed) < 1_000, "cancellation did not stop the map");
+    }
+
+    #[test]
+    fn cancelling_mid_chunk_finishes_the_claimed_chunk() {
+        let token = CancelToken::new();
+        let ran = AtomicUsize::new(0);
+        let result = map_impl(
+            2,
+            1_000,
+            10,
+            Some(&token),
+            |_| (),
+            |(), i| {
+                ran.fetch_add(1, Ordering::Relaxed);
+                if i == 0 {
+                    token.cancel();
+                }
+                i
+            },
+        );
+        assert!(result.is_err());
+        let ran = ran.load(Ordering::Relaxed);
+        // The worker that tripped the token still finishes its 10-item
+        // chunk; nothing claims a fresh chunk afterwards, so the overshoot
+        // is bounded by one chunk per worker.
+        assert!((10..=40).contains(&ran), "ran {ran} items");
     }
 
     #[test]
     fn cancelled_empty_map_still_reports_cancellation() {
         let token = CancelToken::new();
         token.cancel();
-        let result: Result<Vec<u32>, _> =
-            parallel_map_cancellable(4, 0, &token, |_| unreachable!());
-        assert!(result.is_err());
+        let result: Vec<u32> = Vec::new();
+        let err: Result<Vec<u32>, _> = parallel_map_cancellable(4, 0, &token, |_| unreachable!());
+        assert!(err.is_err());
+        drop(result);
     }
 
     #[test]
@@ -424,6 +784,8 @@ mod tests {
         let plain = parallel_map_with(4, 64, init, item);
         let cancellable = parallel_map_with_cancellable(4, 64, &token, init, item).unwrap();
         assert_eq!(plain, cancellable);
+        let chunked = parallel_map_chunked_with(4, 64, Granularity::Items(5), init, item);
+        assert_eq!(plain, chunked);
     }
 }
 
@@ -454,6 +816,37 @@ mod cancellable_props {
             let plain = parallel_map(threads, len, work);
             let cancellable = parallel_map_cancellable(threads, len, &token, work).unwrap();
             prop_assert_eq!(plain, cancellable);
+        }
+
+        /// The chunked-scheduling extension of the property above:
+        /// byte-identity across forced worker counts × chunk sizes ×
+        /// token presence. Drives `map_impl` directly so the
+        /// multi-worker path runs even on single-core machines (the
+        /// public entry points cap workers at the hardware).
+        #[test]
+        fn chunking_is_invisible_for_any_worker_count(
+            workers in 1usize..5,
+            chunk in 1usize..70,
+            len in 0usize..80,
+            with_token in 0u8..2,
+            seed in 0u64..=u64::MAX,
+        ) {
+            let work = move |i: usize| {
+                let mut acc = derive_stream(seed, i as u64);
+                for _ in 0..(acc % 512) {
+                    acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+                }
+                acc
+            };
+            let baseline = parallel_map(1, len, work);
+            let token = CancelToken::new();
+            let out = if len == 0 {
+                Vec::new()
+            } else {
+                let tok = (with_token == 1).then_some(&token);
+                map_impl(workers, len, chunk, tok, |_| (), |(), i| work(i)).unwrap()
+            };
+            prop_assert_eq!(out, baseline);
         }
     }
 }

@@ -14,8 +14,8 @@
 //!
 //! # Determinism contract
 //!
-//! The execution layer guarantees, for [`exec::parallel_map`] and
-//! [`exec::parallel_map_with`]:
+//! The execution layer guarantees, for [`exec::parallel_map`],
+//! [`exec::parallel_map_with`] and their `*_chunked` variants:
 //!
 //! 1. **Ordered results.** The output `Vec` has one slot per input index,
 //!    in input order, regardless of which worker computed which index and
@@ -28,6 +28,11 @@
 //!    their RNG from [`exec::derive_stream`]`(master_seed, index)` — never
 //!    from a worker-local or shared stream — so the stream attached to an
 //!    index does not depend on scheduling.
+//! 4. **Granularity independence.** Workers claim contiguous *chunks* of
+//!    the index space; chunk boundaries are a pure function of
+//!    `(len, chunk_size)` — never of the worker count — and per-item work
+//!    is unchanged, so the scheduling grain ([`exec::Granularity`]) is a
+//!    pure performance knob that cannot change output bytes.
 //!
 //! # Scratch-buffer reuse
 //!
@@ -48,8 +53,10 @@ pub mod sync;
 
 pub use cancel::{CancelReason, CancelToken, Cancelled, Deadline};
 pub use exec::{
-    derive_stream, effective_threads, parallel_map, parallel_map_cancellable, parallel_map_with,
-    parallel_map_with_cancellable,
+    auto_chunk, derive_stream, effective_threads, parallel_map, parallel_map_cancellable,
+    parallel_map_chunked, parallel_map_chunked_cancellable, parallel_map_chunked_with,
+    parallel_map_chunked_with_cancellable, parallel_map_with, parallel_map_with_cancellable,
+    Granularity,
 };
 pub use shard::{auto_grid, stripes, ShardGrid, DEFAULT_STRIPE_ROWS};
 pub use sync::{BoundedQueue, Semaphore};

@@ -31,7 +31,7 @@
 
 use std::ops::Range;
 
-use gtl_core::exec::parallel_map;
+use gtl_core::exec::{parallel_map_chunked, parallel_map_chunked_cancellable, Granularity};
 use gtl_core::shard::stripes;
 use gtl_netlist::{NetId, Netlist};
 
@@ -493,10 +493,13 @@ fn estimate_impl(
         (h_acc, v_acc)
     };
     let slabs: Vec<(Vec<f64>, Vec<f64>)> = match token {
-        None => parallel_map(config.threads, row_stripes.len(), stripe_pass),
-        Some(token) => gtl_core::exec::parallel_map_cancellable(
+        None => {
+            parallel_map_chunked(config.threads, row_stripes.len(), Granularity::Auto, stripe_pass)
+        }
+        Some(token) => parallel_map_chunked_cancellable(
             config.threads,
             row_stripes.len(),
+            Granularity::Auto,
             token,
             stripe_pass,
         )?,

@@ -58,7 +58,9 @@ pub mod wirelength;
 
 mod placer;
 
-pub use placer::{place, place_cancellable, Placement, PlacerConfig};
+pub use placer::{
+    place, place_cancellable, place_cancellable_with_scratch, PlaceScratch, Placement, PlacerConfig,
+};
 
 use gtl_netlist::Netlist;
 

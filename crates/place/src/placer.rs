@@ -11,13 +11,13 @@
 //! thread count; see `crates/place/tests/determinism.rs`.
 
 use gtl_core::cancel::{CancelToken, Cancelled};
-use gtl_core::exec::{derive_stream, parallel_map, parallel_map_with};
+use gtl_core::exec::{derive_stream, parallel_map_chunked_with, Granularity};
 use gtl_core::shard::{auto_grid, ShardGrid};
 use gtl_netlist::{CellId, Netlist};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use crate::quadratic::{Laplacian, ShardSolver};
+use crate::quadratic::{Laplacian, LaplacianScratch, ShardSolver, SolveScratch};
 use crate::spread::{spread, SpreadConfig};
 use crate::Die;
 
@@ -197,7 +197,7 @@ impl PlacerConfig {
 /// assert!(x >= 0.0 && x <= die.width && y >= 0.0 && y <= die.height);
 /// ```
 pub fn place(netlist: &Netlist, die: &Die, config: &PlacerConfig) -> Placement {
-    match place_impl(netlist, die, config, None) {
+    match place_impl(netlist, die, config, None, &mut PlaceScratch::default()) {
         Ok(placement) => placement,
         Err(_) => unreachable!("a placement without a token cannot be cancelled"),
     }
@@ -222,7 +222,44 @@ pub fn place_cancellable(
     config: &PlacerConfig,
     token: &CancelToken,
 ) -> Result<Placement, Cancelled> {
-    place_impl(netlist, die, config, Some(token))
+    place_impl(netlist, die, config, Some(token), &mut PlaceScratch::default())
+}
+
+/// Reusable cross-request scratch for [`place_cancellable_with_scratch`]:
+/// today the Laplacian build's triplet buffers. A long-lived caller (the
+/// serving session) holds one per session so repeated placements of the
+/// same netlist stop reallocating the `O(pins)` CSR intermediate.
+#[derive(Debug, Default)]
+pub struct PlaceScratch {
+    laplacian: LaplacianScratch,
+}
+
+impl PlaceScratch {
+    /// Creates empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// [`place_cancellable`] reusing caller-owned [`PlaceScratch`]. The
+/// placement is identical to [`place_cancellable`] — scratch contents on
+/// entry are ignored.
+///
+/// # Errors
+///
+/// [`Cancelled`] once the token fires.
+///
+/// # Panics
+///
+/// Panics if the netlist has no cells, like [`place`].
+pub fn place_cancellable_with_scratch(
+    netlist: &Netlist,
+    die: &Die,
+    config: &PlacerConfig,
+    token: &CancelToken,
+    scratch: &mut PlaceScratch,
+) -> Result<Placement, Cancelled> {
+    place_impl(netlist, die, config, Some(token), scratch)
 }
 
 /// The shared placer loop behind [`place`] and [`place_cancellable`].
@@ -231,6 +268,7 @@ fn place_impl(
     die: &Die,
     config: &PlacerConfig,
     token: Option<&CancelToken>,
+    scratch: &mut PlaceScratch,
 ) -> Result<Placement, Cancelled> {
     assert!(netlist.num_cells() > 0, "cannot place an empty netlist");
     let checkpoint = gtl_core::cancel::checkpoint;
@@ -241,7 +279,7 @@ fn place_impl(
     let mut xs: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..die.width)).collect();
     let mut ys: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..die.height)).collect();
 
-    let lap = Laplacian::build(netlist);
+    let lap = Laplacian::build_with(netlist, &mut scratch.laplacian);
     let grid_side = config.resolved_shard_grid(n);
     let mut alpha = config.anchor_start;
 
@@ -282,14 +320,33 @@ fn solve_pass(
 ) {
     let n = lap.dim();
     if grid_side <= 1 {
-        // Global solve; the two axes are independent work items.
+        // Global solve; the two axes are independent work items. Each
+        // worker keeps one set of CG work vectors and one rhs buffer, so
+        // the only per-solve allocation is the returned solution.
         let (xs_now, ys_now): (&[f64], &[f64]) = (xs, ys);
         let anchor = vec![alpha; n];
-        let mut solved = parallel_map(config.threads, 2, |axis| {
-            let (t, pos) = if axis == 0 { (targets.xs(), xs_now) } else { (targets.ys(), ys_now) };
-            let rhs: Vec<f64> = t.iter().map(|&t| alpha * t).collect();
-            lap.solve_anchored(&anchor, &rhs, pos, config.tolerance, config.max_cg_iterations).0
-        });
+        let mut solved = parallel_map_chunked_with(
+            config.threads,
+            2,
+            Granularity::Auto,
+            |_worker| (SolveScratch::new(), Vec::new()),
+            |(scratch, rhs), axis| {
+                let (t, pos) =
+                    if axis == 0 { (targets.xs(), xs_now) } else { (targets.ys(), ys_now) };
+                rhs.clear();
+                rhs.extend(t.iter().map(|&t| alpha * t));
+                let mut x = pos.to_vec();
+                lap.solve_anchored_into(
+                    &anchor,
+                    rhs,
+                    &mut x,
+                    config.tolerance,
+                    config.max_cg_iterations,
+                    scratch,
+                );
+                x
+            },
+        );
         *ys = solved.pop().expect("y axis solved");
         *xs = solved.pop().expect("x axis solved");
     } else {
@@ -301,9 +358,10 @@ fn solve_pass(
         let jitter = TARGET_JITTER * die.width.max(die.height);
         let (xs_now, ys_now): (&[f64], &[f64]) = (xs, ys);
 
-        let solved: Vec<(Vec<f64>, Vec<f64>)> = parallel_map_with(
+        let solved: Vec<(Vec<f64>, Vec<f64>)> = parallel_map_chunked_with(
             config.threads,
             shards.len(),
+            Granularity::Auto,
             |_worker| (ShardSolver::new(n), Vec::new(), Vec::new()),
             |(solver, tx, ty), s| {
                 let cells = &shards[s];
@@ -462,6 +520,20 @@ mod tests {
         let token = CancelToken::new();
         let cancellable = place_cancellable(&nl, &die, &PlacerConfig::default(), &token).unwrap();
         assert_eq!(plain, cancellable);
+    }
+
+    #[test]
+    fn place_scratch_reuse_is_invisible() {
+        let nl = clustered_netlist();
+        let die = Die::for_netlist(&nl, 0.5);
+        let plain = place(&nl, &die, &PlacerConfig::default());
+        let token = CancelToken::new();
+        let mut scratch = PlaceScratch::new();
+        let cfg = PlacerConfig::default();
+        let first = place_cancellable_with_scratch(&nl, &die, &cfg, &token, &mut scratch).unwrap();
+        let second = place_cancellable_with_scratch(&nl, &die, &cfg, &token, &mut scratch).unwrap();
+        assert_eq!(plain, first);
+        assert_eq!(plain, second);
     }
 
     #[test]

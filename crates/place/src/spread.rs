@@ -96,18 +96,23 @@ impl DensityMap {
             stripe_cells[by / STRIPE_ROWS].push(cell.index() as u32);
         }
 
-        let slabs: Vec<Vec<f64>> = gtl_core::parallel_map(threads, row_stripes.len(), |s| {
-            let rows = &row_stripes[s];
-            let mut slab = vec![0.0; rows.len() * bins];
-            for &raw in &stripe_cells[s] {
-                let cell = gtl_netlist::CellId::from(raw);
-                let (x, y) = placement.position(cell);
-                let bx = ((x / bw) as usize).min(bins - 1);
-                let by = ((y / bh) as usize).min(bins - 1);
-                slab[(by - rows.start) * bins + bx] += netlist.cell_area(cell);
-            }
-            slab
-        });
+        let slabs: Vec<Vec<f64>> = gtl_core::parallel_map_chunked(
+            threads,
+            row_stripes.len(),
+            gtl_core::Granularity::Auto,
+            |s| {
+                let rows = &row_stripes[s];
+                let mut slab = vec![0.0; rows.len() * bins];
+                for &raw in &stripe_cells[s] {
+                    let cell = gtl_netlist::CellId::from(raw);
+                    let (x, y) = placement.position(cell);
+                    let bx = ((x / bw) as usize).min(bins - 1);
+                    let by = ((y / bh) as usize).min(bins - 1);
+                    slab[(by - rows.start) * bins + bx] += netlist.cell_area(cell);
+                }
+                slab
+            },
+        );
         let mut area = vec![0.0; bins * bins];
         for (s, slab) in slabs.iter().enumerate() {
             let rows = &row_stripes[s];

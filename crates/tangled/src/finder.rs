@@ -323,10 +323,17 @@ impl<'a> TangledLogicFinder<'a> {
         // scoring) is cheap but still guarded so a cancelled run never
         // pays for it.
         let results: Vec<Option<Candidate>> = match token {
-            None => gtl_core::parallel_map_with(self.config.threads, seeds.len(), init, search),
-            Some(token) => gtl_core::parallel_map_with_cancellable(
+            None => gtl_core::parallel_map_chunked_with(
                 self.config.threads,
                 seeds.len(),
+                gtl_core::Granularity::Auto,
+                init,
+                search,
+            ),
+            Some(token) => gtl_core::parallel_map_chunked_with_cancellable(
+                self.config.threads,
+                seeds.len(),
+                gtl_core::Granularity::Auto,
                 token,
                 init,
                 search,
