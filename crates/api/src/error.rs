@@ -59,6 +59,13 @@ pub enum ApiError {
         /// Why the request was cancelled.
         message: String,
     },
+    /// The request addressed a session name the registry does not hold
+    /// (never loaded, already unloaded, or evicted under the registry
+    /// budget). Since protocol v4.
+    UnknownSession {
+        /// The session name the request asked for.
+        name: String,
+    },
 }
 
 impl ApiError {
@@ -92,6 +99,11 @@ impl ApiError {
         Self::Cancelled { message: message.into() }
     }
 
+    /// Shorthand for [`ApiError::UnknownSession`].
+    pub fn unknown_session(name: impl Into<String>) -> Self {
+        Self::UnknownSession { name: name.into() }
+    }
+
     /// The stable machine-readable code (part of the wire contract).
     pub fn code(&self) -> &'static str {
         match self {
@@ -102,6 +114,7 @@ impl ApiError {
             Self::Io { .. } => "io",
             Self::DeadlineExceeded { .. } => "deadline_exceeded",
             Self::Cancelled { .. } => "cancelled",
+            Self::UnknownSession { .. } => "unknown_session",
         }
     }
 
@@ -113,7 +126,8 @@ impl ApiError {
             Self::Netlist { .. } => 1,
             Self::BadRequest { .. }
             | Self::UnsupportedVersion { .. }
-            | Self::InvalidArgument { .. } => 2,
+            | Self::InvalidArgument { .. }
+            | Self::UnknownSession { .. } => 2,
             Self::Io { .. } => 3,
             Self::DeadlineExceeded { .. } | Self::Cancelled { .. } => 4,
         }
@@ -133,6 +147,9 @@ impl ApiError {
                     "request version {requested} unsupported (this build speaks {}..={supported})",
                     crate::MIN_API_VERSION
                 )
+            }
+            Self::UnknownSession { name } => {
+                format!("unknown session {name:?} (not loaded, unloaded, or evicted)")
             }
         }
     }
@@ -191,6 +208,7 @@ mod tests {
             (ApiError::io("x"), "io", 3),
             (ApiError::deadline_exceeded("x"), "deadline_exceeded", 4),
             (ApiError::cancelled("x"), "cancelled", 4),
+            (ApiError::unknown_session("x"), "unknown_session", 2),
         ];
         for (err, code, exit) in cases {
             assert_eq!(err.code(), code);

@@ -18,12 +18,20 @@
 //!   `serde` serialization;
 //! * [`Request`] / [`Response`]: the externally tagged envelopes that
 //!   travel as JSON lines;
+//! * [`LoadNetlistRequest`] / [`UnloadNetlistRequest`] /
+//!   [`ListSessionsRequest`] (since v4): registry administration — named
+//!   multi-netlist sessions with deterministic LRU eviction under a
+//!   byte budget, served by the [`SessionDispatcher`];
 //! * [`ApiError`]: structured errors with stable codes
 //!   (`bad_request`, `unsupported_version`, `invalid_argument`,
-//!   `netlist`, `io`) and conventional CLI exit codes;
+//!   `netlist`, `io`, `unknown_session`) and conventional CLI exit
+//!   codes;
 //! * [`Session`]: a builder-constructed owner of one loaded
 //!   [`Netlist`](gtl_netlist::Netlist) that validates and serves repeated
 //!   requests with reused scratch;
+//! * [`SessionDispatcher`]: the default session plus a budgeted
+//!   registry of named sessions, resolving each request's optional
+//!   `session` field (v4+) to the session it addresses;
 //! * [`serve`](mod@serve): the TCP JSON-lines server the `gtl serve`
 //!   subcommand runs — rewritten on the [`gtl_runtime`] bounded service
 //!   runtime: a fixed pool of compute lanes behind a bounded queue
@@ -68,15 +76,19 @@
 #![warn(missing_docs)]
 
 mod error;
+mod registry;
 pub mod serve;
 mod session;
 mod types;
 
 pub use error::ApiError;
+pub use registry::{netlist_cost, SessionDispatcher, DEFAULT_SESSION};
 pub use serve::{bind, serve, ServeOptions, ServeSummary};
 pub use session::{load_netlist, Session, SessionBuilder};
 pub use types::{
-    ErrorBody, FindRequest, FindResponse, MetricsRequest, MetricsResponse, NetlistSummary,
-    PlaceRequest, PlaceResponse, Request, Response, RuntimeMetrics, StatsRequest, StatsResponse,
-    API_VERSION, DEADLINE_SINCE_VERSION, METRICS_SINCE_VERSION, MIN_API_VERSION,
+    ErrorBody, FindRequest, FindResponse, ListSessionsRequest, ListSessionsResponse,
+    LoadNetlistRequest, LoadNetlistResponse, MetricsRequest, MetricsResponse, NetlistSummary,
+    PlaceRequest, PlaceResponse, Request, Response, RuntimeMetrics, SessionInfo, StatsRequest,
+    StatsResponse, UnloadNetlistRequest, UnloadNetlistResponse, API_VERSION,
+    DEADLINE_SINCE_VERSION, METRICS_SINCE_VERSION, MIN_API_VERSION, SESSION_SINCE_VERSION,
 };

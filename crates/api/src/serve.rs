@@ -35,12 +35,14 @@
 //! [`MetricsRequest`](crate::MetricsRequest), which reports live runtime
 //! counters and therefore bypasses the cache.
 
+use std::borrow::Cow;
 use std::net::TcpListener;
+use std::path::PathBuf;
 use std::time::Duration;
 
 use gtl_runtime::{Cacheability, LineHandler, RequestContext, RuntimeConfig, TransportError};
 
-use crate::{ApiError, ErrorBody, Request, Response, RuntimeMetrics, Session};
+use crate::{ApiError, ErrorBody, Request, Response, RuntimeMetrics, Session, SessionDispatcher};
 
 /// Largest accepted request line. A line is buffered in memory before
 /// parsing; without a cap, one newline-free stream could grow the buffer
@@ -100,6 +102,22 @@ pub struct ServeOptions {
     /// Request-supplied `deadline_ms` (protocol v3+) narrows this
     /// further per request.
     pub deadline: Option<Duration>,
+    /// Max *named* sessions resident in the registry (`0` = unlimited);
+    /// loading beyond the cap deterministically evicts the coldest
+    /// session. The default session is not counted.
+    pub max_netlists: usize,
+    /// Registry byte budget over the loaded netlists' estimated
+    /// footprints (`0` = unlimited); see
+    /// [`netlist_cost`](crate::netlist_cost).
+    pub registry_bytes: usize,
+    /// The only directory `LoadNetlist` paths may resolve into
+    /// (`None` = loading disabled).
+    pub netlist_dir: Option<PathBuf>,
+    /// Max queued jobs per fair-share tenant (`0` = auto: the full
+    /// queue depth, i.e. no per-tenant sub-limit). Tenants are the
+    /// sessions requests address; a flooding tenant saturating its
+    /// quota backpressures only itself.
+    pub tenant_quota: usize,
 }
 
 impl Default for ServeOptions {
@@ -113,6 +131,10 @@ impl Default for ServeOptions {
             max_concurrent: None,
             max_connections: None,
             deadline: None,
+            max_netlists: 0,
+            registry_bytes: 0,
+            netlist_dir: None,
+            tenant_quota: 0,
         }
     }
 }
@@ -171,6 +193,31 @@ impl ServeOptions {
         self.deadline = deadline;
         self
     }
+
+    /// Sets the registry's named-session cap (`0` = unlimited).
+    pub fn max_netlists(mut self, max_netlists: usize) -> Self {
+        self.max_netlists = max_netlists;
+        self
+    }
+
+    /// Sets the registry's byte budget (`0` = unlimited).
+    pub fn registry_bytes(mut self, registry_bytes: usize) -> Self {
+        self.registry_bytes = registry_bytes;
+        self
+    }
+
+    /// Sets the directory `LoadNetlist` paths resolve into (`None`
+    /// disables loading).
+    pub fn netlist_dir(mut self, netlist_dir: Option<PathBuf>) -> Self {
+        self.netlist_dir = netlist_dir;
+        self
+    }
+
+    /// Sets the per-tenant fair-share quota (`0` = auto).
+    pub fn tenant_quota(mut self, tenant_quota: usize) -> Self {
+        self.tenant_quota = tenant_quota;
+        self
+    }
 }
 
 /// What a bounded [`serve()`] run did. Earlier versions returned only a
@@ -224,32 +271,49 @@ pub fn serve(
         max_concurrent: options.max_concurrent,
         max_connections: options.max_connections,
         default_deadline: options.deadline,
+        tenant_quota: options.tenant_quota,
     };
-    let handler = SessionHandler { session };
+    let dispatcher = SessionDispatcher::new(
+        session,
+        options.max_netlists,
+        options.registry_bytes,
+        options.netlist_dir.clone(),
+    );
+    let handler = SessionHandler { dispatcher: &dispatcher };
     let report = gtl_runtime::serve_lines(listener, &config, &handler)
         .map_err(|e| ApiError::io(e.to_string()))?;
+    let mut metrics = RuntimeMetrics::from(report.metrics);
+    let registry = dispatcher.registry_stats();
+    metrics.sessions_active = registry.entries;
+    metrics.sessions_loaded = registry.loads;
+    metrics.sessions_evicted = registry.evictions;
+    metrics.sessions_unloaded = registry.unloads;
+    metrics.registry_bytes = registry.bytes;
+    metrics.registry_capacity_bytes = registry.capacity_bytes;
     Ok(ServeSummary {
         connections: report.connections,
         io_errors: report.io_errors,
         dropped_io_errors: report.dropped_io_errors,
-        metrics: RuntimeMetrics::from(report.metrics),
+        metrics,
     })
 }
 
-/// The [`LineHandler`] gluing the runtime to a [`Session`]: parse once,
-/// dispatch, serialize into the runtime's recycled buffer.
-struct SessionHandler<'s> {
-    session: &'s Session,
+/// The [`LineHandler`] gluing the runtime to a [`SessionDispatcher`]:
+/// parse once, dispatch to the addressed session, serialize into the
+/// runtime's recycled buffer. Tenant classification and session-aware
+/// cache keys delegate to the dispatcher.
+struct SessionHandler<'d, 's> {
+    dispatcher: &'d SessionDispatcher<'s>,
 }
 
-impl LineHandler for SessionHandler<'_> {
+impl LineHandler for SessionHandler<'_, '_> {
     fn handle(&self, ctx: &RequestContext<'_>, line: &str, out: &mut String) -> Cacheability {
         match serde::json::from_str::<Request>(line) {
             // Metrics report live runtime state: the one response that is
             // not a pure function of the request bytes, so it must never
             // be cached.
             Ok(Request::Metrics(req)) => {
-                let response = match self.session.metrics(&req, ctx.metrics()) {
+                let response = match self.dispatcher.metrics(&req, ctx.metrics()) {
                     Ok(resp) => Response::Metrics(resp),
                     Err(err) => Response::Error(ErrorBody::from(&err)),
                 };
@@ -261,7 +325,7 @@ impl LineHandler for SessionHandler<'_> {
                 // deadline) reaches the compute through the session;
                 // `deadline_ms` in the request narrows it further,
                 // anchored at admission so queue wait counts.
-                let response = self.session.handle_cancellable(
+                let response = self.dispatcher.handle_cancellable(
                     &request,
                     ctx.cancel_token(),
                     ctx.submitted_at(),
@@ -293,8 +357,15 @@ impl LineHandler for SessionHandler<'_> {
                 // deadline is part of the key bytes, so admitting them
                 // would let one client mint unbounded near-duplicate
                 // entries of the same response (one per deadline value)
-                // and evict everything else.
-                if request.deadline_ms().is_some() {
+                // and evict everything else. Registry administration
+                // responses report (and mutate) live registry state —
+                // like Metrics, they are never pure functions of their
+                // request bytes.
+                let admin = matches!(
+                    request,
+                    Request::LoadNetlist(_) | Request::UnloadNetlist(_) | Request::ListSessions(_)
+                );
+                if admin || request.deadline_ms().is_some() {
                     Cacheability::Uncacheable
                 } else {
                     Cacheability::Cacheable
@@ -310,6 +381,14 @@ impl LineHandler for SessionHandler<'_> {
                 Cacheability::Uncacheable
             }
         }
+    }
+
+    fn cache_key<'a>(&self, line: &'a str) -> Cow<'a, [u8]> {
+        self.dispatcher.cache_key(line)
+    }
+
+    fn tenant(&self, line: &str) -> String {
+        self.dispatcher.tenant(line)
     }
 
     fn transport_error(&self, error: &TransportError) -> Option<String> {
@@ -481,13 +560,13 @@ mod tests {
             writeln!(conn, "{generous}").unwrap();
             writeln!(conn, "{generous}").unwrap();
             // A v2 request carrying deadline_ms: the field is v3+.
-            let wrong_version = expired.replacen("\"v\":3", "\"v\":2", 1);
+            let wrong_version = expired.replacen("\"v\":4", "\"v\":2", 1);
             writeln!(conn, "{wrong_version}").unwrap();
             conn.shutdown(std::net::Shutdown::Write).unwrap();
             let lines: Vec<String> = BufReader::new(conn).lines().map(|l| l.unwrap()).collect();
             assert_eq!(lines.len(), 4, "{lines:?}");
             assert!(lines[0].contains("\"code\":\"deadline_exceeded\""), "{}", lines[0]);
-            assert!(lines[1].starts_with("{\"Find\":{\"v\":3,"), "{}", lines[1]);
+            assert!(lines[1].starts_with("{\"Find\":{\"v\":4,"), "{}", lines[1]);
             assert_eq!(lines[1], lines[2], "same line must answer identically");
             assert!(lines[3].contains("\"code\":\"invalid_argument\""), "{}", lines[3]);
             let summary = handle.join().unwrap();
@@ -517,7 +596,7 @@ mod tests {
             conn.shutdown(std::net::Shutdown::Write).unwrap();
             let lines: Vec<String> = BufReader::new(conn).lines().map(|l| l.unwrap()).collect();
             assert_eq!(lines.len(), 3, "{lines:?}");
-            assert!(lines[0].starts_with("{\"Metrics\":{\"v\":3,\"metrics\":{"), "{}", lines[0]);
+            assert!(lines[0].starts_with("{\"Metrics\":{\"v\":4,\"metrics\":{"), "{}", lines[0]);
             assert!(lines[1].contains("\"requests\":"), "{}", lines[1]);
             assert!(lines[2].contains("\"invalid_argument\""), "{}", lines[2]);
             let summary = handle.join().unwrap();

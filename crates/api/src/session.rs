@@ -22,6 +22,7 @@ use crate::{
     ApiError, ErrorBody, FindRequest, FindResponse, MetricsRequest, MetricsResponse,
     NetlistSummary, PlaceRequest, PlaceResponse, Request, Response, RuntimeMetrics, StatsRequest,
     StatsResponse, API_VERSION, DEADLINE_SINCE_VERSION, METRICS_SINCE_VERSION, MIN_API_VERSION,
+    SESSION_SINCE_VERSION,
 };
 
 /// Loads a netlist, selecting the parser from the file extension
@@ -104,6 +105,21 @@ fn request_token(
             // An unrepresentably far deadline is the same as none.
             None => Ok(base.clone()),
         },
+    }
+}
+
+/// Validates a request's `session` field against its protocol version.
+/// The field exists since [`SESSION_SINCE_VERSION`]; on older versions
+/// it is rejected exactly like a pre-v3 `deadline_ms`, so v1–v3 behavior
+/// stays build-independent. A session name carried on a new-enough
+/// version is *resolved by the serve dispatcher* before the request
+/// reaches a [`Session`]; at this level it is validation-only.
+fn check_session_field(v: u32, session: Option<&str>) -> Result<(), ApiError> {
+    match session {
+        Some(_) if v < SESSION_SINCE_VERSION => Err(ApiError::invalid_argument(format!(
+            "session requires protocol version {SESSION_SINCE_VERSION} (requested {v})"
+        ))),
+        _ => Ok(()),
     }
 }
 
@@ -239,6 +255,7 @@ impl Session {
         anchor: Instant,
     ) -> Result<FindResponse, ApiError> {
         self.check_version(request.v)?;
+        check_session_field(request.v, request.session.as_deref())?;
         let token = request_token(base, request.v, request.deadline_ms, anchor)?;
         // The cheap pre-compute probe: an expired deadline (or lost
         // connection) is answered here, before any lane time is spent.
@@ -303,6 +320,7 @@ impl Session {
         anchor: Instant,
     ) -> Result<PlaceResponse, ApiError> {
         self.check_version(request.v)?;
+        check_session_field(request.v, request.session.as_deref())?;
         let token = request_token(base, request.v, request.deadline_ms, anchor)?;
         token.checkpoint().map_err(ApiError::from)?;
         if !(request.utilization > 0.0 && request.utilization <= 1.0) {
@@ -394,6 +412,7 @@ impl Session {
     /// Version validation errors.
     pub fn stats(&self, request: &StatsRequest) -> Result<StatsResponse, ApiError> {
         self.check_version(request.v)?;
+        check_session_field(request.v, request.session.as_deref())?;
         Ok(StatsResponse { v: request.v, stats: self.stats.clone() })
     }
 
@@ -446,6 +465,9 @@ impl Session {
             Request::Place(req) => req.v,
             Request::Stats(req) => req.v,
             Request::Metrics(req) => req.v,
+            Request::LoadNetlist(req) => req.v,
+            Request::UnloadNetlist(req) => req.v,
+            Request::ListSessions(req) => req.v,
         };
         let outcome = match request {
             Request::Find(req) => self.find_cancellable(req, base, anchor).map(Response::Find),
@@ -455,6 +477,12 @@ impl Session {
                 "Metrics is served by the `gtl serve` runtime (no runtime is attached to an \
                  in-process session)",
             )),
+            Request::LoadNetlist(_) | Request::UnloadNetlist(_) | Request::ListSessions(_) => {
+                Err(ApiError::invalid_argument(
+                    "the session registry is served by the `gtl serve` runtime (an in-process \
+                     session owns exactly one netlist)",
+                ))
+            }
         };
         outcome.unwrap_or_else(|err| {
             let mut body = ErrorBody::from(&err);
@@ -630,7 +658,7 @@ mod tests {
             panic!("expected error response");
         };
         assert_eq!(body.v, API_VERSION);
-        assert!(body.message.contains("1..=3"), "{}", body.message);
+        assert!(body.message.contains("1..=4"), "{}", body.message);
     }
 
     #[test]
@@ -651,12 +679,12 @@ mod tests {
         let a = s.handle_line(&line);
         let b = s.handle_line(&line);
         assert_eq!(a, b);
-        assert!(a.starts_with("{\"Find\":{\"v\":3,"), "{a}");
+        assert!(a.starts_with("{\"Find\":{\"v\":4,"), "{a}");
         // A v1 request is still accepted and echoes v1 — the golden
         // round-trip from the v1 protocol stays byte-identical.
-        let v1 = s.handle_line(&line.replacen("\"v\":3", "\"v\":1", 1));
+        let v1 = s.handle_line(&line.replacen("\"v\":4", "\"v\":1", 1));
         assert!(v1.starts_with("{\"Find\":{\"v\":1,"), "{v1}");
-        assert_eq!(v1.replacen("\"v\":1", "\"v\":3", 1), a);
+        assert_eq!(v1.replacen("\"v\":1", "\"v\":4", 1), a);
 
         let err = s.handle_line("this is not json");
         assert!(err.contains("\"code\":\"bad_request\""), "{err}");
@@ -728,6 +756,55 @@ mod tests {
         let first = format!("{:?}", s.find(&find_request()).unwrap().result);
         let second = format!("{:?}", s.find(&find_request()).unwrap().result);
         assert_eq!(first, second);
+    }
+
+    #[test]
+    fn session_field_requires_protocol_v4() {
+        let s = session();
+        for v in [1, 2, 3] {
+            let mut req = find_request();
+            req.v = v;
+            req.session = Some("other".into());
+            let err = s.find(&req).unwrap_err();
+            assert_eq!(err.code(), "invalid_argument", "v={v}");
+            assert!(err.message().contains("session"), "{}", err.message());
+
+            let mut preq = PlaceRequest::new();
+            preq.v = v;
+            preq.session = Some("other".into());
+            assert_eq!(s.place(&preq).unwrap_err().code(), "invalid_argument", "v={v}");
+
+            let sreq = StatsRequest { v, session: Some("other".into()) };
+            assert_eq!(s.stats(&sreq).unwrap_err().code(), "invalid_argument", "v={v}");
+        }
+    }
+
+    #[test]
+    fn v4_session_field_is_dispatcher_resolved_not_session_rejected() {
+        // By the time a request reaches a Session, the serve dispatcher
+        // has already resolved the name to this very session, so the
+        // field is accepted and the response is byte-identical to the
+        // session-less request (minus request bytes, which differ).
+        let s = session();
+        let plain = serde::json::to_string(&s.stats(&StatsRequest::new()).unwrap());
+        let addressed = StatsRequest { v: API_VERSION, session: Some("default".into()) };
+        assert_eq!(plain, serde::json::to_string(&s.stats(&addressed).unwrap()));
+    }
+
+    #[test]
+    fn registry_requests_rejected_in_process() {
+        let s = session();
+        for req in [
+            Request::LoadNetlist(crate::LoadNetlistRequest::new("a", "a.hgr")),
+            Request::UnloadNetlist(crate::UnloadNetlistRequest::new("a")),
+            Request::ListSessions(crate::ListSessionsRequest::new()),
+        ] {
+            let Response::Error(body) = s.handle(&req) else {
+                panic!("expected error response");
+            };
+            assert_eq!(body.code, "invalid_argument");
+            assert!(body.message.contains("registry"), "{}", body.message);
+        }
     }
 
     #[test]

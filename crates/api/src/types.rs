@@ -26,15 +26,18 @@ use serde::{Deserialize, Serialize};
 /// Bump when a contract changes shape incompatibly **or** gains a new
 /// request pair or field (v2 added [`MetricsRequest`]/[`MetricsResponse`];
 /// v3 added the optional per-request `deadline_ms` on [`FindRequest`] and
-/// [`PlaceRequest`]). A session accepts every version in
+/// [`PlaceRequest`]; v4 added the optional `session` field on the
+/// compute requests plus the [`LoadNetlistRequest`] /
+/// [`UnloadNetlistRequest`] / [`ListSessionsRequest`] registry
+/// administration pairs). A session accepts every version in
 /// [`MIN_API_VERSION`]`..=`[`API_VERSION`] and **echoes the request's
-/// version** in its response, so v1/v2 clients keep receiving bytes
+/// version** in its response, so v1/v2/v3 clients keep receiving bytes
 /// identical to the build that introduced their protocol (for the
 /// deterministic compute contracts — the live [`MetricsResponse`]
 /// payload is additive instead, see [`RuntimeMetrics`]); anything
 /// outside the range is answered with a structured `unsupported_version`
 /// error naming both sides.
-pub const API_VERSION: u32 = 3;
+pub const API_VERSION: u32 = 4;
 
 /// The oldest protocol version this build still speaks.
 ///
@@ -52,6 +55,16 @@ pub const METRICS_SINCE_VERSION: u32 = 2;
 /// (the field did not exist in that protocol, so accepting it would make
 /// v1/v2 behavior build-dependent).
 pub const DEADLINE_SINCE_VERSION: u32 = 3;
+
+/// The version that introduced multi-netlist sessions: the optional
+/// `session` field on [`FindRequest`] / [`PlaceRequest`] /
+/// [`StatsRequest`] and the registry administration pairs
+/// ([`LoadNetlistRequest`], [`UnloadNetlistRequest`],
+/// [`ListSessionsRequest`]). A request carrying a `session` name with an
+/// older `v` is rejected with `invalid_argument`, and the administration
+/// pairs require at least this version — the same freeze discipline as
+/// [`DEADLINE_SINCE_VERSION`], keeping v1–v3 behavior build-independent.
+pub const SESSION_SINCE_VERSION: u32 = 4;
 
 /// Compact netlist identification echoed in every response, so clients
 /// can sanity-check which design the server is bound to.
@@ -96,12 +109,18 @@ pub struct FindRequest {
     /// timing-dependent and therefore never cached. Absent (or `null`)
     /// means no per-request deadline.
     pub deadline_ms: Option<u64>,
+    /// Optional session name (protocol v4+): run against the named
+    /// loaded netlist instead of the server's default session. Absent
+    /// (or `null`) means the default session — exactly the pre-v4 wire
+    /// behavior, byte for byte.
+    pub session: Option<String>,
 }
 
 impl FindRequest {
-    /// A current-version request with the given config and no deadline.
+    /// A current-version request with the given config, no deadline and
+    /// the default session.
     pub fn new(config: FinderConfig) -> Self {
-        Self { v: API_VERSION, config, deadline_ms: None }
+        Self { v: API_VERSION, config, deadline_ms: None, session: None }
     }
 }
 
@@ -136,11 +155,14 @@ pub struct PlaceRequest {
     /// Optional deadline in milliseconds (protocol v3+); same semantics
     /// as [`FindRequest::deadline_ms`].
     pub deadline_ms: Option<u64>,
+    /// Optional session name (protocol v4+); same semantics as
+    /// [`FindRequest::session`].
+    pub session: Option<String>,
 }
 
 impl PlaceRequest {
-    /// A current-version request with default pipeline parameters and no
-    /// deadline.
+    /// A current-version request with default pipeline parameters, no
+    /// deadline and the default session.
     pub fn new() -> Self {
         Self {
             v: API_VERSION,
@@ -148,6 +170,7 @@ impl PlaceRequest {
             placer: PlacerConfig::default(),
             routing: RoutingConfig::default(),
             deadline_ms: None,
+            session: None,
         }
     }
 }
@@ -178,12 +201,15 @@ pub struct PlaceResponse {
 pub struct StatsRequest {
     /// Protocol version (see [`API_VERSION`]).
     pub v: u32,
+    /// Optional session name (protocol v4+); same semantics as
+    /// [`FindRequest::session`].
+    pub session: Option<String>,
 }
 
 impl StatsRequest {
-    /// A current-version request.
+    /// A current-version request against the default session.
     pub fn new() -> Self {
-        Self { v: API_VERSION }
+        Self { v: API_VERSION, session: None }
     }
 }
 
@@ -200,6 +226,128 @@ pub struct StatsResponse {
     pub v: u32,
     /// Full design statistics, including degree histograms.
     pub stats: NetlistStats,
+}
+
+/// A request to load a netlist into the server's session registry under
+/// a name (since protocol v4).
+///
+/// The netlist is read from `path`, resolved inside the server's
+/// configured netlist directory (`gtl serve --netlist-dir`); absolute
+/// paths and `..` components are rejected so a client can never address
+/// files outside it. Loading may deterministically evict the coldest
+/// sessions if the registry's entry or byte budget would be exceeded —
+/// the response names every victim. Loading over an existing name
+/// replaces it (with a fresh generation, so cached responses of the old
+/// load can never answer for the new one).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadNetlistRequest {
+    /// Protocol version (at least [`SESSION_SINCE_VERSION`]).
+    pub v: u32,
+    /// The session name to register the netlist under. The reserved
+    /// name `default` (the netlist the server was started with) cannot
+    /// be loaded over.
+    pub name: String,
+    /// Path of the netlist file, relative to the server's netlist
+    /// directory (`.hgr`, `.aux` or `.v`, same loaders as the CLI).
+    pub path: String,
+}
+
+impl LoadNetlistRequest {
+    /// A current-version load request.
+    pub fn new(name: impl Into<String>, path: impl Into<String>) -> Self {
+        Self { v: API_VERSION, name: name.into(), path: path.into() }
+    }
+}
+
+/// Answer to [`LoadNetlistRequest`]: the registered session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadNetlistResponse {
+    /// Protocol version of this response.
+    pub v: u32,
+    /// The session as registered (name, generation, summary).
+    pub session: SessionInfo,
+    /// Whether an existing session of the same name was replaced.
+    pub replaced: bool,
+    /// Session names evicted (coldest first) to fit this load under the
+    /// registry's entry/byte budget.
+    pub evicted: Vec<String>,
+}
+
+/// A request to unload a named session from the registry (since
+/// protocol v4).
+///
+/// Unloading **drains, never aborts**: requests already admitted against
+/// the session keep their reference and finish normally; the netlist's
+/// memory is released when the last in-flight request drops it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UnloadNetlistRequest {
+    /// Protocol version (at least [`SESSION_SINCE_VERSION`]).
+    pub v: u32,
+    /// The session name to unload. The reserved `default` session
+    /// cannot be unloaded.
+    pub name: String,
+}
+
+impl UnloadNetlistRequest {
+    /// A current-version unload request.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { v: API_VERSION, name: name.into() }
+    }
+}
+
+/// Answer to [`UnloadNetlistRequest`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UnloadNetlistResponse {
+    /// Protocol version of this response.
+    pub v: u32,
+    /// The unloaded session name.
+    pub name: String,
+}
+
+/// A request to list the registry's resident sessions (since protocol
+/// v4).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ListSessionsRequest {
+    /// Protocol version (at least [`SESSION_SINCE_VERSION`]).
+    pub v: u32,
+}
+
+impl ListSessionsRequest {
+    /// A current-version list request.
+    pub fn new() -> Self {
+        Self { v: API_VERSION }
+    }
+}
+
+impl Default for ListSessionsRequest {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Answer to [`ListSessionsRequest`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ListSessionsResponse {
+    /// Protocol version of this response.
+    pub v: u32,
+    /// Resident sessions sorted by name, with the default session (if
+    /// the server has one) listed first under its reserved name.
+    pub sessions: Vec<SessionInfo>,
+}
+
+/// One registered session, as reported by the registry administration
+/// responses.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionInfo {
+    /// The session name.
+    pub name: String,
+    /// The registry generation stamped at load time — monotonically
+    /// increasing and never reused, so (name, generation) uniquely
+    /// identifies one load for the lifetime of the server. The default
+    /// session, which lives outside the registry, reports generation 0.
+    pub generation: u64,
+    /// Summary of the loaded netlist.
+    pub netlist: NetlistSummary,
 }
 
 /// A request for the serve runtime's metrics (since protocol v2).
@@ -258,6 +406,8 @@ pub struct RuntimeMetrics {
     pub queue_capacity: u64,
     /// Max jobs in flight per connection (reorder-buffer size).
     pub pipeline_depth: u64,
+    /// Max queued jobs per admission tenant (fair-share quota).
+    pub tenant_quota: u64,
     /// Connections accepted since the server started.
     pub connections_accepted: u64,
     /// Connections currently open.
@@ -278,6 +428,9 @@ pub struct RuntimeMetrics {
     pub jobs_cancelled: u64,
     /// Requests answered with a `deadline_exceeded` error.
     pub deadlines_exceeded: u64,
+    /// Fair-share invariant breaches (a tenant served twice in a row
+    /// while another was waiting). Structurally zero.
+    pub fair_share_violations: u64,
     /// Jobs waiting in the scheduler queue (last observed).
     pub queue_depth: u64,
     /// Highest queue depth observed so far.
@@ -296,6 +449,19 @@ pub struct RuntimeMetrics {
     pub cache_evictions: u64,
     /// Response-cache insertions.
     pub cache_insertions: u64,
+    /// Sessions currently resident in the registry (excludes the
+    /// default session, which lives outside it).
+    pub sessions_active: u64,
+    /// Netlists loaded into the registry since the server started.
+    pub sessions_loaded: u64,
+    /// Sessions evicted under the registry's entry/byte budget.
+    pub sessions_evicted: u64,
+    /// Sessions explicitly unloaded.
+    pub sessions_unloaded: u64,
+    /// Bytes currently charged against the registry budget.
+    pub registry_bytes: u64,
+    /// The registry's byte budget (`0` = unlimited).
+    pub registry_capacity_bytes: u64,
 }
 
 impl From<MetricsSnapshot> for RuntimeMetrics {
@@ -304,6 +470,7 @@ impl From<MetricsSnapshot> for RuntimeMetrics {
             lanes: snapshot.lanes,
             queue_capacity: snapshot.queue_capacity,
             pipeline_depth: snapshot.pipeline_depth,
+            tenant_quota: snapshot.tenant_quota,
             connections_accepted: snapshot.connections_accepted,
             connections_active: snapshot.connections_active,
             requests: snapshot.requests,
@@ -313,6 +480,7 @@ impl From<MetricsSnapshot> for RuntimeMetrics {
             handler_panics: snapshot.handler_panics,
             jobs_cancelled: snapshot.jobs_cancelled,
             deadlines_exceeded: snapshot.deadlines_exceeded,
+            fair_share_violations: snapshot.fair_share_violations,
             queue_depth: snapshot.queue_depth,
             queue_high_water: snapshot.queue_high_water,
             cache_capacity_bytes: snapshot.cache_capacity_bytes,
@@ -322,6 +490,14 @@ impl From<MetricsSnapshot> for RuntimeMetrics {
             cache_misses: snapshot.cache_misses,
             cache_evictions: snapshot.cache_evictions,
             cache_insertions: snapshot.cache_insertions,
+            // The runtime snapshot has no registry view — the serve
+            // dispatcher overlays these from its RegistryStats.
+            sessions_active: 0,
+            sessions_loaded: 0,
+            sessions_evicted: 0,
+            sessions_unloaded: 0,
+            registry_bytes: 0,
+            registry_capacity_bytes: 0,
         }
     }
 }
@@ -359,17 +535,43 @@ pub enum Request {
     Stats(StatsRequest),
     /// Fetch serve-runtime metrics (since protocol v2).
     Metrics(MetricsRequest),
+    /// Load a netlist into the session registry (since protocol v4).
+    LoadNetlist(LoadNetlistRequest),
+    /// Unload a named session (since protocol v4).
+    UnloadNetlist(UnloadNetlistRequest),
+    /// List resident sessions (since protocol v4).
+    ListSessions(ListSessionsRequest),
 }
 
 impl Request {
     /// The request's `deadline_ms`, for the variants that carry one
-    /// (compute-heavy Find/Place; Stats and Metrics answer in
+    /// (compute-heavy Find/Place; the other pairs answer in
     /// microseconds and have no deadline field).
     pub fn deadline_ms(&self) -> Option<u64> {
         match self {
             Self::Find(req) => req.deadline_ms,
             Self::Place(req) => req.deadline_ms,
-            Self::Stats(_) | Self::Metrics(_) => None,
+            Self::Stats(_)
+            | Self::Metrics(_)
+            | Self::LoadNetlist(_)
+            | Self::UnloadNetlist(_)
+            | Self::ListSessions(_) => None,
+        }
+    }
+
+    /// The session name this request addresses, for the compute
+    /// variants that carry one (protocol v4+). `None` means the default
+    /// session; the administration variants address the registry
+    /// itself, not a session.
+    pub fn session(&self) -> Option<&str> {
+        match self {
+            Self::Find(req) => req.session.as_deref(),
+            Self::Place(req) => req.session.as_deref(),
+            Self::Stats(req) => req.session.as_deref(),
+            Self::Metrics(_)
+            | Self::LoadNetlist(_)
+            | Self::UnloadNetlist(_)
+            | Self::ListSessions(_) => None,
         }
     }
 }
@@ -386,6 +588,12 @@ pub enum Response {
     Stats(StatsResponse),
     /// Answer to [`Request::Metrics`].
     Metrics(MetricsResponse),
+    /// Answer to [`Request::LoadNetlist`].
+    LoadNetlist(LoadNetlistResponse),
+    /// Answer to [`Request::UnloadNetlist`].
+    UnloadNetlist(UnloadNetlistResponse),
+    /// Answer to [`Request::ListSessions`].
+    ListSessions(ListSessionsResponse),
     /// Any failure, with a stable code.
     Error(ErrorBody),
 }

@@ -9,8 +9,9 @@
 //! equality of every float in `x`.
 
 use gtl_api::{
-    ErrorBody, FindRequest, FindResponse, NetlistSummary, PlaceRequest, PlaceResponse, Request,
-    Response, StatsRequest, API_VERSION,
+    ErrorBody, FindRequest, FindResponse, ListSessionsRequest, ListSessionsResponse,
+    LoadNetlistRequest, LoadNetlistResponse, NetlistSummary, PlaceRequest, PlaceResponse, Request,
+    Response, SessionInfo, StatsRequest, UnloadNetlistRequest, UnloadNetlistResponse, API_VERSION,
 };
 use gtl_netlist::{CellId, SubsetStats};
 use gtl_place::congestion::{CongestionReport, DemandModel, RoutingConfig};
@@ -152,6 +153,8 @@ fn arb_place_request() -> impl Strategy<Value = PlaceRequest> {
                         threads: rthreads,
                     },
                     deadline_ms: (has_deadline == 1).then_some(deadline),
+                    // Exercised separately in v4_session_contracts_roundtrip.
+                    session: None,
                 }
             },
         )
@@ -196,16 +199,60 @@ proptest! {
 
     /// A pre-v3 document without the `deadline_ms` key (exactly what a
     /// v1/v2 client sends) still parses, with the field defaulting to
-    /// `None` — the compatibility the versioned contract promises.
+    /// `None` — the compatibility the versioned contract promises. The
+    /// same holds for the pre-v4 `session` key.
     #[test]
     fn find_request_without_deadline_field_parses(v in 1u32..3, config in arb_finder_config()) {
         let mut request = FindRequest::new(config);
         request.v = v;
         let text = serde::json::to_string(&request);
-        let legacy = text.replace(",\"deadline_ms\":null", "");
+        let legacy =
+            text.replace(",\"deadline_ms\":null", "").replace(",\"session\":null", "");
         assert!(!legacy.contains("deadline_ms"), "{legacy}");
+        assert!(!legacy.contains("session"), "{legacy}");
         let back: FindRequest = serde::json::from_str(&legacy).unwrap();
         prop_assert_eq!(back, request);
+    }
+
+    /// The v4 contracts: `session` fields and the registry
+    /// administration envelopes all round-trip bit-exactly.
+    #[test]
+    fn v4_session_contracts_roundtrip(
+        config in arb_finder_config(),
+        name in (0usize..1_000_000).prop_map(|i| format!("design-{i}/block_{}", i % 7)),
+        generation in 0u64..=u64::MAX,
+        summary in arb_summary(),
+        replaced in (0u8..2).prop_map(|b| b == 1),
+        evicted in proptest::collection::vec(
+            (0usize..1_000).prop_map(|i| format!("victim-{i}")),
+            0..4,
+        ),
+    ) {
+        let mut request = FindRequest::new(config);
+        request.session = Some(name.clone());
+        assert_roundtrip(&Request::Find(request));
+        let stats = StatsRequest { v: API_VERSION, session: Some(name.clone()) };
+        assert_roundtrip(&Request::Stats(stats));
+
+        assert_roundtrip(&Request::LoadNetlist(LoadNetlistRequest::new(&*name, "designs/a.hgr")));
+        assert_roundtrip(&Request::UnloadNetlist(UnloadNetlistRequest::new(&*name)));
+        assert_roundtrip(&Request::ListSessions(ListSessionsRequest::new()));
+
+        let info = SessionInfo { name: name.clone(), generation, netlist: summary };
+        assert_roundtrip(&Response::LoadNetlist(LoadNetlistResponse {
+            v: API_VERSION,
+            session: info.clone(),
+            replaced,
+            evicted,
+        }));
+        assert_roundtrip(&Response::UnloadNetlist(UnloadNetlistResponse {
+            v: API_VERSION,
+            name,
+        }));
+        assert_roundtrip(&Response::ListSessions(ListSessionsResponse {
+            v: API_VERSION,
+            sessions: vec![info],
+        }));
     }
 
     #[test]

@@ -46,7 +46,8 @@ USAGE:
   gtl serve <file> [--addr A] [--port N] [--max-conns N]
                    [--lanes N] [--queue-depth N] [--cache-bytes N]
                    [--pipeline K] [--timeout-ms N] [--max-concurrent N]
-                   [--deadline-ms N]
+                   [--deadline-ms N] [--netlist-dir D] [--max-netlists N]
+                   [--registry-bytes N] [--tenant-quota N]
 
 FILES: .hgr (hMETIS), .aux (Bookshelf/ISPD), .v (structural Verilog)
 
@@ -72,12 +73,25 @@ SERVE RUNTIME (gtl-runtime; see ARCHITECTURE.md):
                       with their own deadline_ms field (protocol v3+);
                       a job whose client disconnects is cancelled at its
                       next checkpoint either way.
+  --netlist-dir D     root directory for LoadNetlist paths (protocol
+                      v4+); without it the session registry refuses
+                      loads. Paths must be relative and stay inside D.
+  --max-netlists N    named sessions held at once (0 = unlimited);
+                      loading past the cap evicts the coldest session
+                      deterministically
+  --registry-bytes N  byte budget over all loaded netlists
+                      (0 = unlimited); same deterministic LRU eviction
+  --tenant-quota N    per-session cap on queued jobs (0 = auto =
+                      queue depth); admission round-robins across
+                      sessions so one flooding tenant cannot starve
+                      another
 
 EXIT CODES (from the structured ApiError codes; see gtl_api):
   0  success
   1  netlist load/parse error                  [netlist]
   2  bad arguments or malformed request        [bad_request, invalid_argument,
-                                                unsupported_version]
+                                                unsupported_version,
+                                                unknown_session]
   3  I/O failure (socket, file)                [io]
   4  deadline expired or request cancelled     [deadline_exceeded, cancelled]
 
@@ -86,8 +100,11 @@ to the payload a `gtl serve` round-trip returns for the same request,
 for any --threads value, --lanes count, --cache-bytes budget (hits are
 byte-identical to fresh computes) and --pipeline depth. `gtl serve`
 speaks JSON lines on plain TCP: one {\"Find\":..} | {\"Place\":..} |
-{\"Stats\":..} | {\"Metrics\":..} envelope per line in, one response
-envelope per line out, in request order (see ARCHITECTURE.md).
+{\"Stats\":..} | {\"Metrics\":..} | {\"LoadNetlist\":..} |
+{\"UnloadNetlist\":..} | {\"ListSessions\":..} envelope per line in, one
+response envelope per line out, in request order (see ARCHITECTURE.md).
+Protocol v4 adds named sessions: Find/Place/Stats take an optional
+session field addressing a netlist loaded via LoadNetlist.
 ";
 
 /// A structured API error plus the CLI context it surfaced in.
@@ -435,6 +452,10 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
     let timeout_ms: u64 = parse_flag(args, "--timeout-ms", 30_000u64)?;
     let max_concurrent: usize = parse_flag(args, "--max-concurrent", 0usize)?;
     let deadline_ms: u64 = parse_flag(args, "--deadline-ms", 0u64)?;
+    let max_netlists: usize = parse_flag(args, "--max-netlists", 0usize)?;
+    let registry_bytes: usize = parse_flag(args, "--registry-bytes", 0usize)?;
+    let tenant_quota: usize = parse_flag(args, "--tenant-quota", 0usize)?;
+    let netlist_dir = flag_value(args, "--netlist-dir").map(std::path::PathBuf::from);
     let session = Session::builder().netlist(netlist).build()?;
     let listener = gtl_api::bind(&format!("{addr}:{port}"))?;
     let local = listener.local_addr().map_err(ApiError::from)?;
@@ -446,7 +467,11 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
         .timeout((timeout_ms > 0).then(|| std::time::Duration::from_millis(timeout_ms)))
         .max_concurrent((max_concurrent > 0).then_some(max_concurrent))
         .max_connections((max_conns > 0).then_some(max_conns))
-        .deadline((deadline_ms > 0).then(|| std::time::Duration::from_millis(deadline_ms)));
+        .deadline((deadline_ms > 0).then(|| std::time::Duration::from_millis(deadline_ms)))
+        .max_netlists(max_netlists)
+        .registry_bytes(registry_bytes)
+        .netlist_dir(netlist_dir)
+        .tenant_quota(tenant_quota);
     // Readiness goes to stderr immediately (stdout is returned only when
     // the server finishes, which without --max-conns is never).
     eprintln!("gtl: serving {path} on {local} (JSON lines; Ctrl-C to stop)");
@@ -454,7 +479,8 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
     let m = &summary.metrics;
     let mut out = format!(
         "served {} connection(s): {} requests, {} responses, cache {} hit(s) / {} miss(es) / {} \
-         eviction(s), queue high-water {}, {} timeout(s), {} cancelled, {} deadline-exceeded\n",
+         eviction(s), queue high-water {}, {} timeout(s), {} cancelled, {} deadline-exceeded, \
+         sessions {} loaded / {} evicted / {} unloaded\n",
         summary.connections,
         m.requests,
         m.responses,
@@ -465,6 +491,9 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
         m.read_timeouts,
         m.jobs_cancelled,
         m.deadlines_exceeded,
+        m.sessions_loaded,
+        m.sessions_evicted,
+        m.sessions_unloaded,
     );
     let dropped = summary.dropped_io_errors;
     if !summary.io_errors.is_empty() || dropped > 0 {
@@ -606,7 +635,7 @@ mod tests {
         let args =
             ["find", &path, "--seeds", "10", "--min-size", "3", "--max-order", "10", "--json"];
         let out = run(&argv(&args)).unwrap();
-        assert!(out.starts_with("{\"v\":3,"), "{out}");
+        assert!(out.starts_with("{\"v\":4,"), "{out}");
         assert!(out.ends_with("\n"));
         // Byte-identical to dispatching the equivalent request in-process.
         let netlist = load_netlist(&path).unwrap();
@@ -629,6 +658,9 @@ mod tests {
             "--max-concurrent",
             "--max-conns",
             "--deadline-ms",
+            "--max-netlists",
+            "--registry-bytes",
+            "--tenant-quota",
         ] {
             let err = run(&argv(&["serve", &fixture_path(), flag, "bogus"])).unwrap_err();
             assert_eq!(err.error.code(), "bad_request", "{flag}");
@@ -665,10 +697,16 @@ mod tests {
             "--timeout-ms",
             "--max-concurrent",
             "--deadline-ms",
+            "--netlist-dir",
+            "--max-netlists",
+            "--registry-bytes",
+            "--tenant-quota",
         ] {
             assert!(help.contains(flag), "missing {flag} in help:\n{help}");
         }
         assert!(help.contains("deadline_exceeded"), "{help}");
+        assert!(help.contains("unknown_session"), "{help}");
+        assert!(help.contains("LoadNetlist"), "{help}");
     }
 
     #[test]

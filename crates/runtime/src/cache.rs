@@ -6,26 +6,30 @@
 //! worker count), which makes them trivially cacheable: serving a stored
 //! response is indistinguishable from recomputing it. That is the cache's
 //! hard invariant — *transparency* — and it holds by construction: a key
-//! is exactly the bytes the handler would receive, a value is exactly the
-//! bytes the handler produced for them, and entries are never mutated.
-//! Eviction order may depend on request interleaving across connections,
-//! but evictions only ever cost a recompute, never change bytes
-//! (property-tested here and end-to-end in `gtl-api`).
+//! is exactly the bytes the handler would receive (plus, since API v4,
+//! the session-generation prefix the dispatcher prepends for
+//! session-addressed requests), a value is exactly the bytes the handler
+//! produced for them, and entries are never mutated. Eviction order may
+//! depend on request interleaving across connections, but evictions only
+//! ever cost a recompute, never change bytes (property-tested here and
+//! end-to-end in `gtl-api`).
 //!
 //! Only responses the handler declares cacheable are stored — runtime
 //! metrics snapshots, for example, are *not* pure functions of the
 //! request bytes and bypass the cache.
+//!
+//! Recency bookkeeping lives in [`crate::lru::RecencyList`], shared with
+//! the session registry ([`crate::registry`]).
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
+
+use crate::lru::RecencyList;
 
 /// Approximate per-entry bookkeeping cost (hash-map slot, list node,
 /// refcounts) charged against the byte budget on top of key + value
 /// length, so a budget of N bytes bounds real memory near N.
 const ENTRY_OVERHEAD: usize = 96;
-
-/// Sentinel index for "no node" in the intrusive LRU list.
-const NIL: usize = usize::MAX;
 
 /// Counters describing cache behavior since construction.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -76,10 +80,8 @@ impl ResponseCache {
             Mutex::new(Lru {
                 budget: budget_bytes,
                 map: HashMap::new(),
-                nodes: Vec::new(),
-                free: Vec::new(),
-                head: NIL,
-                tail: NIL,
+                entries: Vec::new(),
+                list: RecencyList::new(),
                 bytes: 0,
                 hits: 0,
                 misses: 0,
@@ -103,9 +105,8 @@ impl ResponseCache {
         match lru.map.get(key).copied() {
             Some(index) => {
                 lru.hits += 1;
-                lru.unlink(index);
-                lru.push_front(index);
-                Some(Arc::clone(&lru.nodes[index].as_ref().expect("linked node").value))
+                lru.list.touch(index);
+                Some(Arc::clone(&lru.entries[index].as_ref().expect("linked entry").value))
             }
             None => {
                 lru.misses += 1;
@@ -125,12 +126,11 @@ impl ResponseCache {
         if let Some(index) = lru.map.get(key).copied() {
             // A concurrent miss on another lane computed the same bytes.
             debug_assert_eq!(
-                &*lru.nodes[index].as_ref().expect("linked node").value,
+                &*lru.entries[index].as_ref().expect("linked entry").value,
                 value,
                 "cache transparency violated: same key, different response bytes"
             );
-            lru.unlink(index);
-            lru.push_front(index);
+            lru.list.touch(index);
             return;
         }
         let cost = key.len() + value.len() + ENTRY_OVERHEAD;
@@ -138,22 +138,16 @@ impl ResponseCache {
             return;
         }
         while lru.bytes + cost > lru.budget {
-            lru.evict_tail();
+            lru.evict_coldest();
         }
         let key: Arc<[u8]> = Arc::from(key);
-        let node =
-            Node { key: Arc::clone(&key), value: Arc::from(value), cost, prev: NIL, next: NIL };
-        let index = match lru.free.pop() {
-            Some(slot) => {
-                lru.nodes[slot] = Some(node);
-                slot
-            }
-            None => {
-                lru.nodes.push(Some(node));
-                lru.nodes.len() - 1
-            }
-        };
-        lru.push_front(index);
+        let entry = Entry { key: Arc::clone(&key), value: Arc::from(value), cost };
+        let index = lru.list.allocate();
+        if index == lru.entries.len() {
+            lru.entries.push(Some(entry));
+        } else {
+            lru.entries[index] = Some(entry);
+        }
         lru.map.insert(key, index);
         lru.bytes += cost;
         lru.insertions += 1;
@@ -180,26 +174,20 @@ impl ResponseCache {
 }
 
 #[derive(Debug)]
-struct Node {
+struct Entry {
     key: Arc<[u8]>,
     value: Arc<str>,
     cost: usize,
-    /// Toward the MRU end (`NIL` at the head).
-    prev: usize,
-    /// Toward the LRU end (`NIL` at the tail).
-    next: usize,
 }
 
-/// The locked interior: a slab of nodes threaded into an intrusive
-/// doubly-linked recency list (head = most recent), plus the key map.
+/// The locked interior: a slab of entries threaded into the shared
+/// intrusive recency list (head = most recent), plus the key map.
 #[derive(Debug)]
 struct Lru {
     budget: usize,
     map: HashMap<Arc<[u8]>, usize>,
-    nodes: Vec<Option<Node>>,
-    free: Vec<usize>,
-    head: usize,
-    tail: usize,
+    entries: Vec<Option<Entry>>,
+    list: RecencyList,
     bytes: usize,
     hits: u64,
     misses: u64,
@@ -208,43 +196,12 @@ struct Lru {
 }
 
 impl Lru {
-    fn unlink(&mut self, index: usize) {
-        let (prev, next) = {
-            let node = self.nodes[index].as_ref().expect("linked node");
-            (node.prev, node.next)
-        };
-        match prev {
-            NIL => self.head = next,
-            p => self.nodes[p].as_mut().expect("linked node").next = next,
-        }
-        match next {
-            NIL => self.tail = prev,
-            n => self.nodes[n].as_mut().expect("linked node").prev = prev,
-        }
-    }
-
-    fn push_front(&mut self, index: usize) {
-        let old_head = self.head;
-        {
-            let node = self.nodes[index].as_mut().expect("linked node");
-            node.prev = NIL;
-            node.next = old_head;
-        }
-        match old_head {
-            NIL => self.tail = index,
-            h => self.nodes[h].as_mut().expect("linked node").prev = index,
-        }
-        self.head = index;
-    }
-
-    fn evict_tail(&mut self) {
-        let index = self.tail;
-        debug_assert_ne!(index, NIL, "evicting from an empty cache");
-        self.unlink(index);
-        let node = self.nodes[index].take().expect("linked node");
-        self.map.remove(&node.key);
-        self.bytes -= node.cost;
-        self.free.push(index);
+    fn evict_coldest(&mut self) {
+        let index = self.list.coldest().expect("evicting from an empty cache");
+        self.list.release(index);
+        let entry = self.entries[index].take().expect("linked entry");
+        self.map.remove(&entry.key);
+        self.bytes -= entry.cost;
         self.evictions += 1;
     }
 }

@@ -13,9 +13,18 @@
 //!   reorder buffer that preserves request order on the wire,
 //!   read/idle timeouts, and a max-concurrent-connections gate;
 //! * [`ResponseCache`]: a deterministic LRU response cache under a byte
-//!   budget, keyed by the canonical request-line bytes, with the hard
-//!   invariant that a hit returns exactly the bytes a fresh compute
-//!   would (transparency — property-tested);
+//!   budget, keyed by the canonical request-line bytes (optionally
+//!   extended by the handler via [`LineHandler::cache_key`], e.g. with a
+//!   session generation), with the hard invariant that a hit returns
+//!   exactly the bytes a fresh compute would (transparency —
+//!   property-tested);
+//! * [`Registry`]: a byte-budgeted store of named shared values with
+//!   deterministic LRU eviction and monotonic generation stamps — the
+//!   substrate for multi-netlist session serving in `gtl-api`;
+//! * fair-share admission: [`LineHandler::tenant`] classifies request
+//!   lines into per-tenant lanes drained in deterministic round-robin
+//!   order under a per-tenant quota ([`RuntimeConfig::tenant_quota`]),
+//!   so one flooding tenant backpressures itself, never its neighbors;
 //! * [`MetricsSnapshot`]: observation-only counters for all of the
 //!   above, served through the handler's [`RequestContext`].
 //!
@@ -71,11 +80,14 @@
 #![warn(missing_docs)]
 
 mod cache;
+mod lru;
 mod metrics;
+mod registry;
 mod server;
 
 pub use cache::{CacheStats, ResponseCache};
 pub use metrics::MetricsSnapshot;
+pub use registry::{InsertOutcome, Registry, RegistryEntry, RegistryError, RegistryStats};
 pub use server::{
     serve_lines, Cacheability, LineHandler, RequestContext, RuntimeConfig, ServeReport,
     TransportError,

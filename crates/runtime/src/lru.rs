@@ -1,0 +1,140 @@
+//! The intrusive recency list shared by the response cache and the
+//! session registry.
+//!
+//! Both byte-budgeted stores ([`crate::cache::ResponseCache`] and
+//! [`crate::registry::Registry`]) need the same machinery: a slab of
+//! entries threaded into a doubly-linked most-recently-used list, so
+//! promotion and cold-end eviction are O(1) without allocating per
+//! touch. This module owns only the *links*; the stores keep their
+//! payloads in a parallel `Vec` indexed by the same slot numbers, which
+//! keeps the list reusable without making the payload generic over an
+//! intrusive-node trait.
+
+/// Sentinel index for "no slot".
+pub(crate) const NIL: usize = usize::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Links {
+    /// Toward the MRU end (`NIL` at the head).
+    prev: usize,
+    /// Toward the LRU end (`NIL` at the tail).
+    next: usize,
+}
+
+/// A doubly-linked recency list over externally stored slots.
+///
+/// Slot numbers are allocated by [`RecencyList::allocate`] (freed slots
+/// are reused first, so the owner's parallel storage stays dense) and
+/// stay valid until [`RecencyList::release`].
+#[derive(Debug, Default)]
+pub(crate) struct RecencyList {
+    links: Vec<Links>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+}
+
+impl RecencyList {
+    pub(crate) fn new() -> Self {
+        Self { links: Vec::new(), free: Vec::new(), head: NIL, tail: NIL }
+    }
+
+    /// Claims a slot and links it at the MRU end. The caller stores the
+    /// payload for the returned index in its parallel storage.
+    pub(crate) fn allocate(&mut self) -> usize {
+        let index = match self.free.pop() {
+            Some(slot) => slot,
+            None => {
+                self.links.push(Links { prev: NIL, next: NIL });
+                self.links.len() - 1
+            }
+        };
+        self.push_front(index);
+        index
+    }
+
+    /// Moves an allocated slot to the MRU end.
+    pub(crate) fn touch(&mut self, index: usize) {
+        self.unlink(index);
+        self.push_front(index);
+    }
+
+    /// Unlinks a slot and returns it to the free pool.
+    pub(crate) fn release(&mut self, index: usize) {
+        self.unlink(index);
+        self.free.push(index);
+    }
+
+    /// The LRU-end slot, if any slot is linked.
+    pub(crate) fn coldest(&self) -> Option<usize> {
+        (self.tail != NIL).then_some(self.tail)
+    }
+
+    fn unlink(&mut self, index: usize) {
+        let Links { prev, next } = self.links[index];
+        match prev {
+            NIL => self.head = next,
+            p => self.links[p].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.links[n].prev = prev,
+        }
+    }
+
+    fn push_front(&mut self, index: usize) {
+        let old_head = self.head;
+        self.links[index] = Links { prev: NIL, next: old_head };
+        match old_head {
+            NIL => self.tail = index,
+            h => self.links[h].prev = index,
+        }
+        self.head = index;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reads the list from MRU to LRU by following the links.
+    fn order(list: &RecencyList) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut cursor = list.head;
+        while cursor != NIL {
+            out.push(cursor);
+            cursor = list.links[cursor].next;
+        }
+        out
+    }
+
+    #[test]
+    fn allocate_touch_release_maintain_recency_order() {
+        let mut list = RecencyList::new();
+        let a = list.allocate();
+        let b = list.allocate();
+        let c = list.allocate();
+        assert_eq!(order(&list), vec![c, b, a]);
+        assert_eq!(list.coldest(), Some(a));
+
+        list.touch(a);
+        assert_eq!(order(&list), vec![a, c, b]);
+        assert_eq!(list.coldest(), Some(b));
+
+        list.release(b);
+        assert_eq!(order(&list), vec![a, c]);
+        // Freed slots are reused before the slab grows.
+        let d = list.allocate();
+        assert_eq!(d, b);
+        assert_eq!(order(&list), vec![d, a, c]);
+    }
+
+    #[test]
+    fn empty_list_has_no_coldest() {
+        let mut list = RecencyList::new();
+        assert_eq!(list.coldest(), None);
+        let a = list.allocate();
+        list.release(a);
+        assert_eq!(list.coldest(), None);
+    }
+}

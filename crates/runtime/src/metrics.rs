@@ -21,6 +21,7 @@ pub(crate) struct MetricsHub {
     lanes: u64,
     queue_capacity: u64,
     pipeline_depth: u64,
+    tenant_quota: u64,
     connections_accepted: AtomicU64,
     connections_active: AtomicU64,
     requests: AtomicU64,
@@ -30,16 +31,23 @@ pub(crate) struct MetricsHub {
     handler_panics: AtomicU64,
     jobs_cancelled: AtomicU64,
     deadlines_exceeded: AtomicU64,
+    fair_share_violations: AtomicU64,
     queue_depth: AtomicU64,
     queue_high_water: AtomicU64,
 }
 
 impl MetricsHub {
-    pub(crate) fn new(lanes: usize, queue_capacity: usize, pipeline_depth: usize) -> Self {
+    pub(crate) fn new(
+        lanes: usize,
+        queue_capacity: usize,
+        pipeline_depth: usize,
+        tenant_quota: usize,
+    ) -> Self {
         Self {
             lanes: lanes as u64,
             queue_capacity: queue_capacity as u64,
             pipeline_depth: pipeline_depth as u64,
+            tenant_quota: tenant_quota as u64,
             connections_accepted: AtomicU64::new(0),
             connections_active: AtomicU64::new(0),
             requests: AtomicU64::new(0),
@@ -49,6 +57,7 @@ impl MetricsHub {
             handler_panics: AtomicU64::new(0),
             jobs_cancelled: AtomicU64::new(0),
             deadlines_exceeded: AtomicU64::new(0),
+            fair_share_violations: AtomicU64::new(0),
             queue_depth: AtomicU64::new(0),
             queue_high_water: AtomicU64::new(0),
         }
@@ -91,6 +100,16 @@ impl MetricsHub {
         self.deadlines_exceeded.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a fair-share invariant breach: the scheduler served the
+    /// same tenant twice in a row while another tenant had been waiting
+    /// since the previous pop. The round-robin rotation makes this
+    /// structurally impossible, so the counter staying at zero *is* the
+    /// starvation-freedom check (asserted by tests and observable over
+    /// the Metrics endpoint).
+    pub(crate) fn fair_share_violation(&self) {
+        self.fair_share_violations.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Records the scheduler queue length observed after a push/pop.
     pub(crate) fn observe_queue_depth(&self, depth: usize) {
         let depth = depth as u64;
@@ -104,6 +123,7 @@ impl MetricsHub {
             lanes: self.lanes,
             queue_capacity: self.queue_capacity,
             pipeline_depth: self.pipeline_depth,
+            tenant_quota: self.tenant_quota,
             connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
             connections_active: self.connections_active.load(Ordering::Relaxed),
             requests: self.requests.load(Ordering::Relaxed),
@@ -113,6 +133,7 @@ impl MetricsHub {
             handler_panics: self.handler_panics.load(Ordering::Relaxed),
             jobs_cancelled: self.jobs_cancelled.load(Ordering::Relaxed),
             deadlines_exceeded: self.deadlines_exceeded.load(Ordering::Relaxed),
+            fair_share_violations: self.fair_share_violations.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             queue_high_water: self.queue_high_water.load(Ordering::Relaxed),
             cache_capacity_bytes: cache.capacity_bytes,
@@ -136,6 +157,8 @@ pub struct MetricsSnapshot {
     pub queue_capacity: u64,
     /// Max jobs in flight per connection (reorder-buffer size).
     pub pipeline_depth: u64,
+    /// Max queued jobs per admission tenant (fair-share quota).
+    pub tenant_quota: u64,
     /// Connections accepted since the server started.
     pub connections_accepted: u64,
     /// Connections currently open.
@@ -157,6 +180,11 @@ pub struct MetricsSnapshot {
     /// Requests answered with a `deadline_exceeded` error (per-request
     /// `deadline_ms` or the server-side default deadline fired).
     pub deadlines_exceeded: u64,
+    /// Fair-share invariant breaches: pops that served a tenant twice
+    /// consecutively while another tenant had been waiting since the
+    /// previous pop. Structurally zero — a nonzero value means the
+    /// scheduler starved someone.
+    pub fair_share_violations: u64,
     /// Jobs waiting in the scheduler queue (last observed).
     pub queue_depth: u64,
     /// Highest queue depth observed so far.
@@ -183,7 +211,7 @@ mod tests {
 
     #[test]
     fn snapshot_reflects_counters() {
-        let hub = MetricsHub::new(3, 12, 4);
+        let hub = MetricsHub::new(3, 12, 4, 6);
         let cache = ResponseCache::new(1 << 12);
         hub.connection_opened();
         hub.connection_opened();
@@ -201,6 +229,8 @@ mod tests {
         assert_eq!(snap.lanes, 3);
         assert_eq!(snap.queue_capacity, 12);
         assert_eq!(snap.pipeline_depth, 4);
+        assert_eq!(snap.tenant_quota, 6);
+        assert_eq!(snap.fair_share_violations, 0);
         assert_eq!(snap.connections_accepted, 2);
         assert_eq!(snap.connections_active, 1);
         assert_eq!(snap.requests, 1);

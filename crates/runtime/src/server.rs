@@ -6,11 +6,20 @@
 //! level:
 //!
 //! * **Compute lanes.** A fixed pool of `lanes` worker threads executes
-//!   request jobs popped from one global bounded FIFO
-//!   ([`gtl_core::sync::BoundedQueue`]). When every lane is busy and the
-//!   queue is full, connection readers block in `push` — backpressure
-//!   reaches the client's TCP window instead of growing an unbounded
-//!   buffer.
+//!   request jobs popped from one global bounded fair-share queue (a
+//!   per-tenant round-robin [`FairQueue`] with the blocking semantics of
+//!   [`gtl_core::sync::BoundedQueue`]). When every lane is busy and the
+//!   queue is full — or one tenant has hit its per-tenant quota —
+//!   connection readers block in `push`: backpressure reaches the
+//!   client's TCP window instead of growing an unbounded buffer, and a
+//!   flooding tenant backpressures *itself* before it can crowd out
+//!   anyone else.
+//! * **Fair-share admission.** [`LineHandler::tenant`] classifies each
+//!   request line into an admission lane; lanes pop tenants in
+//!   deterministic round-robin order (ties by submission order), so the
+//!   interleaving served to a trickling tenant is independent of how
+//!   hard any other tenant floods (the starvation counter
+//!   [`MetricsSnapshot::fair_share_violations`] is structurally zero).
 //! * **Pipelining with order preservation.** A client may write up to
 //!   `pipeline_depth` request lines before reading; jobs from one
 //!   connection run concurrently on the lanes, and a per-connection
@@ -29,13 +38,15 @@
 //! provided the handler is deterministic, which the [`ResponseCache`]
 //! additionally exploits (see [`crate::cache`]).
 
+use std::borrow::Cow;
+use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead as _, BufReader, BufWriter, Write as _};
 use std::net::{TcpListener, TcpStream};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use gtl_core::cancel::{CancelToken, Deadline};
-use gtl_core::sync::{BoundedQueue, Semaphore};
+use gtl_core::sync::Semaphore;
 
 use crate::cache::ResponseCache;
 use crate::metrics::{MetricsHub, MetricsSnapshot};
@@ -142,6 +153,31 @@ pub trait LineHandler: Sync {
         let _ = error;
         None
     }
+
+    /// The response-cache key for `line`. The default — the line bytes
+    /// themselves — is correct for handlers whose responses are pure
+    /// functions of the line. A handler that adds request-independent
+    /// state (e.g. a session registry, where the same line means
+    /// different things before and after a reload) must fold that state
+    /// into the key; the transparency invariant then holds per key. The
+    /// key must be a pure function of `line` and state that never
+    /// changes between this call and the corresponding
+    /// [`LineHandler::handle`] in a way that would alias two different
+    /// responses onto one key.
+    fn cache_key<'a>(&self, line: &'a str) -> Cow<'a, [u8]> {
+        Cow::Borrowed(line.as_bytes())
+    }
+
+    /// The admission tenant for `line`: requests with the same tenant
+    /// share one per-tenant quota and one fair-share lane; distinct
+    /// tenants are served round-robin. The default puts every request in
+    /// one shared tenant, which degenerates to the plain bounded FIFO.
+    /// Must be cheap — it runs on the connection's I/O thread, before
+    /// the line is admitted.
+    fn tenant(&self, line: &str) -> String {
+        let _ = line;
+        String::new()
+    }
 }
 
 impl<F> LineHandler for F
@@ -187,6 +223,11 @@ pub struct RuntimeConfig {
     /// decide the response; cancelled work never blocks a lane beyond
     /// its current checkpoint interval.
     pub default_deadline: Option<Duration>,
+    /// Max queued jobs per tenant (see [`LineHandler::tenant`]); `0` =
+    /// auto (the full queue depth, i.e. no sub-limit). A tenant at its
+    /// quota backpressures only its own connections. Clamped to at
+    /// least 1.
+    pub tenant_quota: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -201,6 +242,7 @@ impl Default for RuntimeConfig {
             max_concurrent: None,
             max_connections: None,
             default_deadline: None,
+            tenant_quota: 0,
         }
     }
 }
@@ -225,6 +267,14 @@ impl RuntimeConfig {
             self.queue_depth
         }
     }
+
+    fn resolved_tenant_quota(&self) -> usize {
+        if self.tenant_quota == 0 {
+            self.resolved_queue_depth()
+        } else {
+            self.tenant_quota.max(1)
+        }
+    }
 }
 
 /// What a bounded [`serve_lines`] run did.
@@ -244,6 +294,141 @@ pub struct ServeReport {
 /// A unit of compute queued for the lanes: one request's dispatch,
 /// boxed with everything it needs to deliver its response.
 type Job<'a> = Box<dyn FnOnce() + Send + 'a>;
+
+/// The bounded fair-share job queue: per-tenant FIFOs drained in
+/// deterministic round-robin order.
+///
+/// Semantics mirror [`gtl_core::sync::BoundedQueue`] — `push` blocks on
+/// the limits and fails only once closed; `pop` drains everything
+/// admitted before returning `None` after close — with two additions:
+///
+/// * **Per-tenant quota.** A tenant with `quota` jobs already queued
+///   blocks its own producers, leaving the remaining capacity to other
+///   tenants (self-backpressure instead of crowding).
+/// * **Round-robin service.** Tenants with queued work form a rotation
+///   in first-submission order; each pop serves the front tenant's
+///   oldest job and moves that tenant to the back if it still has work.
+///   Within a tenant, order is strict FIFO — so the service order seen
+///   by any one tenant is independent of how much the others submit.
+struct FairQueue<T> {
+    state: Mutex<FairState<T>>,
+    /// Signaled when a job is admitted or the queue closes (poppers).
+    ready: Condvar,
+    /// Signaled when a pop frees capacity or the queue closes (pushers;
+    /// `notify_all`, because waiters block on different predicates —
+    /// global capacity vs. their own tenant's quota).
+    vacancy: Condvar,
+}
+
+struct FairState<T> {
+    capacity: usize,
+    quota: usize,
+    len: usize,
+    closed: bool,
+    queues: HashMap<String, VecDeque<T>>,
+    /// Tenants with at least one queued job, in service order.
+    rotation: VecDeque<String>,
+    /// The tenant served by the previous pop, for the structural
+    /// starvation check (see [`MetricsHub::fair_share_violation`]).
+    last_popped: Option<String>,
+    /// Whether another tenant was already waiting when the previous pop
+    /// was served. Serving the same tenant twice in a row is only a
+    /// starvation violation if someone else has been waiting the whole
+    /// time — a tenant that arrived in between legitimately queues
+    /// behind the incumbent's rotation slot.
+    last_pop_had_others: bool,
+}
+
+impl<T> FairQueue<T> {
+    fn new(capacity: usize, quota: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        assert!(quota > 0, "tenant quota must be positive");
+        Self {
+            state: Mutex::new(FairState {
+                capacity,
+                quota,
+                len: 0,
+                closed: false,
+                queues: HashMap::new(),
+                rotation: VecDeque::new(),
+                last_popped: None,
+                last_pop_had_others: false,
+            }),
+            ready: Condvar::new(),
+            vacancy: Condvar::new(),
+        }
+    }
+
+    /// Blocks until both the global capacity and `tenant`'s quota admit
+    /// the item, then enqueues it. `Err(item)` once the queue is closed.
+    fn push(&self, tenant: &str, item: T) -> Result<(), T> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if state.closed {
+                return Err(item);
+            }
+            let tenant_len = state.queues.get(tenant).map_or(0, VecDeque::len);
+            if state.len < state.capacity && tenant_len < state.quota {
+                if tenant_len == 0 {
+                    // Empty → non-empty: the tenant (re)joins the
+                    // rotation at the back — "ties by submission order".
+                    state.rotation.push_back(tenant.to_string());
+                }
+                state.queues.entry(tenant.to_string()).or_default().push_back(item);
+                state.len += 1;
+                self.ready.notify_one();
+                return Ok(());
+            }
+            state = self.vacancy.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Pops the next job in fair-share order, blocking while the queue
+    /// is empty but open. `None` once closed *and* drained.
+    fn pop(&self, hub: &MetricsHub) -> Option<T> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(tenant) = state.rotation.pop_front() {
+                let queue = state.queues.get_mut(&tenant).expect("rotation tenant has a queue");
+                let item = queue.pop_front().expect("rotation tenant has work");
+                let more = !queue.is_empty();
+                // Structural starvation check: serving the same tenant
+                // twice in a row while another tenant has been waiting
+                // since the previous pop would mean the rotation is
+                // broken. Counted, never expected.
+                if state.last_pop_had_others && state.last_popped.as_deref() == Some(&*tenant) {
+                    hub.fair_share_violation();
+                }
+                state.last_pop_had_others = !state.rotation.is_empty();
+                if more {
+                    state.rotation.push_back(tenant.clone());
+                }
+                state.last_popped = Some(tenant);
+                state.len -= 1;
+                self.vacancy.notify_all();
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.ready.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Closes the queue: pending `pop`s drain what was admitted, then
+    /// every blocked caller returns.
+    fn close(&self) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.closed = true;
+        self.ready.notify_all();
+        self.vacancy.notify_all();
+    }
+
+    /// Jobs currently queued across all tenants.
+    fn len(&self) -> usize {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).len
+    }
+}
 
 /// Serves line-delimited requests from `listener` until the accept
 /// budget is exhausted (or forever without one).
@@ -271,9 +456,10 @@ pub fn serve_lines<H: LineHandler>(
     let lanes = config.resolved_lanes();
     let pipeline = config.resolved_pipeline();
     let queue_depth = config.resolved_queue_depth();
+    let tenant_quota = config.resolved_tenant_quota();
 
     let cache = ResponseCache::new(config.cache_bytes);
-    let hub = MetricsHub::new(lanes, queue_depth, pipeline);
+    let hub = MetricsHub::new(lanes, queue_depth, pipeline, tenant_quota);
     let sink = Mutex::new(ErrorSink::default());
     let gate = config.max_concurrent.filter(|&max| max > 0).map(Semaphore::new);
     if config.max_connections == Some(0) {
@@ -297,14 +483,14 @@ pub fn serve_lines<H: LineHandler>(
     };
     // Declared after `rt` so queued jobs may borrow it (drop order runs
     // the queue down first).
-    let queue: BoundedQueue<Job<'_>> = BoundedQueue::new(queue_depth);
+    let queue: FairQueue<Job<'_>> = FairQueue::new(queue_depth, tenant_quota);
 
     let (served, accept_error) = std::thread::scope(|scope| {
         for _ in 0..lanes {
             let queue = &queue;
             let hub = &hub;
             scope.spawn(move || {
-                while let Some(job) = queue.pop() {
+                while let Some(job) = queue.pop(hub) {
                     hub.observe_queue_depth(queue.len());
                     job();
                 }
@@ -434,7 +620,7 @@ struct ErrorSink {
 /// One connection: spawn the writer, run the read loop, join the writer.
 fn run_connection<'j, 'scope, 'env, H: LineHandler>(
     rt: &'j RuntimeRefs<'j, H>,
-    queue: &BoundedQueue<Job<'j>>,
+    queue: &FairQueue<Job<'j>>,
     scope: &'scope std::thread::Scope<'scope, 'env>,
     conn_id: usize,
     stream: TcpStream,
@@ -467,11 +653,12 @@ fn run_connection<'j, 'scope, 'env, H: LineHandler>(
     }
 }
 
-/// The I/O-only producer: frame request lines, acquire a pipeline slot,
-/// submit a job per line. Never computes a response itself.
+/// The I/O-only producer: frame request lines, classify their admission
+/// tenant, acquire a pipeline slot, submit a job per line. Never
+/// computes a response itself.
 fn read_side<'j, H: LineHandler>(
     rt: &'j RuntimeRefs<'j, H>,
-    queue: &BoundedQueue<Job<'j>>,
+    queue: &FairQueue<Job<'j>>,
     conn: &Arc<ConnShared>,
     conn_id: usize,
     stream: TcpStream,
@@ -548,13 +735,17 @@ fn read_side<'j, H: LineHandler>(
             break; // the writer died; stop producing
         };
         rt.hub.request_submitted();
+        // Classify the admission tenant on the I/O thread (it is a cheap
+        // prefix inspection by contract) so the fair-share queue can
+        // bound this tenant *before* the job occupies a queue slot.
+        let tenant = rt.handler.tenant(line);
         let line = line.to_string();
         let submitted = Instant::now();
         let job: Job<'j> = Box::new({
             let conn = Arc::clone(conn);
             move || run_job(rt, &conn, conn_id, seq, &line, out, submitted)
         });
-        if queue.push(job).is_err() {
+        if queue.push(&tenant, job).is_err() {
             // Only possible if shutdown raced this connection; fail the
             // stream rather than leave the writer waiting on `seq`.
             conn.kill();
@@ -609,9 +800,13 @@ fn run_job<H: LineHandler>(
         return;
     }
     out.clear();
-    if let Some(hit) = rt.cache.get(line.as_bytes()) {
+    // The handler may fold request-independent state (e.g. a session
+    // generation) into the key; computed once, used for both the lookup
+    // and the fill so they can never diverge.
+    let cache_key = rt.handler.cache_key(line);
+    if let Some(hit) = rt.cache.get(&cache_key) {
         // Transparency invariant: these are exactly the bytes the
-        // handler produced for this line (property-tested end to end).
+        // handler produced for this key (property-tested end to end).
         out.push_str(&hit);
     } else {
         // The job's token: trips on connection loss, and additionally on
@@ -628,7 +823,17 @@ fn run_job<H: LineHandler>(
             rt.handler.handle(&ctx, line, &mut out)
         }));
         match outcome {
-            Ok(Cacheability::Cacheable) => rt.cache.insert(line.as_bytes(), &out),
+            Ok(Cacheability::Cacheable) => {
+                // Guard against handler state moving between the lookup
+                // and the compute (e.g. a session reloaded mid-job): the
+                // fill goes in only if the key is unchanged, which —
+                // with monotonic, never-reused state stamps in the key —
+                // proves the compute saw exactly the state the key
+                // names. A skipped fill only costs a recompute.
+                if rt.handler.cache_key(line) == cache_key {
+                    rt.cache.insert(&cache_key, &out);
+                }
+            }
             Ok(Cacheability::Uncacheable) => {}
             Err(_panic) => {
                 rt.hub.handler_panic();
@@ -1305,5 +1510,154 @@ mod tests {
             assert_eq!(report.metrics.responses, (clients * 5) as u64);
             assert!(report.io_errors.is_empty(), "{:?}", report.io_errors);
         });
+    }
+
+    fn test_hub() -> MetricsHub {
+        MetricsHub::new(1, 8, 1, 8)
+    }
+
+    #[test]
+    fn fair_queue_serves_tenants_round_robin_in_submission_order() {
+        let queue: FairQueue<&'static str> = FairQueue::new(8, 8);
+        let hub = test_hub();
+        queue.push("a", "a1").unwrap();
+        queue.push("a", "a2").unwrap();
+        queue.push("b", "b1").unwrap();
+        queue.push("c", "c1").unwrap();
+        queue.push("a", "a3").unwrap();
+        queue.close();
+        let mut order = Vec::new();
+        while let Some(item) = queue.pop(&hub) {
+            order.push(item);
+        }
+        // Round-robin across tenants (first submission first), FIFO
+        // within each tenant.
+        assert_eq!(order, vec!["a1", "b1", "c1", "a2", "a3"]);
+        assert_eq!(hub.snapshot(&ResponseCache::new(0)).fair_share_violations, 0);
+    }
+
+    #[test]
+    fn fair_queue_quota_blocks_only_the_offending_tenant() {
+        let queue: FairQueue<u32> = FairQueue::new(8, 1);
+        let hub = test_hub();
+        queue.push("hog", 1).unwrap();
+        // The hog is at quota; another tenant still gets in immediately.
+        queue.push("other", 10).unwrap();
+        std::thread::scope(|scope| {
+            let blocked = scope.spawn(|| queue.push("hog", 2));
+            // Give the push a moment to block, then drain one hog job:
+            // the blocked producer must get through.
+            std::thread::sleep(Duration::from_millis(20));
+            assert!(!blocked.is_finished(), "push should block at quota");
+            assert_eq!(queue.pop(&hub), Some(1));
+            blocked.join().unwrap().unwrap();
+        });
+        assert_eq!(queue.pop(&hub), Some(10));
+        assert_eq!(queue.pop(&hub), Some(2));
+        assert_eq!(queue.len(), 0);
+    }
+
+    #[test]
+    fn fair_queue_close_drains_then_rejects() {
+        let queue: FairQueue<u32> = FairQueue::new(4, 4);
+        let hub = test_hub();
+        queue.push("t", 1).unwrap();
+        queue.push("t", 2).unwrap();
+        queue.close();
+        assert_eq!(queue.push("t", 3), Err(3), "push after close must fail");
+        assert_eq!(queue.pop(&hub), Some(1));
+        assert_eq!(queue.pop(&hub), Some(2));
+        assert_eq!(queue.pop(&hub), None);
+    }
+
+    /// Classifies tenants by the line's `<tenant>:` prefix; flooding
+    /// lines sleep so a backlog builds behind them.
+    struct TenantHandler;
+
+    impl LineHandler for TenantHandler {
+        fn handle(&self, _ctx: &RequestContext<'_>, line: &str, out: &mut String) -> Cacheability {
+            if line.contains("slow") {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            out.push_str("echo:");
+            out.push_str(line);
+            Cacheability::Uncacheable // force every request to compute
+        }
+
+        fn tenant(&self, line: &str) -> String {
+            line.split(':').next().unwrap_or("").to_string()
+        }
+    }
+
+    /// Serially send `lines` on one connection, reading each response
+    /// before the next request.
+    fn exchange_serially(addr: std::net::SocketAddr, lines: &[String]) -> Vec<String> {
+        let mut conn = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(conn.try_clone().unwrap());
+        let mut out = Vec::new();
+        for line in lines {
+            writeln!(conn, "{line}").unwrap();
+            let mut response = String::new();
+            reader.read_line(&mut response).unwrap();
+            out.push(response.trim_end().to_string());
+        }
+        conn.shutdown(std::net::Shutdown::Write).unwrap();
+        out
+    }
+
+    #[test]
+    fn flooding_tenant_cannot_starve_or_perturb_a_trickler() {
+        let trickle_lines: Vec<String> = (0..6).map(|i| format!("trickle:req-{i}")).collect();
+
+        // Reference: the trickler served alone.
+        let listener = bind();
+        let addr = listener.local_addr().unwrap();
+        let config = RuntimeConfig {
+            lanes: 1,
+            queue_depth: 4,
+            tenant_quota: 2,
+            pipeline_depth: 16,
+            max_connections: Some(1),
+            ..RuntimeConfig::default()
+        };
+        let solo = std::thread::scope(|scope| {
+            let server = scope.spawn(|| serve_lines(&listener, &config, &TenantHandler).unwrap());
+            let got = exchange_serially(addr, &trickle_lines);
+            server.join().unwrap();
+            got
+        });
+
+        // Same trickle while another tenant floods well past its quota.
+        let listener = bind();
+        let addr = listener.local_addr().unwrap();
+        let config = RuntimeConfig { max_connections: Some(2), ..config };
+        let (contended, report) = std::thread::scope(|scope| {
+            let server = scope.spawn(|| serve_lines(&listener, &config, &TenantHandler).unwrap());
+            let flooder = scope.spawn(move || {
+                let mut conn = TcpStream::connect(addr).unwrap();
+                for i in 0..48 {
+                    writeln!(conn, "flood:slow-{i}").unwrap();
+                }
+                conn.shutdown(std::net::Shutdown::Write).unwrap();
+                let mut answered = 0usize;
+                for line in BufReader::new(conn).lines() {
+                    line.unwrap();
+                    answered += 1;
+                }
+                answered
+            });
+            // Let the flood saturate its quota before trickling.
+            std::thread::sleep(Duration::from_millis(20));
+            let got = exchange_serially(addr, &trickle_lines);
+            assert_eq!(flooder.join().unwrap(), 48, "the flood is throttled, not dropped");
+            (got, server.join().unwrap())
+        });
+
+        // The flood must be invisible to the trickler's bytes, and the
+        // scheduler must never have served the flood twice in a row
+        // while the trickler waited.
+        assert_eq!(contended, solo);
+        assert_eq!(report.metrics.fair_share_violations, 0, "{:?}", report.metrics);
+        assert_eq!(report.metrics.tenant_quota, 2);
     }
 }

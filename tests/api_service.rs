@@ -1,12 +1,18 @@
 //! The PR-acceptance contract, end to end: `gtl find --json` and a
 //! `gtl serve` TCP round-trip produce **byte-identical** `FindResponse`
-//! JSON, for 1, 2 and 8 workers.
+//! JSON, for 1, 2 and 8 workers — plus the frozen-wire golden replays
+//! (v1 Find, v4 session administration) against the checked-in bytes
+//! in `tests/golden/`.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 
-use gtl_api::{FindRequest, Request, ServeOptions, Session};
-use gtl_tangled::FinderConfig;
+use gtl_api::{
+    FindRequest, ListSessionsRequest, LoadNetlistRequest, Request, ServeOptions, Session,
+    UnloadNetlistRequest,
+};
+use gtl_tangled::ordering::GrowthCriterion;
+use gtl_tangled::{FinderConfig, MetricKind};
 
 /// The checked-in two-5-cliques design — the same file the CI serve
 /// golden round-trip replays, so both checks exercise one fixture.
@@ -85,6 +91,94 @@ fn cli_json_equals_serve_payload_for_1_2_8_workers() {
     assert!(payloads[0].contains("\"gtls\":[{"), "no GTLs found: {}", payloads[0]);
     assert_eq!(payloads[0], payloads[1], "2 workers changed the bytes");
     assert_eq!(payloads[0], payloads[2], "8 workers changed the bytes");
+}
+
+fn golden_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+/// Plays `lines` over one connection against a fresh server and returns
+/// the response lines. `pipeline_depth(1)` keeps the replay serial, so
+/// registry administration ordering is part of the contract.
+fn replay_script(session: &Session, options: ServeOptions, lines: &[String]) -> Vec<String> {
+    let listener = gtl_api::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let options = options.pipeline_depth(1).max_connections(Some(1));
+    std::thread::scope(|scope| {
+        let server = scope.spawn(|| gtl_api::serve(session, &listener, &options).unwrap());
+        let mut conn = TcpStream::connect(addr).unwrap();
+        for line in lines {
+            writeln!(conn, "{line}").unwrap();
+        }
+        conn.shutdown(std::net::Shutdown::Write).unwrap();
+        let got: Vec<String> = BufReader::new(conn).lines().map(|l| l.unwrap()).collect();
+        server.join().unwrap();
+        got
+    })
+}
+
+/// The v1 golden stays frozen: replaying the checked-in request line
+/// through a current server reproduces the checked-in response bytes —
+/// the same contract the CI `/dev/tcp` golden step enforces, runnable
+/// locally via `cargo test`.
+#[test]
+fn golden_v1_find_replay_is_frozen() {
+    let request = std::fs::read_to_string(golden_dir().join("serve_find_request.json")).unwrap();
+    let expected = std::fs::read_to_string(golden_dir().join("serve_find_response.json")).unwrap();
+    let session = Session::builder().load(&fixture_path()).unwrap().build().unwrap();
+    let got = replay_script(&session, ServeOptions::new().lanes(2), &[request.trim().to_string()]);
+    assert_eq!(got, vec![expected.trim_end().to_string()], "v1 golden bytes changed");
+}
+
+/// The v4 golden script: LoadNetlist → session-addressed Find →
+/// ListSessions → UnloadNetlist. Checked-in request *and* response
+/// bytes both stay frozen; `GTL_BLESS=1` regenerates them.
+#[test]
+fn golden_v4_session_script_replay() {
+    let find_config = FinderConfig {
+        num_seeds: 10,
+        max_order_len: 10,
+        lambda_threshold: 20,
+        criterion: GrowthCriterion::WeightFirst,
+        metric: MetricKind::GtlSd,
+        min_size: 3,
+        accept_threshold: 0.9,
+        prominence: 1.2,
+        max_fraction: 0.5,
+        refine_seeds: 3,
+        refine: true,
+        threads: 2,
+        rng_seed: 3500,
+        rent_exponent: None,
+    };
+    let mut find = FindRequest::new(find_config);
+    find.session = Some("alt".to_string());
+    let script = vec![
+        serde::json::to_string(&Request::LoadNetlist(LoadNetlistRequest::new(
+            "alt",
+            "two_cliques.hgr",
+        ))),
+        serde::json::to_string(&Request::Find(find)),
+        serde::json::to_string(&Request::ListSessions(ListSessionsRequest::new())),
+        serde::json::to_string(&Request::UnloadNetlist(UnloadNetlistRequest::new("alt"))),
+    ];
+    let session = Session::builder().load(&fixture_path()).unwrap().build().unwrap();
+    let options = ServeOptions::new().lanes(2).max_netlists(4).netlist_dir(Some(golden_dir()));
+    let got = replay_script(&session, options, &script);
+    assert_eq!(got.len(), script.len(), "{got:?}");
+
+    let requests_path = golden_dir().join("serve_session_requests.json");
+    let responses_path = golden_dir().join("serve_session_responses.json");
+    let render = |lines: &[String]| lines.join("\n") + "\n";
+    if std::env::var("GTL_BLESS").is_ok() {
+        std::fs::write(&requests_path, render(&script)).unwrap();
+        std::fs::write(&responses_path, render(&got)).unwrap();
+        return;
+    }
+    let requests = std::fs::read_to_string(&requests_path).unwrap();
+    assert_eq!(requests, render(&script), "v4 golden request bytes changed");
+    let responses = std::fs::read_to_string(&responses_path).unwrap();
+    assert_eq!(responses, render(&got), "v4 golden response bytes changed");
 }
 
 #[test]
