@@ -6,6 +6,8 @@
 //! genetic refinement (§3.2.3), and the density-aware metric (§3.1).
 //! Criterion wall-time versions of these live in `benches/ablation.rs`.
 
+#![forbid(unsafe_code)]
+
 use gtl_bench::args::CommonArgs;
 use gtl_bench::report::Table;
 use gtl_synth::planted::{self, PlantedConfig};

@@ -10,6 +10,8 @@
 //! Emits `fig2_ngtl.csv` and `fig3_gtlsd.csv` (columns: size, inside,
 //! outside) into the results directory.
 
+#![forbid(unsafe_code)]
+
 use gtl_bench::args::CommonArgs;
 use gtl_bench::report::write_csv;
 use gtl_netlist::CellId;

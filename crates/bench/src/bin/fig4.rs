@@ -10,6 +10,8 @@
 //! the i-th GTL) and `fig4_gtls.pgm` (GTL cell density heatmap), plus a
 //! numeric spread check per GTL.
 
+#![forbid(unsafe_code)]
+
 use gtl_bench::args::CommonArgs;
 use gtl_bench::report::{write_csv, write_pgm};
 use gtl_place::{place, Die, PlacerConfig};

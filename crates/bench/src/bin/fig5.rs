@@ -8,6 +8,8 @@
 //!
 //! Emits `fig5_curves.csv` (size, ngtl_s, gtl_sd, ratio_cut).
 
+#![forbid(unsafe_code)]
+
 use gtl_bench::args::CommonArgs;
 use gtl_bench::report::write_csv;
 use gtl_synth::ispd_like::{self, IspdBenchmark, IspdLikeConfig};

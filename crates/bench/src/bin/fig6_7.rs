@@ -12,6 +12,8 @@
 //! Emits `fig1_congestion_before.pgm`, `fig6_gtl_overlay.pgm`,
 //! `fig7_congestion_after.pgm` and prints ASCII heatmaps.
 
+#![forbid(unsafe_code)]
+
 use gtl_bench::args::CommonArgs;
 use gtl_bench::report::{ascii_heatmap, write_pgm};
 use gtl_netlist::CellId;

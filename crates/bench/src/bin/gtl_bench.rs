@@ -9,6 +9,8 @@
 //! non-zero on a cold-path regression beyond the tolerance (default
 //! 30%) — the CI bench-trend gate. See [`gtl_bench::trend`].
 
+#![forbid(unsafe_code)]
+
 use std::path::PathBuf;
 use std::process::ExitCode;
 

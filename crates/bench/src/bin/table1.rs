@@ -5,6 +5,8 @@
 //! 2K+15K, 5K×1, 40K×6), 100 seeds. Run `--full` for paper sizes; the
 //! default scale finishes in about a minute.
 
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 
 use gtl_bench::args::CommonArgs;

@@ -6,6 +6,8 @@
 //! Pass `--bookshelf <dir>` holding `<name>.aux` files to run on the real
 //! benchmarks instead.
 
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 
 use gtl_bench::args::CommonArgs;

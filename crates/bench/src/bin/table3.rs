@@ -5,6 +5,8 @@
 //! boundary cuts; the finder must recover all five nearly exactly with
 //! GTL-Scores ≈ 0.025.
 
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 
 use gtl_bench::args::CommonArgs;

@@ -1,6 +1,8 @@
 //! `gtl` — command-line tangled-logic finder. See [`gtl_cli`] for the
 //! implementation and `gtl --help` for usage.
 
+#![forbid(unsafe_code)]
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match gtl_cli::run(&args) {

@@ -1,0 +1,8 @@
+//! Fixture: a waiver missing its mandatory reason — must fail with
+//! `waiver-syntax`, and must NOT suppress the violation it targets.
+
+pub fn fan_out() {
+    // gtl-lint: allow(no-raw-thread)
+    let handle = std::thread::spawn(|| 42);
+    let _ = handle.join();
+}

@@ -1,0 +1,6 @@
+//! Fixture: crate root without `#![forbid(unsafe_code)]` and without
+//! any unsafe code.
+
+pub fn safe() -> u32 {
+    7
+}

@@ -1,0 +1,9 @@
+//! Fixture: panicking calls on the serve path.
+
+pub fn handle(input: &str) -> u32 {
+    let parsed: u32 = input.parse().unwrap();
+    if parsed > 100 {
+        panic!("too big");
+    }
+    parsed
+}

@@ -1,0 +1,6 @@
+//! Fixture: raw thread spawn in a compute crate (not the exec layer).
+
+pub fn fan_out() {
+    let handle = std::thread::spawn(|| 42);
+    let _ = handle.join();
+}

@@ -1,0 +1,7 @@
+//! Fixture: RNG seeded directly instead of via derive_stream.
+
+use rand::{rngs::SmallRng, SeedableRng};
+
+pub fn make_rng() -> SmallRng {
+    SmallRng::seed_from_u64(42)
+}

@@ -1,0 +1,15 @@
+//! Fixture: iterating a HashMap in a compute crate.
+
+use std::collections::HashMap;
+
+pub fn histogram(items: &[u32]) -> Vec<(u32, u32)> {
+    let mut counts: HashMap<u32, u32> = HashMap::new();
+    for x in items {
+        *counts.entry(*x).or_insert(0) += 1;
+    }
+    let mut out = Vec::new();
+    for (k, v) in &counts {
+        out.push((*k, *v));
+    }
+    out
+}

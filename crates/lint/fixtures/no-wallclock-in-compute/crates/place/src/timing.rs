@@ -1,0 +1,8 @@
+//! Fixture: wall-clock reading inside a compute crate.
+
+use std::time::Instant;
+
+pub fn timed_pass() -> u64 {
+    let start = Instant::now();
+    start.elapsed().as_nanos() as u64
+}

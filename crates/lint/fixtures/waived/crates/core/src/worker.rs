@@ -1,0 +1,8 @@
+//! Fixture: the same raw-thread violation, properly waived — this tree
+//! must lint clean, with one waiver in force.
+
+pub fn fan_out() {
+    // gtl-lint: allow(no-raw-thread, reason = "fixture exercising the waiver path")
+    let handle = std::thread::spawn(|| 42);
+    let _ = handle.join();
+}

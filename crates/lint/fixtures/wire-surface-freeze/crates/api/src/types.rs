@@ -1,0 +1,11 @@
+//! Fixture: wire surface drifted from the committed fingerprint while
+//! API_VERSION stayed put.
+
+/// Wire protocol version.
+pub const API_VERSION: u32 = 4;
+
+/// A wire type whose field was renamed without a version bump.
+pub struct Ping {
+    /// Renamed from `old_field` — this is the drift.
+    pub renamed_field: u64,
+}

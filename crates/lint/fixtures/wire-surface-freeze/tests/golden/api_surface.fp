@@ -1,0 +1,5 @@
+# wire surface of crates/api/src/types.rs (token-canonical)
+pub const API_VERSION: u32 = 4;
+pub struct Ping {
+  pub old_field: u64
+}

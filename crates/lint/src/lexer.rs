@@ -1,0 +1,567 @@
+//! A hand-rolled Rust lexer: source text → token stream + comments.
+//!
+//! Rules operate on tokens, never raw text, so a `thread::spawn` inside
+//! a string literal, a doc-comment example or a `/* block comment */`
+//! can never trip a rule. The lexer handles every construct that would
+//! otherwise confuse token matching: nested block comments, string and
+//! raw-string literals (any `#` count), byte strings, char literals vs
+//! lifetimes, and numeric literals adjacent to `..` ranges. It does
+//! **not** attempt full Rust grammar — `syn` is unavailable under the
+//! offline rule, and rule matching only needs faithful token boundaries.
+
+/// What a [`Token`] is, at the granularity the rules care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`thread`, `fn`, `HashMap`, …).
+    Ident,
+    /// Numeric literal (`42`, `1.0e-3`, `0xDAC`).
+    Number,
+    /// String literal of any flavor (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Character or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'scope`).
+    Lifetime,
+    /// A single punctuation character (`:`, `(`, `#`, …).
+    Punct,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token kind.
+    pub kind: TokenKind,
+    /// Verbatim token text (for [`TokenKind::Punct`], one character).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+/// One comment (line or block), kept separate from the token stream so
+/// waiver comments can be recognized without polluting rule matching.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment text including its delimiters (`// …` or `/* … */`).
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Whether any token precedes the comment on its starting line
+    /// (a trailing comment waives its own line; a standalone comment
+    /// waives the next code line).
+    pub trailing: bool,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+impl Lexed {
+    /// The first line at or after `line` that holds a token — where a
+    /// standalone waiver comment on `line` points. `None` past EOF.
+    pub fn next_code_line(&self, line: u32) -> Option<u32> {
+        self.tokens.iter().map(|t| t.line).find(|&l| l >= line)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `source` into tokens and comments. Unterminated constructs
+/// (string, block comment) consume to EOF rather than erroring: the
+/// lint must keep going on files rustc would reject anyway.
+pub fn lex(source: &str) -> Lexed {
+    let chars: Vec<char> = source.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let mut last_token_line: u32 = 0;
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment (also doc comments `///`, `//!`).
+        if c == '/' && chars.get(i + 1) == Some(&'/') {
+            let start = i;
+            while i < chars.len() && chars[i] != '\n' {
+                i += 1;
+            }
+            out.comments.push(Comment {
+                text: chars[start..i].iter().collect(),
+                line,
+                trailing: last_token_line == line,
+            });
+            continue;
+        }
+        // Block comment, nested per Rust rules.
+        if c == '/' && chars.get(i + 1) == Some(&'*') {
+            let start = i;
+            let start_line = line;
+            let trailing = last_token_line == line;
+            let mut depth = 1;
+            i += 2;
+            while i < chars.len() && depth > 0 {
+                if chars[i] == '\n' {
+                    line += 1;
+                    i += 1;
+                } else if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    i += 2;
+                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            out.comments.push(Comment {
+                text: chars[start..i].iter().collect(),
+                line: start_line,
+                trailing,
+            });
+            continue;
+        }
+        // Raw strings r"…" / r#"…"#, and br / rb variants; `b` alone may
+        // also prefix a plain byte string or byte char.
+        if (c == 'r' || c == 'b') && raw_or_byte_string(&chars, i).is_some() {
+            let (end, newlines) = raw_or_byte_string(&chars, i).unwrap();
+            out.tokens.push(Token {
+                kind: TokenKind::Str,
+                text: chars[i..end].iter().collect(),
+                line,
+            });
+            last_token_line = line;
+            line += newlines;
+            i = end;
+            continue;
+        }
+        // Byte char b'x'.
+        if c == 'b' && chars.get(i + 1) == Some(&'\'') {
+            let (end, _) = char_literal(&chars, i + 1);
+            out.tokens.push(Token {
+                kind: TokenKind::Char,
+                text: chars[i..end].iter().collect(),
+                line,
+            });
+            last_token_line = line;
+            i = end;
+            continue;
+        }
+        if is_ident_start(c) {
+            let start = i;
+            while i < chars.len() && is_ident_continue(chars[i]) {
+                i += 1;
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Ident,
+                text: chars[start..i].iter().collect(),
+                line,
+            });
+            last_token_line = line;
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < chars.len() && (is_ident_continue(chars[i]) || chars[i] == '.') {
+                // Stop before `..`: `0..n` is a range, not a float.
+                if chars[i] == '.'
+                    && (chars.get(i + 1) == Some(&'.')
+                        || chars.get(i + 1).is_some_and(|&n| is_ident_start(n)))
+                {
+                    break;
+                }
+                i += 1;
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Number,
+                text: chars[start..i].iter().collect(),
+                line,
+            });
+            last_token_line = line;
+            continue;
+        }
+        // Plain string literal.
+        if c == '"' {
+            let start = i;
+            let start_line = line;
+            i += 1;
+            while i < chars.len() && chars[i] != '"' {
+                if chars[i] == '\\' {
+                    i += 1; // skip the escaped char (handles \" and \\)
+                }
+                if chars.get(i) == Some(&'\n') {
+                    line += 1;
+                }
+                i += 1;
+            }
+            i = (i + 1).min(chars.len());
+            out.tokens.push(Token {
+                kind: TokenKind::Str,
+                text: chars[start..i].iter().collect(),
+                line: start_line,
+            });
+            last_token_line = line;
+            continue;
+        }
+        // `'`: char literal or lifetime.
+        if c == '\'' {
+            if is_char_literal(&chars, i) {
+                let (end, _) = char_literal(&chars, i);
+                out.tokens.push(Token {
+                    kind: TokenKind::Char,
+                    text: chars[i..end].iter().collect(),
+                    line,
+                });
+                last_token_line = line;
+                i = end;
+            } else {
+                // Lifetime: `'` + ident.
+                let start = i;
+                i += 1;
+                while i < chars.len() && is_ident_continue(chars[i]) {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Lifetime,
+                    text: chars[start..i].iter().collect(),
+                    line,
+                });
+                last_token_line = line;
+            }
+            continue;
+        }
+        // Everything else: single punctuation character.
+        out.tokens.push(Token { kind: TokenKind::Punct, text: c.to_string(), line });
+        last_token_line = line;
+        i += 1;
+    }
+    out
+}
+
+/// Whether the `'` at `i` starts a char literal (vs a lifetime): an
+/// escape, or exactly one scalar followed by a closing `'` — with the
+/// `'a'` vs `'a` ambiguity resolved by looking for that closing quote.
+fn is_char_literal(chars: &[char], i: usize) -> bool {
+    match chars.get(i + 1) {
+        Some('\\') => true,
+        Some(&c) if is_ident_continue(c) => {
+            // `'a'` is a char; `'abc` (no close soon) is a lifetime.
+            let mut j = i + 1;
+            while j < chars.len() && is_ident_continue(chars[j]) {
+                j += 1;
+            }
+            chars.get(j) == Some(&'\'')
+        }
+        Some(&c) if c != '\'' => chars.get(i + 2) == Some(&'\''),
+        _ => false,
+    }
+}
+
+/// Consumes a char literal starting at the `'` at `i`; returns
+/// (end index, newline count — always 0 for valid literals).
+fn char_literal(chars: &[char], i: usize) -> (usize, u32) {
+    let mut j = i + 1;
+    if chars.get(j) == Some(&'\\') {
+        j += 2; // escape + escaped char
+                // Multi-char escapes (\x41, \u{…}) run to the closing quote.
+        while j < chars.len() && chars[j] != '\'' {
+            j += 1;
+        }
+    } else {
+        while j < chars.len() && chars[j] != '\'' {
+            j += 1;
+        }
+    }
+    ((j + 1).min(chars.len()), 0)
+}
+
+/// If position `i` starts a raw or byte string (`r"`, `r#"`, `br#"`,
+/// `b"`, …), returns (end index, newlines consumed).
+fn raw_or_byte_string(chars: &[char], i: usize) -> Option<(usize, u32)> {
+    let mut j = i;
+    let mut raw = false;
+    // Optional b / r / br / rb prefix.
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) == Some(&'r') {
+        raw = true;
+        j += 1;
+    }
+    if !raw && j == i {
+        return None;
+    }
+    let mut hashes = 0usize;
+    if raw {
+        while chars.get(j) == Some(&'#') {
+            hashes += 1;
+            j += 1;
+        }
+    }
+    if chars.get(j) != Some(&'"') {
+        return None;
+    }
+    j += 1;
+    let mut newlines = 0u32;
+    while j < chars.len() {
+        if chars[j] == '\n' {
+            newlines += 1;
+            j += 1;
+            continue;
+        }
+        if !raw && chars[j] == '\\' {
+            j += 2;
+            continue;
+        }
+        if chars[j] == '"' {
+            if !raw {
+                return Some((j + 1, newlines));
+            }
+            // Raw: need `"` followed by `hashes` hash marks.
+            let mut k = j + 1;
+            let mut seen = 0usize;
+            while seen < hashes && chars.get(k) == Some(&'#') {
+                seen += 1;
+                k += 1;
+            }
+            if seen == hashes {
+                return Some((k, newlines));
+            }
+        }
+        j += 1;
+    }
+    Some((chars.len(), newlines))
+}
+
+/// Marks which tokens sit inside test-only code: a `#[cfg(test)]` or
+/// `#[test]` attribute covers the item that follows it (to the matching
+/// `}` of its body, or its terminating `;`).
+///
+/// The scan is a bracket-counting approximation of item structure — no
+/// full parse — which is exact for the attribute placements rustc
+/// accepts, and any residual false negative is still caught by CI's
+/// tier-1 tests rather than silently changing behavior.
+pub fn test_token_map(tokens: &[Token]) -> Vec<bool> {
+    let mut in_test = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].text != "#" || tokens.get(i + 1).map(|t| t.text.as_str()) != Some("[") {
+            i += 1;
+            continue;
+        }
+        // Parse the attribute to its matching `]`.
+        let attr_start = i;
+        let mut depth = 0isize;
+        let mut j = i + 1;
+        let mut is_test = false;
+        let mut first_ident: Option<&str> = None;
+        let mut saw_cfg = false;
+        while j < tokens.len() {
+            match tokens[j].text.as_str() {
+                "[" | "(" => depth += 1,
+                "]" | ")" => {
+                    depth -= 1;
+                    if depth <= 0 {
+                        break;
+                    }
+                }
+                _ => {
+                    if tokens[j].kind == TokenKind::Ident {
+                        if first_ident.is_none() {
+                            first_ident = Some(&tokens[j].text);
+                        }
+                        if tokens[j].text == "cfg" {
+                            saw_cfg = true;
+                        }
+                        if tokens[j].text == "test" && (saw_cfg || first_ident == Some("test")) {
+                            is_test = true;
+                        }
+                    }
+                }
+            }
+            j += 1;
+        }
+        let attr_end = j; // index of `]`
+        if !is_test {
+            i = attr_end + 1;
+            continue;
+        }
+        // Skip any further attributes stacked on the same item.
+        let mut k = attr_end + 1;
+        while k + 1 < tokens.len() && tokens[k].text == "#" && tokens[k + 1].text == "[" {
+            let mut d = 0isize;
+            k += 1;
+            while k < tokens.len() {
+                match tokens[k].text.as_str() {
+                    "[" | "(" => d += 1,
+                    "]" | ")" => {
+                        d -= 1;
+                        if d <= 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            k += 1;
+        }
+        // Find the item body: first `{` outside parens/brackets, or a
+        // terminating `;` (e.g. `#[cfg(test)] use …;`).
+        let mut paren = 0isize;
+        let mut body_start = None;
+        let mut item_end = k;
+        while k < tokens.len() {
+            match tokens[k].text.as_str() {
+                "(" | "[" => paren += 1,
+                ")" | "]" => paren -= 1,
+                "{" if paren == 0 => {
+                    body_start = Some(k);
+                    break;
+                }
+                ";" if paren == 0 => {
+                    item_end = k;
+                    break;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        if let Some(open) = body_start {
+            let mut braces = 0usize;
+            let mut m = open;
+            while m < tokens.len() {
+                match tokens[m].text.as_str() {
+                    "{" => braces += 1,
+                    "}" => {
+                        braces -= 1;
+                        if braces == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                m += 1;
+            }
+            item_end = m;
+        }
+        for flag in in_test.iter_mut().take((item_end + 1).min(tokens.len())).skip(attr_start) {
+            *flag = true;
+        }
+        i = item_end + 1;
+    }
+    in_test
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src).tokens.into_iter().filter(|t| t.kind == TokenKind::Ident).map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_tokens() {
+        let src = r##"
+            // thread::spawn in a line comment
+            /* thread::spawn /* nested */ still comment */
+            let s = "thread::spawn";
+            let r = r#"thread::spawn "quoted" inside"#;
+            let ok = real_ident;
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"thread".to_string()), "{ids:?}");
+        assert!(ids.contains(&"real_ident".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; }");
+        let lifetimes: Vec<_> =
+            lexed.tokens.iter().filter(|t| t.kind == TokenKind::Lifetime).collect();
+        let chars: Vec<_> = lexed.tokens.iter().filter(|t| t.kind == TokenKind::Char).collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(chars.len(), 2);
+    }
+
+    #[test]
+    fn ranges_do_not_eat_idents() {
+        let ids = idents("for i in 0..cells.len() {}");
+        assert!(ids.contains(&"cells".to_string()), "{ids:?}");
+    }
+
+    #[test]
+    fn lines_are_tracked_across_strings() {
+        let lexed = lex("let a = \"x\ny\";\nlet b = 1;");
+        let b = lexed.tokens.iter().find(|t| t.text == "b").unwrap();
+        assert_eq!(b.line, 3);
+    }
+
+    #[test]
+    fn trailing_vs_standalone_comments() {
+        let lexed = lex("let a = 1; // trailing\n// standalone\nlet b = 2;");
+        assert!(lexed.comments[0].trailing);
+        assert!(!lexed.comments[1].trailing);
+        assert_eq!(lexed.next_code_line(2), Some(3));
+    }
+
+    #[test]
+    fn cfg_test_marks_the_following_item() {
+        let src = "
+            fn live() { x(); }
+            #[cfg(test)]
+            mod tests {
+                fn helper() { y(); }
+            }
+            fn also_live() { z(); }
+        ";
+        let lexed = lex(src);
+        let map = test_token_map(&lexed.tokens);
+        let at = |name: &str| lexed.tokens.iter().position(|t| t.text == name).unwrap();
+        assert!(!map[at("x")]);
+        assert!(map[at("y")]);
+        assert!(!map[at("z")]);
+    }
+
+    #[test]
+    fn test_attribute_with_stacked_attrs() {
+        let src = "
+            #[test]
+            #[should_panic(expected = \"boom\")]
+            fn t() { w(); }
+            fn live() { v(); }
+        ";
+        let lexed = lex(src);
+        let map = test_token_map(&lexed.tokens);
+        let at = |name: &str| lexed.tokens.iter().position(|t| t.text == name).unwrap();
+        assert!(map[at("w")]);
+        assert!(!map[at("v")]);
+    }
+
+    #[test]
+    fn cfg_feature_is_not_test() {
+        let src = "#[cfg(feature = \"serde\")] fn f() { q(); }";
+        let lexed = lex(src);
+        let map = test_token_map(&lexed.tokens);
+        let at = lexed.tokens.iter().position(|t| t.text == "q").unwrap();
+        assert!(!map[at]);
+    }
+}

@@ -1,0 +1,101 @@
+//! CLI entry point: `cargo run -p gtl-lint -- --workspace`.
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 the run itself failed
+//! (unreadable tree, refused bless).
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use gtl_lint::engine::{self, Options};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root: Option<PathBuf> = None;
+    let mut workspace = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--workspace" => workspace = true,
+            "--root" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => root = Some(PathBuf::from(p)),
+                    None => {
+                        eprintln!("gtl-lint: --root needs a path");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                println!(
+                    "gtl-lint: workspace invariants as code\n\n\
+                     usage: gtl-lint --workspace | --root <dir>\n\n\
+                     env: GTL_BLESS=1  re-bless tests/golden/api_surface.fp\n\
+                          (refused if the wire surface changed without an API_VERSION bump)"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("gtl-lint: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+    if !workspace && root.is_none() {
+        eprintln!("gtl-lint: pass --workspace (or --root <dir>); see --help");
+        return ExitCode::from(2);
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => match find_workspace_root() {
+            Some(r) => r,
+            None => {
+                eprintln!("gtl-lint: could not locate the workspace root Cargo.toml");
+                return ExitCode::from(2);
+            }
+        },
+    };
+
+    let bless = std::env::var("GTL_BLESS").map(|v| v == "1").unwrap_or(false);
+    match engine::run(&Options { root, bless }) {
+        Ok(report) => {
+            print!("{}", engine::render(&report));
+            if report.clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("gtl-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Ascends from the current directory (falling back to the crate's
+/// compile-time location) to the directory whose `Cargo.toml` declares
+/// `[workspace]`.
+fn find_workspace_root() -> Option<PathBuf> {
+    let starts = [std::env::current_dir().ok(), Some(PathBuf::from(env!("CARGO_MANIFEST_DIR")))];
+    for start in starts.into_iter().flatten() {
+        let mut dir = start.as_path();
+        loop {
+            let manifest = dir.join("Cargo.toml");
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir.to_path_buf());
+                }
+            }
+            match dir.parent() {
+                Some(parent) => dir = parent,
+                None => break,
+            }
+        }
+    }
+    None
+}

@@ -1,0 +1,360 @@
+//! `wire-surface-freeze`: the public wire surface of
+//! `crates/api/src/types.rs` — every `pub` const, struct field and enum
+//! variant — rendered to a canonical text fingerprint and committed at
+//! `tests/golden/api_surface.fp`. Any drift between the committed
+//! fingerprint and the live surface fails the lint; re-blessing
+//! (`GTL_BLESS=1`) is refused unless `API_VERSION` was bumped alongside
+//! the change. That *is* ROADMAP invariant (b), as code.
+
+use crate::lexer::{lex, Token, TokenKind};
+use crate::Violation;
+
+/// Workspace-relative path of the wire-surface source.
+pub const SURFACE_SOURCE: &str = "crates/api/src/types.rs";
+
+/// Workspace-relative path of the committed fingerprint.
+pub const GOLDEN_PATH: &str = "tests/golden/api_surface.fp";
+
+/// Renders the canonical wire surface of `types.rs` source text: one
+/// line per `pub` const, one line per struct/enum header, one indented
+/// line per `pub` field / enum variant, in source order. Whitespace and
+/// comments never affect it (it is token-derived); any change to a
+/// name, type or value does.
+pub fn extract_surface(source: &str) -> String {
+    let tokens = lex(source).tokens;
+    let text = |i: usize| tokens.get(i).map(|t| t.text.as_str()).unwrap_or("");
+    let mut out = String::from("# wire surface of crates/api/src/types.rs (token-canonical)\n");
+    let mut depth = 0isize;
+    let mut i = 0;
+    while i < tokens.len() {
+        match text(i) {
+            "{" | "(" | "[" => depth += 1,
+            "}" | ")" | "]" => depth -= 1,
+            "pub" if depth == 0 => match text(i + 1) {
+                "const" => {
+                    let end = scan_until(&tokens, i, ";");
+                    out.push_str(&render(&tokens[i..end]));
+                    out.push_str(";\n");
+                    i = end;
+                }
+                "struct" | "enum" => {
+                    let is_struct = text(i + 1) == "struct";
+                    // Header: up to (not including) the opening brace,
+                    // or the whole item for unit/tuple structs.
+                    let body = scan_until(&tokens, i, "{");
+                    let semi = scan_until(&tokens, i, ";");
+                    if semi < body {
+                        out.push_str(&render(&tokens[i..semi]));
+                        out.push_str(";\n");
+                        i = semi;
+                    } else {
+                        out.push_str(&render(&tokens[i..body]));
+                        out.push_str(" {\n");
+                        let end = matching_brace(&tokens, body);
+                        for item in split_items(&tokens[body + 1..end]) {
+                            // Struct fields count only when `pub`;
+                            // enum variants are always surface.
+                            let keep = !is_struct || item.first().is_some_and(|t| t.text == "pub");
+                            if keep && !item.is_empty() {
+                                out.push_str("  ");
+                                out.push_str(&render(item));
+                                out.push('\n');
+                            }
+                        }
+                        out.push_str("}\n");
+                        i = end;
+                    }
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Returns the value text of `pub const API_VERSION` in a canonical
+/// surface string, if present.
+pub fn api_version_of(surface: &str) -> Option<String> {
+    surface
+        .lines()
+        .find(|l| l.starts_with("pub const API_VERSION"))
+        .and_then(|l| l.split('=').nth(1))
+        .map(|v| v.trim_end_matches(';').trim().to_string())
+}
+
+/// Compares the live surface against the committed golden fingerprint.
+///
+/// * Golden missing: one violation telling the user to bless.
+/// * Surfaces equal: clean.
+/// * Drift with the **same** `API_VERSION`: the invariant violation —
+///   wire changed without a version bump.
+/// * Drift with a bumped version: still a violation (the golden is
+///   stale) but the message points at `GTL_BLESS=1`, which will accept
+///   it.
+pub fn check_freeze(live_surface: &str, golden: Option<&str>) -> Vec<Violation> {
+    let Some(golden) = golden else {
+        return vec![Violation {
+            line: 1,
+            rule: "wire-surface-freeze",
+            message: format!(
+                "no committed fingerprint at {GOLDEN_PATH} — run with GTL_BLESS=1 to create it"
+            ),
+        }];
+    };
+    if golden == live_surface {
+        return Vec::new();
+    }
+    let live_v = api_version_of(live_surface);
+    let golden_v = api_version_of(golden);
+    let message = if live_v == golden_v {
+        format!(
+            "wire surface of {SURFACE_SOURCE} drifted from {GOLDEN_PATH} without an API_VERSION \
+             bump (still {}) — changing the wire format requires bumping API_VERSION, then \
+             GTL_BLESS=1 to re-bless{}",
+            live_v.as_deref().unwrap_or("?"),
+            first_diff(golden, live_surface)
+        )
+    } else {
+        format!(
+            "wire surface of {SURFACE_SOURCE} changed (API_VERSION {} -> {}) but {GOLDEN_PATH} \
+             is stale — run with GTL_BLESS=1 to re-bless{}",
+            golden_v.as_deref().unwrap_or("?"),
+            live_v.as_deref().unwrap_or("?"),
+            first_diff(golden, live_surface)
+        )
+    };
+    vec![Violation { line: 1, rule: "wire-surface-freeze", message }]
+}
+
+/// Whether a bless request may proceed: only when the golden is absent,
+/// or the surface is unchanged, or `API_VERSION` moved with it.
+pub fn bless_allowed(live_surface: &str, golden: Option<&str>) -> Result<(), String> {
+    let Some(golden) = golden else { return Ok(()) };
+    if golden == live_surface || api_version_of(live_surface) != api_version_of(golden) {
+        return Ok(());
+    }
+    Err(format!(
+        "refusing to bless: wire surface changed but API_VERSION did not (still {}) — bump \
+         API_VERSION in {SURFACE_SOURCE} first",
+        api_version_of(live_surface).as_deref().unwrap_or("?")
+    ))
+}
+
+/// Renders a one-line description of the first differing line, to make
+/// drift reports actionable without a diff tool.
+fn first_diff(golden: &str, live: &str) -> String {
+    let mut g = golden.lines();
+    let mut l = live.lines();
+    loop {
+        match (g.next(), l.next()) {
+            (Some(a), Some(b)) if a == b => continue,
+            (Some(a), Some(b)) => {
+                return format!("; first difference: committed `{a}` vs live `{b}`")
+            }
+            (Some(a), None) => return format!("; removed from surface: `{a}`"),
+            (None, Some(b)) => return format!("; added to surface: `{b}`"),
+            (None, None) => return String::new(),
+        }
+    }
+}
+
+/// Index of the first token with text `what` at the current nesting
+/// depth, scanning from `from` (or `tokens.len()` if absent).
+fn scan_until(tokens: &[Token], from: usize, what: &str) -> usize {
+    let mut depth = 0isize;
+    for (off, t) in tokens[from..].iter().enumerate() {
+        match t.text.as_str() {
+            "{" | "(" | "[" if t.kind == TokenKind::Punct => {
+                if t.text == what && depth == 0 {
+                    return from + off;
+                }
+                depth += 1;
+            }
+            "}" | ")" | "]" if t.kind == TokenKind::Punct => depth -= 1,
+            s if s == what && depth == 0 => return from + off,
+            _ => {}
+        }
+    }
+    tokens.len()
+}
+
+/// Index of the brace matching the `{` at `open`.
+fn matching_brace(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0isize;
+    for (off, t) in tokens[open..].iter().enumerate() {
+        if t.kind == TokenKind::Punct {
+            match t.text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth <= 0 {
+                        return open + off;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    tokens.len()
+}
+
+/// Splits a brace body into comma-separated items at depth 0, dropping
+/// attributes (`#[...]`) so `#[serde(...)]`-style annotations don't
+/// enter the fingerprint.
+fn split_items(tokens: &[Token]) -> Vec<&[Token]> {
+    let mut items = Vec::new();
+    let mut depth = 0isize;
+    let mut start = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        match tokens[i].text.as_str() {
+            "#" if depth == 0 && tokens.get(i + 1).is_some_and(|t| t.text == "[") => {
+                let end = matching_bracket(tokens, i + 1);
+                i = end + 1;
+                start = i;
+                continue;
+            }
+            "{" | "(" | "[" => depth += 1,
+            "}" | ")" | "]" => depth -= 1,
+            "," if depth == 0 => {
+                items.push(&tokens[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    if start < tokens.len() {
+        items.push(&tokens[start..]);
+    }
+    items
+}
+
+/// Index of the `]` matching the `[` at `open`.
+fn matching_bracket(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0isize;
+    for (off, t) in tokens[open..].iter().enumerate() {
+        match t.text.as_str() {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth <= 0 {
+                    return open + off;
+                }
+            }
+            _ => {}
+        }
+    }
+    tokens.len()
+}
+
+/// Joins token texts with canonical spacing: `Vec<String>`, `B(u32)`,
+/// `std::collections`, but `field: Type` and `X = 4`. Only stability
+/// and readability matter — the result is compared byte-for-byte.
+fn render(tokens: &[Token]) -> String {
+    let mut out = String::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if i > 0 && !out.is_empty() {
+            let prev = tokens[i - 1].text.as_str();
+            // No space before closers/separators, or an opener that
+            // follows a name (call/generic position).
+            let glue_before = matches!(t.text.as_str(), "," | ";" | ":" | ">" | ")" | "]")
+                || (matches!(t.text.as_str(), "(" | "[" | "<")
+                    && matches!(tokens[i - 1].kind, TokenKind::Ident)
+                    || matches!(prev, ">" | ")" | "]") && matches!(t.text.as_str(), "(" | "["));
+            // No space after openers/references, or after the second
+            // colon of a `::` path.
+            let glue_after = matches!(prev, "(" | "[" | "<" | "&")
+                || (prev == ":" && i >= 2 && tokens[i - 2].text == ":");
+            if !glue_before && !glue_after {
+                out.push(' ');
+            }
+        }
+        out.push_str(&t.text);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = r#"
+        /// Version const.
+        pub const API_VERSION: u32 = 4;
+        const PRIVATE: u32 = 9;
+
+        /// A wire struct.
+        #[derive(Debug)]
+        pub struct Thing {
+            /// Doc.
+            pub id: u64,
+            internal: bool,
+            pub name: String,
+        }
+
+        pub enum Kind {
+            A,
+            B(u32),
+            C { x: f64 },
+        }
+
+        struct Hidden { pub f: u8 }
+    "#;
+
+    #[test]
+    fn surface_has_pub_items_only() {
+        let s = extract_surface(SRC);
+        assert!(s.contains("pub const API_VERSION: u32 = 4;"), "{s}");
+        assert!(!s.contains("PRIVATE"), "{s}");
+        assert!(s.contains("pub id: u64"), "{s}");
+        assert!(!s.contains("internal"), "{s}");
+        assert!(s.contains("B(u32)"), "{s}");
+        assert!(!s.contains("Hidden"), "{s}");
+        assert!(!s.contains("derive"), "{s}");
+    }
+
+    #[test]
+    fn whitespace_and_comments_do_not_move_the_surface() {
+        let reformatted = SRC.replace("pub id: u64", "pub id :\n  // moved\n u64");
+        assert_eq!(extract_surface(SRC), extract_surface(&reformatted));
+    }
+
+    #[test]
+    fn version_parses_from_surface() {
+        assert_eq!(api_version_of(&extract_surface(SRC)).as_deref(), Some("4"));
+    }
+
+    #[test]
+    fn drift_without_bump_is_flagged_and_bless_refused() {
+        let golden = extract_surface(SRC);
+        let changed = SRC.replace("pub id: u64", "pub id: u32");
+        let live = extract_surface(&changed);
+        let v = check_freeze(&live, Some(&golden));
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("without an API_VERSION bump"), "{}", v[0].message);
+        assert!(bless_allowed(&live, Some(&golden)).is_err());
+    }
+
+    #[test]
+    fn drift_with_bump_is_flagged_but_blessable() {
+        let golden = extract_surface(SRC);
+        let changed = SRC
+            .replace("pub id: u64", "pub id: u32")
+            .replace("API_VERSION: u32 = 4", "API_VERSION: u32 = 5");
+        let live = extract_surface(&changed);
+        let v = check_freeze(&live, Some(&golden));
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("GTL_BLESS=1"), "{}", v[0].message);
+        assert!(bless_allowed(&live, Some(&golden)).is_ok());
+    }
+
+    #[test]
+    fn missing_golden_is_a_violation() {
+        let v = check_freeze(&extract_surface(SRC), None);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("GTL_BLESS=1"));
+    }
+}

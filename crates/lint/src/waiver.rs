@@ -1,0 +1,159 @@
+//! Inline waivers: `// gtl-lint: allow(<rule>, reason = "...")`.
+//!
+//! A waiver suppresses one rule on one line. A **trailing** waiver (code
+//! before it on the line) covers its own line; a **standalone** waiver
+//! covers the next line holding code. The `reason` is mandatory — a
+//! waiver without one is itself a violation (`waiver-syntax`), so every
+//! suppression in the tree documents *why* the invariant bends there.
+//! Waivers are counted and reported by the engine; a waiver that
+//! suppresses nothing is reported as unused so stale ones get cleaned
+//! up when the underlying code is fixed.
+
+use crate::lexer::Lexed;
+use crate::rules::RULES;
+use crate::Violation;
+
+/// One parsed waiver comment.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// The rule being waived.
+    pub rule: String,
+    /// The mandatory justification.
+    pub reason: String,
+    /// Line of the waiver comment itself.
+    pub comment_line: u32,
+    /// Line whose violations this waiver suppresses.
+    pub target_line: u32,
+}
+
+/// Extracts the waivers from a lexed file. Malformed waivers (unparsable
+/// syntax, unknown rule, missing or empty reason) come back as
+/// violations of the synthetic `waiver-syntax` rule — a broken waiver
+/// must fail the build, not silently suppress nothing.
+pub fn extract_waivers(lexed: &Lexed) -> (Vec<Waiver>, Vec<Violation>) {
+    let mut waivers = Vec::new();
+    let mut errors = Vec::new();
+    for comment in &lexed.comments {
+        let body = comment
+            .text
+            .trim_start_matches('/')
+            .trim_start_matches('!')
+            .trim_start_matches('*')
+            .trim();
+        let Some(rest) = body.strip_prefix("gtl-lint:") else {
+            continue;
+        };
+        let line = comment.line;
+        match parse_allow(rest.trim()) {
+            Ok((rule, reason)) => {
+                if !RULES.contains(&rule.as_str()) {
+                    errors.push(Violation {
+                        line,
+                        rule: "waiver-syntax",
+                        message: format!("waiver names unknown rule `{rule}`"),
+                    });
+                    continue;
+                }
+                if reason.trim().is_empty() {
+                    errors.push(Violation {
+                        line,
+                        rule: "waiver-syntax",
+                        message: format!("waiver for `{rule}` has an empty reason"),
+                    });
+                    continue;
+                }
+                let target_line = if comment.trailing {
+                    line
+                } else {
+                    lexed.next_code_line(line + 1).unwrap_or(line)
+                };
+                waivers.push(Waiver { rule, reason, comment_line: line, target_line });
+            }
+            Err(why) => {
+                errors.push(Violation {
+                    line,
+                    rule: "waiver-syntax",
+                    message: format!("{why}; expected `gtl-lint: allow(<rule>, reason = \"...\")`"),
+                });
+            }
+        }
+    }
+    (waivers, errors)
+}
+
+/// Parses `allow(<rule>, reason = "...")`, returning (rule, reason).
+fn parse_allow(text: &str) -> Result<(String, String), String> {
+    let Some(args) = text.strip_prefix("allow") else {
+        return Err("waiver is not an `allow(...)`".into());
+    };
+    let args = args.trim();
+    let Some(args) = args.strip_prefix('(').and_then(|a| a.strip_suffix(')')) else {
+        return Err("missing parentheses".into());
+    };
+    let Some((rule, rest)) = args.split_once(',') else {
+        return Err("missing `reason = \"...\"` (the reason is mandatory)".into());
+    };
+    let rule = rule.trim().to_string();
+    let rest = rest.trim();
+    let Some(value) = rest.strip_prefix("reason") else {
+        return Err("second argument must be `reason = \"...\"`".into());
+    };
+    let Some(value) = value.trim().strip_prefix('=') else {
+        return Err("second argument must be `reason = \"...\"`".into());
+    };
+    let value = value.trim();
+    let Some(reason) = value.strip_prefix('"').and_then(|v| v.strip_suffix('"')) else {
+        return Err("reason must be a double-quoted string".into());
+    };
+    Ok((rule, reason.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn trailing_waiver_targets_its_own_line() {
+        let src = "let x = 1; // gtl-lint: allow(no-raw-thread, reason = \"test rig\")\n";
+        let (waivers, errors) = extract_waivers(&lex(src));
+        assert!(errors.is_empty(), "{errors:?}");
+        assert_eq!(waivers.len(), 1);
+        assert_eq!(waivers[0].target_line, 1);
+        assert_eq!(waivers[0].reason, "test rig");
+    }
+
+    #[test]
+    fn standalone_waiver_targets_next_code_line() {
+        let src = "// gtl-lint: allow(no-wallclock-in-compute, reason = \"why\")\n\nlet t = 1;\n";
+        let (waivers, errors) = extract_waivers(&lex(src));
+        assert!(errors.is_empty(), "{errors:?}");
+        assert_eq!(waivers[0].comment_line, 1);
+        assert_eq!(waivers[0].target_line, 3);
+    }
+
+    #[test]
+    fn waiver_without_reason_is_rejected() {
+        let src = "// gtl-lint: allow(no-raw-thread)\nlet x = 1;\n";
+        let (waivers, errors) = extract_waivers(&lex(src));
+        assert!(waivers.is_empty());
+        assert_eq!(errors.len(), 1);
+        assert_eq!(errors[0].rule, "waiver-syntax");
+    }
+
+    #[test]
+    fn empty_or_unknown_rules_are_rejected() {
+        let src = "// gtl-lint: allow(no-raw-thread, reason = \"\")\n\
+                   // gtl-lint: allow(not-a-rule, reason = \"x\")\nlet x = 1;\n";
+        let (waivers, errors) = extract_waivers(&lex(src));
+        assert!(waivers.is_empty());
+        assert_eq!(errors.len(), 2, "{errors:?}");
+    }
+
+    #[test]
+    fn ordinary_comments_are_ignored() {
+        let src = "// just a comment mentioning gtl-lint rules\nlet x = 1;\n";
+        let (waivers, errors) = extract_waivers(&lex(src));
+        assert!(waivers.is_empty() && errors.is_empty());
+    }
+}

@@ -7,7 +7,7 @@
 //! quantities every metric in the paper is built from: the net cut `T(C)`,
 //! the group size `|C|`, and the pin count of the group.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::{CellId, Netlist};
 
@@ -297,7 +297,9 @@ impl SubsetStats {
             set.universe(),
             netlist.num_cells()
         );
-        let mut inside: HashMap<crate::NetId, u32> = HashMap::new();
+        // BTreeMap, not HashMap: net visit order must not depend on a
+        // per-process hash seed (no-unordered-iteration-in-compute).
+        let mut inside: BTreeMap<crate::NetId, u32> = BTreeMap::new();
         let mut pins = 0usize;
         for cell in set.iter() {
             let nets = netlist.cell_nets(cell);
@@ -426,5 +428,24 @@ mod tests {
         let mut s = CellSet::new(10);
         s.extend([CellId::new(1), CellId::new(2)]);
         assert_eq!(s.len(), 2);
+    }
+
+    /// Regression for the old HashMap-backed net counter: repeated
+    /// computations of the same subset must be identical (the counter
+    /// is now a BTreeMap, so no per-process hash seed is involved).
+    #[test]
+    fn stats_are_deterministic_across_runs() {
+        let mut b = NetlistBuilder::new();
+        let cells: Vec<_> = (0..6).map(|i| b.add_cell(format!("c{i}"), 1.0)).collect();
+        for w in cells.windows(3) {
+            b.add_anonymous_net([w[0], w[1], w[2]]);
+        }
+        let nl = b.finish();
+        let mut set = CellSet::new(nl.num_cells());
+        set.extend([cells[0], cells[1], cells[2], cells[3]]);
+        let reference = SubsetStats::compute(&nl, &set);
+        for _ in 0..5 {
+            assert_eq!(SubsetStats::compute(&nl, &set), reference);
+        }
     }
 }

@@ -273,6 +273,7 @@ fn place_impl(
     assert!(netlist.num_cells() > 0, "cannot place an empty netlist");
     let checkpoint = gtl_core::cancel::checkpoint;
     let n = netlist.num_cells();
+    // gtl-lint: allow(no-rng-outside-derive-stream, reason = "single sequential master stream for initial positions; nothing fans out from it")
     let mut rng = SmallRng::seed_from_u64(config.seed);
 
     // Initial positions: uniform random.

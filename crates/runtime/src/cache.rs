@@ -106,6 +106,7 @@ impl ResponseCache {
             Some(index) => {
                 lru.hits += 1;
                 lru.list.touch(index);
+                // gtl-lint: allow(no-panic-on-serve-path, reason = "map index always points at a live slab entry")
                 Some(Arc::clone(&lru.entries[index].as_ref().expect("linked entry").value))
             }
             None => {
@@ -126,6 +127,7 @@ impl ResponseCache {
         if let Some(index) = lru.map.get(key).copied() {
             // A concurrent miss on another lane computed the same bytes.
             debug_assert_eq!(
+                // gtl-lint: allow(no-panic-on-serve-path, reason = "map index always points at a live slab entry; debug builds only")
                 &*lru.entries[index].as_ref().expect("linked entry").value,
                 value,
                 "cache transparency violated: same key, different response bytes"
@@ -197,8 +199,10 @@ struct Lru {
 
 impl Lru {
     fn evict_coldest(&mut self) {
+        // gtl-lint: allow(no-panic-on-serve-path, reason = "caller holds bytes > 0, so the recency list is nonempty")
         let index = self.list.coldest().expect("evicting from an empty cache");
         self.list.release(index);
+        // gtl-lint: allow(no-panic-on-serve-path, reason = "map index always points at a live slab entry")
         let entry = self.entries[index].take().expect("linked entry");
         self.map.remove(&entry.key);
         self.bytes -= entry.cost;

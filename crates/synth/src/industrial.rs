@@ -70,6 +70,7 @@ const FULL_CELLS: usize = 1_500_000;
 /// ```
 pub fn generate(config: &IndustrialConfig) -> GeneratedCircuit {
     assert!(config.scale > 0.0 && config.scale <= 1.0, "scale must be in (0, 1]");
+    // gtl-lint: allow(no-rng-outside-derive-stream, reason = "generator master stream; generation is single-threaded and sequential")
     let mut rng = SmallRng::seed_from_u64(config.seed);
     let s = |v: usize| ((v as f64 * config.scale) as usize).max(64);
 

@@ -133,6 +133,7 @@ impl IspdLikeConfig {
 /// ```
 pub fn generate(config: &IspdLikeConfig) -> GeneratedCircuit {
     assert!(config.scale > 0.0 && config.scale <= 1.0, "scale must be in (0, 1]");
+    // gtl-lint: allow(no-rng-outside-derive-stream, reason = "generator master stream; generation is single-threaded and sequential")
     let mut rng = SmallRng::seed_from_u64(config.seed ^ config.benchmark.paper_num_cells() as u64);
     let target_cells =
         ((config.benchmark.paper_num_cells() as f64 * config.scale) as usize).max(512);

@@ -87,6 +87,7 @@ pub fn generate(config: &PlantedConfig) -> GeneratedCircuit {
     );
     assert!(config.blocks.iter().all(|&b| b >= 2), "blocks must have at least 2 cells");
 
+    // gtl-lint: allow(no-rng-outside-derive-stream, reason = "generator master stream; generation is single-threaded and sequential")
     let mut rng = SmallRng::seed_from_u64(config.seed);
     let mut b = NetlistBuilder::with_capacity(config.num_cells, config.num_cells * 2);
     b.add_anonymous_cells(config.num_cells);

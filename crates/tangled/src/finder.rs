@@ -225,6 +225,7 @@ impl<'a> TangledLogicFinder<'a> {
         scratch: &mut crate::prune::PruneScratch,
         token: Option<&CancelToken>,
     ) -> Result<FinderResult, Cancelled> {
+        // gtl-lint: allow(no-rng-outside-derive-stream, reason = "this is the master stream itself; per-seed streams derive from it")
         let mut master = SmallRng::seed_from_u64(self.config.rng_seed);
         let seeds: Vec<CellId> = (0..self.config.num_seeds)
             .map(|_| CellId::new(master.gen_range(0..self.netlist.num_cells())))

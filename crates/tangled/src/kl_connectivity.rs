@@ -13,8 +13,6 @@
 //! Ford–Fulkerson: repeatedly find an augmenting simple path of length
 //! ≤ L by depth-limited search over non-saturated edges.
 
-use std::collections::HashMap;
-
 use gtl_netlist::{CellId, CellSet, Netlist};
 
 /// Adjacency view used by the connectivity checks (deduplicated edges,
@@ -31,7 +29,7 @@ impl AdjacencyGraph {
     /// "connected" and are skipped by the original heuristic too).
     pub fn build(netlist: &Netlist, max_net_degree: usize) -> Self {
         let n = netlist.num_cells();
-        let mut edges: HashMap<(u32, u32), ()> = HashMap::new();
+        let mut edges: Vec<(u32, u32)> = Vec::new();
         for net in netlist.nets() {
             let cells = netlist.net_cells(net);
             if cells.len() < 2 || cells.len() > max_net_degree {
@@ -40,12 +38,18 @@ impl AdjacencyGraph {
             for i in 0..cells.len() {
                 for j in (i + 1)..cells.len() {
                     let (a, b) = (cells[i].raw(), cells[j].raw());
-                    edges.insert((a.min(b), a.max(b)), ());
+                    edges.push((a.min(b), a.max(b)));
                 }
             }
         }
+        // Sort + dedup instead of hashing: the greedy path packing below
+        // is order-sensitive, and walking edges in lexicographic order
+        // yields each vertex's adjacency list already sorted — no hash
+        // iteration order anywhere near the result.
+        edges.sort_unstable();
+        edges.dedup();
         let mut counts = vec![0usize; n];
-        for &(a, b) in edges.keys() {
+        for &(a, b) in &edges {
             counts[a as usize] += 1;
             counts[b as usize] += 1;
         }
@@ -56,20 +60,13 @@ impl AdjacencyGraph {
         }
         let mut targets = vec![0u32; *offsets.last().unwrap()];
         let mut cursor = offsets[..n].to_vec();
-        for &(a, b) in edges.keys() {
+        for &(a, b) in &edges {
             targets[cursor[a as usize]] = b;
             cursor[a as usize] += 1;
             targets[cursor[b as usize]] = a;
             cursor[b as usize] += 1;
         }
-        // Sort each adjacency list: the greedy path packing below is
-        // order-sensitive, and sorted neighbors make it deterministic.
-        let mut sorted = Self { offsets, targets };
-        for v in 0..n {
-            let (lo, hi) = (sorted.offsets[v], sorted.offsets[v + 1]);
-            sorted.targets[lo..hi].sort_unstable();
-        }
-        sorted
+        Self { offsets, targets }
     }
 
     /// Neighbors of `cell`.
@@ -292,5 +289,23 @@ mod tests {
         let (nl, cells) = clique(3);
         let g = AdjacencyGraph::build(&nl, 16);
         assert!(are_kl_connected(&g, cells[0], cells[0], 100, 1));
+    }
+
+    /// Regression for the old HashMap-backed edge set: repeated builds
+    /// must produce byte-identical adjacency (`{:?}` compares offsets
+    /// and targets), and every list must come out sorted — properties a
+    /// hash-seeded iteration order does not guarantee.
+    #[test]
+    fn build_is_deterministic_across_runs() {
+        let (nl, _) = clique(8);
+        let reference = format!("{:?}", AdjacencyGraph::build(&nl, 16));
+        for _ in 0..5 {
+            let g = AdjacencyGraph::build(&nl, 16);
+            assert_eq!(format!("{g:?}"), reference);
+            for v in 0..g.num_vertices() {
+                let ns = g.neighbors(gtl_netlist::CellId::new(v));
+                assert!(ns.windows(2).all(|w| w[0] < w[1]), "unsorted/dup list for {v}: {ns:?}");
+            }
+        }
     }
 }

@@ -1,0 +1,139 @@
+# wire surface of crates/api/src/types.rs (token-canonical)
+pub const API_VERSION: u32 = 4;
+pub const MIN_API_VERSION: u32 = 1;
+pub const METRICS_SINCE_VERSION: u32 = 2;
+pub const DEADLINE_SINCE_VERSION: u32 = 3;
+pub const SESSION_SINCE_VERSION: u32 = 4;
+pub struct NetlistSummary {
+  pub num_cells: usize
+  pub num_nets: usize
+  pub num_pins: usize
+  pub avg_pins_per_cell: f64
+}
+pub struct FindRequest {
+  pub v: u32
+  pub config: FinderConfig
+  pub deadline_ms: Option<u64>
+  pub session: Option<String>
+}
+pub struct FindResponse {
+  pub v: u32
+  pub netlist: NetlistSummary
+  pub result: FinderResult
+}
+pub struct PlaceRequest {
+  pub v: u32
+  pub utilization: f64
+  pub placer: PlacerConfig
+  pub routing: RoutingConfig
+  pub deadline_ms: Option<u64>
+  pub session: Option<String>
+}
+pub struct PlaceResponse {
+  pub v: u32
+  pub netlist: NetlistSummary
+  pub die: Die
+  pub hpwl: f64
+  pub congestion: CongestionReport
+}
+pub struct StatsRequest {
+  pub v: u32
+  pub session: Option<String>
+}
+pub struct StatsResponse {
+  pub v: u32
+  pub stats: NetlistStats
+}
+pub struct LoadNetlistRequest {
+  pub v: u32
+  pub name: String
+  pub path: String
+}
+pub struct LoadNetlistResponse {
+  pub v: u32
+  pub session: SessionInfo
+  pub replaced: bool
+  pub evicted: Vec<String>
+}
+pub struct UnloadNetlistRequest {
+  pub v: u32
+  pub name: String
+}
+pub struct UnloadNetlistResponse {
+  pub v: u32
+  pub name: String
+}
+pub struct ListSessionsRequest {
+  pub v: u32
+}
+pub struct ListSessionsResponse {
+  pub v: u32
+  pub sessions: Vec<SessionInfo>
+}
+pub struct SessionInfo {
+  pub name: String
+  pub generation: u64
+  pub netlist: NetlistSummary
+}
+pub struct MetricsRequest {
+  pub v: u32
+}
+pub struct MetricsResponse {
+  pub v: u32
+  pub metrics: RuntimeMetrics
+}
+pub struct RuntimeMetrics {
+  pub lanes: u64
+  pub queue_capacity: u64
+  pub pipeline_depth: u64
+  pub tenant_quota: u64
+  pub connections_accepted: u64
+  pub connections_active: u64
+  pub requests: u64
+  pub responses: u64
+  pub read_timeouts: u64
+  pub io_errors: u64
+  pub handler_panics: u64
+  pub jobs_cancelled: u64
+  pub deadlines_exceeded: u64
+  pub fair_share_violations: u64
+  pub queue_depth: u64
+  pub queue_high_water: u64
+  pub cache_capacity_bytes: u64
+  pub cache_entries: u64
+  pub cache_bytes: u64
+  pub cache_hits: u64
+  pub cache_misses: u64
+  pub cache_evictions: u64
+  pub cache_insertions: u64
+  pub sessions_active: u64
+  pub sessions_loaded: u64
+  pub sessions_evicted: u64
+  pub sessions_unloaded: u64
+  pub registry_bytes: u64
+  pub registry_capacity_bytes: u64
+}
+pub struct ErrorBody {
+  pub v: u32
+  pub code: String
+  pub message: String
+}
+pub enum Request {
+  Find(FindRequest)
+  Place(PlaceRequest)
+  Stats(StatsRequest)
+  Metrics(MetricsRequest)
+  LoadNetlist(LoadNetlistRequest)
+  UnloadNetlist(UnloadNetlistRequest)
+  ListSessions(ListSessionsRequest)
+}
+pub enum Response {
+  Find(FindResponse)
+  Place(PlaceResponse)
+  Stats(StatsResponse)
+  Metrics(MetricsResponse)
+  LoadNetlist(LoadNetlistResponse)
+  UnloadNetlist(UnloadNetlistResponse)
+  ListSessions(ListSessionsResponse)
+  Error(ErrorBody)
+}

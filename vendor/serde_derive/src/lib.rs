@@ -16,6 +16,8 @@
 //! workspace needs them); deriving on a generic type is a compile error
 //! with a clear message.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// Derives `serde::Serialize` (see crate docs for supported shapes).
