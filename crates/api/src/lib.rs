@@ -76,6 +76,7 @@
 #![warn(missing_docs)]
 
 mod error;
+pub mod prom;
 mod registry;
 pub mod serve;
 mod session;
@@ -83,12 +84,13 @@ mod types;
 
 pub use error::ApiError;
 pub use registry::{netlist_cost, SessionDispatcher, DEFAULT_SESSION};
-pub use serve::{bind, serve, ServeOptions, ServeSummary};
+pub use serve::{bind, serve, serve_with_metrics, ServeOptions, ServeSummary};
 pub use session::{load_netlist, Session, SessionBuilder};
 pub use types::{
-    ErrorBody, FindRequest, FindResponse, ListSessionsRequest, ListSessionsResponse,
-    LoadNetlistRequest, LoadNetlistResponse, MetricsRequest, MetricsResponse, NetlistSummary,
-    PlaceRequest, PlaceResponse, Request, Response, RuntimeMetrics, SessionInfo, StatsRequest,
-    StatsResponse, UnloadNetlistRequest, UnloadNetlistResponse, API_VERSION,
-    DEADLINE_SINCE_VERSION, METRICS_SINCE_VERSION, MIN_API_VERSION, SESSION_SINCE_VERSION,
+    ErrorBody, FindRequest, FindResponse, LatencyStats, ListSessionsRequest, ListSessionsResponse,
+    LoadNetlistRequest, LoadNetlistResponse, MetricsRequest, MetricsResponse, MetricsTextRequest,
+    MetricsTextResponse, NetlistSummary, PlaceRequest, PlaceResponse, Request, Response,
+    RuntimeMetrics, SessionInfo, StatsRequest, StatsResponse, UnloadNetlistRequest,
+    UnloadNetlistResponse, API_VERSION, DEADLINE_SINCE_VERSION, METRICS_SINCE_VERSION,
+    METRICS_TEXT_SINCE_VERSION, MIN_API_VERSION, SESSION_SINCE_VERSION, TRACE_SINCE_VERSION,
 };

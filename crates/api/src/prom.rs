@@ -1,0 +1,255 @@
+//! Prometheus text rendering of [`RuntimeMetrics`] — exposition format
+//! 0.0.4, hand-rolled (no dependency), byte-deterministic.
+//!
+//! Two consumers share one renderer: the v5+ `MetricsText` request/
+//! response pair and the `gtl serve --metrics-port` HTTP side listener.
+//! Both receive the output of [`render_prometheus`], so a scrape and a
+//! wire query can never disagree on a value's spelling.
+//!
+//! # One table, two mirrors
+//!
+//! Every *scalar* field of [`RuntimeMetrics`] has exactly one row in
+//! [`COUNTER_EXPORTS`]: its metric name, its Prometheus type, and the
+//! accessor that reads it. The renderer iterates the table; the
+//! `export_table_covers_every_scalar_field` test diffs the table against
+//! the serialized field set of [`RuntimeMetrics`] itself. Adding a
+//! counter to the snapshot without exporting it (or exporting a field
+//! that no longer exists) fails the build's test gate instead of
+//! silently drifting — that is the counter-export contract as code.
+//!
+//! The two non-scalar fields (`stage_latency`, `kind_latency`) render
+//! as Prometheus histograms over the fixed
+//! [`SCRAPE_BOUNDS_US`] boundary set.
+//!
+//! # Determinism
+//!
+//! Output ordering is fixed: scalars in table order (= wire field
+//! order), then stage histograms in stage order, then kind histograms
+//! sorted by label (the runtime already emits them sorted). All values
+//! are integers or exact microsecond-to-second decimal strings
+//! (`{secs}.{micros:06}`), never floating-point formatting, so the
+//! rendering of equal counters is equal bytes on every platform.
+
+use crate::RuntimeMetrics;
+use gtl_core::obs::SCRAPE_BOUNDS_US;
+
+/// The Prometheus type of an exported scalar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically non-decreasing over a server's lifetime.
+    Counter,
+    /// A point-in-time level (config knobs, occupancy, high-water).
+    Gauge,
+}
+
+impl MetricKind {
+    fn label(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+        }
+    }
+}
+
+/// One row per scalar [`RuntimeMetrics`] field, in wire field order:
+/// `(metric name, type, accessor)`. The rendered metric is the name
+/// prefixed with `gtl_`. See the module docs for the coverage contract.
+#[allow(clippy::type_complexity)]
+pub const COUNTER_EXPORTS: &[(&str, MetricKind, fn(&RuntimeMetrics) -> u64)] = &[
+    ("lanes", MetricKind::Gauge, |m| m.lanes),
+    ("queue_capacity", MetricKind::Gauge, |m| m.queue_capacity),
+    ("pipeline_depth", MetricKind::Gauge, |m| m.pipeline_depth),
+    ("tenant_quota", MetricKind::Gauge, |m| m.tenant_quota),
+    ("connections_accepted", MetricKind::Counter, |m| m.connections_accepted),
+    ("connections_active", MetricKind::Gauge, |m| m.connections_active),
+    ("requests", MetricKind::Counter, |m| m.requests),
+    ("responses", MetricKind::Counter, |m| m.responses),
+    ("read_timeouts", MetricKind::Counter, |m| m.read_timeouts),
+    ("io_errors", MetricKind::Counter, |m| m.io_errors),
+    ("handler_panics", MetricKind::Counter, |m| m.handler_panics),
+    ("jobs_cancelled", MetricKind::Counter, |m| m.jobs_cancelled),
+    ("deadlines_exceeded", MetricKind::Counter, |m| m.deadlines_exceeded),
+    ("fair_share_violations", MetricKind::Counter, |m| m.fair_share_violations),
+    ("queue_depth", MetricKind::Gauge, |m| m.queue_depth),
+    ("queue_high_water", MetricKind::Gauge, |m| m.queue_high_water),
+    ("cache_capacity_bytes", MetricKind::Gauge, |m| m.cache_capacity_bytes),
+    ("cache_entries", MetricKind::Gauge, |m| m.cache_entries),
+    ("cache_bytes", MetricKind::Gauge, |m| m.cache_bytes),
+    ("cache_hits", MetricKind::Counter, |m| m.cache_hits),
+    ("cache_misses", MetricKind::Counter, |m| m.cache_misses),
+    ("cache_evictions", MetricKind::Counter, |m| m.cache_evictions),
+    ("cache_insertions", MetricKind::Counter, |m| m.cache_insertions),
+    ("sessions_active", MetricKind::Gauge, |m| m.sessions_active),
+    ("sessions_loaded", MetricKind::Counter, |m| m.sessions_loaded),
+    ("sessions_evicted", MetricKind::Counter, |m| m.sessions_evicted),
+    ("sessions_unloaded", MetricKind::Counter, |m| m.sessions_unloaded),
+    ("registry_bytes", MetricKind::Gauge, |m| m.registry_bytes),
+    ("registry_capacity_bytes", MetricKind::Gauge, |m| m.registry_capacity_bytes),
+    ("responses_traced", MetricKind::Counter, |m| m.responses_traced),
+];
+
+/// An exact microsecond count as a Prometheus seconds value:
+/// `{secs}.{micros:06}` — integer formatting only, so equal inputs
+/// render equal bytes on every platform.
+fn seconds(us: u64) -> String {
+    format!("{}.{:06}", us / 1_000_000, us % 1_000_000)
+}
+
+fn render_histogram(
+    out: &mut String,
+    metric: &str,
+    label_key: &str,
+    series: &[crate::LatencyStats],
+) {
+    use std::fmt::Write as _;
+    let _ = writeln!(out, "# TYPE {metric} histogram");
+    for stats in series {
+        debug_assert_eq!(stats.buckets.len(), SCRAPE_BOUNDS_US.len());
+        for ((_, le), cumulative) in SCRAPE_BOUNDS_US.iter().zip(&stats.buckets) {
+            let _ = writeln!(
+                out,
+                "{metric}_bucket{{{label_key}=\"{}\",le=\"{le}\"}} {cumulative}",
+                stats.label
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{metric}_bucket{{{label_key}=\"{}\",le=\"+Inf\"}} {}",
+            stats.label, stats.count
+        );
+        let _ = writeln!(
+            out,
+            "{metric}_sum{{{label_key}=\"{}\"}} {}",
+            stats.label,
+            seconds(stats.sum_us)
+        );
+        let _ = writeln!(out, "{metric}_count{{{label_key}=\"{}\"}} {}", stats.label, stats.count);
+    }
+}
+
+/// Renders the full metrics view as Prometheus text: every
+/// [`COUNTER_EXPORTS`] scalar, then the per-stage and per-request-kind
+/// latency histograms. Byte-deterministic for equal inputs; ends with a
+/// newline.
+pub fn render_prometheus(metrics: &RuntimeMetrics) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for (name, kind, get) in COUNTER_EXPORTS {
+        let _ = writeln!(out, "# TYPE gtl_{name} {}", kind.label());
+        let _ = writeln!(out, "gtl_{name} {}", get(metrics));
+    }
+    render_histogram(&mut out, "gtl_stage_latency_seconds", "stage", &metrics.stage_latency);
+    render_histogram(&mut out, "gtl_request_latency_seconds", "kind", &metrics.kind_latency);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LatencyStats;
+    use gtl_runtime::MetricsSnapshot;
+
+    fn scalar_field_names(metrics: &RuntimeMetrics) -> Vec<String> {
+        let parsed = serde::json::parse(&serde::json::to_string(metrics)).unwrap();
+        let serde::Value::Obj(fields) = parsed else {
+            panic!("RuntimeMetrics serializes as an object");
+        };
+        fields
+            .into_iter()
+            .map(|(name, _)| name)
+            .filter(|name| name != "stage_latency" && name != "kind_latency")
+            .collect()
+    }
+
+    /// The counter-export contract: the table covers every scalar wire
+    /// field, in wire order, with no stale rows — so the Prometheus
+    /// rendering and the v2+/v5+ JSON mirrors can never drift apart.
+    #[test]
+    fn export_table_covers_every_scalar_field() {
+        let metrics = RuntimeMetrics::from(MetricsSnapshot::default());
+        let fields = scalar_field_names(&metrics);
+        let table: Vec<String> =
+            COUNTER_EXPORTS.iter().map(|(name, _, _)| (*name).to_string()).collect();
+        assert_eq!(
+            fields, table,
+            "COUNTER_EXPORTS must list every scalar RuntimeMetrics field in wire order — \
+             update the table in crates/api/src/prom.rs alongside the struct"
+        );
+    }
+
+    #[test]
+    fn seconds_formatting_is_exact() {
+        assert_eq!(seconds(0), "0.000000");
+        assert_eq!(seconds(1), "0.000001");
+        assert_eq!(seconds(999_999), "0.999999");
+        assert_eq!(seconds(1_000_000), "1.000000");
+        assert_eq!(seconds(12_345_678), "12.345678");
+    }
+
+    fn golden_metrics() -> RuntimeMetrics {
+        let mut metrics = RuntimeMetrics::from(MetricsSnapshot::default());
+        metrics.lanes = 4;
+        metrics.queue_capacity = 64;
+        metrics.pipeline_depth = 8;
+        metrics.tenant_quota = 16;
+        metrics.connections_accepted = 3;
+        metrics.requests = 7;
+        metrics.responses = 7;
+        metrics.cache_capacity_bytes = 65_536;
+        metrics.cache_hits = 2;
+        metrics.cache_misses = 5;
+        metrics.cache_insertions = 5;
+        metrics.cache_entries = 5;
+        metrics.cache_bytes = 640;
+        metrics.sessions_active = 1;
+        metrics.sessions_loaded = 1;
+        metrics.registry_bytes = 1_024;
+        metrics.registry_capacity_bytes = 1 << 20;
+        metrics.responses_traced = 7;
+        let mut histogram = gtl_core::LatencyHistogram::new();
+        for us in [90, 240, 800, 800, 2_000, 30_000, 1_200_000] {
+            histogram.record_us(us);
+        }
+        let summary = gtl_runtime::LatencySummary::of("lane_compute", &histogram);
+        metrics.stage_latency = vec![LatencyStats::from(summary.clone())];
+        let mut find = LatencyStats::from(summary);
+        find.label = "find".to_string();
+        metrics.kind_latency = vec![find];
+        metrics
+    }
+
+    /// The committed scrape snapshot: rendering a fixed metrics view
+    /// must reproduce `tests/golden/metrics.prom` byte-for-byte.
+    /// Re-bless with `GTL_BLESS=1` after an intentional format change.
+    #[test]
+    fn golden_prometheus_rendering_is_frozen() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/golden/metrics.prom");
+        let rendered = render_prometheus(&golden_metrics());
+        if std::env::var_os("GTL_BLESS").is_some() {
+            std::fs::write(path, &rendered).unwrap();
+            return;
+        }
+        let golden = std::fs::read_to_string(path)
+            .expect("tests/golden/metrics.prom missing — run with GTL_BLESS=1 to create it");
+        assert_eq!(
+            rendered, golden,
+            "Prometheus rendering drifted from tests/golden/metrics.prom — if intentional, \
+             re-bless with GTL_BLESS=1"
+        );
+    }
+
+    #[test]
+    fn histograms_render_bounds_inf_sum_count() {
+        let text = render_prometheus(&golden_metrics());
+        assert!(text.contains("# TYPE gtl_stage_latency_seconds histogram"));
+        assert!(text
+            .contains("gtl_stage_latency_seconds_bucket{stage=\"lane_compute\",le=\"0.0001\"} 1"));
+        assert!(
+            text.contains("gtl_stage_latency_seconds_bucket{stage=\"lane_compute\",le=\"+Inf\"} 7")
+        );
+        assert!(text.contains("gtl_request_latency_seconds_count{kind=\"find\"} 7"));
+        // The sum is exact integer math: 90+240+800+800+2000+30000+1200000 µs.
+        assert!(text.contains("gtl_stage_latency_seconds_sum{stage=\"lane_compute\"} 1.233930"));
+        assert!(text.ends_with('\n'));
+    }
+}

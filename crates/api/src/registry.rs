@@ -40,9 +40,9 @@ use gtl_runtime::{MetricsSnapshot, Registry, RegistryStats};
 
 use crate::{
     load_netlist, ApiError, ErrorBody, ListSessionsRequest, ListSessionsResponse,
-    LoadNetlistRequest, LoadNetlistResponse, MetricsRequest, MetricsResponse, Request, Response,
-    Session, SessionInfo, UnloadNetlistRequest, UnloadNetlistResponse, API_VERSION,
-    MIN_API_VERSION, SESSION_SINCE_VERSION,
+    LoadNetlistRequest, LoadNetlistResponse, MetricsRequest, MetricsResponse, MetricsTextRequest,
+    MetricsTextResponse, Request, Response, Session, SessionInfo, UnloadNetlistRequest,
+    UnloadNetlistResponse, API_VERSION, MIN_API_VERSION, SESSION_SINCE_VERSION,
 };
 
 /// The reserved name of the netlist the server was started with. It is
@@ -215,6 +215,7 @@ impl<'s> SessionDispatcher<'s> {
             },
             replaced: outcome.replaced,
             evicted: outcome.evicted.iter().map(|name| name.to_string()).collect(),
+            trace: None,
         })
     }
 
@@ -237,7 +238,7 @@ impl<'s> SessionDispatcher<'s> {
         }
         match self.registry.remove(&request.name) {
             Some(_session) => {
-                Ok(UnloadNetlistResponse { v: request.v, name: request.name.clone() })
+                Ok(UnloadNetlistResponse { v: request.v, name: request.name.clone(), trace: None })
             }
             None => Err(ApiError::unknown_session(&request.name)),
         }
@@ -261,7 +262,7 @@ impl<'s> SessionDispatcher<'s> {
             generation: entry.generation,
             netlist: entry.value.summary().clone(),
         }));
-        Ok(ListSessionsResponse { v: request.v, sessions })
+        Ok(ListSessionsResponse { v: request.v, sessions, trace: None })
     }
 
     /// Builds a [`MetricsResponse`] from a runtime snapshot, overlaying
@@ -277,14 +278,44 @@ impl<'s> SessionDispatcher<'s> {
         snapshot: MetricsSnapshot,
     ) -> Result<MetricsResponse, ApiError> {
         let mut response = self.default.metrics(request, snapshot)?;
-        let stats = self.registry.stats();
-        response.metrics.sessions_active = stats.entries;
-        response.metrics.sessions_loaded = stats.loads;
-        response.metrics.sessions_evicted = stats.evictions;
-        response.metrics.sessions_unloaded = stats.unloads;
-        response.metrics.registry_bytes = stats.bytes;
-        response.metrics.registry_capacity_bytes = stats.capacity_bytes;
+        response.metrics = self.overlay_registry(response.metrics);
         Ok(response)
+    }
+
+    /// The complete [`RuntimeMetrics`](crate::RuntimeMetrics) view for a runtime snapshot:
+    /// the wire mirror of the snapshot plus the registry counters only
+    /// this crate can see. Every export path — the v2+ `Metrics` pair,
+    /// the v5+ `MetricsText` pair, the Prometheus side-port scrape and
+    /// the serve exit summary — goes through here, so they can never
+    /// disagree on a counter.
+    pub fn runtime_metrics(&self, snapshot: MetricsSnapshot) -> crate::RuntimeMetrics {
+        self.overlay_registry(crate::RuntimeMetrics::from(snapshot))
+    }
+
+    fn overlay_registry(&self, mut metrics: crate::RuntimeMetrics) -> crate::RuntimeMetrics {
+        let stats = self.registry.stats();
+        metrics.sessions_active = stats.entries;
+        metrics.sessions_loaded = stats.loads;
+        metrics.sessions_evicted = stats.evictions;
+        metrics.sessions_unloaded = stats.unloads;
+        metrics.registry_bytes = stats.bytes;
+        metrics.registry_capacity_bytes = stats.capacity_bytes;
+        metrics
+    }
+
+    /// Builds a [`MetricsTextResponse`] — the registry-overlaid counters
+    /// rendered as Prometheus text ([`crate::prom::render_prometheus`]).
+    ///
+    /// # Errors
+    ///
+    /// Version validation (the pair is v5+).
+    pub fn metrics_text(
+        &self,
+        request: &MetricsTextRequest,
+        snapshot: MetricsSnapshot,
+    ) -> Result<MetricsTextResponse, ApiError> {
+        let metrics = self.runtime_metrics(snapshot);
+        self.default.metrics_text(request, &metrics)
     }
 
     /// Dispatches an envelope to the session it addresses, mapping
@@ -301,9 +332,11 @@ impl<'s> SessionDispatcher<'s> {
     ///   `invalid_argument`, keeping frozen-version behavior
     ///   build-independent.
     ///
-    /// [`Request::Metrics`] is still the serve runtime's job (it owns
-    /// the counters — see [`SessionDispatcher::metrics`]); here it falls
-    /// through to the default session's structured error.
+    /// [`Request::Metrics`] and [`Request::MetricsText`] are still the
+    /// serve runtime's job (it owns the counters — see
+    /// [`SessionDispatcher::metrics`] and
+    /// [`SessionDispatcher::metrics_text`]); here they fall through to
+    /// the default session's structured error.
     pub fn handle_cancellable(
         &self,
         request: &Request,
@@ -323,13 +356,18 @@ impl<'s> SessionDispatcher<'s> {
                 .list(req)
                 .map(Response::ListSessions)
                 .unwrap_or_else(|err| error_response(&err, req.v)),
-            Request::Find(_) | Request::Place(_) | Request::Stats(_) | Request::Metrics(_) => {
+            Request::Find(_)
+            | Request::Place(_)
+            | Request::Stats(_)
+            | Request::Metrics(_)
+            | Request::MetricsText(_) => {
                 let v = match request {
                     Request::Find(req) => req.v,
                     Request::Place(req) => req.v,
                     Request::Stats(req) => req.v,
                     Request::Metrics(req) => req.v,
-                    // gtl-lint: allow(no-panic-on-serve-path, reason = "outer match arm admits exactly these four variants")
+                    Request::MetricsText(req) => req.v,
+                    // gtl-lint: allow(no-panic-on-serve-path, reason = "outer match arm admits exactly these five variants")
                     _ => unreachable!("admin variants handled above"),
                 };
                 match request.session() {
@@ -380,6 +418,7 @@ impl<'s> SessionDispatcher<'s> {
             Request::Place(req) => req.v,
             Request::Stats(req) => req.v,
             Request::Metrics(_)
+            | Request::MetricsText(_)
             | Request::LoadNetlist(_)
             | Request::UnloadNetlist(_)
             | Request::ListSessions(_) => return Cow::Borrowed(line.as_bytes()),
@@ -664,7 +703,7 @@ mod tests {
 
         // Pre-v4 lines carrying a session name are rejected by the
         // session layer — raw key, uncacheable error.
-        let pre_v4 = addressed.replacen("\"v\":4", "\"v\":3", 1);
+        let pre_v4 = addressed.replacen("\"v\":5", "\"v\":3", 1);
         assert!(matches!(d.cache_key(&pre_v4), Cow::Borrowed(_)));
     }
 

@@ -31,18 +31,41 @@
 //! returns exactly the bytes a fresh compute would (property-tested), so
 //! the wire contract is unchanged for any lane count, cache size
 //! (including 0 = disabled) and pipeline depth: same request line, same
-//! response bytes. The one deliberate exception is
-//! [`MetricsRequest`](crate::MetricsRequest), which reports live runtime
-//! counters and therefore bypasses the cache.
+//! response bytes. The deliberate exceptions are
+//! [`MetricsRequest`](crate::MetricsRequest) and
+//! [`MetricsTextRequest`](crate::MetricsTextRequest), which report live
+//! runtime counters and therefore bypass the cache.
+//!
+//! # Observability (protocol v5+)
+//!
+//! Every response to a **v5** request is stamped with a per-request
+//! trace ID (`"<conn>-<seq>"` in fixed-width hex) as the last body
+//! field, *after* the cache (cached bytes are stored unstamped, so a
+//! hit and a fresh compute stamp identically). Responses echoing a
+//! frozen version (v1–v4) are byte-identical to their historical form —
+//! no field appears. Framing-failure responses (oversized / non-UTF-8
+//! lines) never reach the scheduler and carry no trace. The runtime
+//! also records per-stage and per-request-kind latency histograms,
+//! exported through the `Metrics` pair, the v5 `MetricsText` pair
+//! (Prometheus text — see [`crate::prom`]) and, when
+//! [`serve_with_metrics`] is given a side listener, a plain-HTTP
+//! `GET /metrics` scrape endpoint.
 
 use std::borrow::Cow;
 use std::net::TcpListener;
 use std::path::PathBuf;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use gtl_runtime::{Cacheability, LineHandler, RequestContext, RuntimeConfig, TransportError};
+use gtl_core::Span;
+use gtl_runtime::{
+    Cacheability, LineHandler, MetricsExporter, RequestContext, RuntimeConfig, TraceId,
+    TransportError,
+};
 
-use crate::{ApiError, ErrorBody, Request, Response, RuntimeMetrics, Session, SessionDispatcher};
+use crate::{
+    ApiError, ErrorBody, Request, Response, RuntimeMetrics, Session, SessionDispatcher,
+    TRACE_SINCE_VERSION,
+};
 
 /// Largest accepted request line. A line is buffered in memory before
 /// parsing; without a cap, one newline-free stream could grow the buffer
@@ -261,6 +284,27 @@ pub fn serve(
     listener: &TcpListener,
     options: &ServeOptions,
 ) -> Result<ServeSummary, ApiError> {
+    serve_with_metrics(session, listener, options, None)
+}
+
+/// [`serve()`] with an optional Prometheus scrape side listener: while
+/// the JSON-lines server runs, `metrics_listener` answers plain-HTTP
+/// `GET /metrics` with the same registry-overlaid counters as the v5
+/// `MetricsText` pair, rendered by [`crate::prom::render_prometheus`].
+/// The side listener accepts one scrape at a time (observation plane,
+/// not data plane) and shuts down with the server.
+///
+/// # Errors
+///
+/// [`ApiError::Io`] when accepting fails persistently; per-connection
+/// I/O errors terminate only that connection and are reported in the
+/// returned [`ServeSummary`].
+pub fn serve_with_metrics(
+    session: &Session,
+    listener: &TcpListener,
+    options: &ServeOptions,
+    metrics_listener: Option<&TcpListener>,
+) -> Result<ServeSummary, ApiError> {
     let config = RuntimeConfig {
         lanes: options.lanes,
         queue_depth: options.queue_depth,
@@ -280,21 +324,20 @@ pub fn serve(
         options.netlist_dir.clone(),
     );
     let handler = SessionHandler { dispatcher: &dispatcher };
-    let report = gtl_runtime::serve_lines(listener, &config, &handler)
+    // The scrape path and the wire mirrors share one rendering: the
+    // runtime snapshot overlaid with the registry counters, through the
+    // same `runtime_metrics` every other export uses.
+    let render = |snapshot: &gtl_runtime::MetricsSnapshot| {
+        crate::prom::render_prometheus(&dispatcher.runtime_metrics(snapshot.clone()))
+    };
+    let exporter = metrics_listener.map(|listener| MetricsExporter { listener, render: &render });
+    let report = gtl_runtime::serve_lines_with_metrics(listener, &config, &handler, exporter)
         .map_err(|e| ApiError::io(e.to_string()))?;
-    let mut metrics = RuntimeMetrics::from(report.metrics);
-    let registry = dispatcher.registry_stats();
-    metrics.sessions_active = registry.entries;
-    metrics.sessions_loaded = registry.loads;
-    metrics.sessions_evicted = registry.evictions;
-    metrics.sessions_unloaded = registry.unloads;
-    metrics.registry_bytes = registry.bytes;
-    metrics.registry_capacity_bytes = registry.capacity_bytes;
     Ok(ServeSummary {
         connections: report.connections,
         io_errors: report.io_errors,
         dropped_io_errors: report.dropped_io_errors,
-        metrics,
+        metrics: dispatcher.runtime_metrics(report.metrics),
     })
 }
 
@@ -306,18 +349,36 @@ struct SessionHandler<'d, 's> {
     dispatcher: &'d SessionDispatcher<'s>,
 }
 
+/// Serializes a response into the runtime's recycled buffer, recording
+/// the time spent as a `serialize`-stage observation (I/O plane — the
+/// handler runs on a compute lane, so this clock read is outside the
+/// compute zone).
+fn serialize_response(ctx: &RequestContext<'_>, response: &Response, out: &mut String) {
+    let span = Span::starting_at(Instant::now());
+    serde::json::to_string_into(response, out);
+    ctx.observe_serialize_us(span.end_at(Instant::now()));
+}
+
 impl LineHandler for SessionHandler<'_, '_> {
     fn handle(&self, ctx: &RequestContext<'_>, line: &str, out: &mut String) -> Cacheability {
         match serde::json::from_str::<Request>(line) {
-            // Metrics report live runtime state: the one response that is
-            // not a pure function of the request bytes, so it must never
+            // Metrics report live runtime state: the responses that are
+            // not pure functions of the request bytes, so they must never
             // be cached.
             Ok(Request::Metrics(req)) => {
                 let response = match self.dispatcher.metrics(&req, ctx.metrics()) {
                     Ok(resp) => Response::Metrics(resp),
                     Err(err) => Response::Error(ErrorBody::from(&err)),
                 };
-                serde::json::to_string_into(&response, out);
+                serialize_response(ctx, &response, out);
+                Cacheability::Uncacheable
+            }
+            Ok(Request::MetricsText(req)) => {
+                let response = match self.dispatcher.metrics_text(&req, ctx.metrics()) {
+                    Ok(resp) => Response::MetricsText(resp),
+                    Err(err) => Response::Error(ErrorBody::from(&err)),
+                };
+                serialize_response(ctx, &response, out);
                 Cacheability::Uncacheable
             }
             Ok(request) => {
@@ -330,7 +391,7 @@ impl LineHandler for SessionHandler<'_, '_> {
                     ctx.cancel_token(),
                     ctx.submitted_at(),
                 );
-                serde::json::to_string_into(&response, out);
+                serialize_response(ctx, &response, out);
                 if let Response::Error(body) = &response {
                     // The runtime owns the counters; the handler owns
                     // the outcome classification.
@@ -372,7 +433,8 @@ impl LineHandler for SessionHandler<'_, '_> {
                 }
             }
             Err(e) => {
-                serde::json::to_string_into(
+                serialize_response(
+                    ctx,
                     &Response::Error(ErrorBody::from(&ApiError::bad_request(e.to_string()))),
                     out,
                 );
@@ -391,6 +453,49 @@ impl LineHandler for SessionHandler<'_, '_> {
         self.dispatcher.tenant(line)
     }
 
+    fn kind(&self, line: &str) -> &'static str {
+        // The envelope tag is the first JSON key of a canonical line;
+        // prefix inspection classifies without parsing (this runs per
+        // request on the metrics path). Non-canonical spellings fall
+        // into "other" — a label, never a behavior change.
+        const KINDS: &[(&str, &str)] = &[
+            ("{\"Find\":", "find"),
+            ("{\"Place\":", "place"),
+            ("{\"Stats\":", "stats"),
+            ("{\"MetricsText\":", "metrics"),
+            ("{\"Metrics\":", "metrics"),
+            ("{\"LoadNetlist\":", "admin"),
+            ("{\"UnloadNetlist\":", "admin"),
+            ("{\"ListSessions\":", "admin"),
+        ];
+        KINDS
+            .iter()
+            .find(|(tag, _)| line.starts_with(tag))
+            .map(|(_, kind)| *kind)
+            .unwrap_or("other")
+    }
+
+    fn stamp_trace(&self, trace: TraceId, out: &mut String) -> bool {
+        // Only v5+ bodies declare the `trace` field; a response echoing
+        // a frozen version (v1–v4) must keep its exact historical
+        // bytes. The version is always the *first* body field (wire
+        // invariant since v1), so inspecting the envelope head —
+        // `{"Tag":{"v":N,` — decides without a parse.
+        let Some(colon) = out.find(':') else { return false };
+        let Some(digits) = out[colon + 1..].strip_prefix("{\"v\":") else { return false };
+        let end = digits.find(|c: char| !c.is_ascii_digit()).unwrap_or(digits.len());
+        let Ok(v) = digits[..end].parse::<u32>() else { return false };
+        if v < TRACE_SINCE_VERSION || !out.ends_with("}}") {
+            return false;
+        }
+        // `trace` is declared last in every v5 body, so inserting just
+        // before the closing `}}` produces exactly the bytes a
+        // parse → stamp → serialize round-trip would.
+        let at = out.len() - 2;
+        out.insert_str(at, &format!(",\"trace\":\"{trace}\""));
+        true
+    }
+
     fn transport_error(&self, error: &TransportError) -> Option<String> {
         let err = match error {
             TransportError::Oversized { limit } => {
@@ -405,7 +510,7 @@ impl LineHandler for SessionHandler<'_, '_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{FindRequest, MetricsRequest, Request};
+    use crate::{FindRequest, MetricsRequest, MetricsTextRequest, Request};
     use gtl_netlist::NetlistBuilder;
     use gtl_tangled::FinderConfig;
     use std::io::{BufRead, BufReader, Write};
@@ -433,6 +538,16 @@ mod tests {
             rng_seed: 3,
             ..FinderConfig::default()
         })))
+    }
+
+    /// Removes the stamped `,"trace":"…"` field from a wire line, so
+    /// wire bytes can be compared against in-process dispatch (which
+    /// stamps nothing) and across connections (whose traces differ).
+    fn strip_trace(line: &str) -> String {
+        let Some(start) = line.find(",\"trace\":\"") else { return line.to_string() };
+        let rest = &line[start + 10..];
+        let end = rest.find('\"').unwrap();
+        format!("{}{}", &line[..start], &rest[end + 1..])
     }
 
     #[test]
@@ -492,13 +607,19 @@ mod tests {
                     lines.push(line.unwrap());
                 }
                 assert_eq!(lines.len(), 3, "{lines:?}");
-                assert_eq!(lines[0], session.handle_line(&request_line()));
-                assert_eq!(lines[0], lines[1]);
+                // v5 responses are stamped with per-request traces on
+                // the wire; everything else is byte-identical to
+                // in-process dispatch.
+                assert!(lines[0].contains("\"trace\":\""), "{}", lines[0]);
+                assert_eq!(strip_trace(&lines[0]), session.handle_line(&request_line()));
+                assert_eq!(strip_trace(&lines[0]), strip_trace(&lines[1]));
+                assert_ne!(lines[0], lines[1], "traces are per-request");
                 assert!(lines[2].contains("\"bad_request\""), "{}", lines[2]);
-                // Every connection sees identical bytes.
+                // Every connection sees identical bytes modulo traces.
+                let stripped: Vec<String> = lines.iter().map(|l| strip_trace(l)).collect();
                 match &expected {
-                    None => expected = Some(lines),
-                    Some(prev) => assert_eq!(prev, &lines),
+                    None => expected = Some(stripped),
+                    Some(prev) => assert_eq!(prev, &stripped),
                 }
             }
             let summary = handle.join().unwrap();
@@ -560,14 +681,18 @@ mod tests {
             writeln!(conn, "{generous}").unwrap();
             writeln!(conn, "{generous}").unwrap();
             // A v2 request carrying deadline_ms: the field is v3+.
-            let wrong_version = expired.replacen("\"v\":4", "\"v\":2", 1);
+            let wrong_version = expired.replacen("\"v\":5", "\"v\":2", 1);
             writeln!(conn, "{wrong_version}").unwrap();
             conn.shutdown(std::net::Shutdown::Write).unwrap();
             let lines: Vec<String> = BufReader::new(conn).lines().map(|l| l.unwrap()).collect();
             assert_eq!(lines.len(), 4, "{lines:?}");
             assert!(lines[0].contains("\"code\":\"deadline_exceeded\""), "{}", lines[0]);
-            assert!(lines[1].starts_with("{\"Find\":{\"v\":4,"), "{}", lines[1]);
-            assert_eq!(lines[1], lines[2], "same line must answer identically");
+            assert!(lines[1].starts_with("{\"Find\":{\"v\":5,"), "{}", lines[1]);
+            assert_eq!(
+                strip_trace(&lines[1]),
+                strip_trace(&lines[2]),
+                "same line must answer identically modulo its trace"
+            );
             assert!(lines[3].contains("\"code\":\"invalid_argument\""), "{}", lines[3]);
             let summary = handle.join().unwrap();
             assert_eq!(summary.metrics.deadlines_exceeded, 1, "{:?}", summary.metrics);
@@ -596,7 +721,7 @@ mod tests {
             conn.shutdown(std::net::Shutdown::Write).unwrap();
             let lines: Vec<String> = BufReader::new(conn).lines().map(|l| l.unwrap()).collect();
             assert_eq!(lines.len(), 3, "{lines:?}");
-            assert!(lines[0].starts_with("{\"Metrics\":{\"v\":4,\"metrics\":{"), "{}", lines[0]);
+            assert!(lines[0].starts_with("{\"Metrics\":{\"v\":5,\"metrics\":{"), "{}", lines[0]);
             assert!(lines[1].contains("\"requests\":"), "{}", lines[1]);
             assert!(lines[2].contains("\"invalid_argument\""), "{}", lines[2]);
             let summary = handle.join().unwrap();
@@ -604,7 +729,96 @@ mod tests {
             // the cache; the two snapshots differ (the counters moved
             // between them).
             assert_eq!(summary.metrics.cache_entries, 0, "Metrics outcomes are never cached");
-            assert_ne!(lines[0], lines[1], "metrics snapshots must not be cached");
+            assert_ne!(
+                strip_trace(&lines[0]),
+                strip_trace(&lines[1]),
+                "metrics snapshots must not be cached"
+            );
+        });
+    }
+
+    #[test]
+    fn traces_stamp_v5_responses_only() {
+        let session = session();
+        let listener = bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let options = ServeOptions::new().lanes(1).max_connections(Some(1));
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(|| serve(&session, &listener, &options).unwrap());
+            let mut conn = TcpStream::connect(addr).unwrap();
+            writeln!(conn, "{}", request_line()).unwrap();
+            // The same request pinned to v4: frozen bytes, no trace.
+            writeln!(conn, "{}", request_line().replacen("\"v\":5", "\"v\":4", 1)).unwrap();
+            conn.shutdown(std::net::Shutdown::Write).unwrap();
+            let lines: Vec<String> = BufReader::new(conn).lines().map(|l| l.unwrap()).collect();
+            assert_eq!(lines.len(), 2, "{lines:?}");
+            // Conn IDs are 1-based, sequence numbers 0-based.
+            assert!(lines[0].ends_with(",\"trace\":\"00000001-00000000\"}}"), "{}", lines[0]);
+            assert!(!lines[1].contains("\"trace\""), "{}", lines[1]);
+            let summary = handle.join().unwrap();
+            assert_eq!(summary.metrics.responses_traced, 1, "{:?}", summary.metrics);
+        });
+    }
+
+    #[test]
+    fn metrics_text_serves_prometheus_rendering() {
+        let session = session();
+        let listener = bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let options = ServeOptions::new().lanes(1).max_connections(Some(1));
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(|| serve(&session, &listener, &options).unwrap());
+            let mut conn = TcpStream::connect(addr).unwrap();
+            let line = serde::json::to_string(&Request::MetricsText(MetricsTextRequest::new()));
+            writeln!(conn, "{line}").unwrap();
+            // The pair is v5+: a v4 MetricsText request is rejected.
+            writeln!(conn, "{}", line.replacen("\"v\":5", "\"v\":4", 1)).unwrap();
+            conn.shutdown(std::net::Shutdown::Write).unwrap();
+            let lines: Vec<String> = BufReader::new(conn).lines().map(|l| l.unwrap()).collect();
+            assert_eq!(lines.len(), 2, "{lines:?}");
+            assert!(lines[0].starts_with("{\"MetricsText\":{\"v\":5,\"text\":\""), "{}", lines[0]);
+            assert!(lines[0].contains("# TYPE gtl_requests counter"), "{}", lines[0]);
+            assert!(lines[0].contains("\"trace\":\"00000001-00000000\""), "{}", lines[0]);
+            assert!(lines[1].contains("\"invalid_argument\""), "{}", lines[1]);
+            let summary = handle.join().unwrap();
+            assert_eq!(summary.metrics.cache_entries, 0, "MetricsText is never cached");
+        });
+    }
+
+    #[test]
+    fn scrape_endpoint_serves_overlaid_prometheus_text() {
+        let session = session();
+        let listener = bind("127.0.0.1:0").unwrap();
+        let metrics_listener = bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let metrics_addr = metrics_listener.local_addr().unwrap();
+        let options = ServeOptions::new().lanes(1).max_connections(Some(1));
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(|| {
+                serve_with_metrics(&session, &listener, &options, Some(&metrics_listener)).unwrap()
+            });
+            let mut conn = TcpStream::connect(addr).unwrap();
+            writeln!(conn, "{}", request_line()).unwrap();
+            let mut reader = BufReader::new(conn.try_clone().unwrap());
+            let mut first = String::new();
+            reader.read_line(&mut first).unwrap();
+            assert!(first.starts_with("{\"Find\":"), "{first}");
+            // Scrape while the data-plane connection is still open.
+            let mut scrape = TcpStream::connect(metrics_addr).unwrap();
+            write!(scrape, "GET /metrics HTTP/1.0\r\n\r\n").unwrap();
+            let mut response = String::new();
+            std::io::Read::read_to_string(&mut scrape, &mut response).unwrap();
+            assert!(response.starts_with("HTTP/1.0 200 OK\r\n"), "{response}");
+            assert!(response.contains("# TYPE gtl_requests counter"), "{response}");
+            assert!(response.contains("gtl_requests 1"), "{response}");
+            assert!(
+                response.contains("gtl_request_latency_seconds_count{kind=\"find\"} 1"),
+                "{response}"
+            );
+            conn.shutdown(std::net::Shutdown::Write).unwrap();
+            let summary = handle.join().unwrap();
+            assert_eq!(summary.connections, 1);
+            assert_eq!(summary.metrics.responses_traced, 1, "{:?}", summary.metrics);
         });
     }
 }

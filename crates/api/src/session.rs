@@ -20,9 +20,9 @@ use gtl_tangled::{PruneScratch, TangledLogicFinder};
 
 use crate::{
     ApiError, ErrorBody, FindRequest, FindResponse, MetricsRequest, MetricsResponse,
-    NetlistSummary, PlaceRequest, PlaceResponse, Request, Response, RuntimeMetrics, StatsRequest,
-    StatsResponse, API_VERSION, DEADLINE_SINCE_VERSION, METRICS_SINCE_VERSION, MIN_API_VERSION,
-    SESSION_SINCE_VERSION,
+    MetricsTextRequest, MetricsTextResponse, NetlistSummary, PlaceRequest, PlaceResponse, Request,
+    Response, RuntimeMetrics, StatsRequest, StatsResponse, API_VERSION, DEADLINE_SINCE_VERSION,
+    METRICS_SINCE_VERSION, METRICS_TEXT_SINCE_VERSION, MIN_API_VERSION, SESSION_SINCE_VERSION,
 };
 
 /// Loads a netlist, selecting the parser from the file extension
@@ -292,7 +292,7 @@ impl Session {
                 &token,
             ),
         }?;
-        Ok(FindResponse { v: request.v, netlist: self.summary.clone(), result })
+        Ok(FindResponse { v: request.v, netlist: self.summary.clone(), result, trace: None })
     }
 
     /// Runs global placement and congestion estimation.
@@ -402,6 +402,7 @@ impl Session {
             die,
             hpwl,
             congestion: map.report(),
+            trace: None,
         })
     }
 
@@ -413,7 +414,7 @@ impl Session {
     pub fn stats(&self, request: &StatsRequest) -> Result<StatsResponse, ApiError> {
         self.check_version(request.v)?;
         check_session_field(request.v, request.session.as_deref())?;
-        Ok(StatsResponse { v: request.v, stats: self.stats.clone() })
+        Ok(StatsResponse { v: request.v, stats: self.stats.clone(), trace: None })
     }
 
     /// Builds a [`MetricsResponse`] from a runtime snapshot — called by
@@ -436,7 +437,34 @@ impl Session {
                 request.v
             )));
         }
-        Ok(MetricsResponse { v: request.v, metrics: RuntimeMetrics::from(snapshot) })
+        Ok(MetricsResponse { v: request.v, metrics: RuntimeMetrics::from(snapshot), trace: None })
+    }
+
+    /// Builds a [`MetricsTextResponse`] — the Prometheus text rendering
+    /// of already-assembled (and, on the serve path, registry-overlaid)
+    /// counters. The pair exists since protocol v5; older versions are
+    /// rejected, like [`Session::metrics`] before v2.
+    ///
+    /// # Errors
+    ///
+    /// Version validation errors.
+    pub fn metrics_text(
+        &self,
+        request: &MetricsTextRequest,
+        metrics: &RuntimeMetrics,
+    ) -> Result<MetricsTextResponse, ApiError> {
+        self.check_version(request.v)?;
+        if request.v < METRICS_TEXT_SINCE_VERSION {
+            return Err(ApiError::invalid_argument(format!(
+                "MetricsText requires protocol version {METRICS_TEXT_SINCE_VERSION} (requested {})",
+                request.v
+            )));
+        }
+        Ok(MetricsTextResponse {
+            v: request.v,
+            text: crate::prom::render_prometheus(metrics),
+            trace: None,
+        })
     }
 
     /// Dispatches an envelope, mapping failures onto [`Response::Error`]
@@ -465,6 +493,7 @@ impl Session {
             Request::Place(req) => req.v,
             Request::Stats(req) => req.v,
             Request::Metrics(req) => req.v,
+            Request::MetricsText(req) => req.v,
             Request::LoadNetlist(req) => req.v,
             Request::UnloadNetlist(req) => req.v,
             Request::ListSessions(req) => req.v,
@@ -473,7 +502,7 @@ impl Session {
             Request::Find(req) => self.find_cancellable(req, base, anchor).map(Response::Find),
             Request::Place(req) => self.place_cancellable(req, base, anchor).map(Response::Place),
             Request::Stats(req) => self.stats(req).map(Response::Stats),
-            Request::Metrics(_) => Err(ApiError::invalid_argument(
+            Request::Metrics(_) | Request::MetricsText(_) => Err(ApiError::invalid_argument(
                 "Metrics is served by the `gtl serve` runtime (no runtime is attached to an \
                  in-process session)",
             )),
@@ -658,7 +687,7 @@ mod tests {
             panic!("expected error response");
         };
         assert_eq!(body.v, API_VERSION);
-        assert!(body.message.contains("1..=4"), "{}", body.message);
+        assert!(body.message.contains("1..=5"), "{}", body.message);
     }
 
     #[test]
@@ -679,12 +708,13 @@ mod tests {
         let a = s.handle_line(&line);
         let b = s.handle_line(&line);
         assert_eq!(a, b);
-        assert!(a.starts_with("{\"Find\":{\"v\":4,"), "{a}");
+        assert!(a.starts_with("{\"Find\":{\"v\":5,"), "{a}");
         // A v1 request is still accepted and echoes v1 — the golden
-        // round-trip from the v1 protocol stays byte-identical.
-        let v1 = s.handle_line(&line.replacen("\"v\":4", "\"v\":1", 1));
+        // round-trip from the v1 protocol stays byte-identical (an
+        // in-process session stamps no trace for any version).
+        let v1 = s.handle_line(&line.replacen("\"v\":5", "\"v\":1", 1));
         assert!(v1.starts_with("{\"Find\":{\"v\":1,"), "{v1}");
-        assert_eq!(v1.replacen("\"v\":1", "\"v\":4", 1), a);
+        assert_eq!(v1.replacen("\"v\":1", "\"v\":5", 1), a);
 
         let err = s.handle_line("this is not json");
         assert!(err.contains("\"code\":\"bad_request\""), "{err}");

@@ -29,15 +29,18 @@ use serde::{Deserialize, Serialize};
 /// [`PlaceRequest`]; v4 added the optional `session` field on the
 /// compute requests plus the [`LoadNetlistRequest`] /
 /// [`UnloadNetlistRequest`] / [`ListSessionsRequest`] registry
-/// administration pairs). A session accepts every version in
+/// administration pairs; v5 added the per-request `trace` echo on every
+/// response body, the [`MetricsTextRequest`] / [`MetricsTextResponse`]
+/// Prometheus-text pair, and the latency-summary fields on
+/// [`RuntimeMetrics`]). A session accepts every version in
 /// [`MIN_API_VERSION`]`..=`[`API_VERSION`] and **echoes the request's
-/// version** in its response, so v1/v2/v3 clients keep receiving bytes
+/// version** in its response, so v1–v4 clients keep receiving bytes
 /// identical to the build that introduced their protocol (for the
 /// deterministic compute contracts — the live [`MetricsResponse`]
 /// payload is additive instead, see [`RuntimeMetrics`]); anything
 /// outside the range is answered with a structured `unsupported_version`
 /// error naming both sides.
-pub const API_VERSION: u32 = 4;
+pub const API_VERSION: u32 = 5;
 
 /// The oldest protocol version this build still speaks.
 ///
@@ -65,6 +68,19 @@ pub const DEADLINE_SINCE_VERSION: u32 = 3;
 /// pairs require at least this version — the same freeze discipline as
 /// [`DEADLINE_SINCE_VERSION`], keeping v1–v3 behavior build-independent.
 pub const SESSION_SINCE_VERSION: u32 = 4;
+
+/// The version that introduced per-request trace IDs: responses to v5+
+/// requests carry a `trace` field (last in the body), deterministically
+/// derived from (connection id, request sequence) by the serve runtime.
+/// Responses to v1–v4 requests omit the field entirely, byte for byte —
+/// the version-echo freeze discipline. In-process sessions have no
+/// connection identity, so their responses never carry a trace.
+pub const TRACE_SINCE_VERSION: u32 = 5;
+
+/// The version that introduced the Prometheus text-exposition pair
+/// ([`MetricsTextRequest`] / [`MetricsTextResponse`]); like the Metrics
+/// pair it reports live runtime state and is rejected for older `v`.
+pub const METRICS_TEXT_SINCE_VERSION: u32 = 5;
 
 /// Compact netlist identification echoed in every response, so clients
 /// can sanity-check which design the server is bound to.
@@ -139,6 +155,11 @@ pub struct FindResponse {
     pub netlist: NetlistSummary,
     /// The finder outcome (GTLs best-first, search statistics).
     pub result: FinderResult,
+    /// This request's trace ID (protocol v5+): stamped into the
+    /// response by the serve runtime, `None` — and omitted from the
+    /// wire entirely — for v1–v4 requests and in-process sessions.
+    #[serde(skip_if_null)]
+    pub trace: Option<String>,
 }
 
 /// A request to place the session's netlist and estimate congestion.
@@ -194,6 +215,11 @@ pub struct PlaceResponse {
     pub hpwl: f64,
     /// Congestion statistics of the placement.
     pub congestion: CongestionReport,
+    /// This request's trace ID (protocol v5+): stamped into the
+    /// response by the serve runtime, `None` — and omitted from the
+    /// wire entirely — for v1–v4 requests and in-process sessions.
+    #[serde(skip_if_null)]
+    pub trace: Option<String>,
 }
 
 /// A request for whole-design statistics.
@@ -226,6 +252,11 @@ pub struct StatsResponse {
     pub v: u32,
     /// Full design statistics, including degree histograms.
     pub stats: NetlistStats,
+    /// This request's trace ID (protocol v5+): stamped into the
+    /// response by the serve runtime, `None` — and omitted from the
+    /// wire entirely — for v1–v4 requests and in-process sessions.
+    #[serde(skip_if_null)]
+    pub trace: Option<String>,
 }
 
 /// A request to load a netlist into the server's session registry under
@@ -271,6 +302,11 @@ pub struct LoadNetlistResponse {
     /// Session names evicted (coldest first) to fit this load under the
     /// registry's entry/byte budget.
     pub evicted: Vec<String>,
+    /// This request's trace ID (protocol v5+): stamped into the
+    /// response by the serve runtime, `None` — and omitted from the
+    /// wire entirely — for v1–v4 requests and in-process sessions.
+    #[serde(skip_if_null)]
+    pub trace: Option<String>,
 }
 
 /// A request to unload a named session from the registry (since
@@ -302,6 +338,11 @@ pub struct UnloadNetlistResponse {
     pub v: u32,
     /// The unloaded session name.
     pub name: String,
+    /// This request's trace ID (protocol v5+): stamped into the
+    /// response by the serve runtime, `None` — and omitted from the
+    /// wire entirely — for v1–v4 requests and in-process sessions.
+    #[serde(skip_if_null)]
+    pub trace: Option<String>,
 }
 
 /// A request to list the registry's resident sessions (since protocol
@@ -333,6 +374,11 @@ pub struct ListSessionsResponse {
     /// Resident sessions sorted by name, with the default session (if
     /// the server has one) listed first under its reserved name.
     pub sessions: Vec<SessionInfo>,
+    /// This request's trace ID (protocol v5+): stamped into the
+    /// response by the serve runtime, `None` — and omitted from the
+    /// wire entirely — for v1–v4 requests and in-process sessions.
+    #[serde(skip_if_null)]
+    pub trace: Option<String>,
 }
 
 /// One registered session, as reported by the registry administration
@@ -385,6 +431,11 @@ pub struct MetricsResponse {
     pub v: u32,
     /// The runtime counters at the time the request was served.
     pub metrics: RuntimeMetrics,
+    /// This request's trace ID (protocol v5+): stamped into the
+    /// response by the serve runtime, `None` — and omitted from the
+    /// wire entirely — for v1–v4 requests and in-process sessions.
+    #[serde(skip_if_null)]
+    pub trace: Option<String>,
 }
 
 /// Wire mirror of [`gtl_runtime::MetricsSnapshot`] — a separate type so
@@ -462,6 +513,53 @@ pub struct RuntimeMetrics {
     pub registry_bytes: u64,
     /// The registry's byte budget (`0` = unlimited).
     pub registry_capacity_bytes: u64,
+    /// Responses stamped with a trace ID (protocol v5+ requests).
+    pub responses_traced: u64,
+    /// Per-serve-stage latency summaries (queue-wait, lane-compute,
+    /// serialize, writer-flush), in a fixed stage order.
+    pub stage_latency: Vec<LatencyStats>,
+    /// Per-request-kind latency summaries (find/place/stats/admin/…),
+    /// sorted by kind label.
+    pub kind_latency: Vec<LatencyStats>,
+}
+
+/// Wire mirror of [`gtl_runtime::LatencySummary`]: one labelled latency
+/// distribution, pre-digested into count/sum/max, the p50/p95/p99
+/// bucket upper bounds, and cumulative counts at the fixed scrape
+/// boundaries ([`gtl_core::obs::SCRAPE_BOUNDS_US`], ascending).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyStats {
+    /// The stage or request-kind label.
+    pub label: String,
+    /// Recorded observations.
+    pub count: u64,
+    /// Sum of all observations, in microseconds.
+    pub sum_us: u64,
+    /// Largest observation, in microseconds.
+    pub max_us: u64,
+    /// Median latency (bucket upper bound), in microseconds.
+    pub p50_us: u64,
+    /// 95th-percentile latency (bucket upper bound), in microseconds.
+    pub p95_us: u64,
+    /// 99th-percentile latency (bucket upper bound), in microseconds.
+    pub p99_us: u64,
+    /// Cumulative observation counts at the fixed scrape boundaries.
+    pub buckets: Vec<u64>,
+}
+
+impl From<gtl_runtime::LatencySummary> for LatencyStats {
+    fn from(summary: gtl_runtime::LatencySummary) -> Self {
+        Self {
+            label: summary.label,
+            count: summary.count,
+            sum_us: summary.sum_us,
+            max_us: summary.max_us,
+            p50_us: summary.p50_us,
+            p95_us: summary.p95_us,
+            p99_us: summary.p99_us,
+            buckets: summary.buckets,
+        }
+    }
 }
 
 impl From<MetricsSnapshot> for RuntimeMetrics {
@@ -498,8 +596,56 @@ impl From<MetricsSnapshot> for RuntimeMetrics {
             sessions_unloaded: 0,
             registry_bytes: 0,
             registry_capacity_bytes: 0,
+            responses_traced: snapshot.responses_traced,
+            stage_latency: snapshot.stage_latency.into_iter().map(LatencyStats::from).collect(),
+            kind_latency: snapshot.kind_latency.into_iter().map(LatencyStats::from).collect(),
         }
     }
+}
+
+/// A request for the runtime's metrics in Prometheus text exposition
+/// format (since protocol v5).
+///
+/// Like [`MetricsRequest`], this is answered only by the `gtl serve`
+/// runtime; an in-process session answers with `invalid_argument`. The
+/// same text is served on the optional `gtl serve --metrics-port` side
+/// listener as a minimal HTTP/1.0 `GET /metrics` endpoint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsTextRequest {
+    /// Protocol version (at least [`METRICS_TEXT_SINCE_VERSION`]).
+    pub v: u32,
+}
+
+impl MetricsTextRequest {
+    /// A current-version request.
+    pub fn new() -> Self {
+        Self { v: API_VERSION }
+    }
+}
+
+impl Default for MetricsTextRequest {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Answer to [`MetricsTextRequest`]: the Prometheus text rendering of
+/// the live counters (see [`crate::prom::render_prometheus`]).
+///
+/// Like [`MetricsResponse`] this reports live state: never cached,
+/// never byte-frozen, never golden-tested (only the *rendering* is
+/// deterministic for fixed counter values, which is).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsTextResponse {
+    /// Protocol version of this response (echoes the request).
+    pub v: u32,
+    /// The Prometheus text exposition body (`\n`-separated lines).
+    pub text: String,
+    /// This request's trace ID (protocol v5+): stamped into the
+    /// response by the serve runtime, `None` — and omitted from the
+    /// wire entirely — for in-process sessions.
+    #[serde(skip_if_null)]
+    pub trace: Option<String>,
 }
 
 /// The structured error payload carried on the wire.
@@ -516,11 +662,16 @@ pub struct ErrorBody {
     pub code: String,
     /// Human-readable description.
     pub message: String,
+    /// This request's trace ID (protocol v5+): stamped into the
+    /// response by the serve runtime, `None` — and omitted from the
+    /// wire entirely — for v1–v4 requests and in-process sessions.
+    #[serde(skip_if_null)]
+    pub trace: Option<String>,
 }
 
 impl From<&crate::ApiError> for ErrorBody {
     fn from(err: &crate::ApiError) -> Self {
-        Self { v: API_VERSION, code: err.code().to_string(), message: err.message() }
+        Self { v: API_VERSION, code: err.code().to_string(), message: err.message(), trace: None }
     }
 }
 
@@ -535,6 +686,9 @@ pub enum Request {
     Stats(StatsRequest),
     /// Fetch serve-runtime metrics (since protocol v2).
     Metrics(MetricsRequest),
+    /// Fetch serve-runtime metrics as Prometheus text (since protocol
+    /// v5).
+    MetricsText(MetricsTextRequest),
     /// Load a netlist into the session registry (since protocol v4).
     LoadNetlist(LoadNetlistRequest),
     /// Unload a named session (since protocol v4).
@@ -553,6 +707,7 @@ impl Request {
             Self::Place(req) => req.deadline_ms,
             Self::Stats(_)
             | Self::Metrics(_)
+            | Self::MetricsText(_)
             | Self::LoadNetlist(_)
             | Self::UnloadNetlist(_)
             | Self::ListSessions(_) => None,
@@ -569,6 +724,7 @@ impl Request {
             Self::Place(req) => req.session.as_deref(),
             Self::Stats(req) => req.session.as_deref(),
             Self::Metrics(_)
+            | Self::MetricsText(_)
             | Self::LoadNetlist(_)
             | Self::UnloadNetlist(_)
             | Self::ListSessions(_) => None,
@@ -588,6 +744,8 @@ pub enum Response {
     Stats(StatsResponse),
     /// Answer to [`Request::Metrics`].
     Metrics(MetricsResponse),
+    /// Answer to [`Request::MetricsText`].
+    MetricsText(MetricsTextResponse),
     /// Answer to [`Request::LoadNetlist`].
     LoadNetlist(LoadNetlistResponse),
     /// Answer to [`Request::UnloadNetlist`].

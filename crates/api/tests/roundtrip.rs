@@ -244,14 +244,17 @@ proptest! {
             session: info.clone(),
             replaced,
             evicted,
+            trace: None,
         }));
         assert_roundtrip(&Response::UnloadNetlist(UnloadNetlistResponse {
             v: API_VERSION,
             name,
+            trace: None,
         }));
         assert_roundtrip(&Response::ListSessions(ListSessionsResponse {
             v: API_VERSION,
             sessions: vec![info],
+            trace: None,
         }));
     }
 
@@ -260,13 +263,23 @@ proptest! {
         assert_roundtrip(&result);
     }
 
+    /// A stamped v5 trace round-trips; an unstamped response serializes
+    /// without the `trace` key at all (`skip_if_null`), exactly like the
+    /// frozen v1-v4 bytes, and a document missing the key parses back
+    /// to `None`.
     #[test]
     fn find_response_roundtrips(
         netlist in arb_summary(),
         result in arb_finder_result(),
+        stamped in 0u8..2,
+        conn in 0u64..=u64::MAX,
+        seq in 0u64..=u64::MAX,
     ) {
-        let response = FindResponse { v: API_VERSION, netlist, result };
+        let trace = (stamped == 1).then(|| format!("{conn:08x}-{seq:08x}"));
+        let response = FindResponse { v: API_VERSION, netlist, result, trace };
         assert_roundtrip(&response);
+        let text = serde::json::to_string(&response);
+        prop_assert_eq!(text.contains("\"trace\""), stamped == 1, "{}", text);
         assert_roundtrip(&Response::Find(response));
     }
 
@@ -283,6 +296,7 @@ proptest! {
             netlist,
             die: Die { width: floats[0], height: floats[1], rows: 64 },
             hpwl: floats[2],
+            trace: None,
             congestion: CongestionReport {
                 nets_through_100pct: 5,
                 nets_through_90pct: 9,
@@ -303,6 +317,7 @@ fn stats_and_error_envelopes_roundtrip() {
         v: API_VERSION,
         code: "bad_request".into(),
         message: "tab\there \"and\" newline\n".into(),
+        trace: None,
     };
     assert_roundtrip(&Response::Error(body));
 }

@@ -39,6 +39,15 @@ fn session() -> Session {
 /// A pool of distinct request lines: finds with different seeds/threads,
 /// a placement, stats, a version error and a malformed line — every
 /// response deterministic, so serial replay is the oracle.
+/// Removes the per-request `,"trace":"…"` stamp (v5+) from a wire line
+/// so bytes can be compared against the unstamped in-process oracle.
+fn strip_trace(line: &str) -> String {
+    let Some(start) = line.find(",\"trace\":\"") else { return line.to_string() };
+    let rest = &line[start + 10..];
+    let end = rest.find('\"').unwrap();
+    format!("{}{}", &line[..start], &rest[end + 1..])
+}
+
 fn request_pool() -> Vec<String> {
     let mut pool = Vec::new();
     for (rng, threads) in [(1u64, 1usize), (7, 2), (42, 8)] {
@@ -101,7 +110,8 @@ fn eight_pipelined_clients_match_serial_replay() {
             assert_eq!(got.len(), per_client, "client {c} lost responses");
             for (i, (&p, line)) in picks.iter().zip(&got).enumerate() {
                 assert_eq!(
-                    line, &oracle[p],
+                    strip_trace(line),
+                    oracle[p],
                     "client {c} response {i} (pool #{p}) diverged from serial replay"
                 );
             }
@@ -149,8 +159,8 @@ proptest! {
             prop_assert_eq!(got.len(), picks.len());
             for (i, (&p, line)) in picks.iter().zip(&got).enumerate() {
                 prop_assert_eq!(
-                    line,
-                    &oracle[p % pool.len()],
+                    strip_trace(line),
+                    oracle[p % pool.len()].clone(),
                     "response {} (pool #{}) diverged (budget {})",
                     i,
                     p,

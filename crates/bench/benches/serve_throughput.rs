@@ -44,10 +44,20 @@ fn request_line() -> String {
     })))
 }
 
+/// Drops the v5 trace stamp (`,"trace":"…"`) so wire bytes can be
+/// compared against the in-process oracle, which is never stamped (and,
+/// across a burst, each response carries a distinct sequence number).
+fn strip_trace(line: &str) -> String {
+    let Some(start) = line.find(",\"trace\":\"") else { return line.to_string() };
+    let rest = &line[start + 10..];
+    let end = rest.find('"').expect("unterminated trace stamp");
+    format!("{}{}", &line[..start], &rest[end + 1..])
+}
+
 /// One pipelined burst of `n` identical requests against a fresh
 /// single-connection server; returns the wall time of the burst and the
 /// server's final summary. Every response is asserted byte-identical to
-/// the in-process oracle.
+/// the in-process oracle (modulo its trace stamp).
 fn run_burst(
     session: &Session,
     line: &str,
@@ -73,7 +83,7 @@ fn run_burst(
             // the timed section.
             writeln!(conn, "{line}").expect("write warmup");
             reader.read_line(&mut response).expect("read warmup");
-            assert_eq!(response.trim_end(), expected, "warmup response diverged");
+            assert_eq!(strip_trace(response.trim_end()), expected, "warmup response diverged");
         }
         let start = Instant::now();
         for _ in 0..n {
@@ -86,7 +96,7 @@ fn run_burst(
             if reader.read_line(&mut response).expect("read") == 0 {
                 break;
             }
-            assert_eq!(response.trim_end(), expected, "response {served} diverged");
+            assert_eq!(strip_trace(response.trim_end()), expected, "response {served} diverged");
             served += 1;
         }
         let wall = start.elapsed().as_secs_f64();
@@ -138,6 +148,21 @@ fn serve_throughput(c: &mut Criterion) {
         if mode == "warm" {
             assert_eq!(m.cache_hits, n as u64, "warm burst should be all hits");
         }
+        // Per-request-kind latency percentiles from the server's own
+        // histograms (v5 observability) — the burst is all Find
+        // requests, so exactly one "find" series must be populated.
+        let find = m.kind_latency.iter().find(|s| s.label == "find").expect("find latency series");
+        assert!(find.count >= n as u64, "find latency undercounted: {} < {n}", find.count);
+        let latency = Json::arr(m.kind_latency.iter().map(|s| {
+            Json::obj([
+                ("kind", Json::str(&s.label)),
+                ("count", Json::num(s.count as f64)),
+                ("p50_us", Json::num(s.p50_us as f64)),
+                ("p95_us", Json::num(s.p95_us as f64)),
+                ("p99_us", Json::num(s.p99_us as f64)),
+                ("max_us", Json::num(s.max_us as f64)),
+            ])
+        }));
         rows.push(Json::obj([
             ("mode", Json::str(mode)),
             ("cache_bytes", Json::num(cache_bytes as f64)),
@@ -146,6 +171,7 @@ fn serve_throughput(c: &mut Criterion) {
             ("req_per_s", Json::num(n as f64 / wall)),
             ("cache_hits", Json::num(m.cache_hits as f64)),
             ("cache_misses", Json::num(m.cache_misses as f64)),
+            ("latency", latency),
         ]));
     }
     let doc = Json::obj([

@@ -48,6 +48,7 @@ USAGE:
                    [--pipeline K] [--timeout-ms N] [--max-concurrent N]
                    [--deadline-ms N] [--netlist-dir D] [--max-netlists N]
                    [--registry-bytes N] [--tenant-quota N]
+                   [--metrics-port N]
 
 FILES: .hgr (hMETIS), .aux (Bookshelf/ISPD), .v (structural Verilog)
 
@@ -85,6 +86,12 @@ SERVE RUNTIME (gtl-runtime; see ARCHITECTURE.md):
                       queue depth); admission round-robins across
                       sessions so one flooding tenant cannot starve
                       another
+  --metrics-port N    also answer plain-HTTP `GET /metrics` scrapes on
+                      this side port (Prometheus text format 0.0.4,
+                      same address as --addr; protocol v5 serves the
+                      same rendering as a {\"MetricsText\":..} request).
+                      On exit, the summary prints p50/p95/p99 latency
+                      per request kind.
 
 EXIT CODES (from the structured ApiError codes; see gtl_api):
   0  success
@@ -100,11 +107,15 @@ to the payload a `gtl serve` round-trip returns for the same request,
 for any --threads value, --lanes count, --cache-bytes budget (hits are
 byte-identical to fresh computes) and --pipeline depth. `gtl serve`
 speaks JSON lines on plain TCP: one {\"Find\":..} | {\"Place\":..} |
-{\"Stats\":..} | {\"Metrics\":..} | {\"LoadNetlist\":..} |
-{\"UnloadNetlist\":..} | {\"ListSessions\":..} envelope per line in, one
-response envelope per line out, in request order (see ARCHITECTURE.md).
-Protocol v4 adds named sessions: Find/Place/Stats take an optional
-session field addressing a netlist loaded via LoadNetlist.
+{\"Stats\":..} | {\"Metrics\":..} | {\"MetricsText\":..} |
+{\"LoadNetlist\":..} | {\"UnloadNetlist\":..} | {\"ListSessions\":..}
+envelope per line in, one response envelope per line out, in request
+order (see ARCHITECTURE.md). Protocol v4 adds named sessions:
+Find/Place/Stats take an optional session field addressing a netlist
+loaded via LoadNetlist. Protocol v5 adds observability: every v5
+response is stamped with a per-request trace ID (its last body field),
+and MetricsText returns the Prometheus text rendering of the runtime
+counters and latency histograms.
 ";
 
 /// A structured API error plus the CLI context it surfaced in.
@@ -455,10 +466,19 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
     let max_netlists: usize = parse_flag(args, "--max-netlists", 0usize)?;
     let registry_bytes: usize = parse_flag(args, "--registry-bytes", 0usize)?;
     let tenant_quota: usize = parse_flag(args, "--tenant-quota", 0usize)?;
+    let metrics_port: u16 = parse_flag(args, "--metrics-port", 0u16)?;
     let netlist_dir = flag_value(args, "--netlist-dir").map(std::path::PathBuf::from);
     let session = Session::builder().netlist(netlist).build()?;
     let listener = gtl_api::bind(&format!("{addr}:{port}"))?;
     let local = listener.local_addr().map_err(ApiError::from)?;
+    let metrics_listener = if metrics_port > 0 {
+        let l = gtl_api::bind(&format!("{addr}:{metrics_port}"))?;
+        let at = l.local_addr().map_err(ApiError::from)?;
+        eprintln!("gtl: Prometheus scrape endpoint at http://{at}/metrics");
+        Some(l)
+    } else {
+        None
+    };
     let options = gtl_api::ServeOptions::new()
         .lanes(lanes)
         .queue_depth(queue_depth)
@@ -475,7 +495,14 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
     // Readiness goes to stderr immediately (stdout is returned only when
     // the server finishes, which without --max-conns is never).
     eprintln!("gtl: serving {path} on {local} (JSON lines; Ctrl-C to stop)");
-    let summary = gtl_api::serve(&session, &listener, &options)?;
+    let summary =
+        gtl_api::serve_with_metrics(&session, &listener, &options, metrics_listener.as_ref())?;
+    Ok(render_serve_summary(&summary))
+}
+
+/// Renders the `gtl serve` exit summary: the counter one-liner,
+/// per-request-kind latency percentiles, and any connection I/O errors.
+fn render_serve_summary(summary: &gtl_api::ServeSummary) -> String {
     let m = &summary.metrics;
     let mut out = format!(
         "served {} connection(s): {} requests, {} responses, cache {} hit(s) / {} miss(es) / {} \
@@ -495,6 +522,18 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
         m.sessions_evicted,
         m.sessions_unloaded,
     );
+    // Per-request-kind latency percentiles (µs, bucket upper bounds) —
+    // only kinds that actually served requests appear.
+    for kind in &m.kind_latency {
+        if kind.count == 0 {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "latency[{}]: {} request(s), p50 {}us, p95 {}us, p99 {}us, max {}us",
+            kind.label, kind.count, kind.p50_us, kind.p95_us, kind.p99_us, kind.max_us,
+        );
+    }
     let dropped = summary.dropped_io_errors;
     if !summary.io_errors.is_empty() || dropped > 0 {
         let _ = writeln!(
@@ -507,7 +546,7 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
             let _ = writeln!(out, "  {error}");
         }
     }
-    Ok(out)
+    out
 }
 
 #[cfg(test)]
@@ -635,7 +674,7 @@ mod tests {
         let args =
             ["find", &path, "--seeds", "10", "--min-size", "3", "--max-order", "10", "--json"];
         let out = run(&argv(&args)).unwrap();
-        assert!(out.starts_with("{\"v\":4,"), "{out}");
+        assert!(out.starts_with("{\"v\":5,"), "{out}");
         assert!(out.ends_with("\n"));
         // Byte-identical to dispatching the equivalent request in-process.
         let netlist = load_netlist(&path).unwrap();
@@ -682,6 +721,43 @@ mod tests {
         let summary = gtl_api::serve(&session, &listener, &options).unwrap();
         assert_eq!(summary.connections, 0);
         assert!(summary.io_errors.is_empty());
+        let rendered = render_serve_summary(&summary);
+        assert!(rendered.starts_with("served 0 connection(s):"), "{rendered}");
+        // No requests were served, so no latency lines appear.
+        assert!(!rendered.contains("latency["), "{rendered}");
+    }
+
+    #[test]
+    fn serve_summary_prints_percentiles_per_request_kind() {
+        // Drive one find request through a real server so the kind
+        // histogram is populated, then check the rendered exit summary.
+        use std::io::{BufRead as _, BufReader, Write as _};
+        let netlist = load_netlist(&fixture_path()).unwrap();
+        let session = Session::builder().netlist(netlist).build().unwrap();
+        let listener = gtl_api::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let options = gtl_api::ServeOptions::new().lanes(1).max_connections(Some(1));
+        let summary = std::thread::scope(|scope| {
+            let server = scope.spawn(|| gtl_api::serve(&session, &listener, &options).unwrap());
+            let mut conn = std::net::TcpStream::connect(addr).unwrap();
+            let line =
+                serde::json::to_string(&gtl_api::Request::Find(FindRequest::new(FinderConfig {
+                    num_seeds: 4,
+                    min_size: 3,
+                    max_order_len: 8,
+                    ..Default::default()
+                })));
+            writeln!(conn, "{line}").unwrap();
+            conn.shutdown(std::net::Shutdown::Write).unwrap();
+            let mut response = String::new();
+            BufReader::new(conn).read_line(&mut response).unwrap();
+            assert!(response.starts_with("{\"Find\":"), "{response}");
+            server.join().unwrap()
+        });
+        let rendered = render_serve_summary(&summary);
+        assert!(rendered.contains("latency[find]: 1 request(s), p50 "), "{rendered}");
+        assert!(rendered.contains("p95 "), "{rendered}");
+        assert!(rendered.contains("p99 "), "{rendered}");
     }
 
     #[test]

@@ -10,7 +10,10 @@
 //! the `gtl-runtime` service layer schedules work with, and [`cancel`]
 //! the cooperative cancellation tokens (atomic flag + optional monotonic
 //! deadline) the `*_cancellable` map variants and the service runtime
-//! poll between work items.
+//! poll between work items. [`obs`] supplies the deterministic latency
+//! histogram + injected-clock span primitives the serve path records
+//! timings with — compute code may carry and subtract instants but never
+//! acquires one (see the module's byte-invisibility contract).
 //!
 //! # Determinism contract
 //!
@@ -48,6 +51,7 @@
 
 pub mod cancel;
 pub mod exec;
+pub mod obs;
 pub mod shard;
 pub mod sync;
 
@@ -58,5 +62,6 @@ pub use exec::{
     parallel_map_chunked_with_cancellable, parallel_map_with, parallel_map_with_cancellable,
     Granularity,
 };
+pub use obs::{LatencyHistogram, Span};
 pub use shard::{auto_grid, stripes, ShardGrid, DEFAULT_STRIPE_ROWS};
 pub use sync::{BoundedQueue, Semaphore};

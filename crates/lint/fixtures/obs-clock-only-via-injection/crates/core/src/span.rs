@@ -1,0 +1,9 @@
+//! Fixture: implicit clock read via `.elapsed()` in a compute crate.
+//! The explicit forms (`Instant::now`, `SystemTime`) are caught by
+//! `no-wallclock-in-compute`; this one slips past it.
+
+use std::time::Instant;
+
+pub fn span_us(start: Instant) -> u64 {
+    start.elapsed().as_micros() as u64
+}

@@ -15,6 +15,7 @@ use crate::Violation;
 pub const RULES: &[&str] = &[
     "no-raw-thread",
     "no-wallclock-in-compute",
+    "obs-clock-only-via-injection",
     "no-unordered-iteration-in-compute",
     "no-rng-outside-derive-stream",
     "no-panic-on-serve-path",
@@ -101,6 +102,29 @@ pub fn check_file(rel_path: &Path, zone: Zone, lexed: &Lexed, in_test: &[bool]) 
                          timing-dependent; deadlines reach compute only via CancelToken \
                          checkpoints (gtl_core::cancel)"
                     ),
+                });
+            }
+        }
+    }
+
+    // ---- obs-clock-only-via-injection ---------------------------------
+    // `no-wallclock-in-compute` catches the explicit clock reads
+    // (`Instant::now`, `SystemTime`); this closes the implicit one:
+    // `.elapsed()` reads "now" inside the callee. Compute code may
+    // carry and *subtract* instants handed to it
+    // (`gtl_core::obs::Span::starting_at(a).end_at(b)`) but must never
+    // acquire one — that is the byte-invisibility contract of the
+    // observability layer.
+    if zone == Zone::Compute && !zones::wallclock_exempt(rel_path) {
+        for i in 0..tokens.len() {
+            if live(i) && text(i) == "." && text(i + 1) == "elapsed" && text(i + 2) == "(" {
+                violations.push(Violation {
+                    line: tokens[i + 1].line,
+                    rule: "obs-clock-only-via-injection",
+                    message: "`.elapsed()` in a compute crate reads the clock implicitly — \
+                              subtract injected instants instead (gtl_core::obs::Span), so \
+                              recording a span can never branch on time"
+                        .into(),
                 });
             }
         }
@@ -355,6 +379,18 @@ mod tests {
         let v = check("crates/runtime/src/other.rs", Zone::Io, src);
         assert_eq!(v.len(), 1, "{v:?}");
         assert_eq!(v[0].rule, "no-raw-thread");
+    }
+
+    #[test]
+    fn elapsed_in_compute_is_flagged_but_subtraction_is_not() {
+        let bad = "pub fn f(start: Instant) -> u128 { start.elapsed().as_micros() }";
+        let v = check("crates/place/src/x.rs", Zone::Compute, bad);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "obs-clock-only-via-injection");
+        let good = "pub fn f(s: Span, end: Instant) -> u64 { s.end_at(end) }";
+        assert!(check("crates/place/src/x.rs", Zone::Compute, good).is_empty());
+        // I/O zones own the clock: recording spans there is the design.
+        assert!(check("crates/runtime/src/other.rs", Zone::Io, bad).is_empty());
     }
 
     #[test]

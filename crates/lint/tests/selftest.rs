@@ -25,6 +25,7 @@ fn each_rule_fires_on_its_fixture() {
     for rule in [
         "no-raw-thread",
         "no-wallclock-in-compute",
+        "obs-clock-only-via-injection",
         "no-unordered-iteration-in-compute",
         "no-rng-outside-derive-stream",
         "no-panic-on-serve-path",

@@ -86,9 +86,9 @@ mod registry;
 mod server;
 
 pub use cache::{CacheStats, ResponseCache};
-pub use metrics::MetricsSnapshot;
+pub use metrics::{LatencySummary, MetricsSnapshot, Stage};
 pub use registry::{InsertOutcome, Registry, RegistryEntry, RegistryError, RegistryStats};
 pub use server::{
-    serve_lines, Cacheability, LineHandler, RequestContext, RuntimeConfig, ServeReport,
-    TransportError,
+    serve_lines, serve_lines_with_metrics, Cacheability, LineHandler, MetricsExporter,
+    RequestContext, RuntimeConfig, ServeReport, TraceId, TransportError,
 };

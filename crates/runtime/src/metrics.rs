@@ -1,17 +1,73 @@
-//! Runtime observability: cheap atomic counters aggregated into a
-//! [`MetricsSnapshot`].
+//! Runtime observability: cheap atomic counters and latency histograms
+//! aggregated into a [`MetricsSnapshot`].
 //!
 //! Every counter is updated with relaxed atomics on hot paths (the
 //! scheduler and the per-connection I/O threads), so metrics never
-//! serialize the runtime. A snapshot is *not* a point-in-time transaction
-//! across all counters — each field is individually consistent, which is
-//! what a monitoring endpoint needs. Crucially, metrics are
-//! **observation only**: no counter value ever feeds back into request
-//! handling, so exposing them cannot perturb response bytes.
+//! serialize the runtime. The latency histograms
+//! ([`gtl_core::obs::LatencyHistogram`]) sit behind short-lived mutexes
+//! touched once per request — never inside compute. A snapshot is *not*
+//! a point-in-time transaction across all counters — each field is
+//! individually consistent, which is what a monitoring endpoint needs.
+//! Crucially, metrics are **observation only**: no counter or recorded
+//! duration ever feeds back into request handling, so exposing them
+//! cannot perturb response bytes (the byte-invisibility contract of
+//! `gtl_core::obs`).
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use gtl_core::obs::{LatencyHistogram, SCRAPE_BOUNDS_US};
 
 use crate::cache::ResponseCache;
+
+/// The serve-path stages the runtime times individually (see
+/// [`MetricsSnapshot::stage_latency`]). Label order here is export
+/// order, so renderings stay byte-deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Admission to lane pop: how long the job sat in the fair queue.
+    QueueWait,
+    /// Lane pop to response bytes ready (handler compute + serialize).
+    LaneCompute,
+    /// Handler-reported serialization time inside the lane (a sub-span
+    /// of [`Stage::LaneCompute`], recorded via
+    /// [`RequestContext::observe_serialize_us`](crate::RequestContext::observe_serialize_us)).
+    Serialize,
+    /// One writer `flush()` on the connection's response stream.
+    WriterFlush,
+}
+
+impl Stage {
+    /// Every stage, in export order.
+    pub const ALL: [Stage; 4] =
+        [Stage::QueueWait, Stage::LaneCompute, Stage::Serialize, Stage::WriterFlush];
+
+    /// The stable label used in summaries and metric renderings.
+    pub fn label(self) -> &'static str {
+        match self {
+            Stage::QueueWait => "queue_wait",
+            Stage::LaneCompute => "lane_compute",
+            Stage::Serialize => "serialize",
+            Stage::WriterFlush => "writer_flush",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Stage::QueueWait => 0,
+            Stage::LaneCompute => 1,
+            Stage::Serialize => 2,
+            Stage::WriterFlush => 3,
+        }
+    }
+}
+
+/// Locks a histogram mutex, recovering from poisoning (a panicking
+/// recorder cannot corrupt bucket counts — they are plain integers).
+fn lock_histogram(m: &Mutex<LatencyHistogram>) -> std::sync::MutexGuard<'_, LatencyHistogram> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 /// Live counters owned by the runtime (see [`MetricsSnapshot`] for the
 /// exported view).
@@ -34,6 +90,16 @@ pub(crate) struct MetricsHub {
     fair_share_violations: AtomicU64,
     queue_depth: AtomicU64,
     queue_high_water: AtomicU64,
+    responses_traced: AtomicU64,
+    /// One histogram per [`Stage`], indexed by [`Stage::index`].
+    stage_latency: [Mutex<LatencyHistogram>; 4],
+    /// End-to-end latency per request kind (admission to response bytes
+    /// deposited). Keys come from [`LineHandler::kind`] and are a small
+    /// closed set, so the map stays tiny and iteration order (BTreeMap)
+    /// is deterministic.
+    ///
+    /// [`LineHandler::kind`]: crate::LineHandler::kind
+    kind_latency: Mutex<BTreeMap<&'static str, LatencyHistogram>>,
 }
 
 impl MetricsHub {
@@ -60,6 +126,9 @@ impl MetricsHub {
             fair_share_violations: AtomicU64::new(0),
             queue_depth: AtomicU64::new(0),
             queue_high_water: AtomicU64::new(0),
+            responses_traced: AtomicU64::new(0),
+            stage_latency: std::array::from_fn(|_| Mutex::new(LatencyHistogram::new())),
+            kind_latency: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -117,6 +186,26 @@ impl MetricsHub {
         self.queue_high_water.fetch_max(depth, Ordering::Relaxed);
     }
 
+    /// Counts one response whose envelope carried a trace-id stamp.
+    pub(crate) fn response_traced(&self) {
+        self.responses_traced.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one per-stage duration (µs).
+    pub(crate) fn observe_stage_us(&self, stage: Stage, us: u64) {
+        lock_histogram(&self.stage_latency[stage.index()]).record_us(us);
+    }
+
+    /// Records one end-to-end request latency (µs) under its kind.
+    pub(crate) fn observe_kind_latency_us(&self, kind: &'static str, us: u64) {
+        self.kind_latency
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .entry(kind)
+            .or_default()
+            .record_us(us);
+    }
+
     pub(crate) fn snapshot(&self, cache: &ResponseCache) -> MetricsSnapshot {
         let cache = cache.stats();
         MetricsSnapshot {
@@ -143,13 +232,71 @@ impl MetricsHub {
             cache_misses: cache.misses,
             cache_evictions: cache.evictions,
             cache_insertions: cache.insertions,
+            responses_traced: self.responses_traced.load(Ordering::Relaxed),
+            stage_latency: Stage::ALL
+                .iter()
+                .map(|&stage| {
+                    LatencySummary::of(
+                        stage.label(),
+                        &lock_histogram(&self.stage_latency[stage.index()]),
+                    )
+                })
+                .collect(),
+            kind_latency: self
+                .kind_latency
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .iter()
+                .map(|(kind, histogram)| LatencySummary::of(kind, histogram))
+                .collect(),
+        }
+    }
+}
+
+/// The exported digest of one [`LatencyHistogram`]: totals, the p50/p95/
+/// p99 bucket-quantized percentiles, and cumulative counts at the fixed
+/// [`SCRAPE_BOUNDS_US`] boundaries (the Prometheus `le` set, `+Inf`
+/// being `count`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Stable label: a [`Stage`] label or a request kind.
+    pub label: String,
+    /// Number of recorded durations.
+    pub count: u64,
+    /// Sum of recorded durations (µs).
+    pub sum_us: u64,
+    /// Largest recorded duration (µs, exact).
+    pub max_us: u64,
+    /// Median (µs, bucket upper bound).
+    pub p50_us: u64,
+    /// 95th percentile (µs, bucket upper bound).
+    pub p95_us: u64,
+    /// 99th percentile (µs, bucket upper bound).
+    pub p99_us: u64,
+    /// Cumulative counts at each [`SCRAPE_BOUNDS_US`] boundary, in
+    /// order; values past the last boundary appear only in `count`.
+    pub buckets: Vec<u64>,
+}
+
+impl LatencySummary {
+    /// Digests a histogram under a label.
+    pub fn of(label: &str, histogram: &LatencyHistogram) -> Self {
+        Self {
+            label: label.to_string(),
+            count: histogram.count(),
+            sum_us: histogram.sum_us(),
+            max_us: histogram.max_us(),
+            p50_us: histogram.percentile_us(0.50),
+            p95_us: histogram.percentile_us(0.95),
+            p99_us: histogram.percentile_us(0.99),
+            buckets: histogram.cumulative(SCRAPE_BOUNDS_US),
         }
     }
 }
 
 /// A point-in-time view of the runtime's counters, as exposed by the
 /// versioned Metrics API (`gtl-api` mirrors this into its wire contract).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MetricsSnapshot {
     /// Number of compute lanes (scheduler worker threads).
     pub lanes: u64,
@@ -203,6 +350,13 @@ pub struct MetricsSnapshot {
     pub cache_evictions: u64,
     /// Response-cache insertions (distinct stored entries).
     pub cache_insertions: u64,
+    /// Responses whose envelope carried a trace-id stamp (v5+ requests).
+    pub responses_traced: u64,
+    /// Per-stage serve-path latency digests, one per [`Stage`] in
+    /// [`Stage::ALL`] order.
+    pub stage_latency: Vec<LatencySummary>,
+    /// End-to-end latency digests per request kind (sorted by kind).
+    pub kind_latency: Vec<LatencySummary>,
 }
 
 #[cfg(test)]
@@ -241,5 +395,36 @@ mod tests {
         assert_eq!(snap.queue_high_water, 5);
         assert_eq!(snap.cache_hits, 1);
         assert_eq!(snap.cache_insertions, 1);
+        assert_eq!(snap.responses_traced, 0);
+        assert_eq!(snap.stage_latency.len(), Stage::ALL.len());
+        assert!(snap.kind_latency.is_empty());
+    }
+
+    #[test]
+    fn stage_and_kind_latency_reach_the_snapshot() {
+        let hub = MetricsHub::new(1, 4, 1, 0);
+        let cache = ResponseCache::new(0);
+        hub.observe_stage_us(Stage::QueueWait, 100);
+        hub.observe_stage_us(Stage::QueueWait, 300);
+        hub.observe_stage_us(Stage::WriterFlush, 7);
+        hub.observe_kind_latency_us("find", 1_000);
+        hub.observe_kind_latency_us("find", 2_000);
+        hub.observe_kind_latency_us("admin", 50);
+        hub.response_traced();
+
+        let snap = hub.snapshot(&cache);
+        assert_eq!(snap.responses_traced, 1);
+        let labels: Vec<&str> = snap.stage_latency.iter().map(|s| s.label.as_str()).collect();
+        assert_eq!(labels, ["queue_wait", "lane_compute", "serialize", "writer_flush"]);
+        let queue = &snap.stage_latency[0];
+        assert_eq!((queue.count, queue.sum_us, queue.max_us), (2, 400, 300));
+        assert!(queue.p50_us >= 100 && queue.p99_us >= queue.p50_us);
+        assert_eq!(snap.stage_latency[1].count, 0);
+        assert_eq!(snap.stage_latency[3].count, 1);
+        // Kinds are sorted, each with its own distribution.
+        let kinds: Vec<&str> = snap.kind_latency.iter().map(|s| s.label.as_str()).collect();
+        assert_eq!(kinds, ["admin", "find"]);
+        assert_eq!(snap.kind_latency[1].count, 2);
+        assert_eq!(snap.kind_latency[1].buckets.len(), SCRAPE_BOUNDS_US.len());
     }
 }

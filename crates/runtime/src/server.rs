@@ -42,14 +42,16 @@ use std::borrow::Cow;
 use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead as _, BufReader, BufWriter, Write as _};
 use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use gtl_core::cancel::{CancelToken, Deadline};
+use gtl_core::obs::Span;
 use gtl_core::sync::Semaphore;
 
 use crate::cache::ResponseCache;
-use crate::metrics::{MetricsHub, MetricsSnapshot};
+use crate::metrics::{MetricsHub, MetricsSnapshot, Stage};
 
 /// Give up on the listener after this many `accept()` failures in a row
 /// (transient `ECONNABORTED`-style failures are tolerated and reset on
@@ -86,6 +88,30 @@ pub enum TransportError {
     NotUtf8,
 }
 
+/// A per-request trace identity, deterministically derived from the
+/// connection id (accept order, 1-based) and the request's sequence
+/// number on that connection (0-based).
+///
+/// Rendered as `cccccccc-ssssssss` (two fixed-width hex words), it lets
+/// a client correlate a wire response with server-side metrics and
+/// logs. Because `(conn, seq)` is a pure function of the request
+/// *stream* — never of lane scheduling, timing, or cache state —
+/// replaying the same script yields the same trace IDs, so golden
+/// replays stay byte-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceId {
+    /// 1-based accept-order connection id.
+    pub conn: u64,
+    /// 0-based request sequence number within the connection.
+    pub seq: u64,
+}
+
+impl std::fmt::Display for TraceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:08x}-{:08x}", self.conn, self.seq)
+    }
+}
+
 /// Per-request context handed to the handler (read-only runtime views
 /// plus this request's cancellation token).
 #[derive(Debug)]
@@ -94,6 +120,7 @@ pub struct RequestContext<'a> {
     pub(crate) cache: &'a ResponseCache,
     pub(crate) token: &'a CancelToken,
     pub(crate) submitted_at: Instant,
+    pub(crate) trace: TraceId,
 }
 
 impl RequestContext<'_> {
@@ -131,6 +158,22 @@ impl RequestContext<'_> {
     /// with a cancellation error after its connection was lost.
     pub fn record_cancelled(&self) {
         self.hub.job_cancelled();
+    }
+
+    /// This request's trace identity (see [`TraceId`]). Handlers may log
+    /// it or fold it into diagnostics, but the response *bytes* are
+    /// stamped by the runtime via [`LineHandler::stamp_trace`] — after
+    /// the cache — so cached bytes stay pure functions of the line.
+    pub fn trace_id(&self) -> TraceId {
+        self.trace
+    }
+
+    /// Records how long serializing the response body took, in
+    /// microseconds (the handler owns serialization, the runtime owns
+    /// the [`Stage::Serialize`] histogram). Durations are measured with
+    /// [`gtl_core::obs::Span`] endpoints read on the handler's thread.
+    pub fn observe_serialize_us(&self, us: u64) {
+        self.hub.observe_stage_us(Stage::Serialize, us);
     }
 }
 
@@ -177,6 +220,28 @@ pub trait LineHandler: Sync {
     fn tenant(&self, line: &str) -> String {
         let _ = line;
         String::new()
+    }
+
+    /// A cheap static classification of `line` for the per-request-kind
+    /// latency histograms (e.g. `"find"`, `"place"`, `"stats"`,
+    /// `"admin"`). Must be a pure function of the line; the label set
+    /// must be small and fixed. The default puts every request in one
+    /// `"request"` kind.
+    fn kind(&self, line: &str) -> &'static str {
+        let _ = line;
+        "request"
+    }
+
+    /// Stamps this request's [`TraceId`] into the finished response
+    /// `out`, returning whether a stamp was applied. The runtime calls
+    /// this *after* the cache lookup/fill, so cached bytes stay pure
+    /// functions of the request line while hits and misses are stamped
+    /// uniformly (cache transparency holds for the stamped bytes too).
+    /// The default stamps nothing — protocols without a trace field
+    /// keep their bytes unchanged.
+    fn stamp_trace(&self, trace: TraceId, out: &mut String) -> bool {
+        let _ = (trace, out);
+        false
     }
 }
 
@@ -455,6 +520,37 @@ pub fn serve_lines<H: LineHandler>(
     config: &RuntimeConfig,
     handler: &H,
 ) -> std::io::Result<ServeReport> {
+    serve_lines_with_metrics(listener, config, handler, None)
+}
+
+/// A side-port metrics scrape endpoint for
+/// [`serve_lines_with_metrics`]: a second listener answered by a
+/// dedicated I/O thread with `render`'s text for minimal HTTP/1.0
+/// `GET /metrics` requests (anything else gets a 404). `render`
+/// receives a fresh [`MetricsSnapshot`] per scrape; scraping is
+/// observation-only and never perturbs request handling.
+#[derive(Clone, Copy)]
+pub struct MetricsExporter<'a> {
+    /// The bound side-port listener to answer scrapes on.
+    pub listener: &'a TcpListener,
+    /// Renders a snapshot into the scrape response body (e.g.
+    /// Prometheus text exposition, owned by the protocol layer).
+    pub render: &'a (dyn Fn(&MetricsSnapshot) -> String + Sync),
+}
+
+/// [`serve_lines`] plus an optional side-port scrape endpoint (see
+/// [`MetricsExporter`]). The scrape thread lives exactly as long as the
+/// serve loop: it is woken and joined before this returns.
+///
+/// # Errors
+///
+/// As [`serve_lines`]; scrape-side I/O errors never fail the server.
+pub fn serve_lines_with_metrics<H: LineHandler>(
+    listener: &TcpListener,
+    config: &RuntimeConfig,
+    handler: &H,
+    exporter: Option<MetricsExporter<'_>>,
+) -> std::io::Result<ServeReport> {
     let lanes = config.resolved_lanes();
     let pipeline = config.resolved_pipeline();
     let queue_depth = config.resolved_queue_depth();
@@ -487,6 +583,7 @@ pub fn serve_lines<H: LineHandler>(
     // the queue down first).
     let queue: FairQueue<Job<'_>> = FairQueue::new(queue_depth, tenant_quota);
 
+    let scrape_done = AtomicBool::new(false);
     let (served, accept_error) = std::thread::scope(|scope| {
         for _ in 0..lanes {
             let queue = &queue;
@@ -497,6 +594,12 @@ pub fn serve_lines<H: LineHandler>(
                     job();
                 }
             });
+        }
+        if let Some(exporter) = exporter {
+            let hub = &hub;
+            let cache = &cache;
+            let done = &scrape_done;
+            scope.spawn(move || scrape_loop(exporter, done, hub, cache));
         }
 
         let mut served = 0usize;
@@ -570,6 +673,14 @@ pub fn serve_lines<H: LineHandler>(
             }
         }
         queue.close();
+        // Wake the scrape thread out of its blocking accept with a
+        // self-connection so the scope can join it.
+        scrape_done.store(true, Ordering::SeqCst);
+        if let Some(exporter) = exporter {
+            if let Ok(addr) = exporter.listener.local_addr() {
+                let _ = TcpStream::connect(addr);
+            }
+        }
         (served, accept_error)
     });
 
@@ -586,6 +697,82 @@ pub fn serve_lines<H: LineHandler>(
         dropped_io_errors: drained.dropped,
         metrics: hub.snapshot(&cache),
     })
+}
+
+/// The scrape endpoint's accept loop: one short-lived HTTP/1.0
+/// exchange per connection, answered inline on this thread (scrapes
+/// are rare and tiny; a slow scraper is bounded by the per-exchange
+/// timeouts, it cannot block the serve path — only the next scraper).
+fn scrape_loop(
+    exporter: MetricsExporter<'_>,
+    done: &AtomicBool,
+    hub: &MetricsHub,
+    cache: &ResponseCache,
+) {
+    let mut consecutive_errors = 0usize;
+    loop {
+        let stream = match exporter.listener.accept() {
+            Ok((stream, _peer)) => {
+                consecutive_errors = 0;
+                stream
+            }
+            Err(_) => {
+                consecutive_errors += 1;
+                if done.load(Ordering::SeqCst)
+                    || consecutive_errors >= MAX_CONSECUTIVE_ACCEPT_ERRORS
+                {
+                    return;
+                }
+                continue;
+            }
+        };
+        if done.load(Ordering::SeqCst) {
+            return; // the self-connection wake-up
+        }
+        // Scrape-side I/O failures cost only that scrape.
+        let _ = answer_scrape(stream, exporter, hub, cache);
+    }
+}
+
+/// One scrape exchange: read the request line (and drain the headers),
+/// answer `GET /metrics` with the rendered snapshot, anything else
+/// with a 404, then close. Hard timeouts bound a stalled client.
+fn answer_scrape(
+    stream: TcpStream,
+    exporter: MetricsExporter<'_>,
+    hub: &MetricsHub,
+    cache: &ResponseCache,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut request = String::new();
+    reader.read_line(&mut request)?;
+    // Drain the header block (if any) before answering, so closing the
+    // socket cannot RST the response out from under a client that is
+    // still mid-write.
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 || header == "\r\n" || header == "\n" {
+            break;
+        }
+    }
+    let mut writer = BufWriter::new(stream);
+    let path = request.strip_prefix("GET ").and_then(|rest| rest.split_whitespace().next());
+    if path == Some("/metrics") {
+        let body = (exporter.render)(&hub.snapshot(cache));
+        write!(
+            writer,
+            "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            body.len(),
+            body
+        )?;
+    } else {
+        writer.write_all(
+            b"HTTP/1.0 404 Not Found\r\nContent-Length: 0\r\nConnection: close\r\n\r\n",
+        )?;
+    }
+    writer.flush()
 }
 
 /// Shared references every connection and job needs, bundled so the
@@ -812,6 +999,12 @@ fn run_job<H: LineHandler>(
         rt.hub.job_cancelled();
         return;
     }
+    // Stage clocks are read here on the lane and only ever *subtracted*
+    // (never branched on), so recording them cannot change response
+    // bytes — the obs byte-invisibility contract.
+    let started = Instant::now();
+    rt.hub.observe_stage_us(Stage::QueueWait, Span::starting_at(submitted).end_at(started));
+    let trace = TraceId { conn: conn_id as u64, seq };
     out.clear();
     // The handler may fold request-independent state (e.g. a session
     // generation) into the key; computed once, used for both the lookup
@@ -830,8 +1023,13 @@ fn run_job<H: LineHandler>(
             Some(deadline) => conn.token().child_with_deadline(deadline),
             None => conn.token().clone(),
         };
-        let ctx =
-            RequestContext { hub: rt.hub, cache: rt.cache, token: &token, submitted_at: submitted };
+        let ctx = RequestContext {
+            hub: rt.hub,
+            cache: rt.cache,
+            token: &token,
+            submitted_at: submitted,
+            trace,
+        };
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             rt.handler.handle(&ctx, line, &mut out)
         }));
@@ -856,6 +1054,18 @@ fn run_job<H: LineHandler>(
             }
         }
     }
+    rt.hub.observe_stage_us(Stage::LaneCompute, Span::starting_at(started).end_at(Instant::now()));
+    // Trace stamping happens strictly *after* the cache lookup and
+    // fill: the cache keeps holding bytes that are pure functions of
+    // the request line, and hits and misses are stamped uniformly, so
+    // cache transparency holds for the stamped bytes too.
+    if rt.handler.stamp_trace(trace, &mut out) {
+        rt.hub.response_traced();
+    }
+    rt.hub.observe_kind_latency_us(
+        rt.handler.kind(line),
+        Span::starting_at(submitted).end_at(Instant::now()),
+    );
     conn.deposit(seq, out);
 }
 
@@ -902,7 +1112,10 @@ fn write_loop(
                 if state.total == Some(state.written) {
                     // Everything written; push out whatever is batched.
                     drop(state);
-                    return match writer.flush() {
+                    let flush = Span::starting_at(Instant::now());
+                    let result = writer.flush();
+                    hub.observe_stage_us(Stage::WriterFlush, flush.end_at(Instant::now()));
+                    return match result {
                         Ok(()) => None,
                         Err(e) => Some(format!("flush: {e}")),
                     };
@@ -926,7 +1139,10 @@ fn write_loop(
                     state.ring[slot].is_some()
                 };
                 if !next_ready {
-                    if let Err(e) = writer.flush() {
+                    let flush = Span::starting_at(Instant::now());
+                    let result = writer.flush();
+                    hub.observe_stage_us(Stage::WriterFlush, flush.end_at(Instant::now()));
+                    if let Err(e) = result {
                         conn.kill();
                         return Some(format!("flush: {e}"));
                     }
@@ -1672,5 +1888,116 @@ mod tests {
         assert_eq!(contended, solo);
         assert_eq!(report.metrics.fair_share_violations, 0, "{:?}", report.metrics);
         assert_eq!(report.metrics.tenant_quota, 2);
+    }
+
+    #[test]
+    fn trace_ids_render_as_fixed_width_hex_words() {
+        assert_eq!(TraceId { conn: 1, seq: 0 }.to_string(), "00000001-00000000");
+        assert_eq!(TraceId { conn: 0x1f, seq: 0xabc }.to_string(), "0000001f-00000abc");
+    }
+
+    /// Echoes with a trace stamp appended, classifying everything as
+    /// kind `find` — exercises the post-cache stamping path.
+    struct StampHandler;
+
+    impl LineHandler for StampHandler {
+        fn handle(&self, _ctx: &RequestContext<'_>, line: &str, out: &mut String) -> Cacheability {
+            out.push_str("echo:");
+            out.push_str(line);
+            Cacheability::Cacheable
+        }
+
+        fn kind(&self, _line: &str) -> &'static str {
+            "find"
+        }
+
+        fn stamp_trace(&self, trace: TraceId, out: &mut String) -> bool {
+            out.push_str(&format!(" trace={trace}"));
+            true
+        }
+    }
+
+    #[test]
+    fn traces_are_stamped_after_the_cache_and_counted() {
+        let listener = bind();
+        let addr = listener.local_addr().unwrap();
+        let config = RuntimeConfig {
+            lanes: 1,
+            cache_bytes: 1 << 14,
+            max_connections: Some(2),
+            ..RuntimeConfig::default()
+        };
+        std::thread::scope(|scope| {
+            let server = scope.spawn(|| serve_lines(&listener, &config, &StampHandler).unwrap());
+            // Connection 1 fills the cache; connection 2 repeats the
+            // same line, hits the cache, and must still get its *own*
+            // trace — the stamp is applied after the lookup.
+            let lines = vec!["repeat-me".to_string(), "only-first".to_string()];
+            let got1 = exchange_serially(addr, &lines);
+            assert_eq!(
+                got1,
+                vec![
+                    "echo:repeat-me trace=00000001-00000000".to_string(),
+                    "echo:only-first trace=00000001-00000001".to_string(),
+                ]
+            );
+            let got2 = exchange_serially(addr, &lines[..1]);
+            assert_eq!(got2, vec!["echo:repeat-me trace=00000002-00000000".to_string()]);
+            let report = server.join().unwrap();
+            assert_eq!(report.metrics.cache_hits, 1, "{:?}", report.metrics);
+            assert_eq!(report.metrics.responses_traced, 3, "{:?}", report.metrics);
+            // Every stage histogram observed every request; serialize
+            // is handler-owned (empty for this handler) and the writer
+            // also flushes once more per connection at end of input.
+            for stage in &report.metrics.stage_latency {
+                match stage.label.as_str() {
+                    "serialize" => assert_eq!(stage.count, 0),
+                    "writer_flush" => assert!(stage.count >= 3, "{}", stage.count),
+                    _ => assert_eq!(stage.count, 3, "stage {}", stage.label),
+                }
+            }
+            let kinds: Vec<(&str, u64)> =
+                report.metrics.kind_latency.iter().map(|s| (s.label.as_str(), s.count)).collect();
+            assert_eq!(kinds, vec![("find", 3)]);
+        });
+    }
+
+    #[test]
+    fn metrics_side_port_answers_scrapes_and_404s() {
+        let listener = bind();
+        let addr = listener.local_addr().unwrap();
+        let scrape_listener = bind();
+        let scrape_addr = scrape_listener.local_addr().unwrap();
+        let render = |snap: &MetricsSnapshot| format!("gtl_requests_total {}\n", snap.requests);
+        let exporter = MetricsExporter { listener: &scrape_listener, render: &render };
+        let config =
+            RuntimeConfig { lanes: 1, max_connections: Some(1), ..RuntimeConfig::default() };
+        let scrape = |request: &str| {
+            let mut conn = TcpStream::connect(scrape_addr).unwrap();
+            write!(conn, "{request}").unwrap();
+            conn.shutdown(std::net::Shutdown::Write).unwrap();
+            let mut response = String::new();
+            std::io::Read::read_to_string(&mut conn, &mut response).unwrap();
+            response
+        };
+        std::thread::scope(|scope| {
+            let server = scope.spawn(|| {
+                serve_lines_with_metrics(&listener, &config, &TestHandler, Some(exporter)).unwrap()
+            });
+            // Scrape while the server is live (before its one allowed
+            // connection shuts it down).
+            let ok = scrape("GET /metrics HTTP/1.0\r\nHost: x\r\n\r\n");
+            assert!(ok.starts_with("HTTP/1.0 200 OK\r\n"), "{ok:?}");
+            assert!(ok.contains("Content-Type: text/plain; version=0.0.4"), "{ok:?}");
+            assert!(ok.ends_with("gtl_requests_total 0\n"), "{ok:?}");
+            let missing = scrape("GET /other HTTP/1.0\r\n\r\n");
+            assert!(missing.starts_with("HTTP/1.0 404 Not Found\r\n"), "{missing:?}");
+            // Exhaust the accept budget so the serve loop (and with it
+            // the scrape thread) shuts down cleanly.
+            let got = exchange_serially(addr, &["ping".to_string()]);
+            assert_eq!(got, vec!["echo:ping".to_string()]);
+            let report = server.join().unwrap();
+            assert_eq!(report.connections, 1);
+        });
     }
 }

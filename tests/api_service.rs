@@ -34,6 +34,15 @@ fn config(threads: usize) -> FinderConfig {
     }
 }
 
+/// Drops the v5 trace stamp (`,"trace":"…"`) so wire bytes can be
+/// compared against in-process oracles, which are never stamped.
+fn strip_trace(line: &str) -> String {
+    let Some(start) = line.find(",\"trace\":\"") else { return line.to_string() };
+    let rest = &line[start + 10..];
+    let end = rest.find('"').unwrap();
+    format!("{}{}", &line[..start], &rest[end + 1..])
+}
+
 /// One TCP round-trip against a fresh single-connection server.
 fn serve_round_trip(session: &Session, line: &str) -> String {
     let listener = gtl_api::bind("127.0.0.1:0").unwrap();
@@ -80,7 +89,10 @@ fn cli_json_equals_serve_payload_for_1_2_8_workers() {
         let line = serde::json::to_string(&Request::Find(FindRequest::new(config(threads))));
         let envelope = serve_round_trip(&session, &line);
 
-        // The envelope is exactly {"Find":<payload>}.
+        // The envelope is exactly {"Find":<payload>}, plus the per-
+        // request trace stamp the server adds to v5 responses.
+        assert!(envelope.contains(",\"trace\":\""), "v5 response untraced: {envelope}");
+        let envelope = strip_trace(&envelope);
         let payload = envelope
             .strip_prefix("{\"Find\":")
             .and_then(|rest| rest.strip_suffix('}'))
@@ -153,14 +165,20 @@ fn golden_v4_session_script_replay() {
     };
     let mut find = FindRequest::new(find_config);
     find.session = Some("alt".to_string());
+    // Pinned to v4: this script freezes the pre-trace wire (constructors
+    // now default to v5, which the v5 golden below covers).
+    find.v = 4;
+    let mut load = LoadNetlistRequest::new("alt", "two_cliques.hgr");
+    load.v = 4;
+    let mut list = ListSessionsRequest::new();
+    list.v = 4;
+    let mut unload = UnloadNetlistRequest::new("alt");
+    unload.v = 4;
     let script = vec![
-        serde::json::to_string(&Request::LoadNetlist(LoadNetlistRequest::new(
-            "alt",
-            "two_cliques.hgr",
-        ))),
+        serde::json::to_string(&Request::LoadNetlist(load)),
         serde::json::to_string(&Request::Find(find)),
-        serde::json::to_string(&Request::ListSessions(ListSessionsRequest::new())),
-        serde::json::to_string(&Request::UnloadNetlist(UnloadNetlistRequest::new("alt"))),
+        serde::json::to_string(&Request::ListSessions(list)),
+        serde::json::to_string(&Request::UnloadNetlist(unload)),
     ];
     let session = Session::builder().load(&fixture_path()).unwrap().build().unwrap();
     let options = ServeOptions::new().lanes(2).max_netlists(4).netlist_dir(Some(golden_dir()));
@@ -179,6 +197,82 @@ fn golden_v4_session_script_replay() {
     assert_eq!(requests, render(&script), "v4 golden request bytes changed");
     let responses = std::fs::read_to_string(&responses_path).unwrap();
     assert_eq!(responses, render(&got), "v4 golden response bytes changed");
+}
+
+/// The v5 golden script: the same session-administration shape as the
+/// v4 golden, but at the current protocol version — every response line
+/// carries its deterministic `(connection, sequence)` trace stamp, and
+/// those stamped bytes are what's frozen. `GTL_BLESS=1` regenerates.
+///
+/// `MetricsText` is deliberately absent: its payload reports live
+/// counters and latency buckets, which are not byte-stable across runs.
+/// Its rendering is frozen separately in `tests/golden/metrics.prom`
+/// (zeroed/fixed counters), and the scrape endpoint is exercised
+/// structurally below and in CI.
+#[test]
+fn golden_v5_traced_script_replay() {
+    let find_config = FinderConfig {
+        num_seeds: 10,
+        max_order_len: 10,
+        lambda_threshold: 20,
+        criterion: GrowthCriterion::WeightFirst,
+        metric: MetricKind::GtlSd,
+        min_size: 3,
+        accept_threshold: 0.9,
+        prominence: 1.2,
+        max_fraction: 0.5,
+        refine_seeds: 3,
+        refine: true,
+        threads: 2,
+        rng_seed: 3500,
+        rent_exponent: None,
+    };
+    let mut find = FindRequest::new(find_config);
+    find.session = Some("alt".to_string());
+    let script = vec![
+        serde::json::to_string(&Request::LoadNetlist(LoadNetlistRequest::new(
+            "alt",
+            "two_cliques.hgr",
+        ))),
+        serde::json::to_string(&Request::Find(find)),
+        serde::json::to_string(&Request::ListSessions(ListSessionsRequest::new())),
+        serde::json::to_string(&Request::UnloadNetlist(UnloadNetlistRequest::new("alt"))),
+    ];
+    let session = Session::builder().load(&fixture_path()).unwrap().build().unwrap();
+    let options = ServeOptions::new().lanes(2).max_netlists(4).netlist_dir(Some(golden_dir()));
+    let got = replay_script(&session, options, &script);
+    assert_eq!(got.len(), script.len(), "{got:?}");
+    // Trace IDs are a pure function of (connection, sequence): one
+    // connection (id 1), requests numbered from 0 — so the stamps are
+    // reproducible bytes, fit to freeze.
+    for (seq, line) in got.iter().enumerate() {
+        let stamp = format!(",\"trace\":\"00000001-{seq:08x}\"}}}}");
+        assert!(line.ends_with(&stamp), "line {seq} missing trace stamp: {line}");
+    }
+
+    let requests_path = golden_dir().join("serve_v5_requests.json");
+    let responses_path = golden_dir().join("serve_v5_responses.json");
+    let render = |lines: &[String]| lines.join("\n") + "\n";
+    if std::env::var("GTL_BLESS").is_ok() {
+        std::fs::write(&requests_path, render(&script)).unwrap();
+        std::fs::write(&responses_path, render(&got)).unwrap();
+        return;
+    }
+    let requests = std::fs::read_to_string(&requests_path).unwrap();
+    assert_eq!(requests, render(&script), "v5 golden request bytes changed");
+    let responses = std::fs::read_to_string(&responses_path).unwrap();
+    assert_eq!(responses, render(&got), "v5 golden response bytes changed");
+}
+
+/// The scrape payload over the v5 wire: `MetricsText` returns the
+/// Prometheus rendering as a JSON string field, end to end over TCP.
+#[test]
+fn metrics_text_round_trips_over_tcp() {
+    let session = Session::builder().load(&fixture_path()).unwrap().build().unwrap();
+    let line = serve_round_trip(&session, "{\"MetricsText\":{\"v\":5}}");
+    assert!(line.starts_with("{\"MetricsText\":{\"v\":5,\"text\":\""), "{line}");
+    assert!(line.contains("# TYPE gtl_requests counter"), "{line}");
+    assert!(line.contains(",\"trace\":\"00000001-00000000\"}}"), "{line}");
 }
 
 #[test]

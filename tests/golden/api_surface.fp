@@ -1,9 +1,11 @@
 # wire surface of crates/api/src/types.rs (token-canonical)
-pub const API_VERSION: u32 = 4;
+pub const API_VERSION: u32 = 5;
 pub const MIN_API_VERSION: u32 = 1;
 pub const METRICS_SINCE_VERSION: u32 = 2;
 pub const DEADLINE_SINCE_VERSION: u32 = 3;
 pub const SESSION_SINCE_VERSION: u32 = 4;
+pub const TRACE_SINCE_VERSION: u32 = 5;
+pub const METRICS_TEXT_SINCE_VERSION: u32 = 5;
 pub struct NetlistSummary {
   pub num_cells: usize
   pub num_nets: usize
@@ -20,6 +22,7 @@ pub struct FindResponse {
   pub v: u32
   pub netlist: NetlistSummary
   pub result: FinderResult
+  pub trace: Option<String>
 }
 pub struct PlaceRequest {
   pub v: u32
@@ -35,6 +38,7 @@ pub struct PlaceResponse {
   pub die: Die
   pub hpwl: f64
   pub congestion: CongestionReport
+  pub trace: Option<String>
 }
 pub struct StatsRequest {
   pub v: u32
@@ -43,6 +47,7 @@ pub struct StatsRequest {
 pub struct StatsResponse {
   pub v: u32
   pub stats: NetlistStats
+  pub trace: Option<String>
 }
 pub struct LoadNetlistRequest {
   pub v: u32
@@ -54,6 +59,7 @@ pub struct LoadNetlistResponse {
   pub session: SessionInfo
   pub replaced: bool
   pub evicted: Vec<String>
+  pub trace: Option<String>
 }
 pub struct UnloadNetlistRequest {
   pub v: u32
@@ -62,6 +68,7 @@ pub struct UnloadNetlistRequest {
 pub struct UnloadNetlistResponse {
   pub v: u32
   pub name: String
+  pub trace: Option<String>
 }
 pub struct ListSessionsRequest {
   pub v: u32
@@ -69,6 +76,7 @@ pub struct ListSessionsRequest {
 pub struct ListSessionsResponse {
   pub v: u32
   pub sessions: Vec<SessionInfo>
+  pub trace: Option<String>
 }
 pub struct SessionInfo {
   pub name: String
@@ -81,6 +89,7 @@ pub struct MetricsRequest {
 pub struct MetricsResponse {
   pub v: u32
   pub metrics: RuntimeMetrics
+  pub trace: Option<String>
 }
 pub struct RuntimeMetrics {
   pub lanes: u64
@@ -112,17 +121,40 @@ pub struct RuntimeMetrics {
   pub sessions_unloaded: u64
   pub registry_bytes: u64
   pub registry_capacity_bytes: u64
+  pub responses_traced: u64
+  pub stage_latency: Vec<LatencyStats>
+  pub kind_latency: Vec<LatencyStats>
+}
+pub struct LatencyStats {
+  pub label: String
+  pub count: u64
+  pub sum_us: u64
+  pub max_us: u64
+  pub p50_us: u64
+  pub p95_us: u64
+  pub p99_us: u64
+  pub buckets: Vec<u64>
+}
+pub struct MetricsTextRequest {
+  pub v: u32
+}
+pub struct MetricsTextResponse {
+  pub v: u32
+  pub text: String
+  pub trace: Option<String>
 }
 pub struct ErrorBody {
   pub v: u32
   pub code: String
   pub message: String
+  pub trace: Option<String>
 }
 pub enum Request {
   Find(FindRequest)
   Place(PlaceRequest)
   Stats(StatsRequest)
   Metrics(MetricsRequest)
+  MetricsText(MetricsTextRequest)
   LoadNetlist(LoadNetlistRequest)
   UnloadNetlist(UnloadNetlistRequest)
   ListSessions(ListSessionsRequest)
@@ -132,6 +164,7 @@ pub enum Response {
   Place(PlaceResponse)
   Stats(StatsResponse)
   Metrics(MetricsResponse)
+  MetricsText(MetricsTextResponse)
   LoadNetlist(LoadNetlistResponse)
   UnloadNetlist(UnloadNetlistResponse)
   ListSessions(ListSessionsResponse)

@@ -12,6 +12,11 @@
 //! * enums with unit, newtype, tuple and struct variants (externally
 //!   tagged: `"Variant"` or `{"Variant": payload}`, like upstream serde).
 //!
+//! One field attribute is supported: `#[serde(skip_if_null)]` omits the
+//! field from the serialized object when its value renders as `null`
+//! (upstream's `skip_serializing_if = "Option::is_none"`). Deserialization
+//! already treats a missing key as `null`, so the round-trip holds.
+//!
 //! Generic type parameters are intentionally unsupported (nothing in the
 //! workspace needs them); deriving on a generic type is a compile error
 //! with a clear message.
@@ -21,22 +26,28 @@
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// Derives `serde::Serialize` (see crate docs for supported shapes).
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(item: TokenStream) -> TokenStream {
     let input = Input::parse(item);
     input.serialize_impl().parse().expect("serde_derive: generated invalid Serialize impl")
 }
 
 /// Derives `serde::Deserialize` (see crate docs for supported shapes).
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(item: TokenStream) -> TokenStream {
     let input = Input::parse(item);
     input.deserialize_impl().parse().expect("serde_derive: generated invalid Deserialize impl")
 }
 
+/// One named field: its identifier plus the `skip_if_null` marker.
+struct Field {
+    name: String,
+    skip_if_null: bool,
+}
+
 /// The shape of one struct body or enum-variant body.
 enum Fields {
-    Named(Vec<String>),
+    Named(Vec<Field>),
     Tuple(usize),
     Unit,
 }
@@ -149,9 +160,41 @@ enum StructAccess {
 fn struct_to_value(_name: &str, fields: &Fields, access: StructAccess) -> String {
     match fields {
         Fields::Named(names) => {
+            if names.iter().any(|f| f.skip_if_null) {
+                // Push-based body: `skip_if_null` fields are appended only
+                // when their value is not `null`, so an absent optional
+                // field leaves the output bytes untouched.
+                let mut body = String::from(
+                    "{ let mut fields: ::std::vec::Vec<(::std::string::String, serde::Value)> \
+                     = ::std::vec::Vec::new(); ",
+                );
+                for f in names {
+                    let name = &f.name;
+                    let expr = match access {
+                        StructAccess::SelfDot => format!("&self.{name}"),
+                        StructAccess::Bound => name.clone(),
+                    };
+                    if f.skip_if_null {
+                        body.push_str(&format!(
+                            "{{ let value = serde::Serialize::to_value({expr}); \
+                             if !::std::matches!(value, serde::Value::Null) {{ \
+                                 fields.push((::std::string::String::from(\"{name}\"), value)); \
+                             }} }} "
+                        ));
+                    } else {
+                        body.push_str(&format!(
+                            "fields.push((::std::string::String::from(\"{name}\"), \
+                             serde::Serialize::to_value({expr}))); "
+                        ));
+                    }
+                }
+                body.push_str("serde::Value::Obj(fields) }");
+                return body;
+            }
             let entries: Vec<String> = names
                 .iter()
                 .map(|f| {
+                    let f = &f.name;
                     let expr = match access {
                         StructAccess::SelfDot => format!("&self.{f}"),
                         StructAccess::Bound => f.clone(),
@@ -188,7 +231,10 @@ fn struct_from_value(type_name: &str, ctor: &str, fields: &Fields, source: &str)
         Fields::Named(names) => {
             let inits: Vec<String> = names
                 .iter()
-                .map(|f| format!("{f}: serde::from_field({source}, \"{type_name}\", \"{f}\")?"))
+                .map(|f| {
+                    let f = &f.name;
+                    format!("{f}: serde::from_field({source}, \"{type_name}\", \"{f}\")?")
+                })
                 .collect();
             format!("::std::result::Result::Ok({ctor} {{ {} }})", inits.join(", "))
         }
@@ -235,10 +281,11 @@ fn enum_arm_to_value(name: &str, variant: &str, fields: &Fields) -> String {
         }
         Fields::Named(field_names) => {
             let payload = struct_to_value(name, fields, StructAccess::Bound);
+            let binds: Vec<&str> = field_names.iter().map(|f| f.name.as_str()).collect();
             format!(
                 "{name}::{variant} {{ {binds} }} => \
                      serde::Value::Obj(::std::vec![({tag}, {payload})]),\n",
-                binds = field_names.join(", ")
+                binds = binds.join(", ")
             )
         }
     }
@@ -267,15 +314,39 @@ fn enum_arm_from_value(name: &str, variant: &str, fields: &Fields) -> String {
     }
 }
 
-/// Parses `a: T, pub b: U, ...` from a brace group, returning field names.
-fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+/// Whether an attribute group (the `[...]` after `#`) is
+/// `[serde(skip_if_null)]`.
+fn is_skip_if_null_attr(tokens: &[TokenTree], i: usize) -> bool {
+    let Some(TokenTree::Group(attr)) = tokens.get(i + 1) else {
+        return false;
+    };
+    if attr.delimiter() != Delimiter::Bracket {
+        return false;
+    }
+    let inner: Vec<TokenTree> = attr.stream().into_iter().collect();
+    let [TokenTree::Ident(head), TokenTree::Group(args)] = &inner[..] else {
+        return false;
+    };
+    if head.to_string() != "serde" || args.delimiter() != Delimiter::Parenthesis {
+        return false;
+    }
+    let args: Vec<TokenTree> = args.stream().into_iter().collect();
+    matches!(&args[..], [TokenTree::Ident(arg)] if arg.to_string() == "skip_if_null")
+}
+
+/// Parses `a: T, pub b: U, ...` from a brace group, returning field
+/// names plus their `#[serde(skip_if_null)]` markers.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let tokens: Vec<TokenTree> = stream.into_iter().collect();
     let mut fields = Vec::new();
+    let mut skip_if_null = false;
     let mut i = 0;
     while i < tokens.len() {
-        // Skip attributes and visibility.
+        // Skip attributes and visibility (remembering a pending
+        // `#[serde(skip_if_null)]` for the field that follows).
         match &tokens[i] {
             TokenTree::Punct(p) if p.as_char() == '#' => {
+                skip_if_null |= is_skip_if_null_attr(&tokens, i);
                 i += 2;
                 continue;
             }
@@ -289,7 +360,8 @@ fn parse_named_fields(stream: TokenStream) -> Vec<String> {
                 continue;
             }
             TokenTree::Ident(id) => {
-                fields.push(id.to_string());
+                fields.push(Field { name: id.to_string(), skip_if_null });
+                skip_if_null = false;
                 i += 1;
                 // Skip `:` and the type, up to the next top-level comma.
                 let mut angle_depth = 0i32;
