@@ -18,7 +18,10 @@
 //!   of the single-thread wall time of a full sharded `place()` run);
 //! * `solver_kernels.json` → `<kernel>_solves_per_s` for every kernel
 //!   row (currently `anchored` and `shard`), gating the fused CG
-//!   kernels directly, below placer-level noise.
+//!   kernels directly, below placer-level noise;
+//! * `loadgen.json` → `closed_req_per_s` (closed-loop replay throughput
+//!   of the full serve path over real TCP, emitted by
+//!   `gtl loadgen replay --summary`).
 //!
 //! Baselines are **machine- and toolchain-relative** absolute numbers:
 //! they must be re-snapshotted whenever the reference hardware or the
@@ -36,7 +39,7 @@ use crate::report::Json;
 /// committed baseline, so a silently-missing artifact fails loudly
 /// instead of passing vacuously.
 pub const TRACKED_BENCHES: &[&str] =
-    &["serve_throughput", "finder_parallel", "placement_parallel", "solver_kernels"];
+    &["serve_throughput", "finder_parallel", "placement_parallel", "solver_kernels", "loadgen"];
 
 /// Default tolerated cold-path regression: fail when a tracked metric
 /// drops more than 30% below its committed baseline.
@@ -129,6 +132,15 @@ pub fn tracked_metrics(bench: &str, doc: &Json) -> Result<Vec<(String, f64)>, St
                 return Err(format!("{bench}: no kernel runs"));
             }
             Ok(metrics)
+        }
+        "loadgen" => {
+            for run in runs {
+                if field(run, "mode", bench)?.as_str() == Some("closed") {
+                    let req_per_s = number(run, "req_per_s", bench)?;
+                    return Ok(vec![("closed_req_per_s".to_string(), req_per_s)]);
+                }
+            }
+            Err(format!("{bench}: no run with mode \"closed\""))
         }
         other => Err(format!("unknown tracked bench `{other}`")),
     }
@@ -275,6 +287,24 @@ mod tests {
         ])
     }
 
+    fn loadgen_doc(closed_rps: f64) -> Json {
+        Json::obj([
+            ("bench", Json::str("loadgen")),
+            (
+                "runs",
+                Json::arr([Json::obj([
+                    ("mode", Json::str("closed")),
+                    ("inflight", Json::num(4.0)),
+                    ("requests", Json::num(40.0)),
+                    ("responses", Json::num(40.0)),
+                    ("wall_seconds", Json::num(0.5)),
+                    ("req_per_s", Json::num(closed_rps)),
+                    ("kinds", Json::arr([])),
+                ])]),
+            ),
+        ])
+    }
+
     #[test]
     fn within_tolerance_passes() {
         let checks = compare("serve_throughput", &serve_doc(100.0), &serve_doc(80.0), 0.30)
@@ -348,6 +378,25 @@ mod tests {
     }
 
     #[test]
+    fn loadgen_metric_is_closed_loop_throughput() {
+        let checks =
+            compare("loadgen", &loadgen_doc(100.0), &loadgen_doc(60.0), 0.30).expect("compare");
+        assert_eq!(checks.len(), 1);
+        assert_eq!(checks[0].metric, "closed_req_per_s");
+        assert!(checks[0].regressed, "{checks:?}");
+        let checks =
+            compare("loadgen", &loadgen_doc(100.0), &loadgen_doc(80.0), 0.30).expect("compare");
+        assert!(!checks[0].regressed, "{checks:?}");
+        // An open-loop-only report cannot satisfy the gate: the tracked
+        // number is sustainable closed-loop throughput.
+        let open_only = Json::obj([(
+            "runs",
+            Json::arr([Json::obj([("mode", Json::str("open")), ("req_per_s", Json::num(9.0))])]),
+        )]);
+        assert!(tracked_metrics("loadgen", &open_only).is_err());
+    }
+
+    #[test]
     fn malformed_reports_error_instead_of_passing() {
         let empty = Json::obj([("bench", Json::str("serve_throughput"))]);
         assert!(compare("serve_throughput", &empty, &serve_doc(1.0), 0.3).is_err());
@@ -386,9 +435,10 @@ mod tests {
             .unwrap();
             crate::report::write_json(target.join("solver_kernels.json"), &solver_doc(100.0, 40.0))
                 .unwrap();
+            crate::report::write_json(target.join("loadgen.json"), &loadgen_doc(100.0)).unwrap();
         }
         let checks = run_gate(&results, &baselines, 0.3).expect("gate");
-        assert_eq!(checks.len(), 5);
+        assert_eq!(checks.len(), 6);
         assert!(checks.iter().all(|c| !c.regressed), "{checks:?}");
         // Deleting any one tracked artifact fails the whole gate.
         std::fs::remove_file(baselines.join("solver_kernels.json")).unwrap();

@@ -10,8 +10,14 @@
 //!   metric;
 //! * `gtl curve <file> --seed <id>` — CSV score curve of one linear
 //!   ordering (the paper's Figures 2/3/5 raw data);
+//! * `gtl synth --cells N --out <file.hgr>` — stream a synthetic
+//!   ISPD-like design to disk in bounded memory (see
+//!   [`gtl_synth::stream`]);
 //! * `gtl serve <file>` — the JSON-lines request server (see
-//!   [`gtl_api::serve`](mod@gtl_api::serve)).
+//!   [`gtl_api::serve`](mod@gtl_api::serve));
+//! * `gtl loadgen record|replay` — capture live serve traffic into a
+//!   deterministic trace and drive it back open- or closed-loop (see
+//!   [`gtl_loadgen`]).
 //!
 //! Input formats are detected by extension: `.hgr` (hMETIS), `.aux`
 //! (Bookshelf), `.v` (structural Verilog). Errors carry structured
@@ -43,12 +49,21 @@ USAGE:
   gtl curve <file> --seed id [--max-order N]
   gtl blocks <file> [find options] [--whitespace F]
   gtl resynth <file> [find options] [--max-fanout N] [--out <file.v>]
+  gtl synth --cells N --out <file.hgr> [--seed N] [--rent F]
+                   [--structures N]
   gtl serve <file> [--addr A] [--port N] [--max-conns N]
                    [--lanes N] [--queue-depth N] [--cache-bytes N]
                    [--pipeline K] [--timeout-ms N] [--max-concurrent N]
                    [--deadline-ms N] [--netlist-dir D] [--max-netlists N]
                    [--registry-bytes N] [--tenant-quota N]
                    [--metrics-port N]
+  gtl loadgen record --listen A:P --upstream A:P --out <trace.jsonl>
+                   [--max-conns N] [--connect-timeout-ms N]
+  gtl loadgen replay (--trace <trace.jsonl> | --requests <lines.json>)
+                   --addr A:P [--mode closed|open] [--inflight N]
+                   [--rate F] [--repeat N] [--out F] [--summary F]
+                   [--expect F] [--scrape-addr A:P] [--scrape-out F]
+                   [--connect-timeout-ms N]
 
 FILES: .hgr (hMETIS), .aux (Bookshelf/ISPD), .v (structural Verilog)
 
@@ -93,9 +108,38 @@ SERVE RUNTIME (gtl-runtime; see ARCHITECTURE.md):
                       On exit, the summary prints p50/p95/p99 latency
                       per request kind.
 
+LOADGEN (gtl-loadgen; see ARCHITECTURE.md):
+  record            transparent TCP tee: clients connect to --listen,
+                    bytes forward to --upstream and back, and every
+                    request line lands in --out as a versioned
+                    JSON-lines trace (connection id, per-connection
+                    sequence number, arrival offset in microseconds)
+  replay            drive a trace (or a raw request-line file via
+                    --requests) against the server at --addr.
+                    Connections are established serially in
+                    connection-id order and retried while the server
+                    boots (--connect-timeout-ms, default 10000), so
+                    scripted callers need no external wait loop.
+                    --mode closed (default) keeps --inflight requests
+                    outstanding per connection (default 1 = serial);
+                    --mode open sends at the recorded arrival offsets,
+                    or at --rate requests/second across the trace.
+                    --repeat N loops the trace back to back. --out
+                    writes the deterministic response log (connections
+                    in id order, responses in sequence order),
+                    --summary the machine-readable req/s + per-kind
+                    p50/p95/p99 JSON (the results/loadgen.json shape
+                    the bench-trend gate tracks), and --expect
+                    byte-compares the log against a golden file —
+                    drift exits 1 after the log is written.
+                    --scrape-addr/--scrape-out fetch GET /metrics from
+                    the v5 side port while the replay connections are
+                    still open.
+
 EXIT CODES (from the structured ApiError codes; see gtl_api):
   0  success
-  1  netlist load/parse error                  [netlist]
+  1  netlist load/parse error, or response drift
+     under `gtl loadgen replay --expect`           [netlist]
   2  bad arguments or malformed request        [bad_request, invalid_argument,
                                                 unsupported_version,
                                                 unknown_session]
@@ -186,7 +230,9 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "curve" => cmd_curve(&args[1..]),
         "blocks" => cmd_blocks(&args[1..]),
         "resynth" => cmd_resynth(&args[1..]),
+        "synth" => cmd_synth(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
+        "loadgen" => cmd_loadgen(&args[1..]),
         "--help" | "-h" | "help" => Ok(USAGE.to_string()),
         other => Err(CliError::bad_request(format!("unknown command `{other}`\n\n{USAGE}"))),
     }
@@ -446,6 +492,27 @@ fn cmd_resynth(args: &[String]) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `gtl synth`: stream a multi-million-cell ISPD-like design to disk in
+/// bounded memory (see [`gtl_synth::stream`]). Output is `.hgr`, the
+/// format the streaming parser and `--netlist-dir` session loads consume.
+fn cmd_synth(args: &[String]) -> Result<String, CliError> {
+    let cells: usize = parse_flag(args, "--cells", 0usize)?;
+    if cells < 64 {
+        return Err(CliError::bad_request("synth requires --cells N (at least 64)"));
+    }
+    let out = flag_value(args, "--out")
+        .ok_or_else(|| CliError::bad_request("synth requires --out <file.hgr>"))?;
+    let mut config = gtl_synth::stream::StreamDesignConfig::new(cells);
+    config.seed = parse_flag(args, "--seed", config.seed)?;
+    config.rent_exponent = parse_flag(args, "--rent", config.rent_exponent)?;
+    config.structures = parse_flag(args, "--structures", config.structures)?;
+    let stats = gtl_synth::stream::write_hgr_file(&config, out)?;
+    Ok(format!(
+        "wrote {out}: {} cells, {} nets, {} pins (seed {:#x}, rent {}, {} structures)\n",
+        stats.cells, stats.nets, stats.pins, config.seed, config.rent_exponent, config.structures,
+    ))
+}
+
 /// `gtl serve`: bind a TCP listener and answer JSON-lines requests over
 /// the loaded netlist on the bounded `gtl-runtime` (compute lanes,
 /// response cache, pipelining, timeouts) until the connection budget
@@ -547,6 +614,111 @@ fn render_serve_summary(summary: &gtl_api::ServeSummary) -> String {
         }
     }
     out
+}
+
+/// `gtl loadgen`: recorded-trace load generation for the serve path
+/// (see [`gtl_loadgen`]). `record` captures live traffic through a
+/// transparent proxy/tee; `replay` drives a trace back open- or
+/// closed-loop with per-kind latency percentiles and optional golden
+/// comparison.
+fn cmd_loadgen(args: &[String]) -> Result<String, CliError> {
+    match args.first().map(String::as_str) {
+        Some("record") => cmd_loadgen_record(&args[1..]),
+        Some("replay") => cmd_loadgen_replay(&args[1..]),
+        _ => Err(CliError::bad_request(format!(
+            "loadgen requires a `record` or `replay` subcommand\n\n{USAGE}"
+        ))),
+    }
+}
+
+fn cmd_loadgen_record(args: &[String]) -> Result<String, CliError> {
+    let listen = flag_value(args, "--listen")
+        .ok_or_else(|| CliError::bad_request("loadgen record requires --listen <addr:port>"))?;
+    let upstream = flag_value(args, "--upstream")
+        .ok_or_else(|| CliError::bad_request("loadgen record requires --upstream <addr:port>"))?;
+    let out = flag_value(args, "--out")
+        .ok_or_else(|| CliError::bad_request("loadgen record requires --out <trace.jsonl>"))?;
+    let mut options = gtl_loadgen::record::RecordOptions::new(listen, upstream, out);
+    options.max_conns = parse_flag(args, "--max-conns", 0usize)?;
+    options.connect_timeout =
+        std::time::Duration::from_millis(parse_flag(args, "--connect-timeout-ms", 10_000u64)?);
+    // Readiness goes to stderr immediately (stdout is returned only when
+    // the connection budget is exhausted, which without --max-conns is
+    // never).
+    eprintln!("gtl: recording {listen} -> {upstream} into {out} (Ctrl-C to stop)");
+    let summary = gtl_loadgen::record::record(&options)?;
+    Ok(format!(
+        "recorded {} connection(s), {} request line(s) to {out}\n",
+        summary.connections, summary.requests
+    ))
+}
+
+fn cmd_loadgen_replay(args: &[String]) -> Result<String, CliError> {
+    use gtl_loadgen::replay::{ReplayMode, ReplayOptions};
+    let addr = flag_value(args, "--addr")
+        .ok_or_else(|| CliError::bad_request("loadgen replay requires --addr <addr:port>"))?;
+    let records = match (flag_value(args, "--trace"), flag_value(args, "--requests")) {
+        (Some(path), None) => gtl_loadgen::trace::read_trace(path)?,
+        (None, Some(path)) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| CliError::from(ApiError::io(format!("read {path}: {e}"))))?;
+            gtl_loadgen::trace::from_request_lines(&text)
+        }
+        _ => {
+            return Err(CliError::bad_request(
+                "loadgen replay requires exactly one of --trace or --requests",
+            ))
+        }
+    };
+    // --rate alone implies open loop; --mode settles any ambiguity.
+    let default_mode = if flag_value(args, "--rate").is_some() { "open" } else { "closed" };
+    let mode = match flag_value(args, "--mode").unwrap_or(default_mode) {
+        "closed" => ReplayMode::Closed { inflight: parse_flag(args, "--inflight", 1usize)? },
+        "open" => ReplayMode::Open { rate: parse_flag(args, "--rate", 0.0f64)? },
+        other => {
+            return Err(CliError::bad_request(format!(
+                "--mode expects `closed` or `open`, got `{other}`"
+            )))
+        }
+    };
+    let mut options = ReplayOptions::new(addr);
+    options.mode = mode;
+    options.repeat = parse_flag(args, "--repeat", 1usize)?;
+    options.connect_timeout =
+        std::time::Duration::from_millis(parse_flag(args, "--connect-timeout-ms", 10_000u64)?);
+    options.out = flag_value(args, "--out").map(std::path::PathBuf::from);
+    options.summary_out = flag_value(args, "--summary").map(std::path::PathBuf::from);
+    options.expect = flag_value(args, "--expect").map(std::path::PathBuf::from);
+    options.scrape_addr = flag_value(args, "--scrape-addr").map(str::to_string);
+    options.scrape_out = flag_value(args, "--scrape-out").map(std::path::PathBuf::from);
+    let connections = {
+        let mut ids: Vec<u32> = records.iter().map(|r| r.conn).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.len()
+    };
+    let report = gtl_loadgen::replay::run(&records, &options)?;
+    let mode_text = match report.mode {
+        ReplayMode::Closed { inflight } => format!("closed, inflight {inflight}"),
+        ReplayMode::Open { rate } if rate > 0.0 => format!("open, {rate} req/s target"),
+        ReplayMode::Open { .. } => "open, recorded offsets".to_string(),
+    };
+    let mut out = format!(
+        "replayed {} request(s) over {connections} connection(s): {} response(s), {:.0} req/s \
+         ({mode_text}, wall {:.3}s)\n",
+        report.requests, report.responses, report.req_per_s, report.wall_seconds,
+    );
+    for kind in &report.kinds {
+        let _ = writeln!(
+            out,
+            "latency[{}]: {} request(s), p50 {}us, p95 {}us, p99 {}us, max {}us",
+            kind.kind, kind.count, kind.p50_us, kind.p95_us, kind.p99_us, kind.max_us,
+        );
+    }
+    if let Some(expect) = &options.expect {
+        let _ = writeln!(out, "responses match {}", expect.display());
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -669,6 +841,27 @@ mod tests {
     }
 
     #[test]
+    fn synth_command_streams_design_to_disk() {
+        let dir = std::env::temp_dir().join("gtl_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("synth.hgr");
+        let path = path.display().to_string();
+        let out = run(&argv(&["synth", "--cells", "500", "--out", &path])).unwrap();
+        assert!(out.contains("500 cells"), "{out}");
+        let nl = load_netlist(&path).unwrap();
+        assert_eq!(nl.num_cells(), 500);
+        // Same config twice = byte-identical file.
+        let first = std::fs::read(&path).unwrap();
+        run(&argv(&["synth", "--cells", "500", "--out", &path])).unwrap();
+        assert_eq!(first, std::fs::read(&path).unwrap());
+        // Bad arguments map to exit code 2, not a panic.
+        let err = run(&argv(&["synth", "--cells", "10", "--out", &path])).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        let err = run(&argv(&["synth", "--cells", "100"])).unwrap_err();
+        assert!(err.to_string().contains("--out"), "{err}");
+    }
+
+    #[test]
     fn find_json_matches_session_dispatch() {
         let path = fixture_path();
         let args =
@@ -761,6 +954,118 @@ mod tests {
     }
 
     #[test]
+    fn loadgen_replay_round_trip_with_expect() {
+        use std::io::Write as _;
+        let dir = std::env::temp_dir().join("gtl_cli_test").join("loadgen");
+        std::fs::create_dir_all(&dir).unwrap();
+        let requests_path = dir.join("requests.json");
+        let log_path = dir.join("replay.log");
+        let summary_path = dir.join("loadgen.json");
+        let request =
+            serde::json::to_string(&gtl_api::Request::Find(FindRequest::new(FinderConfig {
+                num_seeds: 4,
+                min_size: 3,
+                max_order_len: 8,
+                ..Default::default()
+            })));
+        let mut file = std::fs::File::create(&requests_path).unwrap();
+        writeln!(file, "{request}").unwrap();
+        drop(file);
+
+        // A fresh 1-connection server per replay: v5 trace stamps depend
+        // on accept order, which restarts with the server.
+        let netlist = load_netlist(&fixture_path()).unwrap();
+        let serve_options = gtl_api::ServeOptions::new().lanes(1).max_connections(Some(1));
+        let replay = |extra: &[&str]| -> Result<String, CliError> {
+            let session = Session::builder().netlist(netlist.clone()).build().unwrap();
+            let listener = gtl_api::bind("127.0.0.1:0").unwrap();
+            let addr = listener.local_addr().unwrap().to_string();
+            std::thread::scope(|scope| {
+                let server =
+                    scope.spawn(|| gtl_api::serve(&session, &listener, &serve_options).unwrap());
+                let mut args = argv(&[
+                    "loadgen",
+                    "replay",
+                    "--requests",
+                    &requests_path.display().to_string(),
+                    "--addr",
+                    &addr,
+                ]);
+                args.extend(argv(extra));
+                let result = run(&args);
+                server.join().unwrap();
+                result
+            })
+        };
+
+        let out = replay(&[
+            "--out",
+            &log_path.display().to_string(),
+            "--summary",
+            &summary_path.display().to_string(),
+        ])
+        .unwrap();
+        assert!(out.contains("replayed 1 request(s) over 1 connection(s)"), "{out}");
+        assert!(out.contains("latency[find]: 1 request(s), p50 "), "{out}");
+        let log = std::fs::read_to_string(&log_path).unwrap();
+        assert_eq!(log.lines().count(), 1);
+        assert!(log.starts_with("{\"Find\":"), "{log}");
+        let summary = std::fs::read_to_string(&summary_path).unwrap();
+        assert!(summary.contains("\"bench\":\"loadgen\""), "{summary}");
+
+        // The written log doubles as the golden: a second replay against
+        // a fresh server must match it byte for byte.
+        let out = replay(&["--expect", &log_path.display().to_string()]).unwrap();
+        assert!(out.contains("responses match"), "{out}");
+
+        // A tampered golden must fail with the netlist-class exit code 1.
+        std::fs::write(&log_path, log.replacen('{', "[", 1)).unwrap();
+        let err = replay(&["--expect", &log_path.display().to_string()]).unwrap_err();
+        assert!(err.to_string().contains("response drift"), "{err}");
+        assert_eq!(err.exit_code(), 1);
+    }
+
+    #[test]
+    fn loadgen_rejects_bad_arguments() {
+        // All argument errors must surface before any socket I/O.
+        let err = run(&argv(&["loadgen"])).unwrap_err();
+        assert!(err.to_string().contains("record"), "{err}");
+        assert_eq!(err.exit_code(), 2);
+        let err = run(&argv(&["loadgen", "bogus"])).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        let err =
+            run(&argv(&["loadgen", "replay", "--addr", "a", "--trace", "t", "--requests", "r"]))
+                .unwrap_err();
+        assert!(err.to_string().contains("exactly one"), "{err}");
+        let err = run(&argv(&["loadgen", "replay", "--requests", "r"])).unwrap_err();
+        assert!(err.to_string().contains("--addr"), "{err}");
+        let err = run(&argv(&["loadgen", "record", "--listen", "a"])).unwrap_err();
+        assert!(err.to_string().contains("--upstream"), "{err}");
+        let err =
+            run(&argv(&["loadgen", "record", "--listen", "a", "--upstream", "b"])).unwrap_err();
+        assert!(err.to_string().contains("--out"), "{err}");
+        // Mode validation happens before the trace file is opened… after
+        // parsing, so use a real (empty-ish) trace file.
+        let dir = std::env::temp_dir().join("gtl_cli_test").join("loadgen");
+        std::fs::create_dir_all(&dir).unwrap();
+        let requests = dir.join("one_request.json");
+        std::fs::write(&requests, "{\"Stats\":{\"v\":1}}\n").unwrap();
+        let err = run(&argv(&[
+            "loadgen",
+            "replay",
+            "--requests",
+            &requests.display().to_string(),
+            "--addr",
+            "127.0.0.1:1",
+            "--mode",
+            "sideways",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("--mode"), "{err}");
+        assert_eq!(err.exit_code(), 2);
+    }
+
+    #[test]
     fn help_documents_exit_codes_and_serve() {
         let help = run(&argv(&["--help"])).unwrap();
         assert!(help.contains("EXIT CODES"), "{help}");
@@ -783,6 +1088,12 @@ mod tests {
         assert!(help.contains("deadline_exceeded"), "{help}");
         assert!(help.contains("unknown_session"), "{help}");
         assert!(help.contains("LoadNetlist"), "{help}");
+        assert!(help.contains("gtl loadgen record"), "{help}");
+        assert!(help.contains("gtl loadgen replay"), "{help}");
+        for flag in ["--inflight", "--rate", "--repeat", "--expect", "--scrape-addr", "--summary"] {
+            assert!(help.contains(flag), "missing {flag} in help:\n{help}");
+        }
+        assert!(help.contains("response drift"), "{help}");
     }
 
     #[test]

@@ -3,9 +3,9 @@
 //! The workspace splits into **compute** crates (everything that must be
 //! a deterministic pure function of input + config: `core`, `tangled`,
 //! `place`, `netlist`, `synth`), **I/O** crates (`runtime`, `api`,
-//! `cli`, `bench`, `lint`, the root umbrella — allowed to touch clocks
-//! and sockets, with the serve-path subset additionally forbidden from
-//! panicking), **test** code (unit-test modules, `tests/`, `benches/`,
+//! `cli`, `bench`, `lint`, `loadgen`, the root umbrella — allowed to
+//! touch clocks and sockets, with the serve-path subset additionally
+//! forbidden from panicking), **test** code (unit-test modules, `tests/`, `benches/`,
 //! `examples/` — exempt from the determinism rules: tests may time,
 //! thread and unwrap freely), and **vendored shims** (`vendor/` —
 //! stand-ins for external crates, held only to the unsafe-code rule).
@@ -105,6 +105,10 @@ mod tests {
     fn zone_classification() {
         assert_eq!(classify(Path::new("crates/place/src/placer.rs")), Zone::Compute);
         assert_eq!(classify(Path::new("crates/runtime/src/server.rs")), Zone::Io);
+        // The load generator measures wall-clock latency by design:
+        // it lives in the I/O zone, not the deterministic compute zone.
+        assert_eq!(classify(Path::new("crates/loadgen/src/replay.rs")), Zone::Io);
+        assert_eq!(classify(Path::new("crates/loadgen/tests/live_replay.rs")), Zone::Test);
         assert_eq!(classify(Path::new("crates/place/tests/determinism.rs")), Zone::Test);
         assert_eq!(classify(Path::new("crates/bench/benches/finder.rs")), Zone::Test);
         assert_eq!(classify(Path::new("examples/quickstart.rs")), Zone::Test);
@@ -119,6 +123,7 @@ mod tests {
         assert!(on_serve_path(Path::new("crates/api/src/serve.rs")));
         assert!(on_serve_path(Path::new("crates/cli/src/lib.rs")));
         assert!(!on_serve_path(Path::new("crates/place/src/placer.rs")));
+        assert!(!on_serve_path(Path::new("crates/loadgen/src/replay.rs")));
         assert!(!on_serve_path(Path::new("crates/api/tests/runtime_serve.rs")));
     }
 

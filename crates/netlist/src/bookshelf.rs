@@ -28,8 +28,10 @@
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
+use std::io::Read;
 use std::path::{Path, PathBuf};
 
+use crate::stream::LineScanner;
 use crate::{CellId, Netlist, NetlistBuilder, NetlistError, ParseContext};
 
 /// One standard-cell row from a `.scl` file.
@@ -135,8 +137,14 @@ pub fn read_aux(path: impl AsRef<Path>) -> Result<BookshelfDesign, NetlistError>
     let nets = nets.ok_or_else(|| {
         NetlistError::syntax(ParseContext::new(&label, 1), "aux lists no .nets file")
     })?;
-    let nodes_text = std::fs::read_to_string(&nodes)?;
-    let nets_text = std::fs::read_to_string(&nets)?;
+    // The .nodes and .nets files dominate a design's size (a million-cell
+    // design is hundreds of MB of net records); stream them through the
+    // bounded scanner. The .pl/.scl files are O(cells) lines of short
+    // fixed-width records and stay on the eager path.
+    let nodes_file = std::fs::File::open(&nodes)?;
+    let mut nodes_scanner = LineScanner::new(nodes_file, nodes.display().to_string());
+    let nets_file = std::fs::File::open(&nets)?;
+    let mut nets_scanner = LineScanner::new(nets_file, nets.display().to_string());
     let pl_text = match &pl {
         Some(p) if p.exists() => Some(std::fs::read_to_string(p)?),
         _ => None,
@@ -145,7 +153,7 @@ pub fn read_aux(path: impl AsRef<Path>) -> Result<BookshelfDesign, NetlistError>
         Some(p) if p.exists() => Some(std::fs::read_to_string(p)?),
         _ => None,
     };
-    parse_parts(&nodes_text, &nets_text, pl_text.as_deref(), scl_text.as_deref())
+    build_design(&mut nodes_scanner, &mut nets_scanner, pl_text.as_deref(), scl_text.as_deref())
 }
 
 /// Parses a design from in-memory file contents.
@@ -165,7 +173,22 @@ pub fn parse_parts(
     pl: Option<&str>,
     scl: Option<&str>,
 ) -> Result<BookshelfDesign, NetlistError> {
-    let parsed_nodes = parse_nodes(nodes)?;
+    let mut nodes_scanner = LineScanner::new(nodes.as_bytes(), "<nodes>");
+    let mut nets_scanner = LineScanner::new(nets.as_bytes(), "<nets>");
+    build_design(&mut nodes_scanner, &mut nets_scanner, pl, scl)
+}
+
+/// Shared body of [`parse_parts`] and [`read_aux`]: the `.nodes` and
+/// `.nets` sides stream through [`LineScanner`]s, so the two entry points
+/// are the same code path (the streaming-equivalence proptest relies on
+/// this).
+fn build_design<Rn: Read, Re: Read>(
+    nodes_scanner: &mut LineScanner<Rn>,
+    nets_scanner: &mut LineScanner<Re>,
+    pl: Option<&str>,
+    scl: Option<&str>,
+) -> Result<BookshelfDesign, NetlistError> {
+    let parsed_nodes = parse_nodes(nodes_scanner)?;
     let mut name_to_id: HashMap<String, CellId> = HashMap::with_capacity(parsed_nodes.len());
     let mut builder = NetlistBuilder::with_capacity(parsed_nodes.len(), 0);
     let mut widths = Vec::with_capacity(parsed_nodes.len());
@@ -182,7 +205,7 @@ pub fn parse_parts(
         fixed.push(node.terminal);
     }
 
-    parse_nets(nets, &name_to_id, &mut builder)?;
+    parse_nets(nets_scanner, &name_to_id, &mut builder)?;
     let netlist = builder.finish();
 
     let positions = match pl {
@@ -214,11 +237,11 @@ fn header_value(line: &str, key: &str) -> Option<usize> {
     rest.split_whitespace().next()?.parse().ok()
 }
 
-fn parse_nodes(text: &str) -> Result<Vec<NodeRec>, NetlistError> {
-    let label = "<nodes>";
+fn parse_nodes<R: Read>(scanner: &mut LineScanner<R>) -> Result<Vec<NodeRec>, NetlistError> {
+    let label = scanner.label().to_string();
     let mut declared: Option<usize> = None;
     let mut out = Vec::new();
-    for (i, raw) in text.lines().enumerate() {
+    while let Some((i, raw)) = scanner.next_line()? {
         let line = strip_comment(raw);
         if line.is_empty() || line.starts_with("UCLA") {
             continue;
@@ -231,9 +254,9 @@ fn parse_nodes(text: &str) -> Result<Vec<NodeRec>, NetlistError> {
             continue;
         }
         let mut toks = line.split_whitespace();
-        let name = toks.next().unwrap().to_string();
-        let width: f64 = parse_f64(toks.next(), label, i + 1, "node width")?;
-        let height: f64 = parse_f64(toks.next(), label, i + 1, "node height")?;
+        let name = toks.next().unwrap_or_default().to_string();
+        let width: f64 = parse_f64(toks.next(), &label, i, "node width")?;
+        let height: f64 = parse_f64(toks.next(), &label, i, "node height")?;
         let terminal = toks.next().map(|t| t.eq_ignore_ascii_case("terminal")).unwrap_or(false);
         out.push(NodeRec { name, width, height, terminal });
     }
@@ -249,12 +272,12 @@ fn parse_nodes(text: &str) -> Result<Vec<NodeRec>, NetlistError> {
     Ok(out)
 }
 
-fn parse_nets(
-    text: &str,
+fn parse_nets<R: Read>(
+    scanner: &mut LineScanner<R>,
     names: &HashMap<String, CellId>,
     builder: &mut NetlistBuilder,
 ) -> Result<(), NetlistError> {
-    let label = "<nets>";
+    let label = scanner.label().to_string();
     let mut declared: Option<usize> = None;
     let mut current: Option<(String, usize, Vec<CellId>)> = None;
     let mut nets_read = 0usize;
@@ -266,7 +289,7 @@ fn parse_nets(
         if let Some((name, degree, pins)) = current.take() {
             if pins.len() != degree {
                 return Err(NetlistError::syntax(
-                    ParseContext::new(label, line),
+                    ParseContext::new(&label, line),
                     format!("net `{name}` declared degree {degree} but has {} pins", pins.len()),
                 ));
             }
@@ -275,7 +298,7 @@ fn parse_nets(
         Ok(())
     };
 
-    for (i, raw) in text.lines().enumerate() {
+    while let Some((i, raw)) = scanner.next_line()? {
         let line = strip_comment(raw);
         if line.is_empty() || line.starts_with("UCLA") {
             continue;
@@ -288,15 +311,12 @@ fn parse_nets(
             continue;
         }
         if let Some(rest) = line.strip_prefix("NetDegree") {
-            flush(&mut current, builder, i + 1)?;
+            flush(&mut current, builder, i)?;
             let rest = rest.trim_start().strip_prefix(':').ok_or_else(|| {
-                NetlistError::syntax(
-                    ParseContext::new(label, i + 1),
-                    "expected `:` after NetDegree",
-                )
+                NetlistError::syntax(ParseContext::new(&label, i), "expected `:` after NetDegree")
             })?;
             let mut toks = rest.split_whitespace();
-            let degree: usize = parse_num(toks.next(), label, i + 1, "net degree")?;
+            let degree: usize = parse_num(toks.next(), &label, i, "net degree")?;
             let name = toks.next().map(str::to_string).unwrap_or_else(|| format!("net{nets_read}"));
             current = Some((name, degree, Vec::with_capacity(degree)));
             nets_read += 1;
@@ -306,19 +326,22 @@ fn parse_nets(
         let (name_tok, _) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
         let cell = *names.get(name_tok).ok_or_else(|| NetlistError::UnknownCell {
             name: name_tok.to_string(),
-            context: Some(ParseContext::new(label, i + 1)),
+            context: Some(ParseContext::new(&label, i)),
         })?;
         match &mut current {
             Some((_, _, pins)) => pins.push(cell),
             None => {
                 return Err(NetlistError::syntax(
-                    ParseContext::new(label, i + 1),
+                    ParseContext::new(&label, i),
                     "pin line before any NetDegree record",
                 ))
             }
         }
     }
-    flush(&mut current, builder, text.lines().count())?;
+    // A record still open at EOF (mid-record truncation) is caught here:
+    // its pin count cannot match the declared degree unless the file ended
+    // exactly at a record boundary.
+    flush(&mut current, builder, scanner.line_no())?;
     if let Some(n) = declared {
         if n != nets_read {
             return Err(NetlistError::CountMismatch {

@@ -21,14 +21,18 @@
 //! ```
 
 use std::fmt::Write as _;
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::{Read, Write};
 use std::path::Path;
 
+use crate::stream::{LineScanner, DEFAULT_MAX_LINE_BYTES};
 use crate::{CellId, Netlist, NetlistBuilder, NetlistError, ParseContext};
 
 /// Parses a `.hgr` hypergraph from a reader.
 ///
-/// A mut reference to a reader can be passed (`&mut reader`) thanks to the
+/// Streams through a bounded line buffer (see [`crate::stream`]); the
+/// whole file is never materialized, so multi-million-cell designs parse
+/// in memory proportional to the netlist itself, not the file. A mut
+/// reference to a reader can be passed (`&mut reader`) thanks to the
 /// blanket `Read for &mut R` impl.
 ///
 /// # Errors
@@ -37,18 +41,44 @@ use crate::{CellId, Netlist, NetlistBuilder, NetlistError, ParseContext};
 /// pins, and [`NetlistError::CountMismatch`] if the header count disagrees
 /// with the body.
 pub fn parse<R: Read>(reader: R, label: &str) -> Result<Netlist, NetlistError> {
-    let buf = BufReader::new(reader);
-    let mut lines = buf.lines().enumerate();
+    parse_with(reader, label, DEFAULT_MAX_LINE_BYTES)
+}
 
-    let (header_line_no, header) = loop {
-        match lines.next() {
-            Some((i, line)) => {
-                let line = line?;
+/// [`parse`] with an explicit per-line byte cap.
+///
+/// A line longer than `max_line_bytes` fails with
+/// [`NetlistError::Syntax`] instead of growing the scan buffer — useful
+/// when ingesting untrusted files.
+///
+/// # Errors
+///
+/// Same as [`parse`], plus the over-long-line rejection.
+pub fn parse_with<R: Read>(
+    reader: R,
+    label: &str,
+    max_line_bytes: usize,
+) -> Result<Netlist, NetlistError> {
+    let mut scanner = LineScanner::with_max_line(reader, label, max_line_bytes);
+
+    let (num_nets, num_cells) = loop {
+        match scanner.next_line()? {
+            Some((no, line)) => {
                 let trimmed = line.trim();
                 if trimmed.is_empty() || trimmed.starts_with('%') {
                     continue;
                 }
-                break (i + 1, trimmed.to_string());
+                let mut parts = trimmed.split_whitespace();
+                let num_nets: usize = parse_num(parts.next(), label, no, "net count")?;
+                let num_cells: usize = parse_num(parts.next(), label, no, "cell count")?;
+                if let Some(fmt) = parts.next() {
+                    if fmt != "0" {
+                        return Err(NetlistError::syntax(
+                            ParseContext::new(label, no),
+                            format!("weighted hgr format `{fmt}` is not supported"),
+                        ));
+                    }
+                }
+                break (num_nets, num_cells);
             }
             None => {
                 return Err(NetlistError::syntax(ParseContext::new(label, 1), "empty hgr file"))
@@ -56,24 +86,12 @@ pub fn parse<R: Read>(reader: R, label: &str) -> Result<Netlist, NetlistError> {
         }
     };
 
-    let mut parts = header.split_whitespace();
-    let num_nets: usize = parse_num(parts.next(), label, header_line_no, "net count")?;
-    let num_cells: usize = parse_num(parts.next(), label, header_line_no, "cell count")?;
-    if let Some(fmt) = parts.next() {
-        if fmt != "0" {
-            return Err(NetlistError::syntax(
-                ParseContext::new(label, header_line_no),
-                format!("weighted hgr format `{fmt}` is not supported"),
-            ));
-        }
-    }
-
     let mut builder = NetlistBuilder::with_capacity(num_cells, num_nets);
     builder.add_anonymous_cells(num_cells);
 
     let mut nets_read = 0usize;
-    for (i, line) in lines {
-        let line = line?;
+    let mut pins: Vec<CellId> = Vec::new();
+    while let Some((no, line)) = scanner.next_line()? {
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('%') {
             continue;
@@ -85,18 +103,18 @@ pub fn parse<R: Read>(reader: R, label: &str) -> Result<Netlist, NetlistError> {
                 found: nets_read + 1,
             });
         }
-        let mut pins = Vec::new();
+        pins.clear();
         for tok in trimmed.split_whitespace() {
-            let idx: usize = parse_num(Some(tok), label, i + 1, "pin")?;
+            let idx: usize = parse_num(Some(tok), label, no, "pin")?;
             if idx == 0 || idx > num_cells {
                 return Err(NetlistError::syntax(
-                    ParseContext::new(label, i + 1),
+                    ParseContext::new(label, no),
                     format!("pin index {idx} out of range 1..={num_cells}"),
                 ));
             }
             pins.push(CellId::new(idx - 1));
         }
-        builder.add_anonymous_net(pins);
+        builder.add_anonymous_net(pins.iter().copied());
         nets_read += 1;
     }
     if nets_read != num_nets {
@@ -229,6 +247,41 @@ mod tests {
     fn weighted_format_rejected() {
         let err = parse_str("1 2 11\n1 2\n").unwrap_err();
         assert!(err.to_string().contains("not supported"));
+    }
+
+    #[test]
+    fn truncated_body_reports_count_mismatch() {
+        // Simulates a file cut off mid-transfer: header promises 3 nets
+        // but the stream ends after one.
+        let err = parse_str("3 4\n1 2\n").unwrap_err();
+        assert!(matches!(err, NetlistError::CountMismatch { declared: 3, found: 1, .. }));
+    }
+
+    #[test]
+    fn unterminated_final_net_line_still_parses() {
+        let nl = parse_str("2 3\n1 2\n2 3").unwrap();
+        assert_eq!(nl.num_nets(), 2);
+        assert_eq!(nl.num_pins(), 4);
+    }
+
+    #[test]
+    fn oversized_line_rejected_with_cap() {
+        let mut text = String::from("1 64\n");
+        for i in 1..=64 {
+            text.push_str(&format!("{i} "));
+        }
+        text.push('\n');
+        let err = parse_with(text.as_bytes(), "<capped>", 32).unwrap_err();
+        assert!(err.to_string().contains("maximum length"), "{err}");
+        // The same input parses fine without the tight cap.
+        assert!(parse_str(&text).is_ok());
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        let bytes: &[u8] = b"1 2\n1 \xff2\n";
+        let err = parse(bytes, "<bin>").unwrap_err();
+        assert!(err.to_string().contains("UTF-8"), "{err}");
     }
 
     #[test]

@@ -14,6 +14,10 @@
 //! * [`hgr`] — hMETIS-style plain hypergraph files, convenient for test
 //!   fixtures and interchange.
 //!
+//! The Bookshelf and hgr readers stream through the bounded line buffer
+//! in [`stream`], so multi-million-cell designs parse in memory
+//! proportional to the netlist, never the file.
+//!
 //! # Example
 //!
 //! ```
@@ -45,6 +49,7 @@ mod subset;
 
 pub mod bookshelf;
 pub mod hgr;
+pub mod stream;
 pub mod traversal;
 pub mod verilog;
 

@@ -39,6 +39,7 @@ pub mod industrial;
 pub mod ispd_like;
 pub mod planted;
 pub mod resynth;
+pub mod stream;
 pub mod structures;
 
 use gtl_netlist::{CellId, Netlist};
